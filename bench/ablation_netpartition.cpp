@@ -1,0 +1,86 @@
+// Ablation: the four net-partitioning heuristics of paper §5 — center,
+// locus, density, pin-number-weight — compared on load balance (pins and
+// Steiner-construction work) and on the quality/speedup of the net-wise
+// algorithm they drive.  The paper motivates pin-number-weight with
+// AVQ-LARGE's giant clock nets; avq.large is therefore the headline circuit
+// here, with biomed as the no-giant-nets control.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ptwgr/eval/experiment.h"
+#include "ptwgr/eval/report.h"
+#include "ptwgr/route/router.h"
+#include "ptwgr/support/stats.h"
+#include "ptwgr/support/table.h"
+#include "ptwgr/support/timer.h"
+
+namespace {
+
+using namespace ptwgr;
+
+constexpr int kProcs = 8;
+
+double steiner_work_imbalance(const Circuit& circuit, const NetPartition& p,
+                              int ranks) {
+  std::vector<double> work(static_cast<std::size_t>(ranks), 0.0);
+  for (std::size_t n = 0; n < circuit.num_nets(); ++n) {
+    const auto k = static_cast<double>(
+        circuit.net(NetId{static_cast<std::uint32_t>(n)}).pins.size());
+    work[static_cast<std::size_t>(p.owner[n])] += k * k;  // Prim is O(k²)
+  }
+  return load_imbalance(work);
+}
+
+void run_circuit(const char* name, const ptwgr::bench::Args& args) {
+  const SuiteEntry entry = suite_entry(name, args.scale);
+  const Circuit circuit = build_suite_circuit(entry);
+  const RowPartition rows = partition_rows(circuit, kProcs);
+
+  RouterOptions router;
+  router.seed = args.seed;
+  const auto serial = route_serial(build_suite_circuit(entry), router);
+
+  TextTable table(std::string("Net partition ablation on ") + name + " (" +
+                  std::to_string(kProcs) + " procs, net-wise algorithm)");
+  table.add_row({"scheme", "pin imbalance", "k^2 imbalance",
+                 "scaled tracks", "speedup"});
+
+  for (const auto scheme :
+       {NetPartitionScheme::Center, NetPartitionScheme::Locus,
+        NetPartitionScheme::Density, NetPartitionScheme::PinNumberWeight}) {
+    NetPartitionOptions options;
+    options.scheme = scheme;
+    const NetPartition partition =
+        partition_nets(circuit, kProcs, options, &rows);
+
+    ParallelOptions parallel;
+    parallel.router = router;
+    parallel.net_partition = options;
+    const auto result =
+        route_parallel(build_suite_circuit(entry), ParallelAlgorithm::NetWise,
+                       kProcs, parallel, mp::CostModel::sparc_center_smp());
+
+    // Speedup against the serial routing time on the same platform model.
+    const double serial_modeled =
+        serial.timings.total() *
+        mp::CostModel::sparc_center_smp().compute_scale;
+
+    table.add_row(
+        {to_string(scheme), format_fixed(load_imbalance(partition.pin_load), 2),
+         format_fixed(steiner_work_imbalance(circuit, partition, kProcs), 2),
+         format_fixed(static_cast<double>(result.metrics.track_count) /
+                          static_cast<double>(serial.metrics.track_count),
+                      3),
+         format_fixed(serial_modeled / result.modeled_seconds(), 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = ptwgr::bench::parse_args(argc, argv);
+  run_circuit("avq.large", args);
+  run_circuit("biomed", args);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: the pin-number-weight exponent α (paper §5).
+//
+// The weight -k^α schedules large nets first and reserves k^α quota for
+// them; the paper remarks a particular α "works well for AVQ-LARGE", whose
+// >3000-pin clock net dominates Steiner-construction cost.  This harness
+// sweeps α and reports the k²-work imbalance (the quantity that actually
+// bounds the Steiner phase's parallel time) and the modeled speedup of the
+// row-wise algorithm, whose tree-building phase the partition drives.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ptwgr/eval/experiment.h"
+#include "ptwgr/route/router.h"
+#include "ptwgr/support/stats.h"
+#include "ptwgr/support/table.h"
+#include "ptwgr/support/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace ptwgr;
+  const auto args = bench::parse_args(argc, argv);
+  constexpr int kProcs = 8;
+
+  const SuiteEntry entry = suite_entry("avq.large", args.scale);
+  const Circuit circuit = build_suite_circuit(entry);
+  const RowPartition rows = partition_rows(circuit, kProcs);
+
+  RouterOptions router;
+  router.seed = args.seed;
+  const double serial_modeled =
+      route_serial(build_suite_circuit(entry), router).timings.total() *
+      mp::CostModel::sparc_center_smp().compute_scale;
+
+  TextTable table("Pin-number-weight exponent sweep on avq.large (8 procs, "
+                  "row-wise algorithm)");
+  table.add_row({"alpha", "pin imbalance", "k^2 imbalance", "speedup"});
+  for (const double alpha : {1.0, 1.2, 1.6, 2.0, 2.5}) {
+    NetPartitionOptions options;
+    options.scheme = NetPartitionScheme::PinNumberWeight;
+    options.pin_weight_exponent = alpha;
+    const NetPartition partition =
+        partition_nets(circuit, kProcs, options, &rows);
+    std::vector<double> work(kProcs, 0.0);
+    for (std::size_t n = 0; n < circuit.num_nets(); ++n) {
+      const auto k = static_cast<double>(
+          circuit.net(NetId{static_cast<std::uint32_t>(n)}).pins.size());
+      work[static_cast<std::size_t>(partition.owner[n])] += k * k;
+    }
+
+    ParallelOptions parallel;
+    parallel.router = router;
+    parallel.net_partition = options;
+    const auto result =
+        route_parallel(build_suite_circuit(entry), ParallelAlgorithm::RowWise,
+                       kProcs, parallel, mp::CostModel::sparc_center_smp());
+
+    table.add_row({format_fixed(alpha, 1),
+                   format_fixed(load_imbalance(partition.pin_load), 2),
+                   format_fixed(load_imbalance(work), 2),
+                   format_fixed(serial_modeled / result.modeled_seconds(),
+                                2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: Steiner-tree construction choices (TWGR step 1).
+//
+// The paper builds "an approximate Steiner tree ... based on the minimum
+// spanning tree of this net" without further detail; this harness quantifies
+// the two knobs our implementation exposes — the corner-merging refinement
+// and the vertical row cost of the MST metric — by their effect on total
+// tree length, feedthrough count, and final track count.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/route/router.h"
+#include "ptwgr/route/steiner.h"
+#include "ptwgr/support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ptwgr;
+  const auto args = bench::parse_args(argc, argv);
+  const SuiteEntry entry = suite_entry("biomed", args.scale);
+  const Circuit circuit = build_suite_circuit(entry);
+
+  // Knob 1: refinement on/off at the default row cost.
+  {
+    TextTable table("Steiner refinement ablation (biomed)");
+    table.add_row({"refine", "total tree length", "inter-row segments"});
+    for (const bool refine : {false, true}) {
+      SteinerOptions options;
+      options.refine = refine;
+      std::int64_t total_length = 0;
+      std::size_t inter_row = 0;
+      for (const SteinerTree& tree :
+           build_all_steiner_trees(circuit, options)) {
+        total_length += tree.length(options.row_cost);
+        inter_row += tree.num_inter_row_edges();
+      }
+      table.add_row({refine ? "on" : "off", format_grouped(total_length),
+                     format_grouped(static_cast<long long>(inter_row))});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  // Knob 2: the vertical row cost, end to end through the router.
+  {
+    TextTable table(
+        "Steiner row-cost sweep (biomed, full serial route; rows are "
+        "expensive to cross because crossings cost feedthroughs)");
+    table.add_row({"row cost", "tracks", "feedthroughs", "area"});
+    for (const std::int64_t row_cost : {1, 16, 48, 128, 512}) {
+      RouterOptions options;
+      options.seed = args.seed;
+      options.steiner_row_cost = row_cost;
+      const RoutingResult result =
+          route_serial(build_suite_circuit(entry), options);
+      table.add_row({format_grouped(row_cost),
+                     format_grouped(result.metrics.track_count),
+                     format_grouped(static_cast<long long>(
+                         result.metrics.feedthrough_count)),
+                     format_grouped(result.metrics.area)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  return 0;
+}

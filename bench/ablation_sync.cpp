@@ -1,0 +1,59 @@
+// Ablation: net-wise synchronization frequency (paper §5/§7.2).
+//
+// "The routing quality is controlled by frequent synchronization but this
+// reduces the runtime performance and is very costly."  This harness sweeps
+// the grid/channel sync period and reports the quality/runtime trade-off on
+// the SparcCenter platform model, where the crossover the paper describes
+// is visible: frequent syncs ≈ serial quality at poor speedup; rare syncs
+// ≈ faster but blind.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ptwgr/eval/experiment.h"
+#include "ptwgr/route/router.h"
+#include "ptwgr/support/table.h"
+#include "ptwgr/support/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace ptwgr;
+  const auto args = bench::parse_args(argc, argv);
+  constexpr int kProcs = 8;
+
+  const SuiteEntry entry = suite_entry("biomed", args.scale);
+  RouterOptions router;
+  router.seed = args.seed;
+
+  const auto serial = route_serial(build_suite_circuit(entry), router);
+  const double serial_modeled =
+      serial.timings.total() * mp::CostModel::sparc_center_smp().compute_scale;
+
+  TextTable table("Sync-frequency ablation: net-wise on biomed, 8 procs "
+                  "(SparcCenter model)");
+  table.add_row({"sync period", "scaled tracks", "modeled time (s)",
+                 "speedup"});
+  for (const std::size_t period :
+       {std::size_t{32}, std::size_t{128}, std::size_t{512},
+        std::size_t{2048}, std::size_t{8192},
+        std::size_t{1} << 30 /* effectively never */}) {
+    ParallelOptions options;
+    options.router = router;
+    options.coarse_sync_period = period;
+    options.switch_sync_period = period;
+    const auto result =
+        route_parallel(build_suite_circuit(entry), ParallelAlgorithm::NetWise,
+                       kProcs, options, mp::CostModel::sparc_center_smp());
+    table.add_row(
+        {period >= (std::size_t{1} << 30) ? std::string("never")
+                                          : std::to_string(period),
+         format_fixed(static_cast<double>(result.metrics.track_count) /
+                          static_cast<double>(serial.metrics.track_count),
+                      3),
+         format_fixed(result.modeled_seconds(), 2),
+         format_fixed(serial_modeled / result.modeled_seconds(), 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("(quality should improve and speedup drop as the period "
+              "shrinks — the paper's \"synchronization ... is very "
+              "costly\")\n");
+  return 0;
+}

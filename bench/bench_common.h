@@ -1,0 +1,38 @@
+// Shared command-line handling for the table/figure benchmark harnesses.
+//
+// Every harness accepts:
+//   --scale=<0..1>   suite scale factor (default 1.0 = Table 1 magnitudes)
+//   --seed=<n>       router seed (default 1)
+// Unknown flags are ignored so the harnesses coexist with test drivers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace ptwgr::bench {
+
+struct Args {
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      args.scale = std::atof(arg + 8);
+      if (args.scale <= 0.0 || args.scale > 1.0) {
+        std::fprintf(stderr, "--scale must be in (0, 1]\n");
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    }
+  }
+  return args;
+}
+
+}  // namespace ptwgr::bench

@@ -1,0 +1,87 @@
+// Google-benchmark microbenchmarks of the message-passing runtime: p2p
+// round-trips, collectives, and the grid-synchronization payloads the
+// net-wise algorithm moves.  Measured wall time here is host overhead (the
+// ranks are threads); the virtual-clock cost model is exercised separately
+// by the table harnesses.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "ptwgr/mp/runtime.h"
+
+namespace {
+
+using namespace ptwgr::mp;
+
+void BM_PingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    run(2, [bytes](Communicator& comm) {
+      std::vector<std::uint8_t> payload(bytes, 1);
+      for (int i = 0; i < 10; ++i) {
+        if (comm.rank() == 0) {
+          comm.send_value(1, 0, payload);
+          benchmark::DoNotOptimize(comm.recv_vector<std::uint8_t>(1, 0));
+        } else {
+          benchmark::DoNotOptimize(comm.recv_vector<std::uint8_t>(0, 0));
+          comm.send_value(0, 0, payload);
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * 20 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    run(ranks, [](Communicator& comm) {
+      for (int i = 0; i < 50; ++i) comm.barrier();
+    });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AllreduceGridState(benchmark::State& state) {
+  // Payload sized like a full-scale avq.large demand grid snapshot.
+  const int ranks = static_cast<int>(state.range(0));
+  constexpr std::size_t kGridInts = 13000;
+  for (auto _ : state) {
+    run(ranks, [](Communicator& comm) {
+      std::vector<std::int32_t> grid(kGridInts, comm.rank());
+      for (int i = 0; i < 5; ++i) {
+        benchmark::DoNotOptimize(comm.allreduce(grid, SumOp{}));
+      }
+    });
+  }
+}
+BENCHMARK(BM_AllreduceGridState)->Arg(2)->Arg(8);
+
+void BM_AllToAllRecords(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    run(ranks, [ranks](Communicator& comm) {
+      std::vector<std::vector<std::int64_t>> outgoing(
+          static_cast<std::size_t>(ranks));
+      for (auto& part : outgoing) part.assign(512, comm.rank());
+      benchmark::DoNotOptimize(comm.all_to_all(outgoing));
+    });
+  }
+}
+BENCHMARK(BM_AllToAllRecords)->Arg(2)->Arg(8);
+
+void BM_WorldSpawn(benchmark::State& state) {
+  // Cost of standing a rank world up and down — bounds how small a routing
+  // problem is worth parallelizing at all.
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    run(ranks, [](Communicator&) {});
+  }
+}
+BENCHMARK(BM_WorldSpawn)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Google-benchmark microbenchmarks of the five TWGR steps and their key
+// primitives, on the biomed-shaped circuit at a configurable scale.  These
+// quantify where the serial time goes — the paper's parallelization targets
+// the Steiner and coarse-routing phases, which dominate here too.
+#include <benchmark/benchmark.h>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/route/coarse.h"
+#include "ptwgr/route/connect.h"
+#include "ptwgr/route/feedthrough.h"
+#include "ptwgr/route/router.h"
+#include "ptwgr/route/switchable.h"
+
+namespace {
+
+using namespace ptwgr;
+
+Circuit bench_circuit() {
+  return build_suite_circuit(suite_entry("biomed", 0.25));
+}
+
+void BM_SteinerTrees(benchmark::State& state) {
+  const Circuit circuit = bench_circuit();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_all_steiner_trees(circuit));
+  }
+}
+BENCHMARK(BM_SteinerTrees)->Unit(benchmark::kMillisecond);
+
+void BM_CoarseRouting(benchmark::State& state) {
+  const Circuit circuit = bench_circuit();
+  const auto trees = build_all_steiner_trees(circuit);
+  for (auto _ : state) {
+    auto segments = extract_coarse_segments(trees);
+    CoarseGrid grid(circuit, 32);
+    CoarseRouter router(grid, {});
+    router.place_initial(segments);
+    Rng rng(1);
+    benchmark::DoNotOptimize(router.improve(segments, rng));
+  }
+}
+BENCHMARK(BM_CoarseRouting)->Unit(benchmark::kMillisecond);
+
+void BM_FeedthroughInsertAssign(benchmark::State& state) {
+  const Circuit base = bench_circuit();
+  const auto trees = build_all_steiner_trees(base);
+  auto segments = extract_coarse_segments(trees);
+  CoarseGrid grid(base, 32);
+  CoarseRouter router(grid, {});
+  router.place_initial(segments);
+  Rng rng(1);
+  router.improve(segments, rng);
+  for (auto _ : state) {
+    Circuit circuit = base;  // copy: insertion mutates
+    FeedthroughPools pools = insert_feedthroughs(circuit, grid, 3);
+    benchmark::DoNotOptimize(
+        assign_feedthroughs(circuit, pools, grid, segments, 3));
+  }
+}
+BENCHMARK(BM_FeedthroughInsertAssign)->Unit(benchmark::kMillisecond);
+
+void BM_ConnectNets(benchmark::State& state) {
+  Circuit circuit = bench_circuit();
+  const auto trees = build_all_steiner_trees(circuit);
+  auto segments = extract_coarse_segments(trees);
+  CoarseGrid grid(circuit, 32);
+  CoarseRouter router(grid, {});
+  router.place_initial(segments);
+  Rng rng(1);
+  router.improve(segments, rng);
+  FeedthroughPools pools = insert_feedthroughs(circuit, grid, 3);
+  assign_feedthroughs(circuit, pools, grid, segments, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(connect_all_nets(circuit));
+  }
+}
+BENCHMARK(BM_ConnectNets)->Unit(benchmark::kMillisecond);
+
+void BM_SwitchableOptimize(benchmark::State& state) {
+  Circuit circuit = bench_circuit();
+  const auto base_wires = connect_all_nets(circuit);
+  for (auto _ : state) {
+    auto wires = base_wires;
+    SwitchableOptimizer optimizer(circuit.num_channels(),
+                                  circuit.core_width(), 4);
+    optimizer.register_wires(wires);
+    Rng rng(1);
+    benchmark::DoNotOptimize(optimizer.optimize(wires, rng, {}));
+  }
+}
+BENCHMARK(BM_SwitchableOptimize)->Unit(benchmark::kMillisecond);
+
+void BM_FullSerialRoute(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Circuit circuit = bench_circuit();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(route_serial(std::move(circuit)));
+  }
+}
+BENCHMARK(BM_FullSerialRoute)->Unit(benchmark::kMillisecond);
+
+void BM_SteinerTreeByDegree(benchmark::State& state) {
+  // One net of the given degree, pins spread over the core.
+  GeneratorConfig cfg;
+  cfg.seed = 5;
+  cfg.num_rows = 16;
+  cfg.num_cells = 1600;
+  cfg.num_nets = 1;
+  cfg.giant_net_pins = {static_cast<std::size_t>(state.range(0))};
+  const Circuit circuit = generate_circuit(cfg);
+  const NetId giant{1};  // net 0 is the ordinary one; giants follow
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_steiner_tree(circuit, giant));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SteinerTreeByDegree)
+    ->RangeMultiplier(4)
+    ->Range(8, 2048)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Extension figure: speedup scaling to 16 processors for all three
+// algorithms on one mid-size circuit (the paper stops at 8 on the
+// SparcCenter; its Paragon column reaches 16 for the hybrid only).
+// This extrapolates the comparison the conclusions rest on: row-wise keeps
+// scaling, hybrid tracks it at a gap, net-wise flattens as synchronization
+// and replicated work dominate.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
+#include "ptwgr/support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ptwgr;
+  const auto args = bench::parse_args(argc, argv);
+  const SuiteEntry entry = suite_entry("industry2", args.scale);
+
+  RouterOptions router;
+  router.seed = args.seed;
+  const RoutingResult serial = route_serial(build_suite_circuit(entry), router);
+  const double serial_modeled =
+      serial.timings.total() * mp::CostModel::sparc_center_smp().compute_scale;
+
+  TextTable table("Speedup scaling on industry2 (SparcCenter model)");
+  std::vector<std::string> header{"algorithm"};
+  const std::vector<int> procs{1, 2, 4, 8, 12, 16};
+  for (const int p : procs) header.push_back(std::to_string(p) + "p");
+  table.add_row(header);
+
+  for (const auto algorithm :
+       {ParallelAlgorithm::RowWise, ParallelAlgorithm::Hybrid,
+        ParallelAlgorithm::NetWise}) {
+    std::vector<std::string> speedups{to_string(algorithm)};
+    std::vector<std::string> quality{"  (scaled tracks)"};
+    for (const int p : procs) {
+      ParallelOptions options;
+      options.router = router;
+      const auto result =
+          route_parallel(build_suite_circuit(entry), algorithm, p, options,
+                         mp::CostModel::sparc_center_smp());
+      speedups.push_back(
+          format_fixed(serial_modeled / result.modeled_seconds(), 2));
+      quality.push_back(format_fixed(
+          static_cast<double>(result.metrics.track_count) /
+              static_cast<double>(serial.metrics.track_count),
+          3));
+    }
+    table.add_row(speedups);
+    table.add_row(quality);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

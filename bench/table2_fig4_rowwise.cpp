@@ -1,0 +1,41 @@
+// Reproduces Table 2 (scaled track results of the row-wise pin partition
+// algorithm) and Figure 4 (its speedups) on the SparcCenter platform model,
+// plus the scaled-area companion the paper quotes in prose ("the scaled
+// area results ... are not much worse (1-2%)").
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ptwgr/eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace ptwgr;
+  const auto args = bench::parse_args(argc, argv);
+
+  ExperimentConfig config;
+  config.scale = args.scale;
+  config.options.router.seed = args.seed;
+  config.platform = Platform::sparc_center();
+
+  const auto runs = run_suite_experiment(ParallelAlgorithm::RowWise, config);
+
+  std::printf("%s\n",
+              render_scaled_tracks_table(
+                  "Table 2: Scaled track results of row-wise pin partition "
+                  "algorithm",
+                  runs)
+                  .c_str());
+  std::printf("%s\n",
+              render_scaled_area_table(
+                  "Table 2 companion: scaled area (paper §7.1 prose)", runs)
+                  .c_str());
+  std::printf("%s\n",
+              render_speedup_figure(
+                  "Figure 4: Speedup results of row-wise pin partition "
+                  "algorithm",
+                  runs)
+                  .c_str());
+  std::printf("summary: mean speedup at 8 procs %.2f, mean scaled tracks at "
+              "8 procs %.3f\n",
+              mean_speedup_at(runs, 8), mean_scaled_tracks_at(runs, 8));
+  return 0;
+}

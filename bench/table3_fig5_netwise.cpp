@@ -1,0 +1,38 @@
+// Reproduces Table 3 (scaled track results of the net-wise pin partitioned
+// algorithm) and Figure 5 (its speedups).  The paper attributes this
+// algorithm's losses to channel-synchronization cost and the blindness of
+// each processor in the switchable step (§7.2); the sync-frequency ablation
+// (bench/ablation_sync) isolates that trade-off.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ptwgr/eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace ptwgr;
+  const auto args = bench::parse_args(argc, argv);
+
+  ExperimentConfig config;
+  config.scale = args.scale;
+  config.options.router.seed = args.seed;
+  config.platform = Platform::sparc_center();
+
+  const auto runs = run_suite_experiment(ParallelAlgorithm::NetWise, config);
+
+  std::printf("%s\n",
+              render_scaled_tracks_table(
+                  "Table 3: Scaled track results of net-wise pin partitioned "
+                  "algorithm",
+                  runs)
+                  .c_str());
+  std::printf("%s\n",
+              render_speedup_figure(
+                  "Figure 5: Speedup results of the net-wise pin partition "
+                  "algorithm",
+                  runs)
+                  .c_str());
+  std::printf("summary: mean speedup at 8 procs %.2f, mean scaled tracks at "
+              "8 procs %.3f\n",
+              mean_speedup_at(runs, 8), mean_scaled_tracks_at(runs, 8));
+  return 0;
+}

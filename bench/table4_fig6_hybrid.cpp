@@ -1,0 +1,36 @@
+// Reproduces Table 4 (scaled track results of the hybrid pin partition
+// algorithm) and Figure 6 (its speedups).  The paper's conclusion: the
+// hybrid "obtains the best quality control ... and good speedups".
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ptwgr/eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace ptwgr;
+  const auto args = bench::parse_args(argc, argv);
+
+  ExperimentConfig config;
+  config.scale = args.scale;
+  config.options.router.seed = args.seed;
+  config.platform = Platform::sparc_center();
+
+  const auto runs = run_suite_experiment(ParallelAlgorithm::Hybrid, config);
+
+  std::printf("%s\n",
+              render_scaled_tracks_table(
+                  "Table 4: Scaled track results of hybrid pin partition "
+                  "algorithm",
+                  runs)
+                  .c_str());
+  std::printf("%s\n",
+              render_speedup_figure(
+                  "Figure 6: Speedup results of hybrid pin partition "
+                  "algorithm",
+                  runs)
+                  .c_str());
+  std::printf("summary: mean speedup at 8 procs %.2f, mean scaled tracks at "
+              "8 procs %.3f\n",
+              mean_speedup_at(runs, 8), mean_scaled_tracks_at(runs, 8));
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Table 5: the hybrid pin partitioned algorithm on the two
+// platform models — Sun SparcCenter 1000 SMP (1 and 8 processors) and Intel
+// Paragon DMP (1, 8 and 16 processors; 32 MB/node).  Serial runs of
+// industry3 and avq.large exceed the Paragon's node memory, reproducing the
+// paper's "timeout" footnote with extrapolated (starred) speedups.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "ptwgr/eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace ptwgr;
+  const auto args = bench::parse_args(argc, argv);
+
+  std::printf("Table 5: Results of the hybrid pin partitioned parallel "
+              "global routing algorithm on different platforms\n\n");
+
+  {
+    ExperimentConfig config;
+    config.scale = args.scale;
+    config.options.router.seed = args.seed;
+    config.platform = Platform::sparc_center();
+    config.proc_counts = {8};
+    const auto runs = run_suite_experiment(ParallelAlgorithm::Hybrid, config);
+    std::printf("%s\n",
+                render_table5_platform(config.platform, runs).c_str());
+  }
+  {
+    ExperimentConfig config;
+    config.scale = args.scale;
+    config.options.router.seed = args.seed;
+    config.platform = Platform::paragon();
+    config.proc_counts = {8, 16};
+    const auto runs = run_suite_experiment(ParallelAlgorithm::Hybrid, config);
+    std::printf("%s\n",
+                render_table5_platform(config.platform, runs).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Platform-model demo: the same routing run under different machine models.
+//
+// The runtime's virtual clocks charge measured per-rank compute (scaled by
+// the platform's relative core speed) plus an α–β cost per message, which is
+// how this reproduction measures parallel time on a single-core host (see
+// DESIGN.md §2).  This example makes the model tangible: one algorithm, one
+// circuit, three platforms.
+//
+//   $ ./platform_model
+#include <cstdio>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/eval/platform.h"
+#include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
+#include "ptwgr/support/table.h"
+
+int main() {
+  using namespace ptwgr;
+  const SuiteEntry entry = suite_entry("primary2", 0.5);
+  const RoutingResult serial = route_serial(build_suite_circuit(entry));
+
+  TextTable table("net-wise algorithm, 8 ranks, same seed, three platforms");
+  table.add_row({"platform", "alpha (us)", "modeled time (s)", "speedup",
+                 "tracks"});
+  // Frequent synchronization makes the message-cost differences visible.
+  ParallelOptions options;
+  options.coarse_sync_period = 64;
+  options.switch_sync_period = 64;
+  for (const Platform& platform :
+       {Platform::ideal(), Platform::sparc_center(), Platform::paragon()}) {
+    const auto result =
+        route_parallel(build_suite_circuit(entry), ParallelAlgorithm::NetWise,
+                       8, options, platform.cost);
+    const double serial_modeled =
+        serial.timings.total() * platform.cost.compute_scale;
+    table.add_row({platform.name,
+                   format_fixed(platform.cost.latency_s * 1e6, 0),
+                   format_fixed(result.modeled_seconds(), 3),
+                   format_fixed(serial_modeled / result.modeled_seconds(), 2),
+                   format_grouped(result.metrics.track_count)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nQuality is platform-independent (same seed, same "
+              "decisions); only the modeled time changes.  The Paragon's "
+              "higher per-message latency penalizes the sync-heavy net-wise "
+              "algorithm hardest — the paper's Table 5 effect.\n");
+  return 0;
+}

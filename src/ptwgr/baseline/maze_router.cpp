@@ -1,0 +1,233 @@
+#include "ptwgr/baseline/maze_router.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+namespace {
+
+/// Flat grid of (channel, column) cells.
+struct Grid {
+  std::size_t channels;
+  std::size_t columns;
+
+  std::size_t cell(std::size_t channel, std::size_t column) const {
+    return channel * columns + column;
+  }
+  std::size_t channel_of(std::size_t cell_id) const {
+    return cell_id / columns;
+  }
+  std::size_t column_of(std::size_t cell_id) const {
+    return cell_id % columns;
+  }
+  std::size_t size() const { return channels * columns; }
+};
+
+struct SearchState {
+  double cost;
+  std::size_t cell;
+  friend bool operator>(const SearchState& a, const SearchState& b) {
+    return a.cost > b.cost;
+  }
+};
+
+}  // namespace
+
+MazeResult route_maze_baseline(const Circuit& circuit,
+                               const MazeOptions& options) {
+  PTWGR_EXPECTS(options.column_width > 0);
+  PTWGR_EXPECTS(circuit.num_rows() >= 1);
+
+  Grid grid;
+  grid.channels = circuit.num_channels();
+  grid.columns = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             (circuit.core_width() + options.column_width - 1) /
+             options.column_width));
+
+  // Horizontal occupancy (distinct nets per cell) and row-crossing counts.
+  std::vector<std::int32_t> occupancy(grid.size(), 0);
+  std::vector<std::int32_t> crossings(circuit.num_rows() * grid.columns, 0);
+
+  const auto column_of_x = [&](Coord x) {
+    if (x < 0) return std::size_t{0};
+    return std::min<std::size_t>(
+        static_cast<std::size_t>(x / options.column_width),
+        grid.columns - 1);
+  };
+
+  // The grid cells a pin can enter from (its row's adjacent channels,
+  // restricted by the pin side).
+  const auto pin_cells = [&](PinId pid) {
+    std::vector<std::size_t> cells;
+    const auto row =
+        static_cast<std::size_t>(circuit.pin_row(pid).index());
+    const std::size_t col = column_of_x(circuit.pin_x(pid));
+    const PinSide side = circuit.pin(pid).side;
+    const bool fake = circuit.pin(pid).is_fake();
+    if (fake || side != PinSide::Top) cells.push_back(grid.cell(row, col));
+    if (fake || side != PinSide::Bottom) {
+      cells.push_back(grid.cell(row + 1, col));
+    }
+    return cells;
+  };
+
+  // Net order: sequential, by id — the order dependence the paper's intro
+  // holds against this family of routers.
+  std::vector<NetId> order;
+  order.reserve(circuit.num_nets());
+  for (std::size_t n = 0; n < circuit.num_nets(); ++n) {
+    order.push_back(NetId{static_cast<std::uint32_t>(n)});
+  }
+  if (options.reverse_net_order) std::reverse(order.begin(), order.end());
+
+  MazeResult result;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(grid.size());
+  std::vector<std::uint32_t> parent(grid.size());
+  constexpr std::uint32_t kNoParent =
+      std::numeric_limits<std::uint32_t>::max();
+
+  for (const NetId net : order) {
+    const auto& pins = circuit.net(net).pins;
+    if (pins.size() < 2) continue;
+
+    // Tree cells grown so far, plus the per-net set of occupied horizontal
+    // cells (a net pays for a cell once).
+    std::unordered_set<std::size_t> tree;
+    std::unordered_set<std::size_t> net_cells;
+    for (const std::size_t cell : pin_cells(pins.front())) tree.insert(cell);
+
+    for (std::size_t next = 1; next < pins.size(); ++next) {
+      // Multi-target set: any entry cell of the next pin.
+      std::unordered_set<std::size_t> targets;
+      for (const std::size_t cell : pin_cells(pins[next])) {
+        targets.insert(cell);
+      }
+      // Already connected (e.g. stacked pins)?
+      bool connected = false;
+      for (const std::size_t t : targets) {
+        if (tree.count(t) != 0) {
+          connected = true;
+          break;
+        }
+      }
+      if (connected) continue;
+
+      // Multi-source Dijkstra from the tree.
+      std::fill(dist.begin(), dist.end(), kInf);
+      std::fill(parent.begin(), parent.end(), kNoParent);
+      std::priority_queue<SearchState, std::vector<SearchState>,
+                          std::greater<>>
+          frontier;
+      for (const std::size_t cell : tree) {
+        dist[cell] = 0.0;
+        frontier.push(SearchState{0.0, cell});
+      }
+
+      const auto enter_cost = [&](std::size_t from, std::size_t to) {
+        const std::size_t cf = grid.channel_of(from);
+        const std::size_t ct = grid.channel_of(to);
+        if (cf == ct) {
+          // Horizontal: congestion-aware track demand.
+          return 1.0 + options.congestion_weight *
+                           static_cast<double>(occupancy[to]);
+        }
+        // Vertical: crossing the row between the two channels.
+        const std::size_t row = std::min(cf, ct);
+        const std::size_t col = grid.column_of(to);
+        return options.via_cost +
+               options.congestion_weight *
+                   static_cast<double>(crossings[row * grid.columns + col]);
+      };
+
+      std::size_t reached = grid.size();
+      while (!frontier.empty()) {
+        const SearchState top = frontier.top();
+        frontier.pop();
+        if (top.cost > dist[top.cell]) continue;
+        if (targets.count(top.cell) != 0) {
+          reached = top.cell;
+          break;
+        }
+        const std::size_t c = grid.channel_of(top.cell);
+        const std::size_t k = grid.column_of(top.cell);
+        const auto relax = [&](std::size_t to) {
+          const double cost = top.cost + enter_cost(top.cell, to);
+          if (cost < dist[to]) {
+            dist[to] = cost;
+            parent[to] = static_cast<std::uint32_t>(top.cell);
+            frontier.push(SearchState{cost, to});
+          }
+        };
+        if (k > 0) relax(grid.cell(c, k - 1));
+        if (k + 1 < grid.columns) relax(grid.cell(c, k + 1));
+        if (c > 0) relax(grid.cell(c - 1, k));
+        if (c + 1 < grid.channels) relax(grid.cell(c + 1, k));
+      }
+      PTWGR_CHECK_MSG(reached < grid.size(),
+                      "maze router failed to reach a pin of net "
+                          << net.value());
+
+      // Walk the path back to the tree, committing resources.
+      std::size_t cell = reached;
+      while (cell < grid.size() && tree.count(cell) == 0) {
+        tree.insert(cell);
+        if (net_cells.insert(cell).second) {
+          ++occupancy[cell];
+          ++result.path_cells;
+        }
+        const std::uint32_t prev = parent[cell];
+        if (prev != kNoParent) {
+          const std::size_t cc = grid.channel_of(cell);
+          const std::size_t pc = grid.channel_of(prev);
+          if (cc != pc) {
+            const std::size_t row = std::min(cc, pc);
+            ++crossings[row * grid.columns + grid.column_of(cell)];
+            ++result.feedthrough_count;
+          }
+          cell = prev;
+        } else {
+          break;
+        }
+      }
+    }
+  }
+
+  result.channel_density.assign(grid.channels, 0);
+  for (std::size_t c = 0; c < grid.channels; ++c) {
+    for (std::size_t k = 0; k < grid.columns; ++k) {
+      result.channel_density[c] = std::max<std::int64_t>(
+          result.channel_density[c], occupancy[grid.cell(c, k)]);
+    }
+  }
+  for (const auto d : result.channel_density) result.track_count += d;
+  result.row_crossings.assign(circuit.num_rows(), 0);
+  for (std::size_t row = 0; row < circuit.num_rows(); ++row) {
+    for (std::size_t k = 0; k < grid.columns; ++k) {
+      result.row_crossings[row] += crossings[row * grid.columns + k];
+    }
+  }
+  return result;
+}
+
+std::int64_t MazeResult::estimate_area(const Circuit& circuit,
+                                       Coord feedthrough_width) const {
+  PTWGR_EXPECTS(row_crossings.size() == circuit.num_rows());
+  Coord widest = 0;
+  for (std::size_t row = 0; row < circuit.num_rows(); ++row) {
+    widest = std::max(
+        widest,
+        circuit.row_width(RowId{static_cast<std::uint32_t>(row)}) +
+            static_cast<Coord>(row_crossings[row]) * feedthrough_width);
+  }
+  Coord rows_height = 0;
+  for (const Row& row : circuit.rows()) rows_height += row.height;
+  return widest * (rows_height + kTrackPitch * track_count);
+}
+
+}  // namespace ptwgr

@@ -1,0 +1,63 @@
+// Lee/Moore-style maze routing baseline.
+//
+// The paper's introduction positions TWGR against the graph-search global
+// routers of its day (Lee '61, Moore '59, Nair et al. — its refs [6], [9],
+// [11]), whose parallelizations it criticizes as order-dependent or
+// two-pin-only.  This module implements that baseline honestly: a grid BFS
+// router with congestion-aware costs that routes nets *sequentially* —
+// multi-pin nets by iteratively connecting the nearest pin to the grown
+// tree — so the order dependence and quality gap are measurable
+// (bench/baseline_maze compares it against TWGR on the suite).
+//
+// Grid model: nodes are (channel, column) cells; horizontal moves occupy a
+// channel cell (a track demand), vertical moves cross a row (a feedthrough
+// demand), exactly the resources TWGR's metrics count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptwgr/circuit/circuit.h"
+#include "ptwgr/route/metrics.h"
+
+namespace ptwgr {
+
+struct MazeOptions {
+  /// Grid column width (layout units), as in the TWGR coarse grid.
+  Coord column_width = 32;
+  /// Cost of entering a horizontal cell already used by u other nets:
+  /// 1 + congestion_weight·u — congestion awareness is what made maze
+  /// routers competitive at all.
+  double congestion_weight = 2.0;
+  /// Cost of a vertical move.  One row crossing inserts a feedthrough cell
+  /// — a real widening of the row by several track pitches — so it is
+  /// priced at many horizontal units.
+  double via_cost = 24.0;
+  /// Net visitation order: by id (deterministic).  Reversing exposes the
+  /// order dependence the paper criticizes.
+  bool reverse_net_order = false;
+};
+
+struct MazeResult {
+  /// Comparable to RoutingMetrics: Σ per-channel max horizontal occupancy.
+  std::int64_t track_count = 0;
+  /// Total row crossings (feedthrough demand).
+  std::int64_t feedthrough_count = 0;
+  /// Total grid cells traversed (wirelength proxy in column units).
+  std::int64_t path_cells = 0;
+  /// Per-channel max occupancy.
+  std::vector<std::int64_t> channel_density;
+  /// Row crossings per row (each becomes a row-widening feedthrough cell).
+  std::vector<std::int64_t> row_crossings;
+
+  /// Area under the same model as RoutingMetrics: the widest row after
+  /// feedthrough widening × (row heights + track pitch × tracks).
+  std::int64_t estimate_area(const Circuit& circuit,
+                             Coord feedthrough_width = 3) const;
+};
+
+/// Routes every net of `circuit` with sequential congestion-aware BFS.
+MazeResult route_maze_baseline(const Circuit& circuit,
+                               const MazeOptions& options = {});
+
+}  // namespace ptwgr

@@ -1,0 +1,43 @@
+// Validating construction front-end for Circuit.
+//
+// Keeps netlist construction (tests, the generator, the file reader) honest:
+// ids are checked as they are used, rows are packed at build time, and the
+// finished circuit passes Circuit::validate().
+#pragma once
+
+#include "ptwgr/circuit/circuit.h"
+
+namespace ptwgr {
+
+class CircuitBuilder {
+ public:
+  /// Default row height in layout units.
+  static constexpr Coord kDefaultRowHeight = 16;
+
+  RowId add_row(Coord height = kDefaultRowHeight) {
+    return circuit_.add_row(height);
+  }
+
+  CellId add_cell(RowId row, Coord width) {
+    return circuit_.append_cell(row, width, CellKind::Standard);
+  }
+
+  NetId add_net() { return circuit_.add_net(); }
+
+  PinId add_pin(CellId cell, NetId net, Coord offset, PinSide side) {
+    return circuit_.add_cell_pin(cell, net, offset, side);
+  }
+
+  /// Packs every row with `spacing` between cells, validates, and releases
+  /// the circuit.  The builder is spent afterwards.
+  Circuit build(Coord spacing = 0) && {
+    circuit_.pack(spacing);
+    circuit_.validate();
+    return std::move(circuit_);
+  }
+
+ private:
+  Circuit circuit_;
+};
+
+}  // namespace ptwgr

@@ -1,0 +1,191 @@
+#include "ptwgr/circuit/circuit.h"
+
+#include <algorithm>
+
+namespace ptwgr {
+
+Coord Circuit::core_width() const {
+  Coord width = 0;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    width = std::max(width, row_width(RowId{static_cast<std::uint32_t>(r)}));
+  }
+  return width;
+}
+
+Coord Circuit::row_width(RowId id) const {
+  const Row& r = rows_.at(id.index());
+  if (r.cells.empty()) return 0;
+  const Cell& last = cells_.at(r.cells.back().index());
+  return last.x + last.width;
+}
+
+std::size_t Circuit::num_feedthrough_cells() const {
+  return static_cast<std::size_t>(
+      std::count_if(cells_.begin(), cells_.end(), [](const Cell& c) {
+        return c.kind == CellKind::Feedthrough;
+      }));
+}
+
+RowId Circuit::add_row(Coord height) {
+  PTWGR_EXPECTS(height > 0);
+  rows_.push_back(Row{height, {}});
+  return RowId{static_cast<std::uint32_t>(rows_.size() - 1)};
+}
+
+CellId Circuit::append_cell(RowId row, Coord width, CellKind kind) {
+  PTWGR_EXPECTS(row.index() < rows_.size());
+  PTWGR_EXPECTS(width > 0);
+  Cell cell;
+  cell.row = row;
+  cell.width = width;
+  cell.kind = kind;
+  cells_.push_back(std::move(cell));
+  const CellId id{static_cast<std::uint32_t>(cells_.size() - 1)};
+  rows_[row.index()].cells.push_back(id);
+  return id;
+}
+
+NetId Circuit::add_net() {
+  nets_.emplace_back();
+  return NetId{static_cast<std::uint32_t>(nets_.size() - 1)};
+}
+
+PinId Circuit::add_cell_pin(CellId cell, NetId net, Coord offset,
+                            PinSide side) {
+  PTWGR_EXPECTS(cell.index() < cells_.size());
+  PTWGR_EXPECTS(net.index() < nets_.size());
+  Cell& c = cells_[cell.index()];
+  PTWGR_EXPECTS(offset >= 0 && offset <= c.width);
+  Pin pin;
+  pin.cell = cell;
+  pin.net = net;
+  pin.offset = offset;
+  pin.side = side;
+  pins_.push_back(pin);
+  const PinId id{static_cast<std::uint32_t>(pins_.size() - 1)};
+  c.pins.push_back(id);
+  nets_[net.index()].pins.push_back(id);
+  return id;
+}
+
+PinId Circuit::add_fake_pin(NetId net, RowId row, Coord x) {
+  PTWGR_EXPECTS(net.index() < nets_.size());
+  PTWGR_EXPECTS(row.index() < rows_.size());
+  Pin pin;
+  pin.net = net;
+  // Fake pins are reachable from both channels of their row: they stand in
+  // for a wire crossing the row boundary, not for physical cell geometry.
+  pin.side = PinSide::Both;
+  pin.fake_row = row;
+  pin.fake_x = x;
+  pins_.push_back(pin);
+  const PinId id{static_cast<std::uint32_t>(pins_.size() - 1)};
+  nets_[net.index()].pins.push_back(id);
+  return id;
+}
+
+CellId Circuit::insert_feedthrough(RowId row, Coord x, Coord width) {
+  PTWGR_EXPECTS(row.index() < rows_.size());
+  PTWGR_EXPECTS(width > 0);
+  Row& r = rows_[row.index()];
+  // Find the insertion point: the first cell whose left edge is >= x.
+  const auto it = std::lower_bound(
+      r.cells.begin(), r.cells.end(), x, [&](CellId cid, Coord target) {
+        return cells_[cid.index()].x < target;
+      });
+  const std::size_t pos = static_cast<std::size_t>(it - r.cells.begin());
+  // The feedthrough lands immediately after the previous cell's right edge
+  // (or at x if there is slack).
+  Coord left = x;
+  if (pos > 0) {
+    const Cell& prev = cells_[r.cells[pos - 1].index()];
+    left = std::max(left, prev.x + prev.width);
+  }
+
+  Cell ft;
+  ft.row = row;
+  ft.x = left;
+  ft.width = width;
+  ft.kind = CellKind::Feedthrough;
+  cells_.push_back(std::move(ft));
+  const CellId id{static_cast<std::uint32_t>(cells_.size() - 1)};
+  r.cells.insert(r.cells.begin() + static_cast<std::ptrdiff_t>(pos), id);
+
+  // Shift subsequent cells rightward just enough to stay non-overlapping;
+  // existing slack in the row absorbs part of the insertion.
+  Coord min_left = left + width;
+  for (std::size_t i = pos + 1; i < r.cells.size(); ++i) {
+    Cell& c = cells_[r.cells[i].index()];
+    if (c.x < min_left) c.x = min_left;
+    min_left = c.x + c.width;
+  }
+  return id;
+}
+
+void Circuit::pack_row(RowId row, Coord spacing) {
+  Row& r = rows_.at(row.index());
+  Coord x = 0;
+  for (const CellId cid : r.cells) {
+    Cell& c = cells_[cid.index()];
+    c.x = x;
+    x += c.width + spacing;
+  }
+}
+
+void Circuit::pack(Coord spacing) {
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    pack_row(RowId{static_cast<std::uint32_t>(r)}, spacing);
+  }
+}
+
+void Circuit::validate() const {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    PTWGR_CHECK_MSG(c.row.index() < rows_.size(), "cell " << i << " row");
+    PTWGR_CHECK_MSG(c.width > 0, "cell " << i << " width");
+    for (const PinId pid : c.pins) {
+      PTWGR_CHECK_MSG(pid.index() < pins_.size(), "cell " << i << " pin id");
+      PTWGR_CHECK_MSG(pins_[pid.index()].cell.index() == i,
+                      "pin/cell back-reference");
+    }
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const Row& row = rows_[r];
+    Coord prev_right = std::numeric_limits<Coord>::min();
+    for (const CellId cid : row.cells) {
+      PTWGR_CHECK_MSG(cid.index() < cells_.size(), "row " << r << " cell id");
+      const Cell& c = cells_[cid.index()];
+      PTWGR_CHECK_MSG(c.row.index() == r, "cell/row back-reference");
+      PTWGR_CHECK_MSG(c.x >= prev_right || prev_right ==
+                          std::numeric_limits<Coord>::min(),
+                      "row " << r << " cells overlap or are unsorted");
+      prev_right = c.x + c.width;
+    }
+  }
+  for (std::size_t p = 0; p < pins_.size(); ++p) {
+    const Pin& pin = pins_[p];
+    PTWGR_CHECK_MSG(pin.net.index() < nets_.size(), "pin " << p << " net");
+    if (pin.is_fake()) {
+      PTWGR_CHECK_MSG(pin.fake_row.index() < rows_.size(),
+                      "fake pin " << p << " row");
+    } else {
+      const Cell& c = cells_.at(pin.cell.index());
+      PTWGR_CHECK_MSG(pin.offset >= 0 && pin.offset <= c.width,
+                      "pin " << p << " offset outside cell");
+    }
+    const auto& net_pins = nets_[pin.net.index()].pins;
+    PTWGR_CHECK_MSG(
+        std::find(net_pins.begin(), net_pins.end(),
+                  PinId{static_cast<std::uint32_t>(p)}) != net_pins.end(),
+        "pin/net back-reference");
+  }
+  for (std::size_t n = 0; n < nets_.size(); ++n) {
+    for (const PinId pid : nets_[n].pins) {
+      PTWGR_CHECK_MSG(pid.index() < pins_.size(), "net " << n << " pin id");
+      PTWGR_CHECK_MSG(pins_[pid.index()].net.index() == n,
+                      "net/pin back-reference");
+    }
+  }
+}
+
+}  // namespace ptwgr

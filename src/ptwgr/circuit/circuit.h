@@ -1,0 +1,135 @@
+// The standard-cell circuit model: rows of cells, pins, nets.
+//
+// This is the substrate every routing step operates on.  The structure is
+// mutable in exactly the ways TWGR needs: the feedthrough-assignment step
+// inserts feedthrough cells into rows (shifting cells rightwards and adding
+// pins to nets), and the parallel algorithms add *fake pins* — pins that sit
+// at a partition-boundary coordinate without being attached to any cell
+// (paper §4, Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptwgr/circuit/types.h"
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+
+/// A pin either sits on a cell (offset from the cell's left edge) or is a
+/// fake/boundary pin with an absolute position.
+struct Pin {
+  CellId cell;      ///< invalid for fake pins
+  NetId net;
+  Coord offset = 0; ///< from cell left edge (cell pins only)
+  PinSide side = PinSide::Top;
+  // Fake-pin fields (used when cell is invalid):
+  RowId fake_row;
+  Coord fake_x = 0;
+
+  bool is_fake() const { return !cell.valid(); }
+};
+
+struct Cell {
+  RowId row;
+  Coord x = 0;      ///< left edge, set by placement packing
+  Coord width = 0;
+  CellKind kind = CellKind::Standard;
+  std::vector<PinId> pins;
+};
+
+struct Row {
+  Coord height = 0;
+  std::vector<CellId> cells;  ///< left-to-right order
+};
+
+struct Net {
+  std::vector<PinId> pins;
+};
+
+/// Standard-cell circuit.  R rows imply R+1 channels: channel c runs below
+/// row c, channel R above the top row.
+class Circuit {
+ public:
+  // --- sizes ------------------------------------------------------------
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cells() const { return cells_.size(); }
+  std::size_t num_pins() const { return pins_.size(); }
+  std::size_t num_nets() const { return nets_.size(); }
+  std::size_t num_channels() const { return rows_.size() + 1; }
+
+  // --- element access ----------------------------------------------------
+  const Row& row(RowId id) const { return rows_.at(id.index()); }
+  const Cell& cell(CellId id) const { return cells_.at(id.index()); }
+  const Pin& pin(PinId id) const { return pins_.at(id.index()); }
+  const Net& net(NetId id) const { return nets_.at(id.index()); }
+
+  const std::vector<Row>& rows() const { return rows_; }
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Pin>& pins() const { return pins_; }
+  const std::vector<Net>& nets() const { return nets_; }
+
+  // --- derived geometry ---------------------------------------------------
+  /// Absolute x of a pin (cell.x + offset, or the fake position).
+  Coord pin_x(PinId id) const {
+    const Pin& p = pins_.at(id.index());
+    if (p.is_fake()) return p.fake_x;
+    return cells_.at(p.cell.index()).x + p.offset;
+  }
+
+  /// Row a pin belongs to.
+  RowId pin_row(PinId id) const {
+    const Pin& p = pins_.at(id.index());
+    if (p.is_fake()) return p.fake_row;
+    return cells_.at(p.cell.index()).row;
+  }
+
+  /// Right edge of the widest row (the routable core width).
+  Coord core_width() const;
+
+  /// Right edge of one row (x + width of its last cell; 0 if empty).
+  Coord row_width(RowId id) const;
+
+  /// Number of feedthrough cells across all rows.
+  std::size_t num_feedthrough_cells() const;
+
+  // --- construction (used by CircuitBuilder and the router) --------------
+  RowId add_row(Coord height);
+  /// Appends a cell at the right end of a row (x assigned by pack_row or
+  /// explicitly later).
+  CellId append_cell(RowId row, Coord width, CellKind kind);
+  NetId add_net();
+  PinId add_cell_pin(CellId cell, NetId net, Coord offset, PinSide side);
+  /// Fake/boundary pin: belongs to a net and a row but no cell (paper Fig 2).
+  PinId add_fake_pin(NetId net, RowId row, Coord x);
+
+  /// Inserts a feedthrough cell of `width` into `row` so that its left edge
+  /// lands at or after `x`, shifting all cells to its right.  Returns the new
+  /// cell; the caller then adds its (Both-sided) pin.  This is the operation
+  /// that widens rows — the area cost the coarse-routing step minimizes.
+  CellId insert_feedthrough(RowId row, Coord x, Coord width);
+
+  /// Sets a cell's absolute position directly (sub-circuit extraction copies
+  /// global placements).  The caller is responsible for keeping the row
+  /// ordered; validate() checks.
+  void set_cell_position(CellId cell, Coord x) {
+    cells_.at(cell.index()).x = x;
+  }
+
+  /// Re-packs a row left-to-right: x(i+1) = x(i) + width(i) + spacing.
+  void pack_row(RowId row, Coord spacing = 0);
+  /// Packs every row.
+  void pack(Coord spacing = 0);
+
+  /// Structural validation; throws CheckError on dangling ids, pins outside
+  /// cells, unsorted rows, etc.
+  void validate() const;
+
+ private:
+  std::vector<Row> rows_;
+  std::vector<Cell> cells_;
+  std::vector<Pin> pins_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace ptwgr

@@ -1,0 +1,37 @@
+#include "ptwgr/circuit/circuit_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ptwgr {
+
+CircuitStats compute_stats(const Circuit& circuit) {
+  CircuitStats stats;
+  stats.rows = circuit.num_rows();
+  stats.cells = circuit.num_cells();
+  stats.pins = circuit.num_pins();
+  stats.nets = circuit.num_nets();
+  stats.core_width = circuit.core_width();
+
+  std::size_t small_nets = 0;
+  for (const Net& net : circuit.nets()) {
+    stats.max_pins_on_net = std::max(stats.max_pins_on_net, net.pins.size());
+    if (net.pins.size() <= 5) ++small_nets;
+  }
+  if (stats.nets > 0) {
+    stats.mean_pins_per_net =
+        static_cast<double>(stats.pins) / static_cast<double>(stats.nets);
+    stats.fraction_nets_small =
+        static_cast<double>(small_nets) / static_cast<double>(stats.nets);
+  }
+  return stats;
+}
+
+std::string CircuitStats::to_string() const {
+  std::ostringstream os;
+  os << rows << " rows, " << cells << " cells, " << pins << " pins, " << nets
+     << " nets (max net degree " << max_pins_on_net << ")";
+  return os.str();
+}
+
+}  // namespace ptwgr

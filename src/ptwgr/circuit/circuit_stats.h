@@ -1,0 +1,30 @@
+// Circuit statistics, as reported in the paper's Table 1 and used by the
+// pin-number-weight partition discussion (§5).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ptwgr/circuit/circuit.h"
+
+namespace ptwgr {
+
+struct CircuitStats {
+  std::size_t rows = 0;
+  std::size_t cells = 0;
+  std::size_t pins = 0;
+  std::size_t nets = 0;
+  std::size_t max_pins_on_net = 0;
+  double mean_pins_per_net = 0.0;
+  /// Fraction of nets with at most 5 pins (the paper notes 99% for
+  /// avq.large despite its >3000-pin clock net).
+  double fraction_nets_small = 0.0;
+  Coord core_width = 0;
+
+  /// One-line rendering for table rows.
+  std::string to_string() const;
+};
+
+CircuitStats compute_stats(const Circuit& circuit);
+
+}  // namespace ptwgr

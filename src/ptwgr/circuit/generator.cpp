@@ -1,0 +1,117 @@
+#include "ptwgr/circuit/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ptwgr/circuit/builder.h"
+#include "ptwgr/support/rng.h"
+
+namespace ptwgr {
+namespace {
+
+/// Approximate standard normal via the sum of three uniforms (Irwin–Hall
+/// shifted); cheap, deterministic, and plenty for placement jitter.
+double next_gaussian(Rng& rng) {
+  return (rng.next_double() + rng.next_double() + rng.next_double() - 1.5) *
+         2.0;
+}
+
+/// Pins per ordinary net: 2 + geometric tail tuned to the requested mean.
+std::size_t draw_net_degree(Rng& rng, double mean) {
+  const double tail_mean = std::max(0.05, mean - 2.0);
+  // Geometric on {0,1,2,...} with mean tail_mean: p = 1/(1+mean).
+  const double p = 1.0 / (1.0 + tail_mean);
+  std::size_t extra = 0;
+  while (!rng.next_bool(p) && extra < 64) ++extra;
+  return 2 + extra;
+}
+
+PinSide draw_side(Rng& rng, double equivalent_fraction) {
+  if (rng.next_bool(equivalent_fraction)) return PinSide::Both;
+  return rng.next_bool(0.5) ? PinSide::Top : PinSide::Bottom;
+}
+
+}  // namespace
+
+Circuit generate_circuit(const GeneratorConfig& config) {
+  PTWGR_EXPECTS(config.num_rows >= 1);
+  PTWGR_EXPECTS(config.num_cells >= config.num_rows);
+  PTWGR_EXPECTS(config.num_nets >= 1);
+  PTWGR_EXPECTS(config.mean_pins_per_net >= 2.0);
+  PTWGR_EXPECTS(config.min_cell_width > 0);
+  PTWGR_EXPECTS(config.max_cell_width >= config.min_cell_width);
+
+  Rng rng(config.seed);
+  CircuitBuilder builder;
+
+  // Rows, then cells dealt round-robin so rows have near-equal cell counts —
+  // standard-cell placers balance row widths the same way.
+  std::vector<RowId> rows;
+  rows.reserve(config.num_rows);
+  for (std::size_t r = 0; r < config.num_rows; ++r) {
+    rows.push_back(builder.add_row());
+  }
+  std::vector<std::vector<CellId>> cells_by_row(config.num_rows);
+  for (std::size_t i = 0; i < config.num_cells; ++i) {
+    const std::size_t r = i % config.num_rows;
+    const Coord width = static_cast<Coord>(rng.next_int(
+        config.min_cell_width, config.max_cell_width));
+    cells_by_row[r].push_back(builder.add_cell(rows[r], width));
+  }
+
+  const auto cells_in_row = [&](std::size_t r) -> const std::vector<CellId>& {
+    return cells_by_row[r];
+  };
+
+  // Picks a cell near fractional position `frac` (0..1) within row r.
+  const auto pick_cell = [&](std::size_t r, double frac) {
+    const auto& row_cells = cells_in_row(r);
+    const auto n = static_cast<double>(row_cells.size());
+    auto idx = static_cast<std::ptrdiff_t>(std::llround(frac * (n - 1.0)));
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(n) - 1);
+    return row_cells[static_cast<std::size_t>(idx)];
+  };
+
+  const auto add_net_pin = [&](NetId net, std::size_t r, double frac) {
+    const CellId cell = pick_cell(r, frac);
+    // Offset is re-derived from the final packed width at pin-add time; the
+    // builder validates 0 <= offset <= width.
+    const Coord width = config.min_cell_width;  // safe lower bound
+    const Coord offset = static_cast<Coord>(rng.next_int(0, width));
+    builder.add_pin(cell, net, offset,
+                    draw_side(rng, config.equivalent_pin_fraction));
+  };
+
+  // Ordinary nets: cluster center + gaussian spread.
+  const auto nrows = static_cast<double>(config.num_rows);
+  for (std::size_t n = 0; n < config.num_nets; ++n) {
+    const NetId net = builder.add_net();
+    const double center_row = rng.next_double() * (nrows - 1.0);
+    const double center_x = rng.next_double();
+    const std::size_t degree =
+        draw_net_degree(rng, config.mean_pins_per_net);
+    for (std::size_t k = 0; k < degree; ++k) {
+      double row_f = center_row + next_gaussian(rng) * config.row_spread;
+      row_f = std::clamp(row_f, 0.0, nrows - 1.0);
+      const auto r = static_cast<std::size_t>(std::llround(row_f));
+      double frac = center_x + next_gaussian(rng) * config.x_spread;
+      frac = std::clamp(frac, 0.0, 1.0);
+      add_net_pin(net, r, frac);
+    }
+  }
+
+  // Giant nets (clock lines): pins spread uniformly over the whole core.
+  for (const std::size_t degree : config.giant_net_pins) {
+    PTWGR_EXPECTS(degree >= 2);
+    const NetId net = builder.add_net();
+    for (std::size_t k = 0; k < degree; ++k) {
+      const std::size_t r = rng.next_index(config.num_rows);
+      add_net_pin(net, r, rng.next_double());
+    }
+  }
+
+  return std::move(builder).build();
+}
+
+}  // namespace ptwgr

@@ -1,0 +1,52 @@
+// Synthetic standard-cell circuit generator.
+//
+// The MCNC layout-synthesis benchmarks the paper evaluates are not
+// redistributable and are not present in this environment, so the benchmark
+// suite generates circuits matched to each benchmark's published
+// characteristics (rows/cells/nets/pins) and to the structural properties the
+// routing algorithms are sensitive to:
+//   * pins-per-net distribution — mostly 2–4 pin nets with a heavy tail, and
+//     optional giant nets (avq.large's >3000-pin clock line, paper §5);
+//   * locality — a net's pins cluster around a (row, x) center, so nets have
+//     bounded vertical span, which is what makes contiguous row partitioning
+//     effective (paper §3);
+//   * electrically equivalent pins — a configurable fraction of pins is
+//     accessible from both cell sides, creating switchable segments (§2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptwgr/circuit/circuit.h"
+
+namespace ptwgr {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 1;
+  std::size_t num_rows = 8;
+  std::size_t num_cells = 400;
+  std::size_t num_nets = 420;
+  /// Mean pins per net for ordinary nets (min is 2; geometric tail above).
+  double mean_pins_per_net = 3.5;
+  /// Std-dev of a net's pin row around its cluster center, in rows.
+  double row_spread = 1.5;
+  /// Std-dev of a net's pin x around its cluster center, as a fraction of
+  /// the core width.
+  double x_spread = 0.08;
+  /// Probability that a pin is accessible from both cell sides.  Row-based
+  /// standard cells of the TimberWolf era exposed most signal pins on both
+  /// sides, which is what makes the switchable-segment step (and its
+  /// parallel blindness problem, paper §5) matter.
+  double equivalent_pin_fraction = 0.65;
+  /// Cell widths are drawn uniformly from [min, max].
+  Coord min_cell_width = 4;
+  Coord max_cell_width = 12;
+  /// Extra nets with an explicit pin count (clock lines etc.); their pins
+  /// are spread across the whole core.
+  std::vector<std::size_t> giant_net_pins;
+};
+
+/// Generates a packed, validated circuit.  Deterministic in `config.seed`.
+Circuit generate_circuit(const GeneratorConfig& config);
+
+}  // namespace ptwgr

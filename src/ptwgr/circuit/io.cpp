@@ -1,0 +1,194 @@
+#include "ptwgr/circuit/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "ptwgr/circuit/builder.h"
+
+namespace ptwgr {
+namespace {
+
+constexpr const char* kMagic = "PTWGR-CIRCUIT";
+constexpr int kVersion = 1;
+
+char side_code(PinSide side) {
+  switch (side) {
+    case PinSide::Top: return 'T';
+    case PinSide::Bottom: return 'B';
+    case PinSide::Both: return 'E';
+  }
+  return '?';
+}
+
+PinSide parse_side(const std::string& token) {
+  if (token == "T") return PinSide::Top;
+  if (token == "B") return PinSide::Bottom;
+  if (token == "E") return PinSide::Both;
+  throw CircuitIoError("bad pin side '" + token + "'");
+}
+
+/// Reads one non-empty, non-comment line; throws at EOF.
+std::string next_line(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return line;
+  }
+  throw CircuitIoError("unexpected end of file");
+}
+
+template <typename T>
+T parse_field(std::istringstream& is, const char* what) {
+  T value{};
+  if (!(is >> value)) {
+    throw CircuitIoError(std::string("expected ") + what);
+  }
+  return value;
+}
+
+void expect_keyword(std::istringstream& is, const std::string& keyword) {
+  std::string token;
+  if (!(is >> token) || token != keyword) {
+    throw CircuitIoError("expected keyword '" + keyword + "', got '" + token +
+                         "'");
+  }
+}
+
+}  // namespace
+
+void write_circuit(std::ostream& out, const Circuit& circuit) {
+  out << kMagic << ' ' << kVersion << '\n';
+
+  out << "ROWS " << circuit.num_rows() << '\n';
+  for (const Row& row : circuit.rows()) {
+    out << "ROW " << row.height << '\n';
+  }
+
+  // Persist only standard cells; remap ids densely in output order.
+  std::unordered_map<std::uint32_t, std::size_t> cell_remap;
+  std::size_t num_standard = 0;
+  for (const Cell& cell : circuit.cells()) {
+    if (cell.kind == CellKind::Standard) ++num_standard;
+  }
+  out << "CELLS " << num_standard << '\n';
+  for (std::size_t i = 0; i < circuit.num_cells(); ++i) {
+    const Cell& cell = circuit.cells()[i];
+    if (cell.kind != CellKind::Standard) continue;
+    cell_remap.emplace(static_cast<std::uint32_t>(i), cell_remap.size());
+    out << "CELL " << cell.row.value() << ' ' << cell.width << '\n';
+  }
+
+  out << "NETS " << circuit.num_nets() << '\n';
+  for (const Net& net : circuit.nets()) {
+    // Count persistable pins first (skip fakes and feedthrough pins).
+    std::vector<const Pin*> pins;
+    for (const PinId pid : net.pins) {
+      const Pin& pin = circuit.pin(pid);
+      if (pin.is_fake()) continue;
+      if (circuit.cell(pin.cell).kind != CellKind::Standard) continue;
+      pins.push_back(&pin);
+    }
+    out << "NET " << pins.size() << '\n';
+    for (const Pin* pin : pins) {
+      out << "PIN " << cell_remap.at(pin->cell.value()) << ' ' << pin->offset
+          << ' ' << side_code(pin->side) << '\n';
+    }
+  }
+}
+
+void write_circuit_file(const std::string& path, const Circuit& circuit) {
+  std::ofstream out(path);
+  if (!out) throw CircuitIoError("cannot open '" + path + "' for writing");
+  write_circuit(out, circuit);
+  if (!out) throw CircuitIoError("write to '" + path + "' failed");
+}
+
+namespace {
+
+Circuit read_circuit_impl(std::istream& in) {
+  CircuitBuilder builder;
+
+  std::istringstream rows_header(next_line(in));
+  expect_keyword(rows_header, "ROWS");
+  const auto num_rows = parse_field<std::size_t>(rows_header, "row count");
+  std::vector<RowId> rows;
+  rows.reserve(num_rows);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    std::istringstream line(next_line(in));
+    expect_keyword(line, "ROW");
+    rows.push_back(builder.add_row(parse_field<Coord>(line, "row height")));
+  }
+
+  std::istringstream cells_header(next_line(in));
+  expect_keyword(cells_header, "CELLS");
+  const auto num_cells = parse_field<std::size_t>(cells_header, "cell count");
+  std::vector<CellId> cells;
+  cells.reserve(num_cells);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    std::istringstream line(next_line(in));
+    expect_keyword(line, "CELL");
+    const auto row_index = parse_field<std::size_t>(line, "cell row");
+    if (row_index >= rows.size()) {
+      throw CircuitIoError("cell row index out of range");
+    }
+    cells.push_back(builder.add_cell(rows[row_index],
+                                     parse_field<Coord>(line, "cell width")));
+  }
+
+  std::istringstream nets_header(next_line(in));
+  expect_keyword(nets_header, "NETS");
+  const auto num_nets = parse_field<std::size_t>(nets_header, "net count");
+  for (std::size_t n = 0; n < num_nets; ++n) {
+    std::istringstream net_line(next_line(in));
+    expect_keyword(net_line, "NET");
+    const auto num_pins = parse_field<std::size_t>(net_line, "pin count");
+    const NetId net = builder.add_net();
+    for (std::size_t p = 0; p < num_pins; ++p) {
+      std::istringstream line(next_line(in));
+      expect_keyword(line, "PIN");
+      const auto cell_index = parse_field<std::size_t>(line, "pin cell");
+      if (cell_index >= cells.size()) {
+        throw CircuitIoError("pin cell index out of range");
+      }
+      const auto offset = parse_field<Coord>(line, "pin offset");
+      std::string side;
+      if (!(line >> side)) throw CircuitIoError("expected pin side");
+      builder.add_pin(cells[cell_index], net, offset, parse_side(side));
+    }
+  }
+
+  return std::move(builder).build();
+}
+
+}  // namespace
+
+Circuit read_circuit(std::istream& in) {
+  {
+    std::istringstream header(next_line(in));
+    expect_keyword(header, kMagic);
+    const int version = parse_field<int>(header, "format version");
+    if (version != kVersion) {
+      throw CircuitIoError("unsupported circuit format version " +
+                           std::to_string(version));
+    }
+  }
+  try {
+    return read_circuit_impl(in);
+  } catch (const CheckError& e) {
+    // Builder-level validation failures (bad offsets, dangling references)
+    // surface as I/O errors: the input file is at fault, not the program.
+    throw CircuitIoError(std::string("invalid circuit: ") + e.what());
+  }
+}
+
+Circuit read_circuit_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw CircuitIoError("cannot open '" + path + "'");
+  return read_circuit(in);
+}
+
+}  // namespace ptwgr

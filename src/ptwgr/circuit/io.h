@@ -1,0 +1,43 @@
+// Plain-text circuit serialization.
+//
+// A line-oriented format for persisting generated circuits and for feeding
+// hand-written netlists into the router:
+//
+//   PTWGR-CIRCUIT 1
+//   ROWS <n>
+//   ROW <height>                         (n times)
+//   CELLS <n>
+//   CELL <row-index> <width>             (n times)
+//   NETS <n>
+//   NET <pin-count>                      (n times, followed by its pins)
+//   PIN <cell-index> <offset> <T|B|E>    (E = equivalent / both sides)
+//
+// Fake pins are a transient routing artifact and are deliberately not part
+// of the interchange format.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "ptwgr/circuit/circuit.h"
+
+namespace ptwgr {
+
+/// Thrown on malformed circuit files.
+class CircuitIoError : public std::runtime_error {
+ public:
+  explicit CircuitIoError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Writes `circuit` in the format above.  Feedthrough cells and fake pins
+/// are skipped: the format captures the *input* netlist, not routing state.
+void write_circuit(std::ostream& out, const Circuit& circuit);
+void write_circuit_file(const std::string& path, const Circuit& circuit);
+
+/// Parses a circuit; throws CircuitIoError on malformed input.
+Circuit read_circuit(std::istream& in);
+Circuit read_circuit_file(const std::string& path);
+
+}  // namespace ptwgr

@@ -1,0 +1,45 @@
+// The six-circuit benchmark suite (paper Table 1).
+//
+// Each entry mirrors one MCNC layout-synthesis circuit's published
+// characteristics.  The circuits themselves are regenerated synthetically
+// (see generator.h); a `scale` < 1 shrinks every count proportionally so the
+// full experiment matrix stays tractable on small machines while keeping the
+// same structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ptwgr/circuit/circuit.h"
+#include "ptwgr/circuit/generator.h"
+
+namespace ptwgr {
+
+/// One suite entry: the name the paper uses plus the generator parameters
+/// reconstructed from Table 1 and the paper's prose (e.g. avq.large's
+/// >3000-pin clock net, §5).
+struct SuiteEntry {
+  std::string name;
+  GeneratorConfig config;
+  /// Estimated serial peak memory footprint in bytes, used to reproduce the
+  /// paper's Paragon per-node memory-limit timeouts (Table 5 footnote).
+  std::size_t estimated_memory_bytes = 0;
+};
+
+/// All six circuits at `scale` (0 < scale <= 1).  scale=1 reproduces the
+/// Table 1 magnitudes; smaller scales shrink cells/nets proportionally.
+std::vector<SuiteEntry> benchmark_suite(double scale = 1.0);
+
+/// A single suite entry by paper name ("primary2", "biomed", "industry2",
+/// "industry3", "avq.small", "avq.large").  Throws CheckError if unknown.
+SuiteEntry suite_entry(const std::string& name, double scale = 1.0);
+
+/// Generates the circuit for an entry.
+Circuit build_suite_circuit(const SuiteEntry& entry);
+
+/// A small fixed test circuit used across unit tests and the quickstart
+/// example: `rows` rows, ~`cells_per_row` cells each, local nets.
+Circuit small_test_circuit(std::uint64_t seed = 7, std::size_t rows = 6,
+                           std::size_t cells_per_row = 40);
+
+}  // namespace ptwgr

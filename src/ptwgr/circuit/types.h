@@ -1,0 +1,70 @@
+// Strong identifier and enum types for the standard-cell circuit model.
+//
+// A circuit is rows of cells; cells carry pins; nets are pin lists (paper
+// §4).  All cross-references are index-based ids — stable, compact, and
+// trivially serializable across ranks — with a tag parameter so a RowId can
+// never be passed where a NetId is expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ptwgr {
+
+/// Layout coordinates (abstract units; one unit ≈ one routing-pitch).
+using Coord = std::int64_t;
+
+namespace detail {
+struct RowTag;
+struct CellTag;
+struct PinTag;
+struct NetTag;
+}  // namespace detail
+
+/// Tagged index wrapper.  Default-constructed ids are invalid.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t value) : value_(value) {}
+
+  constexpr bool valid() const { return value_ != kInvalid; }
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t value_ = kInvalid;
+};
+
+using RowId = Id<detail::RowTag>;
+using CellId = Id<detail::CellTag>;
+using PinId = Id<detail::PinTag>;
+using NetId = Id<detail::NetTag>;
+
+/// Which side(s) of the cell a pin is accessible from.  `Both` marks an
+/// electrically equivalent pin pair (paper §2): wires ending on such pins
+/// may use the channel above or below the row, making segments switchable.
+enum class PinSide : std::uint8_t { Top = 0, Bottom = 1, Both = 2 };
+
+/// Feedthrough cells are inserted by the router (step 3); standard cells come
+/// from the netlist.
+enum class CellKind : std::uint8_t { Standard = 0, Feedthrough = 1 };
+
+}  // namespace ptwgr
+
+namespace std {
+template <typename Tag>
+struct hash<ptwgr::Id<Tag>> {
+  size_t operator()(ptwgr::Id<Tag> id) const noexcept {
+    return std::hash<uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,107 @@
+#include "ptwgr/detail/left_edge.h"
+
+#include <algorithm>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+
+bool ChannelTracks::valid() const {
+  // Group by track and check pairwise disjointness (intervals per track are
+  // few; the quadratic check is fine for validation purposes).
+  std::vector<std::vector<const PlacedInterval*>> by_track(num_tracks);
+  for (const PlacedInterval& p : placed) {
+    if (p.track >= num_tracks) return false;
+    by_track[p.track].push_back(&p);
+  }
+  for (const auto& track : by_track) {
+    for (std::size_t i = 0; i < track.size(); ++i) {
+      for (std::size_t j = i + 1; j < track.size(); ++j) {
+        const Interval& a = track[i]->span;
+        const Interval& b = track[j]->span;
+        if (a.lo < b.hi && b.lo < a.hi) return false;
+      }
+    }
+  }
+  return true;
+}
+
+ChannelTracks assign_tracks_left_edge(
+    std::vector<std::pair<std::uint32_t, Interval>> intervals) {
+  ChannelTracks result;
+  if (intervals.empty()) return result;
+
+  // Merge per net first: one net occupies a single track across touching
+  // spans, mirroring the density metric's per-net union.
+  std::sort(intervals.begin(), intervals.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<std::uint32_t, Interval>> merged;
+  std::vector<Interval> net_spans;
+  std::size_t i = 0;
+  while (i < intervals.size()) {
+    const std::uint32_t net = intervals[i].first;
+    net_spans.clear();
+    for (; i < intervals.size() && intervals[i].first == net; ++i) {
+      net_spans.push_back(intervals[i].second);
+    }
+    for (const Interval& span : merge_intervals(net_spans)) {
+      merged.emplace_back(net, span);
+    }
+  }
+
+  // Left-edge: sort by left endpoint; place each interval on the first track
+  // whose rightmost end is at or before the interval's start.
+  std::sort(merged.begin(), merged.end(), [](const auto& a, const auto& b) {
+    if (a.second.lo != b.second.lo) return a.second.lo < b.second.lo;
+    return a.second.hi < b.second.hi;
+  });
+
+  std::vector<std::int64_t> track_end;  // rightmost occupied x per track
+  result.placed.reserve(merged.size());
+  for (const auto& [net, span] : merged) {
+    std::size_t track = track_end.size();
+    for (std::size_t t = 0; t < track_end.size(); ++t) {
+      if (track_end[t] <= span.lo) {
+        track = t;
+        break;
+      }
+    }
+    if (track == track_end.size()) {
+      track_end.push_back(span.hi);
+    } else {
+      track_end[track] = span.hi;
+    }
+    result.placed.push_back(PlacedInterval{net, span, track});
+  }
+  result.num_tracks = track_end.size();
+  PTWGR_ENSURES(result.valid());
+  return result;
+}
+
+std::int64_t DetailedRouting::total_tracks() const {
+  std::int64_t total = 0;
+  for (const ChannelTracks& channel : channels) {
+    total += static_cast<std::int64_t>(channel.num_tracks);
+  }
+  return total;
+}
+
+DetailedRouting assign_all_tracks(const Circuit& circuit,
+                                  const std::vector<Wire>& wires) {
+  const std::size_t num_channels = circuit.num_channels();
+  std::vector<std::vector<std::pair<std::uint32_t, Interval>>> per_channel(
+      num_channels);
+  for (const Wire& wire : wires) {
+    PTWGR_CHECK_MSG(wire.channel < num_channels, "wire channel out of range");
+    per_channel[wire.channel].emplace_back(wire.net.value(),
+                                           Interval{wire.lo, wire.hi});
+  }
+  DetailedRouting routing;
+  routing.channels.reserve(num_channels);
+  for (auto& entries : per_channel) {
+    routing.channels.push_back(assign_tracks_left_edge(std::move(entries)));
+  }
+  return routing;
+}
+
+}  // namespace ptwgr

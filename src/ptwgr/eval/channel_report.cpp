@@ -1,0 +1,90 @@
+#include "ptwgr/eval/channel_report.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "ptwgr/support/interval.h"
+#include "ptwgr/support/table.h"
+
+namespace ptwgr {
+
+std::string render_channel_profile(const Circuit& circuit,
+                                   const std::vector<Wire>& wires,
+                                   std::size_t columns) {
+  PTWGR_EXPECTS(columns >= 1);
+  const std::size_t num_channels = circuit.num_channels();
+  const Coord width = std::max<Coord>(circuit.core_width(), 1);
+  const RoutingMetrics metrics = compute_metrics(circuit, wires);
+
+  // Per (channel, slice): count distinct nets covering the slice midpoint.
+  // A coarse view — the exact densities come from the metrics sweep.
+  std::vector<std::vector<std::pair<std::uint32_t, Interval>>> per_channel(
+      num_channels);
+  for (const Wire& wire : wires) {
+    per_channel[wire.channel].emplace_back(wire.net.value(),
+                                           Interval{wire.lo, wire.hi});
+  }
+
+  std::ostringstream os;
+  os << "channel profile (" << columns << " slices, digit = nets in slice,"
+     << " capped at 9)\n";
+  for (std::size_t c = num_channels; c-- > 0;) {
+    os << "ch " << (c < 10 ? " " : "") << c << " |";
+    auto& entries = per_channel[c];
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second.lo < b.second.lo;
+              });
+    for (std::size_t s = 0; s < columns; ++s) {
+      const Coord x = static_cast<Coord>(
+          (static_cast<double>(s) + 0.5) * static_cast<double>(width) /
+          static_cast<double>(columns));
+      std::size_t depth = 0;
+      std::uint32_t last_net_counted = 0;
+      bool counted_any = false;
+      for (const auto& [net, iv] : entries) {
+        const Coord hi = iv.lo == iv.hi ? iv.hi + 1 : iv.hi;
+        if (x >= iv.lo && x < hi) {
+          if (!counted_any || net != last_net_counted) {
+            ++depth;
+            last_net_counted = net;
+            counted_any = true;
+          }
+        }
+      }
+      os << (depth == 0 ? '.'
+                        : static_cast<char>('0' + std::min<std::size_t>(
+                                                      depth, 9)));
+    }
+    os << "| density " << metrics.channel_density[c] << '\n';
+  }
+  os << "tracks total: " << metrics.track_count << '\n';
+  return os.str();
+}
+
+void write_routing_report(std::ostream& out, const Circuit& circuit,
+                          const std::vector<Wire>& wires) {
+  const RoutingMetrics metrics = compute_metrics(circuit, wires);
+  out << "# ptwgr routing report\n";
+  out << "circuit: " << circuit.num_rows() << " rows, " << circuit.num_cells()
+      << " cells, " << circuit.num_nets() << " nets, " << circuit.num_pins()
+      << " pins\n";
+  out << "metrics: " << metrics.to_string() << "\n\n";
+  out << render_channel_profile(circuit, wires) << '\n';
+
+  std::vector<Wire> sorted = wires;
+  std::sort(sorted.begin(), sorted.end(), [](const Wire& a, const Wire& b) {
+    if (a.channel != b.channel) return a.channel < b.channel;
+    if (a.lo != b.lo) return a.lo < b.lo;
+    return a.net.value() < b.net.value();
+  });
+  out << "wires (channel lo hi net switchable):\n";
+  for (const Wire& wire : sorted) {
+    out << wire.channel << ' ' << wire.lo << ' ' << wire.hi << ' '
+        << wire.net.value() << ' ' << (wire.switchable ? 1 : 0) << '\n';
+  }
+}
+
+}  // namespace ptwgr

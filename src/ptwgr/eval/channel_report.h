@@ -1,0 +1,25 @@
+// Human-readable routing reports: per-channel density profiles rendered as
+// ASCII, and a full wire-list dump.  Used by the CLI tool and the examples
+// to make routing results inspectable without a layout viewer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ptwgr/route/metrics.h"
+
+namespace ptwgr {
+
+/// One line per channel: index, exact density, and a bar profile of the
+/// channel's occupancy across `columns` equal x-slices (each character is
+/// the per-net density in that slice, capped at 9, '.' for zero).
+std::string render_channel_profile(const Circuit& circuit,
+                                   const std::vector<Wire>& wires,
+                                   std::size_t columns = 64);
+
+/// Writes a complete text report: metrics summary, channel profile, and the
+/// wire list sorted by (channel, lo).
+void write_routing_report(std::ostream& out, const Circuit& circuit,
+                          const std::vector<Wire>& wires);
+
+}  // namespace ptwgr

@@ -1,0 +1,81 @@
+#include "ptwgr/eval/experiment.h"
+
+#include "ptwgr/route/router.h"
+#include "ptwgr/support/log.h"
+#include "ptwgr/support/timer.h"
+
+namespace ptwgr {
+
+CircuitExperiment run_experiment(const SuiteEntry& entry,
+                                 ParallelAlgorithm algorithm,
+                                 const ExperimentConfig& config) {
+  CircuitExperiment result;
+  result.circuit = entry.name;
+
+  // Serial baseline: quality always (for the scaled columns) and modeled
+  // time when the circuit fits one node of the platform.
+  {
+    const Circuit circuit = build_suite_circuit(entry);
+    const RoutingResult serial = route_serial(circuit, config.options.router);
+    result.serial_tracks = serial.metrics.track_count;
+    result.serial_area = serial.metrics.area;
+    result.serial_feedthroughs = serial.metrics.feedthrough_count;
+    if (config.platform.serial_fits(entry.estimated_memory_bytes)) {
+      // The five routing steps only — metric computation is evaluation and
+      // is likewise excluded from the parallel clocks.
+      result.serial_modeled_seconds =
+          serial.timings.total() * config.platform.cost.compute_scale;
+    }
+  }
+
+  for (const int procs : config.proc_counts) {
+    if (procs > config.platform.max_processors) continue;
+    const Circuit circuit = build_suite_circuit(entry);
+    if (static_cast<std::size_t>(procs) > circuit.num_rows()) continue;
+    const ParallelRoutingResult run = route_parallel(
+        circuit, algorithm, procs, config.options, config.platform.cost);
+
+    RunPoint point;
+    point.procs = procs;
+    point.tracks = run.metrics.track_count;
+    point.area = run.metrics.area;
+    point.modeled_seconds = run.modeled_seconds();
+    point.scaled_tracks = static_cast<double>(point.tracks) /
+                          static_cast<double>(result.serial_tracks);
+    point.scaled_area = static_cast<double>(point.area) /
+                        static_cast<double>(result.serial_area);
+    result.points.push_back(point);
+  }
+
+  // Speedups.  Without a serial time (Paragon memory limit) the paper
+  // extrapolates assuming speedup proportional to processors from the
+  // smallest parallel configuration; reproduce that, flagged.
+  for (RunPoint& point : result.points) {
+    if (result.serial_modeled_seconds) {
+      point.speedup = *result.serial_modeled_seconds / point.modeled_seconds;
+    } else if (!result.points.empty()) {
+      // Estimate the unrunnable serial time as p_base × T(p_base) — the
+      // paper's "speedup is proportional to the number of processors"
+      // assumption applied to the smallest parallel configuration.
+      const RunPoint& base = result.points.front();
+      point.speedup = static_cast<double>(base.procs) * base.modeled_seconds /
+                      point.modeled_seconds;
+      point.speedup_extrapolated = true;
+    }
+  }
+  return result;
+}
+
+std::vector<CircuitExperiment> run_suite_experiment(
+    ParallelAlgorithm algorithm, const ExperimentConfig& config) {
+  std::vector<CircuitExperiment> results;
+  for (const SuiteEntry& entry : benchmark_suite(config.scale)) {
+    PTWGR_LOG_INFO << "experiment: " << entry.name << " / "
+                   << to_string(algorithm) << " on "
+                   << config.platform.name;
+    results.push_back(run_experiment(entry, algorithm, config));
+  }
+  return results;
+}
+
+}  // namespace ptwgr

@@ -1,0 +1,65 @@
+// Experiment runner: the machinery behind every paper table and figure.
+//
+// For one circuit and one algorithm it measures the serial baseline and the
+// parallel runs across a processor sweep, deriving the paper's reported
+// quantities: scaled tracks, scaled area, modeled runtimes, and speedups.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/eval/platform.h"
+#include "ptwgr/parallel/parallel_router.h"
+
+namespace ptwgr {
+
+struct ExperimentConfig {
+  /// Suite scale factor (1.0 = Table 1 magnitudes).
+  double scale = 1.0;
+  std::vector<int> proc_counts = {1, 2, 4, 8};
+  ParallelOptions options;
+  Platform platform = Platform::sparc_center();
+};
+
+/// One parallel measurement point.
+struct RunPoint {
+  int procs = 0;
+  std::int64_t tracks = 0;
+  std::int64_t area = 0;
+  /// Modeled parallel runtime on the platform (slowest rank's virtual time).
+  double modeled_seconds = 0.0;
+  /// tracks / serial tracks.
+  double scaled_tracks = 0.0;
+  /// area / serial area.
+  double scaled_area = 0.0;
+  /// serial modeled time / parallel modeled time.  When the serial run does
+  /// not fit the platform (Paragon memory timeouts), this is extrapolated
+  /// from the smallest parallel run, as the paper does, and flagged.
+  double speedup = 0.0;
+  bool speedup_extrapolated = false;
+};
+
+/// Full result for one (circuit, algorithm, platform) experiment.
+struct CircuitExperiment {
+  std::string circuit;
+  std::int64_t serial_tracks = 0;
+  std::int64_t serial_area = 0;
+  std::size_t serial_feedthroughs = 0;
+  /// Modeled serial runtime (measured CPU seconds × platform compute
+  /// scale); unset when the circuit does not fit one node.
+  std::optional<double> serial_modeled_seconds;
+  std::vector<RunPoint> points;
+};
+
+/// Runs serial + the processor sweep for one suite entry.
+CircuitExperiment run_experiment(const SuiteEntry& entry,
+                                 ParallelAlgorithm algorithm,
+                                 const ExperimentConfig& config);
+
+/// Runs the whole six-circuit suite.
+std::vector<CircuitExperiment> run_suite_experiment(
+    ParallelAlgorithm algorithm, const ExperimentConfig& config);
+
+}  // namespace ptwgr

@@ -1,0 +1,32 @@
+#include "ptwgr/eval/platform.h"
+
+namespace ptwgr {
+
+Platform Platform::sparc_center() {
+  Platform p;
+  p.name = "Sun SparcCenter 1000 SMP";
+  p.cost = mp::CostModel::sparc_center_smp();
+  p.node_memory_bytes = 0;  // shared memory: the full machine's
+  p.max_processors = 8;
+  return p;
+}
+
+Platform Platform::paragon() {
+  Platform p;
+  p.name = "Intel Paragon DMP";
+  p.cost = mp::CostModel::paragon_dmp();
+  p.node_memory_bytes = 32ull * 1024 * 1024;  // "each node ... 32 MB"
+  p.max_processors = 16;
+  return p;
+}
+
+Platform Platform::ideal() {
+  Platform p;
+  p.name = "ideal";
+  p.cost = mp::CostModel::ideal();
+  p.node_memory_bytes = 0;
+  p.max_processors = 64;
+  return p;
+}
+
+}  // namespace ptwgr

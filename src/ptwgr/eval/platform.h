@@ -1,0 +1,37 @@
+// Platform models for the Table 5 reproduction.
+//
+// The paper evaluates on a Sun SparcCenter 1000 SMP (8 processors) and an
+// Intel Paragon DMP (32 MB per node; serial runs of industry3 and avq.large
+// did not finish — the Table 5 footnote).  A platform couples a
+// communication/compute cost model with the node memory limit that produces
+// those serial "timeouts".
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ptwgr/mp/cost_model.h"
+
+namespace ptwgr {
+
+struct Platform {
+  std::string name;
+  mp::CostModel cost;
+  /// Per-node memory in bytes; 0 = unlimited.
+  std::size_t node_memory_bytes = 0;
+  /// Largest processor count the machine offers.
+  int max_processors = 8;
+
+  /// Whether a serial run with the given estimated footprint completes on
+  /// one node (the paper's Paragon serial timeouts were memory-thrashing).
+  bool serial_fits(std::size_t estimated_bytes) const {
+    return node_memory_bytes == 0 || estimated_bytes <= node_memory_bytes;
+  }
+
+  static Platform sparc_center();
+  static Platform paragon();
+  /// Zero-communication-cost reference platform (unit compute scale).
+  static Platform ideal();
+};
+
+}  // namespace ptwgr

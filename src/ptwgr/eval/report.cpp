@@ -1,0 +1,206 @@
+#include "ptwgr/eval/report.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "ptwgr/circuit/circuit_stats.h"
+#include "ptwgr/support/table.h"
+
+namespace ptwgr {
+namespace {
+
+const RunPoint* point_at(const CircuitExperiment& run, int procs) {
+  for (const RunPoint& p : run.points) {
+    if (p.procs == procs) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<int> proc_columns(const std::vector<CircuitExperiment>& runs) {
+  std::vector<int> procs;
+  for (const CircuitExperiment& run : runs) {
+    for (const RunPoint& p : run.points) {
+      if (std::find(procs.begin(), procs.end(), p.procs) == procs.end()) {
+        procs.push_back(p.procs);
+      }
+    }
+  }
+  std::sort(procs.begin(), procs.end());
+  return procs;
+}
+
+}  // namespace
+
+std::string render_table1(double scale) {
+  TextTable table("Table 1: Characteristics of test circuits (regenerated"
+                  " synthetically; scale=" + format_fixed(scale, 2) + ")");
+  table.add_row({"circuit", "rows", "pins", "cells", "nets", "max net"});
+  for (const SuiteEntry& entry : benchmark_suite(scale)) {
+    const Circuit circuit = build_suite_circuit(entry);
+    const CircuitStats stats = compute_stats(circuit);
+    table.add_row({entry.name, std::to_string(stats.rows),
+                   format_grouped(static_cast<long long>(stats.pins)),
+                   format_grouped(static_cast<long long>(stats.cells)),
+                   format_grouped(static_cast<long long>(stats.nets)),
+                   format_grouped(static_cast<long long>(
+                       stats.max_pins_on_net))});
+  }
+  return table.to_string();
+}
+
+std::string render_scaled_tracks_table(
+    const std::string& title, const std::vector<CircuitExperiment>& runs) {
+  const auto procs = proc_columns(runs);
+  TextTable table(title);
+  std::vector<std::string> header{"circuit"};
+  for (const int p : procs) header.push_back(std::to_string(p) + " procs");
+  table.add_row(header);
+  for (const CircuitExperiment& run : runs) {
+    std::vector<std::string> row{run.circuit};
+    for (const int p : procs) {
+      const RunPoint* point = point_at(run, p);
+      row.push_back(point ? format_fixed(point->scaled_tracks, 3) : "-");
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> mean_row{"(mean)"};
+  for (const int p : procs) {
+    mean_row.push_back(format_fixed(mean_scaled_tracks_at(runs, p), 3));
+  }
+  table.add_row(mean_row);
+  return table.to_string();
+}
+
+std::string render_scaled_area_table(
+    const std::string& title, const std::vector<CircuitExperiment>& runs) {
+  const auto procs = proc_columns(runs);
+  TextTable table(title);
+  std::vector<std::string> header{"circuit"};
+  for (const int p : procs) header.push_back(std::to_string(p) + " procs");
+  table.add_row(header);
+  for (const CircuitExperiment& run : runs) {
+    std::vector<std::string> row{run.circuit};
+    for (const int p : procs) {
+      const RunPoint* point = point_at(run, p);
+      row.push_back(point ? format_fixed(point->scaled_area, 3) : "-");
+    }
+    table.add_row(row);
+  }
+  return table.to_string();
+}
+
+std::string render_speedup_figure(const std::string& title,
+                                  const std::vector<CircuitExperiment>& runs) {
+  std::ostringstream os;
+  os << title << '\n';
+  const auto procs = proc_columns(runs);
+  for (const CircuitExperiment& run : runs) {
+    os << run.circuit << '\n';
+    for (const int p : procs) {
+      const RunPoint* point = point_at(run, p);
+      if (point == nullptr) continue;
+      const auto bar = static_cast<std::size_t>(
+          std::max(0.0, point->speedup) * 6.0);
+      os << "  " << p << (p >= 10 ? "" : " ") << " procs |"
+         << std::string(std::min<std::size_t>(bar, 120), '#') << ' '
+         << format_fixed(point->speedup, 2)
+         << (point->speedup_extrapolated ? "*" : "") << '\n';
+    }
+  }
+  os << "(bar: 6 chars per 1x speedup; * = serial baseline extrapolated)\n";
+  return os.str();
+}
+
+std::string render_table5_platform(
+    const Platform& platform, const std::vector<CircuitExperiment>& runs) {
+  const auto procs = proc_columns(runs);
+  std::ostringstream os;
+  os << "Platform: " << platform.name << '\n';
+
+  TextTable table;
+  std::vector<std::string> header{"results"};
+  for (const CircuitExperiment& run : runs) header.push_back(run.circuit);
+  table.add_row(header);
+
+  const auto add_metric_row =
+      [&](const std::string& label,
+          const std::function<std::string(const CircuitExperiment&)>& cell) {
+        std::vector<std::string> row{label};
+        for (const CircuitExperiment& run : runs) row.push_back(cell(run));
+        table.add_row(row);
+      };
+
+  add_metric_row("serial: tracks", [](const CircuitExperiment& run) {
+    return format_grouped(run.serial_tracks);
+  });
+  add_metric_row("serial: area", [](const CircuitExperiment& run) {
+    return format_grouped(run.serial_area);
+  });
+  add_metric_row("serial: time (s)", [](const CircuitExperiment& run) {
+    return run.serial_modeled_seconds
+               ? format_fixed(*run.serial_modeled_seconds, 1)
+               : std::string("timeout");
+  });
+  for (const int p : procs) {
+    const std::string prefix = std::to_string(p) + " procs: ";
+    add_metric_row(prefix + "time (s)", [p](const CircuitExperiment& run) {
+      const RunPoint* point = point_at(run, p);
+      return point ? format_fixed(point->modeled_seconds, 1)
+                   : std::string("-");
+    });
+    add_metric_row(prefix + "speedup", [p](const CircuitExperiment& run) {
+      const RunPoint* point = point_at(run, p);
+      if (point == nullptr) return std::string("-");
+      return format_fixed(point->speedup, 2) +
+             (point->speedup_extrapolated ? "*" : "");
+    });
+    add_metric_row(prefix + "tracks (scaled)",
+                   [p](const CircuitExperiment& run) {
+                     const RunPoint* point = point_at(run, p);
+                     return point ? format_fixed(point->scaled_tracks, 3)
+                                  : std::string("-");
+                   });
+    add_metric_row(prefix + "area (scaled)",
+                   [p](const CircuitExperiment& run) {
+                     const RunPoint* point = point_at(run, p);
+                     return point ? format_fixed(point->scaled_area, 3)
+                                  : std::string("-");
+                   });
+  }
+  os << table.to_string();
+  if (platform.node_memory_bytes != 0) {
+    os << "('timeout': serial footprint exceeds "
+       << platform.node_memory_bytes / (1024 * 1024)
+       << " MB/node; * = speedup extrapolated as in the paper)\n";
+  }
+  return os.str();
+}
+
+double mean_speedup_at(const std::vector<CircuitExperiment>& runs,
+                       int procs) {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const CircuitExperiment& run : runs) {
+    if (const RunPoint* point = point_at(run, procs)) {
+      total += point->speedup;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+double mean_scaled_tracks_at(const std::vector<CircuitExperiment>& runs,
+                             int procs) {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const CircuitExperiment& run : runs) {
+    if (const RunPoint* point = point_at(run, procs)) {
+      total += point->scaled_tracks;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+}  // namespace ptwgr

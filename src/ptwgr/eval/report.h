@@ -1,0 +1,39 @@
+// Paper-style renderings of experiment results: the scaled-track tables
+// (Tables 2–4), the speedup figures (Figures 4–6, printed as per-circuit
+// series with bars), Table 1, and the two-platform Table 5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ptwgr/eval/experiment.h"
+
+namespace ptwgr {
+
+/// Table 1: circuit characteristics of the (re)generated suite.
+std::string render_table1(double scale);
+
+/// Tables 2/3/4: scaled track counts per circuit × processor count.
+std::string render_scaled_tracks_table(
+    const std::string& title, const std::vector<CircuitExperiment>& runs);
+
+/// Companion rows for the same tables: scaled area (the paper quotes these
+/// in prose: "the scaled area results ... are not much worse (1-2%)").
+std::string render_scaled_area_table(
+    const std::string& title, const std::vector<CircuitExperiment>& runs);
+
+/// Figures 4/5/6: speedups per circuit × processor count, with ASCII bars.
+std::string render_speedup_figure(const std::string& title,
+                                  const std::vector<CircuitExperiment>& runs);
+
+/// Table 5: absolute tracks/area/time plus scaled metrics and speedups on
+/// one platform (call once per platform).
+std::string render_table5_platform(const Platform& platform,
+                                   const std::vector<CircuitExperiment>& runs);
+
+/// Mean of a column across circuits (e.g. average speedup at 8 procs).
+double mean_speedup_at(const std::vector<CircuitExperiment>& runs, int procs);
+double mean_scaled_tracks_at(const std::vector<CircuitExperiment>& runs,
+                             int procs);
+
+}  // namespace ptwgr

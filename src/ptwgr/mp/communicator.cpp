@@ -1,0 +1,113 @@
+#include "ptwgr/mp/communicator.h"
+
+#include <algorithm>
+
+namespace ptwgr::mp {
+
+void Communicator::accrue_compute() {
+  const double now = thread_cpu_seconds();
+  const double delta = now - last_cpu_;
+  last_cpu_ = now;
+  if (delta > 0.0) vtime_ += delta * world_->cost.compute_scale;
+}
+
+void Communicator::send_bytes(int dest, int tag,
+                              std::vector<std::byte> payload) {
+  PTWGR_EXPECTS(dest >= 0 && dest < size());
+  PTWGR_EXPECTS(tag >= 0);
+  accrue_compute();
+  // The sender occupies the channel for the full transfer (blocking-send
+  // semantics); the payload becomes visible to the receiver at that moment.
+  vtime_ += world_->cost.message_cost(payload.size());
+  Envelope envelope;
+  envelope.source = rank_;
+  envelope.tag = tag;
+  envelope.arrival_vtime = vtime_;
+  envelope.payload = std::move(payload);
+  world_->mailboxes[static_cast<std::size_t>(dest)]->push(std::move(envelope));
+}
+
+Received Communicator::recv(int source, int tag) {
+  PTWGR_EXPECTS(source == kAnySource || (source >= 0 && source < size()));
+  Envelope envelope =
+      world_->mailboxes[static_cast<std::size_t>(rank_)]->pop(source, tag);
+  accrue_compute();
+  vtime_ = std::max(vtime_, envelope.arrival_vtime);
+  return Received{std::move(envelope)};
+}
+
+bool Communicator::probe(int source, int tag) {
+  return world_->mailboxes[static_cast<std::size_t>(rank_)]->probe(source,
+                                                                   tag);
+}
+
+void Communicator::barrier() {
+  run_collective({}, [](std::vector<std::vector<std::byte>>&,
+                        std::vector<std::vector<std::byte>>&) {});
+}
+
+std::vector<std::byte> Communicator::broadcast_bytes(
+    int root, std::vector<std::byte> payload) {
+  PTWGR_EXPECTS(root >= 0 && root < size());
+  return run_collective(
+      std::move(payload),
+      [root](std::vector<std::vector<std::byte>>& contrib,
+             std::vector<std::vector<std::byte>>& out) {
+        const auto& bytes = contrib[static_cast<std::size_t>(root)];
+        for (auto& slot : out) slot = bytes;
+      });
+}
+
+std::vector<std::byte> Communicator::run_collective(
+    std::vector<std::byte> contribution,
+    const std::function<void(std::vector<std::vector<std::byte>>&,
+                             std::vector<std::vector<std::byte>>&)>& combine) {
+  accrue_compute();
+  World& w = *world_;
+  if (w.size == 1) {
+    // Trivial world: combine immediately, no synchronization cost.
+    w.rv_contrib[0] = std::move(contribution);
+    combine(w.rv_contrib, w.rv_out);
+    return std::move(w.rv_out[0]);
+  }
+
+  std::unique_lock<std::mutex> lock(w.rv_mutex);
+  if (w.rv_aborted) throw WorldAborted{};
+  const std::size_t me = static_cast<std::size_t>(rank_);
+  const std::size_t payload_size = contribution.size();
+  w.rv_contrib[me] = std::move(contribution);
+  w.rv_vin[me] = vtime_;
+  const std::uint64_t my_generation = w.rv_generation;
+
+  if (++w.rv_arrived == w.size) {
+    // Last arriver: run the combine and advance the shared clock.
+    combine(w.rv_contrib, w.rv_out);
+    double entry_max = *std::max_element(w.rv_vin.begin(), w.rv_vin.end());
+    std::size_t max_bytes = payload_size;
+    for (const auto& c : w.rv_contrib) max_bytes = std::max(max_bytes, c.size());
+    w.rv_vout = entry_max + w.cost.collective_cost(w.size, max_bytes);
+    w.rv_arrived = 0;
+    ++w.rv_generation;
+    w.rv_cv.notify_all();
+  } else {
+    w.rv_cv.wait(lock, [&] {
+      return w.rv_generation != my_generation || w.rv_aborted;
+    });
+    if (w.rv_generation == my_generation && w.rv_aborted) throw WorldAborted{};
+  }
+
+  vtime_ = w.rv_vout;
+  // Refresh the CPU mark: time spent blocked in the rendezvous is not the
+  // rank's own compute.
+  last_cpu_ = thread_cpu_seconds();
+  return std::move(w.rv_out[me]);
+}
+
+void Communicator::finalize(double cpu_seconds) {
+  accrue_compute();
+  const std::size_t me = static_cast<std::size_t>(rank_);
+  world_->final_vtime[me] = vtime_;
+  world_->final_cpu[me] = cpu_seconds;
+}
+
+}  // namespace ptwgr::mp

@@ -1,0 +1,328 @@
+// Rank-local handle for message passing — the library's MPI stand-in.
+//
+// The parallel routing algorithms are written against this interface exactly
+// as they would be against MPI: ranks, tagged send/recv, and tree-cost
+// collectives.  Each operation additionally advances the rank's *virtual
+// clock*: measured thread CPU time (scaled by the platform's compute factor)
+// accrues between operations, and each message/collective charges the α–β
+// cost from the world's CostModel.  Reported parallel runtime is the maximum
+// final virtual clock across ranks (see DESIGN.md §2).
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "ptwgr/mp/world.h"
+#include "ptwgr/support/check.h"
+#include "ptwgr/support/serialize.h"
+#include "ptwgr/support/timer.h"
+
+namespace ptwgr::mp {
+
+/// A received message plus a typed view over its payload.
+struct Received {
+  Envelope envelope;
+
+  Reader reader() const { return Reader(envelope.payload); }
+};
+
+class Communicator {
+ public:
+  /// Binds rank `rank` of `world`; must be used only from the rank's thread.
+  Communicator(World& world, int rank)
+      : world_(&world), rank_(rank), last_cpu_(thread_cpu_seconds()) {
+    PTWGR_EXPECTS(rank >= 0 && rank < world.size);
+  }
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size; }
+  const CostModel& cost_model() const { return world_->cost; }
+
+  /// Current virtual time (accrues pending compute first).
+  double vtime() {
+    accrue_compute();
+    return vtime_;
+  }
+
+  /// Explicitly charges virtual seconds (tests; modeling I/O phases).
+  void add_virtual_time(double seconds) { vtime_ += seconds; }
+
+  /// Rewinds the clock to a previously observed value, discarding the CPU
+  /// spent since.  Used to exclude measurement-only work (metric gathering)
+  /// from the reported routing time.
+  void set_vtime(double vtime) {
+    vtime_ = vtime;
+    last_cpu_ = thread_cpu_seconds();
+  }
+
+  // --- point-to-point -------------------------------------------------
+
+  /// Sends a raw payload.  tag must be non-negative (negative tags are
+  /// reserved).  Sending to self is allowed.
+  void send_bytes(int dest, int tag, std::vector<std::byte> payload);
+
+  void send(int dest, int tag, Writer writer) {
+    send_bytes(dest, tag, std::move(writer).take());
+  }
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    Writer w;
+    w.put(value);
+    send(dest, tag, std::move(w));
+  }
+
+  /// Blocks until a matching message arrives; source may be kAnySource, tag
+  /// may be kAnyTag.
+  Received recv(int source, int tag);
+
+  template <typename T>
+  T recv_value(int source, int tag) {
+    const Received r = recv(source, tag);
+    Reader reader = r.reader();
+    return reader.get<T>();
+  }
+
+  template <typename T>
+  std::vector<T> recv_vector(int source, int tag) {
+    const Received r = recv(source, tag);
+    Reader reader = r.reader();
+    return reader.get_vector<T>();
+  }
+
+  /// Non-blocking check for a matching queued message.
+  bool probe(int source, int tag);
+
+  // --- collectives ------------------------------------------------------
+
+  /// Synchronizes all ranks; everyone leaves at the max clock plus ⌈log₂P⌉
+  /// latency rounds.
+  void barrier();
+
+  /// Root's payload is delivered to every rank.
+  std::vector<std::byte> broadcast_bytes(int root,
+                                         std::vector<std::byte> payload);
+
+  template <typename T>
+  T broadcast_value(int root, const T& value) {
+    Writer w;
+    if (rank_ == root) w.put(value);
+    const auto bytes = broadcast_bytes(root, std::move(w).take());
+    Reader reader(bytes);
+    return reader.get<T>();
+  }
+
+  template <typename T>
+  std::vector<T> broadcast_vector(int root, const std::vector<T>& value) {
+    Writer w;
+    if (rank_ == root) w.put(value);
+    const auto bytes = broadcast_bytes(root, std::move(w).take());
+    Reader reader(bytes);
+    return reader.get_vector<T>();
+  }
+
+  /// Element-wise reduction of equal-length vectors, result on all ranks.
+  /// op(accumulator&, element) folds contributions in rank order, so
+  /// non-commutative folds are still deterministic.
+  template <typename T, typename Op>
+  std::vector<T> allreduce(const std::vector<T>& values, Op op) {
+    Writer w;
+    w.put(values);
+    auto combined = run_collective(
+        std::move(w).take(),
+        [op](std::vector<std::vector<std::byte>>& contrib,
+             std::vector<std::vector<std::byte>>& out) {
+          std::vector<T> acc;
+          for (std::size_t r = 0; r < contrib.size(); ++r) {
+            Reader reader(contrib[r]);
+            auto vals = reader.get_vector<T>();
+            if (r == 0) {
+              acc = std::move(vals);
+            } else {
+              PTWGR_CHECK_MSG(vals.size() == acc.size(),
+                              "allreduce vector length mismatch");
+              for (std::size_t i = 0; i < acc.size(); ++i) op(acc[i], vals[i]);
+            }
+          }
+          Writer out_w;
+          out_w.put(acc);
+          auto bytes = std::move(out_w).take();
+          for (auto& slot : out) slot = bytes;
+        });
+    Reader reader(combined);
+    return reader.get_vector<T>();
+  }
+
+  /// Scalar reduction on all ranks.
+  template <typename T, typename Op>
+  T allreduce_value(const T& value, Op op) {
+    std::vector<T> one{value};
+    return allreduce(one, op).front();
+  }
+
+  /// Every rank contributes one value; every rank receives all size() values
+  /// indexed by rank.
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    Writer w;
+    w.put(value);
+    auto combined = run_collective(
+        std::move(w).take(),
+        [](std::vector<std::vector<std::byte>>& contrib,
+           std::vector<std::vector<std::byte>>& out) {
+          Writer out_w;
+          for (auto& c : contrib) {
+            Reader reader(c);
+            out_w.put(reader.get<T>());
+          }
+          auto bytes = std::move(out_w).take();
+          for (auto& slot : out) slot = bytes;
+        });
+    Reader reader(combined);
+    std::vector<T> result;
+    result.reserve(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) result.push_back(reader.get<T>());
+    return result;
+  }
+
+  /// Every rank contributes a vector; every rank receives all of them,
+  /// indexed by source rank.
+  template <typename T>
+  std::vector<std::vector<T>> allgather_vectors(const std::vector<T>& values) {
+    Writer w;
+    w.put(values);
+    auto combined = run_collective(
+        std::move(w).take(),
+        [](std::vector<std::vector<std::byte>>& contrib,
+           std::vector<std::vector<std::byte>>& out) {
+          Writer out_w;
+          for (auto& c : contrib) {
+            Reader reader(c);
+            out_w.put(reader.get_vector<T>());
+          }
+          auto bytes = std::move(out_w).take();
+          for (auto& slot : out) slot = bytes;
+        });
+    Reader reader(combined);
+    std::vector<std::vector<T>> result;
+    result.reserve(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) result.push_back(reader.get_vector<T>());
+    return result;
+  }
+
+  /// Root receives every rank's vector (indexed by source rank); non-roots
+  /// receive an empty result.
+  template <typename T>
+  std::vector<std::vector<T>> gather_vectors(int root,
+                                             const std::vector<T>& values) {
+    Writer w;
+    w.put(values);
+    auto combined = run_collective(
+        std::move(w).take(),
+        [root](std::vector<std::vector<std::byte>>& contrib,
+               std::vector<std::vector<std::byte>>& out) {
+          Writer out_w;
+          for (auto& c : contrib) {
+            Reader reader(c);
+            out_w.put(reader.get_vector<T>());
+          }
+          out[static_cast<std::size_t>(root)] = std::move(out_w).take();
+        });
+    std::vector<std::vector<T>> result;
+    if (rank_ == root) {
+      Reader reader(combined);
+      result.reserve(static_cast<std::size_t>(size()));
+      for (int r = 0; r < size(); ++r) result.push_back(reader.get_vector<T>());
+    }
+    return result;
+  }
+
+  /// Personalized all-to-all: outgoing[d] goes to rank d; returns the
+  /// vector received from each source rank.
+  template <typename T>
+  std::vector<std::vector<T>> all_to_all(
+      const std::vector<std::vector<T>>& outgoing) {
+    PTWGR_EXPECTS(outgoing.size() == static_cast<std::size_t>(size()));
+    Writer w;
+    for (const auto& part : outgoing) w.put(part);
+    const int nranks = size();
+    auto combined = run_collective(
+        std::move(w).take(),
+        [nranks](std::vector<std::vector<std::byte>>& contrib,
+                 std::vector<std::vector<std::byte>>& out) {
+          // parts[s][d] = bytes rank s sends to rank d.
+          std::vector<std::vector<std::vector<T>>> parts;
+          parts.reserve(contrib.size());
+          for (auto& c : contrib) {
+            Reader reader(c);
+            std::vector<std::vector<T>> from_s;
+            from_s.reserve(static_cast<std::size_t>(nranks));
+            for (int d = 0; d < nranks; ++d) {
+              from_s.push_back(reader.get_vector<T>());
+            }
+            parts.push_back(std::move(from_s));
+          }
+          for (std::size_t d = 0; d < out.size(); ++d) {
+            Writer out_w;
+            for (std::size_t s = 0; s < parts.size(); ++s) {
+              out_w.put(parts[s][d]);
+            }
+            out[d] = std::move(out_w).take();
+          }
+        });
+    Reader reader(combined);
+    std::vector<std::vector<T>> result;
+    result.reserve(static_cast<std::size_t>(size()));
+    for (int s = 0; s < size(); ++s) result.push_back(reader.get_vector<T>());
+    return result;
+  }
+
+  /// Called once by the runtime as the rank body returns; records final
+  /// clocks into the world.
+  void finalize(double cpu_seconds);
+
+ private:
+  /// Folds pending thread-CPU time into the virtual clock.
+  void accrue_compute();
+
+  /// Generation-counted rendezvous: every rank deposits `contribution`; the
+  /// last arriver runs `combine` (filling one output buffer per rank) and
+  /// advances everyone's clock to max(entry clocks) + the collective cost.
+  /// Returns this rank's output buffer.
+  std::vector<std::byte> run_collective(
+      std::vector<std::byte> contribution,
+      const std::function<void(std::vector<std::vector<std::byte>>&,
+                               std::vector<std::vector<std::byte>>&)>&
+          combine);
+
+  World* world_;
+  int rank_;
+  double vtime_ = 0.0;
+  double last_cpu_;
+};
+
+// Reduction functors for allreduce.
+struct SumOp {
+  template <typename T>
+  void operator()(T& acc, const T& x) const {
+    acc += x;
+  }
+};
+struct MinOp {
+  template <typename T>
+  void operator()(T& acc, const T& x) const {
+    if (x < acc) acc = x;
+  }
+};
+struct MaxOp {
+  template <typename T>
+  void operator()(T& acc, const T& x) const {
+    if (acc < x) acc = x;
+  }
+};
+
+}  // namespace ptwgr::mp

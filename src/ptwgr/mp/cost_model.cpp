@@ -1,0 +1,29 @@
+#include "ptwgr/mp/cost_model.h"
+
+namespace ptwgr::mp {
+
+CostModel CostModel::sparc_center_smp() {
+  // SparcCenter 1000: MPI over shared memory.  Published MPICH shared-memory
+  // numbers from the era: ~30 µs latency, ~50 MB/s effective bandwidth.
+  // SuperSPARC @50 MHz is roughly 40x slower than a modern core on integer
+  // code; the scale only matters for absolute times, not speedups.
+  CostModel m;
+  m.name = "SparcCenter1000-SMP";
+  m.latency_s = 30e-6;
+  m.per_byte_s = 1.0 / 50e6;
+  m.compute_scale = 40.0;
+  return m;
+}
+
+CostModel CostModel::paragon_dmp() {
+  // Intel Paragon NX/MPI: ~100 µs latency, ~70 MB/s sustained bandwidth;
+  // i860 XP @50 MHz, comparable scalar speed to the SuperSPARC.
+  CostModel m;
+  m.name = "Paragon-DMP";
+  m.latency_s = 100e-6;
+  m.per_byte_s = 1.0 / 70e6;
+  m.compute_scale = 40.0;
+  return m;
+}
+
+}  // namespace ptwgr::mp

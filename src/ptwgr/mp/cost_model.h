@@ -1,0 +1,54 @@
+// Communication and compute cost model for the virtual-clock runtime.
+//
+// The paper evaluated on two machines whose communication characteristics
+// drive its speedup results: a Sun SparcCenter 1000 (bus-based SMP, cheap
+// synchronization) and an Intel Paragon (mesh DMP, expensive messages).
+// Neither machine — nor even multiple cores — is available here, so the
+// runtime charges each rank an α–β (latency + per-byte) cost per message and
+// ⌈log₂P⌉ rounds per collective, on top of the rank's measured CPU time
+// scaled by a relative core speed.  See DESIGN.md §2 for the substitution
+// rationale.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace ptwgr::mp {
+
+/// α–β message cost plus a relative compute-speed factor.
+struct CostModel {
+  /// Human-readable platform name (appears in benchmark output).
+  std::string name = "ideal";
+  /// Per-message startup latency α, seconds.
+  double latency_s = 0.0;
+  /// Per-byte transfer cost β, seconds.
+  double per_byte_s = 0.0;
+  /// Virtual seconds of compute per measured CPU second (>1 models a slower
+  /// historical core; 1.0 reports native time).
+  double compute_scale = 1.0;
+
+  /// Cost of one point-to-point message of `bytes` payload.
+  double message_cost(std::size_t bytes) const {
+    return latency_s + per_byte_s * static_cast<double>(bytes);
+  }
+
+  /// Cost of a collective over `ranks` participants moving `bytes` per round
+  /// (tree dissemination: ⌈log₂ ranks⌉ rounds).
+  double collective_cost(int ranks, std::size_t bytes) const {
+    if (ranks <= 1) return 0.0;
+    const double rounds = std::ceil(std::log2(static_cast<double>(ranks)));
+    return rounds * message_cost(bytes);
+  }
+
+  /// Free communication and native compute speed: speedups then reflect pure
+  /// work partitioning.  Used by unit tests.
+  static CostModel ideal() { return CostModel{}; }
+
+  /// Sun SparcCenter 1000-like SMP: shared-bus transfers, low latency.
+  static CostModel sparc_center_smp();
+
+  /// Intel Paragon-like DMP: NX message passing, high per-message latency.
+  static CostModel paragon_dmp();
+};
+
+}  // namespace ptwgr::mp

@@ -1,0 +1,62 @@
+#include "ptwgr/mp/mailbox.h"
+
+#include <algorithm>
+
+namespace ptwgr::mp {
+namespace {
+
+bool matches(const Envelope& e, int source, int tag) {
+  return (source == kAnySource || e.source == source) &&
+         (tag == kAnyTag || e.tag == tag);
+}
+
+}  // namespace
+
+void Mailbox::push(Envelope envelope) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(envelope));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Envelope> Mailbox::try_take(int source, int tag) {
+  const auto it = std::find_if(
+      queue_.begin(), queue_.end(),
+      [&](const Envelope& e) { return matches(e, source, tag); });
+  if (it == queue_.end()) return std::nullopt;
+  Envelope out = std::move(*it);
+  queue_.erase(it);
+  return out;
+}
+
+Envelope Mailbox::pop(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (aborted_) throw WorldAborted{};
+    if (auto taken = try_take(source, tag)) return std::move(*taken);
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int source, int tag) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Envelope& e) {
+    return matches(e, source, tag);
+  });
+}
+
+std::size_t Mailbox::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::abort() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace ptwgr::mp

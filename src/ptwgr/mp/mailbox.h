@@ -1,0 +1,52 @@
+// Per-rank message queue with MPI-style (source, tag) matching.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "ptwgr/mp/message.h"
+
+namespace ptwgr::mp {
+
+/// Thrown out of blocking operations when the world shuts down because some
+/// rank failed; prevents surviving ranks from blocking forever.
+class WorldAborted : public std::runtime_error {
+ public:
+  WorldAborted() : std::runtime_error("mp world aborted by a failed rank") {}
+};
+
+/// Unbounded MPSC mailbox.  Any rank may push; only the owning rank pops.
+/// Matching is FIFO among messages that satisfy the (source, tag) filter,
+/// mirroring MPI's non-overtaking guarantee per (source, tag) pair.
+class Mailbox {
+ public:
+  /// Enqueues a message (called by sender threads).
+  void push(Envelope envelope);
+
+  /// Blocks until a message matching (source, tag) is available and removes
+  /// it.  source/tag may be kAnySource/kAnyTag.  Throws WorldAborted if
+  /// abort() is called while waiting.
+  Envelope pop(int source, int tag);
+
+  /// Non-blocking probe: returns true if a matching message is queued.
+  bool probe(int source, int tag) const;
+
+  /// Number of queued messages (tests / diagnostics).
+  std::size_t size() const;
+
+  /// Wakes all blocked poppers with WorldAborted.
+  void abort();
+
+ private:
+  std::optional<Envelope> try_take(int source, int tag);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace ptwgr::mp

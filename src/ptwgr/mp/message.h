@@ -1,0 +1,24 @@
+// Message envelope moved between rank mailboxes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ptwgr::mp {
+
+/// Matches any source rank in recv/probe.
+inline constexpr int kAnySource = -1;
+/// Matches any non-negative tag in recv/probe.
+inline constexpr int kAnyTag = -1;
+
+/// One in-flight message: origin, user tag, payload, and the virtual time at
+/// which the payload becomes available to the receiver (sender's clock at
+/// send plus the modeled transfer cost).
+struct Envelope {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+  double arrival_vtime = 0.0;
+};
+
+}  // namespace ptwgr::mp

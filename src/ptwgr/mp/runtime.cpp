@@ -1,0 +1,55 @@
+#include "ptwgr/mp/runtime.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "ptwgr/support/timer.h"
+
+namespace ptwgr::mp {
+
+RunReport run(int num_ranks, const CostModel& cost,
+              const std::function<void(Communicator&)>& body) {
+  PTWGR_EXPECTS(num_ranks >= 1);
+  World world(num_ranks, cost);
+
+  std::mutex failure_mutex;
+  std::exception_ptr first_failure;
+
+  const auto rank_main = [&](int rank) {
+    Communicator comm(world, rank);
+    const ThreadCpuTimer cpu;
+    try {
+      body(comm);
+      comm.finalize(cpu.seconds());
+    } catch (const WorldAborted&) {
+      // Another rank failed first; nothing further to report.
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!first_failure) first_failure = std::current_exception();
+      }
+      world.abort_all();
+    }
+  };
+
+  const WallTimer wall;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(num_ranks - 1));
+    for (int r = 1; r < num_ranks; ++r) {
+      threads.emplace_back(rank_main, r);
+    }
+    rank_main(0);
+  }  // jthreads join here
+
+  if (first_failure) std::rethrow_exception(first_failure);
+
+  RunReport report;
+  report.wall_seconds = wall.seconds();
+  report.rank_vtime = world.final_vtime;
+  report.rank_cpu_seconds = world.final_cpu;
+  return report;
+}
+
+}  // namespace ptwgr::mp

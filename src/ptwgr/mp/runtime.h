@@ -1,0 +1,50 @@
+// SPMD launcher: runs one function body on N rank threads, MPI style.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "ptwgr/mp/communicator.h"
+#include "ptwgr/mp/cost_model.h"
+
+namespace ptwgr::mp {
+
+/// Timing outcome of one run: wall clock of the whole launch, plus per-rank
+/// final virtual clocks and measured CPU seconds.
+struct RunReport {
+  double wall_seconds = 0.0;
+  std::vector<double> rank_vtime;
+  std::vector<double> rank_cpu_seconds;
+
+  /// The modeled parallel runtime: the slowest rank's virtual clock.
+  double parallel_time() const {
+    return rank_vtime.empty()
+               ? 0.0
+               : *std::max_element(rank_vtime.begin(), rank_vtime.end());
+  }
+
+  /// Total CPU work across ranks (for efficiency metrics).
+  double total_cpu_seconds() const {
+    double total = 0.0;
+    for (const double s : rank_cpu_seconds) total += s;
+    return total;
+  }
+};
+
+/// Runs `body` on `num_ranks` threads, each receiving its own Communicator.
+///
+/// Rank 0 executes on the calling thread; ranks 1..N-1 on fresh threads.
+/// If any rank throws, the world is aborted (blocked ranks unblock with
+/// WorldAborted) and the first non-abort exception is rethrown after all
+/// ranks have joined.
+RunReport run(int num_ranks, const CostModel& cost,
+              const std::function<void(Communicator&)>& body);
+
+/// Convenience overload with the ideal (zero-cost) model.
+inline RunReport run(int num_ranks,
+                     const std::function<void(Communicator&)>& body) {
+  return run(num_ranks, CostModel::ideal(), body);
+}
+
+}  // namespace ptwgr::mp

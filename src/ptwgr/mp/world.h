@@ -1,0 +1,65 @@
+// Shared state behind one mp::run() invocation (internal to ptwgr/mp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ptwgr/mp/cost_model.h"
+#include "ptwgr/mp/mailbox.h"
+
+namespace ptwgr::mp {
+
+/// All rank threads of one run share a World: the mailboxes, the collective
+/// rendezvous, and the per-rank timing slots filled at rank exit.
+struct World {
+  explicit World(int num_ranks, CostModel cost_model)
+      : size(num_ranks),
+        cost(std::move(cost_model)),
+        rv_contrib(static_cast<std::size_t>(num_ranks)),
+        rv_out(static_cast<std::size_t>(num_ranks)),
+        rv_vin(static_cast<std::size_t>(num_ranks), 0.0),
+        final_vtime(static_cast<std::size_t>(num_ranks), 0.0),
+        final_cpu(static_cast<std::size_t>(num_ranks), 0.0) {
+    mailboxes.reserve(static_cast<std::size_t>(num_ranks));
+    for (int r = 0; r < num_ranks; ++r) {
+      mailboxes.push_back(std::make_unique<Mailbox>());
+    }
+  }
+
+  const int size;
+  const CostModel cost;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+
+  // Collective rendezvous.  SPMD programs run at most one collective at a
+  // time, so a single generation-counted slot set suffices (see
+  // Communicator::collective for the protocol).
+  std::mutex rv_mutex;
+  std::condition_variable rv_cv;
+  std::uint64_t rv_generation = 0;
+  int rv_arrived = 0;
+  std::vector<std::vector<std::byte>> rv_contrib;
+  std::vector<std::vector<std::byte>> rv_out;
+  std::vector<double> rv_vin;
+  double rv_vout = 0.0;
+  bool rv_aborted = false;
+
+  std::vector<double> final_vtime;
+  std::vector<double> final_cpu;
+
+  /// Unblocks every rank waiting in a mailbox or the rendezvous; they throw
+  /// WorldAborted.  Called when any rank exits with an exception.
+  void abort_all() {
+    {
+      const std::lock_guard<std::mutex> lock(rv_mutex);
+      rv_aborted = true;
+    }
+    rv_cv.notify_all();
+    for (auto& box : mailboxes) box->abort();
+  }
+};
+
+}  // namespace ptwgr::mp

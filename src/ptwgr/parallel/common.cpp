@@ -1,0 +1,261 @@
+#include "ptwgr/parallel/common.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ptwgr/support/interval.h"
+
+namespace ptwgr {
+
+std::string to_string(ParallelAlgorithm algorithm) {
+  switch (algorithm) {
+    case ParallelAlgorithm::RowWise: return "row-wise";
+    case ParallelAlgorithm::NetWise: return "net-wise";
+    case ParallelAlgorithm::Hybrid: return "hybrid";
+  }
+  return "?";
+}
+
+void GridSynchronizer::sync(mp::Communicator& comm) {
+  auto current = grid_->export_state();
+  std::vector<std::int32_t> delta(current.size());
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    delta[i] = current[i] - last_[i];
+  }
+  const auto total = comm.allreduce(delta, mp::SumOp{});
+  for (std::size_t i = 0; i < current.size(); ++i) {
+    current[i] += total[i] - delta[i];
+  }
+  grid_->import_state(current);
+  last_ = std::move(current);
+}
+
+void sync_switch_densities(mp::Communicator& comm,
+                           SwitchableOptimizer& optimizer) {
+  auto mine = optimizer.take_pending_deltas();
+  auto total = comm.allreduce(mine, mp::SumOp{});
+  for (std::size_t i = 0; i < total.size(); ++i) total[i] -= mine[i];
+  optimizer.apply_external_deltas(total);
+}
+
+std::size_t plan_sync_rounds(mp::Communicator& comm, std::size_t my_events,
+                             std::size_t period) {
+  PTWGR_EXPECTS(period > 0);
+  const auto my_rounds =
+      static_cast<std::int64_t>(my_events / period);
+  return static_cast<std::size_t>(
+      comm.allreduce_value(my_rounds, mp::MaxOp{}));
+}
+
+namespace {
+
+/// Message tags for the row-block boundary-density exchange.
+constexpr int kTagBoundaryUp = 101;    // to rank + 1
+constexpr int kTagBoundaryDown = 102;  // to rank - 1
+
+}  // namespace
+
+std::vector<CoarseSegment> local_segments_from_pieces(
+    const std::vector<std::vector<TreePieceRecord>>& piece_in,
+    const SubCircuit& sub) {
+  std::vector<TreePieceRecord> pieces;
+  for (const auto& part : piece_in) {
+    pieces.insert(pieces.end(), part.begin(), part.end());
+  }
+  std::sort(pieces.begin(), pieces.end(),
+            [](const TreePieceRecord& p, const TreePieceRecord& q) {
+              if (p.net != q.net) return p.net < q.net;
+              if (p.arow != q.arow) return p.arow < q.arow;
+              if (p.ax != q.ax) return p.ax < q.ax;
+              if (p.brow != q.brow) return p.brow < q.brow;
+              return p.bx < q.bx;
+            });
+
+  std::unordered_map<std::uint32_t, NetId> local_net;
+  for (std::size_t n = 0; n < sub.global_net.size(); ++n) {
+    local_net.emplace(sub.global_net[n].value(),
+                      NetId{static_cast<std::uint32_t>(n)});
+  }
+
+  const auto local_row = [&sub](std::uint32_t global_row) {
+    const auto local = static_cast<std::int64_t>(global_row) -
+                       static_cast<std::int64_t>(sub.first_row) +
+                       sub.halo_offset();
+    PTWGR_CHECK_MSG(
+        local >= 0 &&
+            static_cast<std::size_t>(local) < sub.circuit.num_rows(),
+        "tree piece row " << global_row << " outside block");
+    return static_cast<std::uint32_t>(local);
+  };
+
+  std::vector<CoarseSegment> segments;
+  segments.reserve(pieces.size());
+  for (const TreePieceRecord& piece : pieces) {
+    const auto it = local_net.find(piece.net);
+    PTWGR_CHECK_MSG(it != local_net.end(),
+                    "tree piece for net " << piece.net
+                                          << " without local terminals");
+    CoarseSegment seg;
+    seg.net = it->second;
+    seg.a = RoutePoint{piece.ax, local_row(piece.arow)};
+    seg.b = RoutePoint{piece.bx, local_row(piece.brow)};
+    PTWGR_CHECK(seg.a.row < seg.b.row);
+    segments.push_back(seg);
+  }
+  return segments;
+}
+
+void optimize_switchable_rowblock(mp::Communicator& comm,
+                                  std::vector<Wire>& wires,
+                                  const RowPartition& rows,
+                                  std::size_t num_channels, Coord core_width,
+                                  const RouterOptions& router, Rng& rng) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  SwitchableOptimizer optimizer(num_channels, core_width,
+                                router.switch_bucket_width);
+  optimizer.register_wires(wires);
+
+  // Exchange the two shared boundary channels' registration deltas with the
+  // neighbouring ranks (paper §4: "the track information in the shared
+  // channel is synchronized between two adjacent processors").
+  const auto deltas = optimizer.take_pending_deltas();
+  const std::size_t buckets = deltas.size() / num_channels;
+  const auto channel_slice = [&](std::uint32_t channel) {
+    return std::vector<std::int32_t>(
+        deltas.begin() + static_cast<std::ptrdiff_t>(channel * buckets),
+        deltas.begin() + static_cast<std::ptrdiff_t>((channel + 1) * buckets));
+  };
+  const auto bottom_channel =
+      static_cast<std::uint32_t>(rows.first_row(rank));
+  const auto top_channel = static_cast<std::uint32_t>(rows.end_row(rank));
+  if (rank < size - 1) {
+    comm.send_value(rank + 1, kTagBoundaryUp, channel_slice(top_channel));
+  }
+  if (rank > 0) {
+    comm.send_value(rank - 1, kTagBoundaryDown, channel_slice(bottom_channel));
+  }
+  std::vector<std::int32_t> external(deltas.size(), 0);
+  if (rank > 0) {
+    const auto from_below =
+        comm.recv_vector<std::int32_t>(rank - 1, kTagBoundaryUp);
+    PTWGR_CHECK(from_below.size() == buckets);
+    std::copy(from_below.begin(), from_below.end(),
+              external.begin() +
+                  static_cast<std::ptrdiff_t>(bottom_channel * buckets));
+  }
+  if (rank < size - 1) {
+    const auto from_above =
+        comm.recv_vector<std::int32_t>(rank + 1, kTagBoundaryDown);
+    PTWGR_CHECK(from_above.size() == buckets);
+    std::copy(from_above.begin(), from_above.end(),
+              external.begin() +
+                  static_cast<std::ptrdiff_t>(top_channel * buckets));
+  }
+  optimizer.apply_external_deltas(external);
+
+  SwitchableOptions switch_options;
+  switch_options.passes = router.switchable_passes;
+  switch_options.bucket_width = router.switch_bucket_width;
+  optimizer.optimize(wires, rng, switch_options);
+}
+
+RoutingMetrics metrics_from_records(std::size_t num_channels,
+                                    Coord core_width, Coord rows_height,
+                                    std::size_t feedthrough_count,
+                                    const std::vector<WireRecord>& wires) {
+  RoutingMetrics metrics;
+  // As in compute_metrics: density counts nets, so merge each net's wires
+  // within a channel before the sweep.
+  std::vector<std::vector<std::pair<std::uint32_t, Interval>>> per_channel(
+      num_channels);
+  for (const WireRecord& wire : wires) {
+    PTWGR_CHECK_MSG(wire.channel < num_channels,
+                    "wire channel " << wire.channel << " out of range");
+    per_channel[wire.channel].emplace_back(wire.net,
+                                           Interval{wire.lo, wire.hi});
+    metrics.total_wirelength += wire.hi - wire.lo;
+  }
+  metrics.channel_density.resize(num_channels, 0);
+  for (std::size_t c = 0; c < num_channels; ++c) {
+    auto& entries = per_channel[c];
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<Interval> channel_intervals;
+    std::vector<Interval> net_intervals;
+    std::size_t i = 0;
+    while (i < entries.size()) {
+      const std::uint32_t net = entries[i].first;
+      net_intervals.clear();
+      for (; i < entries.size() && entries[i].first == net; ++i) {
+        net_intervals.push_back(entries[i].second);
+      }
+      for (const Interval& iv : merge_intervals(net_intervals)) {
+        channel_intervals.push_back(iv);
+      }
+    }
+    metrics.channel_density[c] = max_overlap(std::move(channel_intervals));
+    metrics.track_count += metrics.channel_density[c];
+  }
+  metrics.feedthrough_count = feedthrough_count;
+  metrics.area =
+      core_width * (rows_height + kTrackPitch * metrics.track_count);
+  return metrics;
+}
+
+ParallelRunOutput assemble_metrics(mp::Communicator& comm,
+                                   const std::vector<WireRecord>& my_wires,
+                                   std::size_t num_channels,
+                                   Coord local_core_width, Coord rows_height,
+                                   std::size_t local_feedthroughs) {
+  // Everything below is evaluation, not routing: the reported parallel time
+  // ends here, so the clock is rewound on exit.
+  const double routing_end_vtime = comm.vtime();
+  // Geometry reductions every rank participates in.
+  const Coord core_width =
+      comm.allreduce_value<std::int64_t>(local_core_width, mp::MaxOp{});
+  const auto feedthroughs = static_cast<std::size_t>(
+      comm.allreduce_value<std::int64_t>(
+          static_cast<std::int64_t>(local_feedthroughs), mp::SumOp{}));
+
+  // Wires converge on rank 0.
+  const auto gathered = comm.gather_vectors(0, my_wires);
+
+  ParallelRunOutput output;
+  output.feedthrough_count = feedthroughs;
+
+  // Rank 0 computes; the result is broadcast field by field so every rank
+  // returns identical metrics.
+  std::vector<std::int64_t> packed;
+  if (comm.rank() == 0) {
+    std::vector<WireRecord> all;
+    for (const auto& part : gathered) {
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    const RoutingMetrics metrics = metrics_from_records(
+        num_channels, core_width, rows_height, feedthroughs, all);
+    packed.reserve(3 + metrics.channel_density.size());
+    packed.push_back(metrics.track_count);
+    packed.push_back(metrics.area);
+    packed.push_back(metrics.total_wirelength);
+    packed.insert(packed.end(), metrics.channel_density.begin(),
+                  metrics.channel_density.end());
+  }
+  packed = comm.broadcast_vector(0, packed);
+  PTWGR_CHECK(packed.size() == 3 + num_channels);
+  output.metrics.track_count = packed[0];
+  output.metrics.area = packed[1];
+  output.metrics.total_wirelength = packed[2];
+  output.metrics.feedthrough_count = feedthroughs;
+  output.metrics.channel_density.assign(packed.begin() + 3, packed.end());
+  comm.set_vtime(routing_end_vtime);
+  return output;
+}
+
+Coord total_rows_height(const Circuit& circuit) {
+  Coord total = 0;
+  for (const Row& row : circuit.rows()) total += row.height;
+  return total;
+}
+
+}  // namespace ptwgr

@@ -1,0 +1,123 @@
+// Shared machinery of the three parallel algorithms: options, result types,
+// replica synchronizers, and rank-0 metric assembly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptwgr/mp/communicator.h"
+#include "ptwgr/parallel/fake_pins.h"
+#include "ptwgr/parallel/records.h"
+#include "ptwgr/parallel/subcircuit.h"
+#include "ptwgr/partition/net_partition.h"
+#include "ptwgr/route/coarse.h"
+#include "ptwgr/route/grid.h"
+#include "ptwgr/route/metrics.h"
+#include "ptwgr/route/router.h"
+#include "ptwgr/route/switchable.h"
+
+namespace ptwgr {
+
+enum class ParallelAlgorithm : std::uint8_t {
+  RowWise = 0,
+  NetWise = 1,
+  Hybrid = 2,
+};
+
+std::string to_string(ParallelAlgorithm algorithm);
+
+struct ParallelOptions {
+  /// Base serial-router parameters (seed, grid, passes...).
+  RouterOptions router;
+  /// Net partitioning scheme (Steiner construction in all algorithms; net
+  /// ownership in net-wise and hybrid).
+  NetPartitionOptions net_partition;
+  /// Net-wise: coarse-routing decisions between grid-replica syncs.
+  /// The paper keeps this sparse — frequent sync preserves quality but
+  /// "communication is more costly than computation" (§5); the sync ablation
+  /// bench sweeps it.
+  std::size_t coarse_sync_period = 8192;
+  /// Net-wise: switchable decisions between channel-density syncs.
+  std::size_t switch_sync_period = 8192;
+};
+
+/// Everything a parallel run reports.  Metrics are computed on rank 0 from
+/// the gathered wires and broadcast, so every rank (and the caller) sees
+/// identical values.
+struct ParallelRunOutput {
+  RoutingMetrics metrics;
+  std::size_t feedthrough_count = 0;
+};
+
+// --- replica synchronization --------------------------------------------
+
+/// Keeps a rank's CoarseGrid replica reconciled with its peers: sync()
+/// allreduce-sums everyone's deltas since the previous sync and applies the
+/// peers' contributions locally (demand maps are additive, so the replicas
+/// converge to the union of all commits).
+class GridSynchronizer {
+ public:
+  explicit GridSynchronizer(CoarseGrid& grid)
+      : grid_(&grid), last_(grid.export_state()) {}
+
+  void sync(mp::Communicator& comm);
+
+ private:
+  CoarseGrid* grid_;
+  std::vector<std::int32_t> last_;
+};
+
+/// One round of switchable-density reconciliation: exchanges the pending
+/// per-bucket deltas of every rank's SwitchableOptimizer replica.
+void sync_switch_densities(mp::Communicator& comm,
+                           SwitchableOptimizer& optimizer);
+
+/// Collective round planning for periodic syncs: ranks perform different
+/// event counts, but collectives must be entered by everyone.  Returns the
+/// global number of sync rounds (= max over ranks of events / period).
+std::size_t plan_sync_rounds(mp::Communicator& comm, std::size_t my_events,
+                             std::size_t period);
+
+/// Converts tree pieces received from the net owners into the block's local
+/// coarse segments: global net ids map to the sub-circuit's local nets and
+/// global rows to local rows (halo endpoints included).  Pieces are sorted
+/// deterministically so arrival order cannot influence routing.
+std::vector<CoarseSegment> local_segments_from_pieces(
+    const std::vector<std::vector<TreePieceRecord>>& piece_in,
+    const SubCircuit& sub);
+
+/// Row-block switchable optimization (paper §4, used by the row-wise and
+/// hybrid algorithms): registers `wires` (global channel frame) into a
+/// global-channel density replica, exchanges the registration deltas of the
+/// two shared boundary channels with the neighbouring ranks only, then
+/// optimizes in place.  Everything else stays rank-local.
+void optimize_switchable_rowblock(mp::Communicator& comm,
+                                  std::vector<Wire>& wires,
+                                  const RowPartition& rows,
+                                  std::size_t num_channels, Coord core_width,
+                                  const RouterOptions& router, Rng& rng);
+
+// --- metric assembly -----------------------------------------------------
+
+/// Exact metrics from gathered wire records (rank 0 of every algorithm).
+RoutingMetrics metrics_from_records(std::size_t num_channels,
+                                    Coord core_width, Coord rows_height,
+                                    std::size_t feedthrough_count,
+                                    const std::vector<WireRecord>& wires);
+
+/// Gathers every rank's wires at rank 0, combines them with the
+/// allreduce-derived geometry (max row width, total feedthroughs), computes
+/// metrics on rank 0 and broadcasts them.  `core_width` and
+/// `feedthrough_count` are this rank's local values; `rows_height` and
+/// `num_channels` are global constants.
+ParallelRunOutput assemble_metrics(mp::Communicator& comm,
+                                   const std::vector<WireRecord>& my_wires,
+                                   std::size_t num_channels,
+                                   Coord local_core_width, Coord rows_height,
+                                   std::size_t local_feedthroughs);
+
+/// Sum of all row heights of a circuit (area term shared by all ranks).
+Coord total_rows_height(const Circuit& circuit);
+
+}  // namespace ptwgr

@@ -1,0 +1,109 @@
+#include "ptwgr/parallel/fake_pins.h"
+
+#include <algorithm>
+
+namespace ptwgr {
+namespace {
+
+bool record_less(const FakePinRecord& p, const FakePinRecord& q) {
+  if (p.net != q.net) return p.net < q.net;
+  if (p.block != q.block) return p.block < q.block;
+  if (p.row != q.row) return p.row < q.row;
+  return p.x < q.x;
+}
+
+}  // namespace
+
+std::vector<FakePinRecord> compute_fake_pins(const SteinerTree& tree,
+                                             const RowPartition& rows) {
+  std::vector<FakePinRecord> records;
+  for (const TreeEdge& e : tree.edges) {
+    RoutePoint a = tree.nodes[e.a].at;
+    RoutePoint b = tree.nodes[e.b].at;
+    if (a.row == b.row) continue;
+    if (a.row > b.row) std::swap(a, b);
+    const int owner_a = rows.owner_of_row(a.row);
+    const int owner_b = rows.owner_of_row(b.row);
+    // The vertical leg is anchored at the lower endpoint's x — the same
+    // deterministic choice every rank makes, so both sides of each boundary
+    // agree on the crossing point without communicating.
+    const Coord x = a.x;
+    for (int block = owner_a; block < owner_b; ++block) {
+      // Block `block`'s fake pin sits on its top halo — the first row of
+      // block+1; block+1's sits on its bottom halo — the last row of
+      // `block`.  Each block's sub-segment therefore crosses (and charges
+      // feedthroughs in) exactly its own rows.
+      const auto first_row_of_next =
+          static_cast<std::uint32_t>(rows.end_row(block));
+      const auto last_row_of_block =
+          static_cast<std::uint32_t>(rows.end_row(block) - 1);
+      records.push_back(
+          FakePinRecord{tree.net.value(), block, first_row_of_next, x});
+      records.push_back(
+          FakePinRecord{tree.net.value(), block + 1, last_row_of_block, x});
+    }
+  }
+  // Deduplicate (several edges of one net can cross a boundary at one x).
+  std::sort(records.begin(), records.end(), record_less);
+  records.erase(std::unique(records.begin(), records.end()), records.end());
+  return records;
+}
+
+std::vector<std::vector<TreePieceRecord>> split_tree_segments(
+    const SteinerTree& tree, const RowPartition& rows) {
+  std::vector<std::vector<TreePieceRecord>> out(
+      static_cast<std::size_t>(rows.num_blocks()));
+  for (const TreeEdge& e : tree.edges) {
+    RoutePoint a = tree.nodes[e.a].at;
+    RoutePoint b = tree.nodes[e.b].at;
+    if (a.row == b.row) continue;
+    if (a.row > b.row) std::swap(a, b);
+    const int owner_a = rows.owner_of_row(a.row);
+    const int owner_b = rows.owner_of_row(b.row);
+
+    if (owner_a == owner_b) {
+      out[static_cast<std::size_t>(owner_a)].push_back(
+          TreePieceRecord{tree.net.value(), a.x, a.row, b.x, b.row});
+      continue;
+    }
+
+    // Crossing pieces, anchored at the lower endpoint's x (the same
+    // convention compute_fake_pins uses).  The first block's piece ends on
+    // its top halo (the neighbour's first row), intermediate blocks get
+    // pure pass-through pieces between their two halos, and the last block
+    // carries the horizontal offset to b.
+    const Coord x = a.x;
+    for (int block = owner_a; block <= owner_b; ++block) {
+      TreePieceRecord piece;
+      piece.net = tree.net.value();
+      if (block == owner_a) {
+        piece.ax = a.x;
+        piece.arow = a.row;
+      } else {
+        piece.ax = x;
+        piece.arow = static_cast<std::uint32_t>(rows.first_row(block) - 1);
+      }
+      if (block == owner_b) {
+        piece.bx = b.x;
+        piece.brow = b.row;
+      } else {
+        piece.bx = x;
+        piece.brow = static_cast<std::uint32_t>(rows.end_row(block));
+      }
+      out[static_cast<std::size_t>(block)].push_back(piece);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<FakePinRecord>> split_by_block(
+    std::vector<FakePinRecord> records, const RowPartition& rows) {
+  std::vector<std::vector<FakePinRecord>> out(
+      static_cast<std::size_t>(rows.num_blocks()));
+  for (const FakePinRecord& record : records) {
+    out[static_cast<std::size_t>(record.block)].push_back(record);
+  }
+  return out;
+}
+
+}  // namespace ptwgr

@@ -1,0 +1,53 @@
+// Fake-pin planning for row-partitioned parallel routing (paper §4, Fig. 2).
+//
+// When a net's Steiner tree crosses a block boundary, both adjacent blocks
+// receive a fake pin at the crossing x: the boundary-side stand-ins that let
+// each block route its sub-net independently while agreeing on where the
+// inter-block vertical wire runs.  A block a net passes straight through
+// receives two fake pins (entry and exit rows), so its sub-net routes the
+// pass-through crossing — feedthroughs included — like any other segment.
+#pragma once
+
+#include <vector>
+
+#include "ptwgr/parallel/records.h"
+#include "ptwgr/partition/row_partition.h"
+#include "ptwgr/route/steiner.h"
+
+namespace ptwgr {
+
+/// Fake pins implied by one tree: for every edge and every block boundary it
+/// crosses, one record on each side of the boundary.  Records are deduplicated
+/// per (net, row, x).
+std::vector<FakePinRecord> compute_fake_pins(const SteinerTree& tree,
+                                             const RowPartition& rows);
+
+/// Routes records to their owning blocks: result[b] holds the records whose
+/// row lies in block b.
+std::vector<std::vector<FakePinRecord>> split_by_block(
+    std::vector<FakePinRecord> records, const RowPartition& rows);
+
+/// The broken tree pieces of paper §4: every inter-row tree edge, split at
+/// each block boundary it crosses, becomes per-block segments — "those
+/// broken segments will become the net segments of the processor which owns
+/// its two end points."  Rows are global; a piece's boundary-side endpoint
+/// row lies just outside the block (the halo row its fake pin sits on), so
+/// the piece crosses exactly the block's own rows.
+struct TreePieceRecord {
+  std::uint32_t net = 0;
+  Coord ax = 0;
+  std::uint32_t arow = 0;  ///< lower row (global)
+  Coord bx = 0;
+  std::uint32_t brow = 0;  ///< upper row (global); arow < brow
+
+  friend bool operator==(const TreePieceRecord&, const TreePieceRecord&) =
+      default;
+};
+
+/// Splits a tree's inter-row edges into per-block pieces (index = block).
+/// Same-row edges carry no coarse-routing work and are omitted — step 4
+/// reconnects them from the pins.
+std::vector<std::vector<TreePieceRecord>> split_tree_segments(
+    const SteinerTree& tree, const RowPartition& rows);
+
+}  // namespace ptwgr

@@ -1,0 +1,181 @@
+#include "ptwgr/parallel/hybrid.h"
+
+#include <algorithm>
+
+#include "ptwgr/parallel/fake_pins.h"
+#include "ptwgr/parallel/subcircuit.h"
+#include "ptwgr/route/coarse.h"
+#include "ptwgr/route/connect.h"
+#include "ptwgr/route/feedthrough.h"
+#include "ptwgr/support/log.h"
+
+namespace ptwgr {
+namespace {
+
+TerminalAccess access_from_side(PinSide side) {
+  switch (side) {
+    case PinSide::Top: return TerminalAccess::AboveOnly;
+    case PinSide::Bottom: return TerminalAccess::BelowOnly;
+    case PinSide::Both: return TerminalAccess::Either;
+  }
+  return TerminalAccess::Either;
+}
+
+}  // namespace
+
+ParallelRunOutput route_hybrid(mp::Communicator& comm, const Circuit& global,
+                               const ParallelOptions& options) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  PTWGR_EXPECTS(static_cast<std::size_t>(size) <= global.num_rows());
+  const RouterOptions& router = options.router;
+  Rng rng(router.seed + std::uint64_t{0x9e3779b97f4a7c15} *
+                            static_cast<std::uint64_t>(rank));
+
+  const RowPartition rows = partition_rows(global, size);
+  const NetPartition nets =
+      partition_nets(global, size, options.net_partition, &rows);
+
+  // --- parallel Steiner construction + fake-pin/segment exchange ----------
+  // Identical to row-wise: whole-net trees built by their owners, fake pins
+  // and broken tree segments shipped to the block owners.
+  SteinerOptions steiner_options;
+  steiner_options.row_cost = router.steiner_row_cost;
+  std::vector<std::vector<FakePinRecord>> fake_out(
+      static_cast<std::size_t>(size));
+  std::vector<std::vector<TreePieceRecord>> piece_out(
+      static_cast<std::size_t>(size));
+  for (const NetId net : nets.nets_of[static_cast<std::size_t>(rank)]) {
+    const SteinerTree tree = build_steiner_tree(global, net, steiner_options);
+    auto fakes = split_by_block(compute_fake_pins(tree, rows), rows);
+    auto pieces = split_tree_segments(tree, rows);
+    for (std::size_t b = 0; b < fakes.size(); ++b) {
+      fake_out[b].insert(fake_out[b].end(), fakes[b].begin(), fakes[b].end());
+      piece_out[b].insert(piece_out[b].end(), pieces[b].begin(),
+                          pieces[b].end());
+    }
+  }
+  const auto fake_in = comm.all_to_all(fake_out);
+  const auto piece_in = comm.all_to_all(piece_out);
+  std::vector<FakePinRecord> my_fakes;
+  for (const auto& part : fake_in) {
+    my_fakes.insert(my_fakes.end(), part.begin(), part.end());
+  }
+  std::sort(my_fakes.begin(), my_fakes.end(),
+            [](const FakePinRecord& p, const FakePinRecord& q) {
+              if (p.net != q.net) return p.net < q.net;
+              if (p.row != q.row) return p.row < q.row;
+              return p.x < q.x;
+            });
+
+  // --- local coarse routing + feedthroughs on the sub-circuit -------------
+  SubCircuit sub = extract_subcircuit(global, rows, rank, my_fakes);
+  const Coord global_core_width = global.core_width();
+  auto segments = local_segments_from_pieces(piece_in, sub);
+  CoarseGrid grid(sub.circuit.num_rows(), global_core_width,
+                  router.column_width);
+  CoarseOptions coarse_options;
+  coarse_options.passes = router.coarse_passes;
+  CoarseRouter coarse(grid, coarse_options);
+  coarse.place_initial(segments);
+  Rng coarse_rng = rng.split();
+  coarse.improve(segments, coarse_rng);
+
+  FeedthroughPools pools =
+      insert_feedthroughs(sub.circuit, grid, router.feedthrough_width);
+  assign_feedthroughs(sub.circuit, pools, grid, segments,
+                      router.feedthrough_width);
+
+  // --- whole-net connection by net owners (the hybrid's difference) -------
+  // Ship every real terminal (cell pins and feedthrough pins; never fake
+  // pins) to the net's owner in global coordinates.
+  std::vector<std::vector<TerminalRecord>> term_out(
+      static_cast<std::size_t>(size));
+  for (std::size_t p = 0; p < sub.circuit.num_pins(); ++p) {
+    const PinId pid{static_cast<std::uint32_t>(p)};
+    const Pin& pin = sub.circuit.pin(pid);
+    if (pin.is_fake()) continue;
+    const NetId global_net = sub.global_net[pin.net.index()];
+    const int owner = nets.owner[global_net.index()];
+    term_out[static_cast<std::size_t>(owner)].push_back(TerminalRecord{
+        global_net.value(),
+        sub.global_row(
+            static_cast<std::uint32_t>(sub.circuit.pin_row(pid).index())),
+        sub.circuit.pin_x(pid),
+        static_cast<std::uint8_t>(access_from_side(pin.side))});
+  }
+  const auto term_in = comm.all_to_all(term_out);
+  std::vector<TerminalRecord> my_terminals;
+  for (const auto& part : term_in) {
+    my_terminals.insert(my_terminals.end(), part.begin(), part.end());
+  }
+  std::sort(my_terminals.begin(), my_terminals.end(),
+            [](const TerminalRecord& p, const TerminalRecord& q) {
+              if (p.net != q.net) return p.net < q.net;
+              if (p.row != q.row) return p.row < q.row;
+              return p.x < q.x;
+            });
+
+  std::vector<Wire> wires;
+  ConnectOptions connect_options;
+  {
+    std::vector<Terminal> terminals;
+    std::size_t i = 0;
+    while (i < my_terminals.size()) {
+      const std::uint32_t net = my_terminals[i].net;
+      terminals.clear();
+      for (; i < my_terminals.size() && my_terminals[i].net == net; ++i) {
+        terminals.push_back(
+            Terminal{my_terminals[i].x, my_terminals[i].row,
+                     static_cast<TerminalAccess>(my_terminals[i].access)});
+      }
+      connect_terminals(NetId{net}, terminals, connect_options, wires);
+    }
+  }
+
+  // --- switchable optimization, row-block local ----------------------------
+  // As in row-wise (the hybrid differs only in the connection step): wires
+  // return to the owners of the rows they hug, each block optimizes its own
+  // switchable segments and exchanges only boundary-channel densities with
+  // its neighbours.
+  std::vector<std::vector<WireRecord>> wire_out(
+      static_cast<std::size_t>(size));
+  for (const Wire& wire : wires) {
+    const std::size_t owner_row =
+        std::min<std::size_t>(wire.row, global.num_rows() - 1);
+    wire_out[static_cast<std::size_t>(rows.owner_of_row(owner_row))]
+        .push_back(to_record(wire));
+  }
+  const auto wire_in = comm.all_to_all(wire_out);
+  std::vector<WireRecord> my_wire_records;
+  for (const auto& part : wire_in) {
+    my_wire_records.insert(my_wire_records.end(), part.begin(), part.end());
+  }
+  std::sort(my_wire_records.begin(), my_wire_records.end(),
+            [](const WireRecord& p, const WireRecord& q) {
+              if (p.net != q.net) return p.net < q.net;
+              if (p.channel != q.channel) return p.channel < q.channel;
+              if (p.lo != q.lo) return p.lo < q.lo;
+              return p.hi < q.hi;
+            });
+  std::vector<Wire> my_wires;
+  my_wires.reserve(my_wire_records.size());
+  for (const WireRecord& record : my_wire_records) {
+    my_wires.push_back(from_record(record));
+  }
+
+  Rng switch_rng = rng.split();
+  optimize_switchable_rowblock(comm, my_wires, rows, global.num_rows() + 1,
+                               global_core_width, router, switch_rng);
+
+  // --- gather and report ---------------------------------------------------
+  std::vector<WireRecord> records;
+  records.reserve(my_wires.size());
+  for (const Wire& wire : my_wires) records.push_back(to_record(wire));
+  return assemble_metrics(comm, records, global.num_rows() + 1,
+                          sub.circuit.core_width(),
+                          total_rows_height(global),
+                          sub.circuit.num_feedthrough_cells());
+}
+
+}  // namespace ptwgr

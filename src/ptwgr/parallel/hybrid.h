@@ -1,0 +1,22 @@
+// Hybrid pin partition parallel global routing (paper §6).
+//
+// Row-wise through coarse routing and feedthrough assignment — each rank
+// routes its block's sub-circuit (fake pins included) independently — but
+// net *connection* is done per whole net by a single owner rank: blocks ship
+// their real terminals (pins and assigned feedthroughs, never fake pins) to
+// the net owners, who build one MST per net.  This removes the
+// independent-subnet track waste of Fig. 3, recovering most of the serial
+// quality, at the cost of the terminal exchange and a globally synchronized
+// switchable step — hence slightly lower speedups than row-wise.
+#pragma once
+
+#include "ptwgr/mp/communicator.h"
+#include "ptwgr/parallel/common.h"
+
+namespace ptwgr {
+
+/// The per-rank body.  Requires comm.size() <= global.num_rows().
+ParallelRunOutput route_hybrid(mp::Communicator& comm, const Circuit& global,
+                               const ParallelOptions& options);
+
+}  // namespace ptwgr

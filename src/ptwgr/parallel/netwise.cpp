@@ -1,0 +1,227 @@
+#include "ptwgr/parallel/netwise.h"
+
+#include <algorithm>
+
+#include "ptwgr/route/coarse.h"
+#include "ptwgr/route/connect.h"
+#include "ptwgr/route/feedthrough.h"
+#include "ptwgr/support/log.h"
+
+namespace ptwgr {
+namespace {
+
+CoarseSegment segment_from_record(const SegmentRecord& r) {
+  CoarseSegment seg;
+  seg.net = NetId{r.net};
+  seg.a = {r.ax, r.arow};
+  seg.b = {r.bx, r.brow};
+  seg.vertical_at_a = r.vertical_at_a != 0;
+  return seg;
+}
+
+SegmentRecord to_segment_record(const CoarseSegment& seg) {
+  return SegmentRecord{seg.net.value(), seg.a.x,     seg.a.row,
+                       seg.b.x,         seg.b.row,
+                       static_cast<std::uint8_t>(seg.vertical_at_a ? 1 : 0)};
+}
+
+TerminalAccess access_from_side(PinSide side) {
+  switch (side) {
+    case PinSide::Top: return TerminalAccess::AboveOnly;
+    case PinSide::Bottom: return TerminalAccess::BelowOnly;
+    case PinSide::Both: return TerminalAccess::Either;
+  }
+  return TerminalAccess::Either;
+}
+
+}  // namespace
+
+ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
+                                const ParallelOptions& options) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  PTWGR_EXPECTS(static_cast<std::size_t>(size) <= global.num_rows());
+  const RouterOptions& router = options.router;
+  Rng rng(router.seed + std::uint64_t{0x9e3779b97f4a7c15} *
+                            static_cast<std::uint64_t>(rank));
+
+  const RowPartition rows = partition_rows(global, size);
+  const NetPartition nets =
+      partition_nets(global, size, options.net_partition, &rows);
+  const auto& my_nets = nets.nets_of[static_cast<std::size_t>(rank)];
+
+  // Every rank routes against its own full replica of the circuit.
+  Circuit replica = global;
+  const std::size_t original_pin_count = replica.num_pins();
+
+  // --- step 1: Steiner trees for owned nets -------------------------------
+  SteinerOptions steiner_options;
+  steiner_options.row_cost = router.steiner_row_cost;
+  const auto trees = build_steiner_trees(replica, my_nets, steiner_options);
+  auto segments = extract_coarse_segments(trees);
+
+  // --- step 2: coarse routing on grid replicas with periodic sync ---------
+  CoarseGrid grid(replica, router.column_width);
+  CoarseOptions coarse_options;
+  coarse_options.passes = router.coarse_passes;
+  CoarseRouter coarse(grid, coarse_options);
+  // The synchronizer's baseline must predate the initial placement so that
+  // those commitments travel with the first sync.
+  GridSynchronizer grid_sync(grid);
+  coarse.place_initial(segments);
+  // No up-front exchange: each rank starts out seeing only its own demand —
+  // the paper's blindness — and learns about peers through the periodic
+  // syncs below.  The final sync restores full consistency either way.
+
+  const std::size_t my_decisions =
+      segments.size() * static_cast<std::size_t>(router.coarse_passes);
+  const std::size_t rounds =
+      plan_sync_rounds(comm, my_decisions, options.coarse_sync_period);
+  std::size_t rounds_done = 0;
+  Rng coarse_rng = rng.split();
+  coarse.improve(segments, coarse_rng, [&](std::size_t decisions) {
+    if (decisions % options.coarse_sync_period == 0) {
+      grid_sync.sync(comm);
+      ++rounds_done;
+    }
+  });
+  for (; rounds_done < rounds; ++rounds_done) grid_sync.sync(comm);
+  grid_sync.sync(comm);  // final reconciliation: replicas now identical
+
+  // --- step 3: feedthrough insertion + owner-side assignment --------------
+  // Grids are identical, so every rank inserts the full feedthrough set into
+  // its replica deterministically — replicas stay position-consistent
+  // without shipping cell shifts.
+  FeedthroughPools pools =
+      insert_feedthroughs(replica, grid, router.feedthrough_width);
+
+  // Segments travel to the owners of the rows they cross (paper §5: each
+  // processor "needs to collect those segments from the other processors").
+  std::vector<std::vector<SegmentRecord>> seg_out(
+      static_cast<std::size_t>(size));
+  for (const CoarseSegment& seg : segments) {
+    int prev_owner = -1;
+    for (std::uint32_t r = seg.a.row + 1; r < seg.b.row; ++r) {
+      const int owner = rows.owner_of_row(r);
+      if (owner != prev_owner) {
+        seg_out[static_cast<std::size_t>(owner)].push_back(
+            to_segment_record(seg));
+        prev_owner = owner;
+      }
+    }
+  }
+  const auto seg_in = comm.all_to_all(seg_out);
+  std::vector<CoarseSegment> to_assign;
+  for (const auto& part : seg_in) {
+    for (const SegmentRecord& r : part) to_assign.push_back(segment_from_record(r));
+  }
+  std::sort(to_assign.begin(), to_assign.end(),
+            [](const CoarseSegment& p, const CoarseSegment& q) {
+              if (p.net != q.net) return p.net < q.net;
+              if (p.a.row != q.a.row) return p.a.row < q.a.row;
+              if (p.a.x != q.a.x) return p.a.x < q.a.x;
+              if (p.b.row != q.b.row) return p.b.row < q.b.row;
+              return p.b.x < q.b.x;
+            });
+  const auto my_row = [&rows, rank](std::size_t row) {
+    return rows.owner_of_row(row) == rank;
+  };
+  const auto terminals = assign_feedthroughs(
+      replica, pools, grid, to_assign, router.feedthrough_width, my_row);
+
+  // Assigned terminals travel back to the nets' owners.
+  std::vector<std::vector<TerminalRecord>> term_out(
+      static_cast<std::size_t>(size));
+  for (const FeedthroughTerminal& t : terminals) {
+    term_out[static_cast<std::size_t>(nets.owner[t.net.index()])].push_back(
+        TerminalRecord{t.net.value(), t.row, t.x,
+                       static_cast<std::uint8_t>(TerminalAccess::Either)});
+  }
+  const auto term_in = comm.all_to_all(term_out);
+
+  // --- step 4: whole-net connection by the net owner ----------------------
+  std::vector<std::vector<Terminal>> terminals_of(replica.num_nets());
+  for (const NetId net : my_nets) {
+    for (const PinId pid : replica.net(net).pins) {
+      if (pid.index() >= original_pin_count) continue;  // via records instead
+      terminals_of[net.index()].push_back(Terminal{
+          replica.pin_x(pid),
+          static_cast<std::uint32_t>(replica.pin_row(pid).index()),
+          access_from_side(replica.pin(pid).side)});
+    }
+  }
+  std::vector<TerminalRecord> ft_records;
+  for (const auto& part : term_in) {
+    ft_records.insert(ft_records.end(), part.begin(), part.end());
+  }
+  std::sort(ft_records.begin(), ft_records.end(),
+            [](const TerminalRecord& p, const TerminalRecord& q) {
+              if (p.net != q.net) return p.net < q.net;
+              if (p.row != q.row) return p.row < q.row;
+              return p.x < q.x;
+            });
+  for (const TerminalRecord& r : ft_records) {
+    terminals_of[r.net].push_back(
+        Terminal{r.x, r.row, static_cast<TerminalAccess>(r.access)});
+  }
+
+  std::vector<Wire> wires;
+  ConnectOptions connect_options;
+  for (const NetId net : my_nets) {
+    connect_terminals(net, terminals_of[net.index()], connect_options, wires);
+  }
+
+  // --- step 5: switchable optimization with periodic density sync ---------
+  SwitchableOptimizer optimizer(replica.num_channels(), replica.core_width(),
+                                router.switch_bucket_width);
+  optimizer.register_wires(wires);
+  // One registration exchange: every rank starts from the same *global*
+  // snapshot.  This is what makes the blindness costly — between the sparse
+  // periodic syncs all ranks act on identical stale densities and move
+  // segments toward the same channels simultaneously (paper §5's
+  // interference), overshooting in proportion to the rank count.
+  sync_switch_densities(comm, optimizer);
+
+  std::size_t switchable_count = 0;
+  for (const Wire& w : wires) {
+    if (w.switchable) ++switchable_count;
+  }
+  const std::size_t switch_decisions =
+      switchable_count * static_cast<std::size_t>(router.switchable_passes);
+  const std::size_t switch_rounds =
+      plan_sync_rounds(comm, switch_decisions, options.switch_sync_period);
+  std::size_t switch_done = 0;
+  SwitchableOptions switch_options;
+  switch_options.passes = router.switchable_passes;
+  switch_options.bucket_width = router.switch_bucket_width;
+  Rng switch_rng = rng.split();
+  optimizer.optimize(wires, switch_rng, switch_options,
+                     [&](std::size_t decisions) {
+                       if (decisions % options.switch_sync_period == 0) {
+                         sync_switch_densities(comm, optimizer);
+                         ++switch_done;
+                       }
+                     });
+  for (; switch_done < switch_rounds; ++switch_done) {
+    sync_switch_densities(comm, optimizer);
+  }
+
+  // --- gather and report ---------------------------------------------------
+  std::vector<WireRecord> records;
+  records.reserve(wires.size());
+  for (const Wire& wire : wires) records.push_back(to_record(wire));
+
+  // Every replica inserted every feedthrough; count only the own rows to
+  // avoid multiple counting in the global sum.
+  std::size_t my_fts = 0;
+  for (const Cell& cell : replica.cells()) {
+    if (cell.kind == CellKind::Feedthrough && my_row(cell.row.index())) {
+      ++my_fts;
+    }
+  }
+  return assemble_metrics(comm, records, replica.num_channels(),
+                          replica.core_width(), total_rows_height(replica),
+                          my_fts);
+}
+
+}  // namespace ptwgr

@@ -1,0 +1,23 @@
+// Net-wise pin partition parallel global routing (paper §5).
+//
+// Whole nets are distributed by a weighting heuristic; every rank keeps a
+// full circuit replica and a replica of the coarse demand grid and the
+// channel-density profiles.  Because all ranks share all channels, replicas
+// drift between the periodic allreduce syncs — the paper's "blindness" —
+// which costs routing quality; and the syncs themselves move entire grid
+// snapshots, which costs runtime.  Feedthrough assignment follows the
+// paper's exchange: segments travel to the owners of the rows they cross,
+// assigned terminals travel back to the nets' owners, who connect their
+// whole nets.
+#pragma once
+
+#include "ptwgr/mp/communicator.h"
+#include "ptwgr/parallel/common.h"
+
+namespace ptwgr {
+
+/// The per-rank body.  Requires comm.size() <= global.num_rows().
+ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
+                                const ParallelOptions& options);
+
+}  // namespace ptwgr

@@ -1,0 +1,42 @@
+#include "ptwgr/parallel/parallel_router.h"
+
+#include "ptwgr/parallel/hybrid.h"
+#include "ptwgr/parallel/netwise.h"
+#include "ptwgr/parallel/rowwise.h"
+
+namespace ptwgr {
+
+ParallelRoutingResult route_parallel(const Circuit& circuit,
+                                     ParallelAlgorithm algorithm,
+                                     int num_ranks,
+                                     const ParallelOptions& options,
+                                     const mp::CostModel& cost) {
+  PTWGR_EXPECTS(num_ranks >= 1);
+  PTWGR_EXPECTS(static_cast<std::size_t>(num_ranks) <= circuit.num_rows());
+
+  ParallelRoutingResult result;
+  // Every rank computes identical output (assemble_metrics broadcasts);
+  // rank 0 stores it.
+  const auto body = [&](mp::Communicator& comm) {
+    ParallelRunOutput output;
+    switch (algorithm) {
+      case ParallelAlgorithm::RowWise:
+        output = route_rowwise(comm, circuit, options);
+        break;
+      case ParallelAlgorithm::NetWise:
+        output = route_netwise(comm, circuit, options);
+        break;
+      case ParallelAlgorithm::Hybrid:
+        output = route_hybrid(comm, circuit, options);
+        break;
+    }
+    if (comm.rank() == 0) {
+      result.metrics = std::move(output.metrics);
+      result.feedthrough_count = output.feedthrough_count;
+    }
+  };
+  result.report = mp::run(num_ranks, cost, body);
+  return result;
+}
+
+}  // namespace ptwgr

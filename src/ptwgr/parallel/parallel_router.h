@@ -1,0 +1,30 @@
+// Entry point for parallel global routing: picks an algorithm, launches the
+// SPMD rank bodies on the message-passing runtime, and reports quality plus
+// the modeled parallel runtime.
+#pragma once
+
+#include "ptwgr/mp/runtime.h"
+#include "ptwgr/parallel/common.h"
+
+namespace ptwgr {
+
+struct ParallelRoutingResult {
+  RoutingMetrics metrics;
+  std::size_t feedthrough_count = 0;
+  /// Raw per-rank timing from the runtime.
+  mp::RunReport report;
+
+  /// The modeled parallel runtime (slowest rank's virtual clock) — the
+  /// number the paper's speedup tables divide the serial time by.
+  double modeled_seconds() const { return report.parallel_time(); }
+};
+
+/// Routes `circuit` with `algorithm` on `num_ranks` ranks under `cost`
+/// (platform communication model).  Deterministic in options.router.seed for
+/// fixed num_ranks.  Requires 1 <= num_ranks <= circuit.num_rows().
+ParallelRoutingResult route_parallel(
+    const Circuit& circuit, ParallelAlgorithm algorithm, int num_ranks,
+    const ParallelOptions& options = {},
+    const mp::CostModel& cost = mp::CostModel::ideal());
+
+}  // namespace ptwgr

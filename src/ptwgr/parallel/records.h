@@ -1,0 +1,87 @@
+// Trivially copyable records exchanged between ranks by the parallel
+// algorithms.  All coordinates are in the *global* frame (global row and
+// channel indices, absolute x).
+#pragma once
+
+#include <cstdint>
+
+#include "ptwgr/circuit/types.h"
+#include "ptwgr/route/connect.h"
+
+namespace ptwgr {
+
+/// A fake pin to be planted on a block's *halo row* (paper §4, Fig. 2).
+///
+/// `row` is the global row just across the block's boundary (the first row
+/// of the neighbouring block), so that a sub-segment ending on the fake pin
+/// crosses every in-block row the original wire crosses — feedthrough
+/// demand stays exact.  `block` is the destination block.
+struct FakePinRecord {
+  std::uint32_t net = 0;
+  std::int32_t block = 0;
+  std::uint32_t row = 0;
+  Coord x = 0;
+
+  friend bool operator==(const FakePinRecord&, const FakePinRecord&) = default;
+};
+
+/// A committed coarse segment, shipped to the owners of the rows it crosses
+/// for feedthrough assignment (net-wise algorithm).
+struct SegmentRecord {
+  std::uint32_t net = 0;
+  Coord ax = 0;
+  std::uint32_t arow = 0;
+  Coord bx = 0;
+  std::uint32_t brow = 0;
+  std::uint8_t vertical_at_a = 1;
+
+  friend bool operator==(const SegmentRecord&, const SegmentRecord&) = default;
+};
+
+/// A net terminal (pin or assigned feedthrough), shipped to the net's owner
+/// for whole-net connection (hybrid and net-wise algorithms).
+struct TerminalRecord {
+  std::uint32_t net = 0;
+  std::uint32_t row = 0;
+  Coord x = 0;
+  std::uint8_t access = static_cast<std::uint8_t>(TerminalAccess::Either);
+
+  friend bool operator==(const TerminalRecord&, const TerminalRecord&) =
+      default;
+};
+
+/// A routed wire in global channel coordinates — gathered at rank 0 for
+/// metric computation, and exchanged between net owners and row owners by
+/// the hybrid algorithm (which optimizes switchable wires row-block-locally).
+struct WireRecord {
+  std::uint32_t net = 0;
+  std::uint32_t channel = 0;
+  Coord lo = 0;
+  Coord hi = 0;
+  std::uint32_t row = 0;
+  std::uint8_t switchable = 0;
+
+  friend bool operator==(const WireRecord&, const WireRecord&) = default;
+};
+
+inline WireRecord to_record(const Wire& wire) {
+  return WireRecord{wire.net.value(),
+                    wire.channel,
+                    wire.lo,
+                    wire.hi,
+                    wire.row,
+                    static_cast<std::uint8_t>(wire.switchable ? 1 : 0)};
+}
+
+inline Wire from_record(const WireRecord& record) {
+  Wire wire;
+  wire.net = NetId{record.net};
+  wire.channel = record.channel;
+  wire.lo = record.lo;
+  wire.hi = record.hi;
+  wire.row = record.row;
+  wire.switchable = record.switchable != 0;
+  return wire;
+}
+
+}  // namespace ptwgr

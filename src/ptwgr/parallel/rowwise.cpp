@@ -1,0 +1,119 @@
+#include "ptwgr/parallel/rowwise.h"
+
+#include <algorithm>
+
+#include "ptwgr/parallel/fake_pins.h"
+#include "ptwgr/parallel/subcircuit.h"
+#include "ptwgr/route/coarse.h"
+#include "ptwgr/route/connect.h"
+#include "ptwgr/route/feedthrough.h"
+#include "ptwgr/support/log.h"
+
+namespace ptwgr {
+namespace {
+
+void sort_fake_pins(std::vector<FakePinRecord>& records) {
+  std::sort(records.begin(), records.end(),
+            [](const FakePinRecord& p, const FakePinRecord& q) {
+              if (p.net != q.net) return p.net < q.net;
+              if (p.row != q.row) return p.row < q.row;
+              return p.x < q.x;
+            });
+}
+
+}  // namespace
+
+ParallelRunOutput route_rowwise(mp::Communicator& comm, const Circuit& global,
+                                const ParallelOptions& options) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  PTWGR_EXPECTS(static_cast<std::size_t>(size) <= global.num_rows());
+  const RouterOptions& router = options.router;
+  Rng rng(router.seed + std::uint64_t{0x9e3779b97f4a7c15} *
+                            static_cast<std::uint64_t>(rank));
+
+  // --- partitioning (deterministic; every rank computes the same) --------
+  const RowPartition rows = partition_rows(global, size);
+  const NetPartition nets =
+      partition_nets(global, size, options.net_partition, &rows);
+
+  // --- parallel Steiner construction + fake-pin/segment exchange (§4) ----
+  // Each rank builds the whole-net trees it owns, then ships (a) the fake
+  // pins planted where trees cross block boundaries and (b) the broken tree
+  // segments to the blocks that own them — "those broken segments will
+  // become the net segments of the processor which owns its two end points."
+  SteinerOptions steiner_options;
+  steiner_options.row_cost = router.steiner_row_cost;
+  std::vector<std::vector<FakePinRecord>> fake_out(
+      static_cast<std::size_t>(size));
+  std::vector<std::vector<TreePieceRecord>> piece_out(
+      static_cast<std::size_t>(size));
+  for (const NetId net :
+       nets.nets_of[static_cast<std::size_t>(rank)]) {
+    const SteinerTree tree = build_steiner_tree(global, net, steiner_options);
+    auto fakes = split_by_block(compute_fake_pins(tree, rows), rows);
+    auto pieces = split_tree_segments(tree, rows);
+    for (std::size_t b = 0; b < fakes.size(); ++b) {
+      fake_out[b].insert(fake_out[b].end(), fakes[b].begin(), fakes[b].end());
+      piece_out[b].insert(piece_out[b].end(), pieces[b].begin(),
+                          pieces[b].end());
+    }
+  }
+  const auto fake_in = comm.all_to_all(fake_out);
+  const auto piece_in = comm.all_to_all(piece_out);
+  std::vector<FakePinRecord> my_fakes;
+  for (const auto& part : fake_in) {
+    my_fakes.insert(my_fakes.end(), part.begin(), part.end());
+  }
+  sort_fake_pins(my_fakes);  // arrival order must not influence routing
+
+  // --- local TWGR pipeline on the sub-circuit ----------------------------
+  SubCircuit sub = extract_subcircuit(global, rows, rank, my_fakes);
+  const Coord global_core_width = global.core_width();
+  auto segments = local_segments_from_pieces(piece_in, sub);
+
+  CoarseGrid grid(sub.circuit.num_rows(), global_core_width,
+                  router.column_width);
+  CoarseOptions coarse_options;
+  coarse_options.passes = router.coarse_passes;
+  CoarseRouter coarse(grid, coarse_options);
+  coarse.place_initial(segments);
+  Rng coarse_rng = rng.split();
+  coarse.improve(segments, coarse_rng);
+
+  FeedthroughPools pools =
+      insert_feedthroughs(sub.circuit, grid, router.feedthrough_width);
+  assign_feedthroughs(sub.circuit, pools, grid, segments,
+                      router.feedthrough_width);
+
+  std::vector<Wire> wires = connect_all_nets(sub.circuit);
+
+  // Map wires (and the rows switchable wires hug) into the global frame.
+  // Wires touching halo fake pins land in the shared boundary channels —
+  // both neighbours load those channels independently, which is the
+  // boundary interaction the paper's Fig. 3 illustrates.
+  for (Wire& wire : wires) {
+    wire.channel = sub.global_channel(wire.channel);
+    wire.row = sub.global_row(wire.row);
+  }
+
+  // --- switchable step with boundary-channel synchronization -------------
+  Rng switch_rng = rng.split();
+  optimize_switchable_rowblock(comm, wires, rows, global.num_rows() + 1,
+                               global_core_width, router, switch_rng);
+
+  // --- gather and report --------------------------------------------------
+  std::vector<WireRecord> records;
+  records.reserve(wires.size());
+  for (const Wire& wire : wires) {
+    Wire global_wire = wire;
+    global_wire.net = sub.global_net[wire.net.index()];
+    records.push_back(to_record(global_wire));
+  }
+  return assemble_metrics(comm, records, global.num_rows() + 1,
+                          sub.circuit.core_width(),
+                          total_rows_height(global),
+                          sub.circuit.num_feedthrough_cells());
+}
+
+}  // namespace ptwgr

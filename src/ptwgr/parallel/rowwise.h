@@ -1,0 +1,24 @@
+// Row-wise pin partition parallel global routing (paper §4).
+//
+// Rows → contiguous blocks, one per rank.  Nets are split at block
+// boundaries with fake pins planted where their (parallel-built) Steiner
+// trees cross; each rank then runs the complete TWGR pipeline on its
+// self-contained sub-circuit.  Cross-rank traffic is minimal — fake-pin
+// exchange up front, one boundary-channel density exchange with each
+// neighbour before the switchable step, and the final metric gather — which
+// is what buys this algorithm the best speedups.  Quality pays: sub-nets are
+// connected independently (Fig. 3's extra boundary tracks) and each rank is
+// blind to all but its neighbours' channel load.
+#pragma once
+
+#include "ptwgr/mp/communicator.h"
+#include "ptwgr/parallel/common.h"
+
+namespace ptwgr {
+
+/// The per-rank body.  `global` is the input circuit (read-only; identical
+/// on every rank).  Requires comm.size() <= global.num_rows().
+ParallelRunOutput route_rowwise(mp::Communicator& comm, const Circuit& global,
+                                const ParallelOptions& options);
+
+}  // namespace ptwgr

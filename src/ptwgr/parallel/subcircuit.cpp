@@ -1,0 +1,83 @@
+#include "ptwgr/parallel/subcircuit.h"
+
+#include <unordered_map>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+namespace {
+
+/// Halo rows carry no cells; their height is irrelevant to global metrics
+/// (area uses the global circuit's row heights).
+constexpr Coord kHaloRowHeight = 16;
+
+}  // namespace
+
+SubCircuit extract_subcircuit(const Circuit& global, const RowPartition& rows,
+                              int block,
+                              const std::vector<FakePinRecord>& fake_pins) {
+  PTWGR_EXPECTS(block >= 0 && block < rows.num_blocks());
+  const std::size_t row_lo = rows.first_row(block);
+  const std::size_t row_hi = rows.end_row(block);
+
+  SubCircuit sub;
+  sub.first_row = row_lo;
+  sub.has_bottom_halo = block > 0;
+  sub.has_top_halo = block + 1 < rows.num_blocks();
+
+  // Local net table, created on demand.
+  std::unordered_map<std::uint32_t, NetId> local_net_of;
+  const auto local_net = [&](NetId global_net_id) {
+    const auto [it, inserted] =
+        local_net_of.try_emplace(global_net_id.value(), NetId{});
+    if (inserted) {
+      it->second = sub.circuit.add_net();
+      sub.global_net.push_back(global_net_id);
+    }
+    return it->second;
+  };
+
+  if (sub.has_bottom_halo) sub.circuit.add_row(kHaloRowHeight);
+
+  // Real rows and cells, preserving global placements.
+  for (std::size_t r = row_lo; r < row_hi; ++r) {
+    const RowId global_row{static_cast<std::uint32_t>(r)};
+    const RowId local_row =
+        sub.circuit.add_row(global.row(global_row).height);
+    for (const CellId gcell_id : global.row(global_row).cells) {
+      const Cell& gcell = global.cell(gcell_id);
+      const CellId local_cell =
+          sub.circuit.append_cell(local_row, gcell.width, gcell.kind);
+      sub.circuit.set_cell_position(local_cell, gcell.x);
+      for (const PinId gpin_id : gcell.pins) {
+        const Pin& gpin = global.pin(gpin_id);
+        sub.circuit.add_cell_pin(local_cell, local_net(gpin.net), gpin.offset,
+                                 gpin.side);
+      }
+    }
+  }
+
+  if (sub.has_top_halo) sub.circuit.add_row(kHaloRowHeight);
+
+  // Fake pins land on the halo rows via the uniform global→local mapping.
+  const std::size_t num_local_rows = sub.circuit.num_rows();
+  for (const FakePinRecord& record : fake_pins) {
+    PTWGR_CHECK_MSG(record.block == block,
+                    "fake pin for block " << record.block << " given to "
+                                          << block);
+    const auto local =
+        static_cast<std::int64_t>(record.row) -
+        static_cast<std::int64_t>(row_lo) + sub.halo_offset();
+    PTWGR_CHECK_MSG(local >= 0 &&
+                        static_cast<std::size_t>(local) < num_local_rows,
+                    "fake pin row " << record.row << " outside block halo");
+    sub.circuit.add_fake_pin(local_net(NetId{record.net}),
+                             RowId{static_cast<std::uint32_t>(local)},
+                             record.x);
+  }
+
+  sub.circuit.validate();
+  return sub;
+}
+
+}  // namespace ptwgr

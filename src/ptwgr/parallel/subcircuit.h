@@ -1,0 +1,61 @@
+// Row-block sub-circuit extraction (paper §4).
+//
+// Each rank of the row-wise and hybrid algorithms works on a sub-circuit:
+// the block's rows and cells (with their global placements preserved), the
+// restriction of every net to the block (pins in the block plus fake pins),
+// re-indexed to a self-contained Circuit with local row ids.
+//
+// Fake pins live on *halo rows*: cell-less rows appended just below and
+// above the block (absent for the outermost blocks).  A halo row stands for
+// the first row of the neighbouring block, so a sub-segment ending on a
+// halo fake pin crosses — and charges feedthrough demand in — every real
+// row the original wire crosses, and the wire connecting a halo terminal to
+// the block's top/bottom row lands in the shared boundary channel, exactly
+// where the paper's Fig. 3 boundary-track interactions happen.
+#pragma once
+
+#include <vector>
+
+#include "ptwgr/parallel/records.h"
+#include "ptwgr/partition/row_partition.h"
+
+namespace ptwgr {
+
+struct SubCircuit {
+  Circuit circuit;
+  /// Global row index of the first *real* local row.
+  std::size_t first_row = 0;
+  /// Halo rows present below / above the real rows.
+  bool has_bottom_halo = false;
+  bool has_top_halo = false;
+  /// Local net id → global net id.
+  std::vector<NetId> global_net;
+
+  /// Local index shift caused by the bottom halo.
+  std::uint32_t halo_offset() const { return has_bottom_halo ? 1u : 0u; }
+  /// Number of real (non-halo) rows.
+  std::size_t num_real_rows() const {
+    return circuit.num_rows() - (has_bottom_halo ? 1 : 0) -
+           (has_top_halo ? 1 : 0);
+  }
+
+  /// Global row of a local row (halo rows map to the neighbouring blocks'
+  /// adjacent rows, which is exactly what they stand for).
+  std::uint32_t global_row(std::uint32_t local_row) const {
+    return static_cast<std::uint32_t>(first_row) + local_row - halo_offset();
+  }
+  /// Global channel of a local channel (same shift).
+  std::uint32_t global_channel(std::uint32_t local_channel) const {
+    return static_cast<std::uint32_t>(first_row) + local_channel -
+           halo_offset();
+  }
+};
+
+/// Extracts block `block`'s sub-circuit from the global circuit.
+/// `fake_pins` must contain exactly this block's records (rows just outside
+/// the block, see FakePinRecord); they land on the halo rows.
+SubCircuit extract_subcircuit(const Circuit& global, const RowPartition& rows,
+                              int block,
+                              const std::vector<FakePinRecord>& fake_pins);
+
+}  // namespace ptwgr

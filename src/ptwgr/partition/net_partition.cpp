@@ -1,0 +1,152 @@
+#include "ptwgr/partition/net_partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+
+std::string to_string(NetPartitionScheme scheme) {
+  switch (scheme) {
+    case NetPartitionScheme::Center: return "center";
+    case NetPartitionScheme::Locus: return "locus";
+    case NetPartitionScheme::Density: return "density";
+    case NetPartitionScheme::PinNumberWeight: return "pin-number-weight";
+  }
+  return "?";
+}
+
+namespace {
+
+double net_weight(const Circuit& circuit, NetId net,
+                  const NetPartitionOptions& options,
+                  const RowPartition* rows) {
+  const auto& pins = circuit.net(net).pins;
+  switch (options.scheme) {
+    case NetPartitionScheme::Center: {
+      double row_sum = 0.0;
+      for (const PinId pid : pins) {
+        row_sum += static_cast<double>(circuit.pin_row(pid).index());
+      }
+      return pins.empty() ? 0.0 : row_sum / static_cast<double>(pins.size());
+    }
+    case NetPartitionScheme::Locus: {
+      Coord min_x = std::numeric_limits<Coord>::max();
+      std::uint32_t min_row = std::numeric_limits<std::uint32_t>::max();
+      for (const PinId pid : pins) {
+        min_x = std::min(min_x, circuit.pin_x(pid));
+        min_row = std::min(min_row,
+                           static_cast<std::uint32_t>(
+                               circuit.pin_row(pid).index()));
+      }
+      if (pins.empty()) return 0.0;
+      // y-major order, x breaks ties within a row band.
+      const double span = static_cast<double>(circuit.core_width() + 1);
+      return static_cast<double>(min_row) * span + static_cast<double>(min_x);
+    }
+    case NetPartitionScheme::Density: {
+      PTWGR_CHECK_MSG(rows != nullptr,
+                      "density net partition requires a row partition");
+      std::vector<std::size_t> per_block(
+          static_cast<std::size_t>(rows->num_blocks()), 0);
+      for (const PinId pid : pins) {
+        ++per_block[static_cast<std::size_t>(
+            rows->owner_of_row(circuit.pin_row(pid).index()))];
+      }
+      std::size_t best = 0;
+      for (std::size_t b = 1; b < per_block.size(); ++b) {
+        if (per_block[b] > per_block[best]) best = b;
+      }
+      return static_cast<double>(best);
+    }
+    case NetPartitionScheme::PinNumberWeight: {
+      return -std::pow(static_cast<double>(pins.size()),
+                       options.pin_weight_exponent);
+    }
+  }
+  return 0.0;
+}
+
+/// Load a net contributes toward its rank's quota.  The pin-number-weight
+/// scheme uses kᵅ (the Steiner-tree construction cost estimate); the others
+/// use the plain pin count, matching the paper's "until the number of pins
+/// exceeds the average pin number".
+double net_load(const Circuit& circuit, NetId net,
+                const NetPartitionOptions& options) {
+  const auto k = static_cast<double>(circuit.net(net).pins.size());
+  if (options.scheme == NetPartitionScheme::PinNumberWeight) {
+    return std::pow(k, options.pin_weight_exponent);
+  }
+  return k;
+}
+
+}  // namespace
+
+NetPartition partition_nets(const Circuit& circuit, int num_ranks,
+                            const NetPartitionOptions& options,
+                            const RowPartition* rows) {
+  PTWGR_EXPECTS(num_ranks >= 1);
+  const std::size_t num_nets = circuit.num_nets();
+
+  NetPartition out;
+  out.owner.assign(num_nets, 0);
+  out.nets_of.assign(static_cast<std::size_t>(num_ranks), {});
+  out.pin_load.assign(static_cast<std::size_t>(num_ranks), 0.0);
+
+  // Sort nets by weight (stable on net id for determinism).
+  std::vector<std::uint32_t> order(num_nets);
+  std::vector<double> weight(num_nets);
+  for (std::uint32_t n = 0; n < num_nets; ++n) {
+    order[n] = n;
+    weight[n] = net_weight(circuit, NetId{n}, options, rows);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return weight[a] < weight[b];
+                   });
+
+  const auto assign = [&](NetId net, int rank) {
+    out.owner[net.index()] = rank;
+    out.nets_of[static_cast<std::size_t>(rank)].push_back(net);
+    out.pin_load[static_cast<std::size_t>(rank)] +=
+        static_cast<double>(circuit.net(net).pins.size());
+  };
+
+  // Giant nets first, round-robin (pin-number-weight scheme only).
+  std::vector<bool> placed(num_nets, false);
+  double load_total = 0.0;
+  if (options.scheme == NetPartitionScheme::PinNumberWeight) {
+    int next_rank = 0;
+    for (const std::uint32_t n : order) {  // order is largest-first here
+      const NetId net{n};
+      if (circuit.net(net).pins.size() < options.giant_net_threshold) break;
+      assign(net, next_rank);
+      placed[n] = true;
+      next_rank = (next_rank + 1) % num_ranks;
+    }
+  }
+  for (std::uint32_t n = 0; n < num_nets; ++n) {
+    if (!placed[n]) load_total += net_load(circuit, NetId{n}, options);
+  }
+
+  // Quota fill in weight order.
+  int rank = 0;
+  double filled = 0.0;
+  const double quota = load_total / static_cast<double>(num_ranks);
+  for (const std::uint32_t n : order) {
+    if (placed[n]) continue;
+    const NetId net{n};
+    if (rank < num_ranks - 1 &&
+        filled + net_load(circuit, net, options) / 2.0 >
+            quota * static_cast<double>(rank + 1)) {
+      ++rank;
+    }
+    assign(net, rank);
+    filled += net_load(circuit, net, options);
+  }
+  return out;
+}
+
+}  // namespace ptwgr

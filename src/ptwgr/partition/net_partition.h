@@ -1,0 +1,65 @@
+// Net partitioning heuristics (paper §5).
+//
+// All four schemes share the paper's generic structure: give each net a
+// weight, sort the weight array, then assign nets in that order to one
+// processor until its load quota fills, move to the next.
+//
+//   * center — weight is the y (row) coordinate of the net's pin centroid;
+//     vertically close nets share channels, so clustering them per rank
+//     maximizes runtime locality.
+//   * locus  — (after Rose's LocusRoute) weight orders nets by their
+//     bounding box's lower-left corner, y-major with x breaking ties.
+//   * density — a net weighs the index of the row block holding most of its
+//     pins, clustering nets with the rows that own them.
+//   * pin-number-weight — weight −kᵅ (k = pin count, α > 0): large nets
+//     schedule first and count as kᵅ toward the quota, so a giant clock net
+//     reserves real capacity; nets above the giant threshold are dealt
+//     round-robin so they never pile onto one rank (the paper's AVQ-LARGE
+//     fix, §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptwgr/circuit/circuit.h"
+#include "ptwgr/partition/row_partition.h"
+
+namespace ptwgr {
+
+enum class NetPartitionScheme : std::uint8_t {
+  Center = 0,
+  Locus = 1,
+  Density = 2,
+  PinNumberWeight = 3,
+};
+
+/// Scheme name as used in benchmark output.
+std::string to_string(NetPartitionScheme scheme);
+
+struct NetPartitionOptions {
+  NetPartitionScheme scheme = NetPartitionScheme::PinNumberWeight;
+  /// α in the pin-number-weight scheme's kᵅ load estimate.
+  double pin_weight_exponent = 1.6;
+  /// Nets with at least this many pins are dealt round-robin
+  /// (pin-number-weight scheme only).
+  std::size_t giant_net_threshold = 100;
+};
+
+struct NetPartition {
+  /// Owning rank per net.
+  std::vector<int> owner;
+  /// Nets per rank, in assignment order.
+  std::vector<std::vector<NetId>> nets_of;
+
+  /// Pins per rank (load balance diagnostics).
+  std::vector<double> pin_load;
+};
+
+/// Partitions every net of `circuit` across `num_ranks` ranks.  The Density
+/// scheme requires `rows`; other schemes ignore it.  Deterministic.
+NetPartition partition_nets(const Circuit& circuit, int num_ranks,
+                            const NetPartitionOptions& options,
+                            const RowPartition* rows = nullptr);
+
+}  // namespace ptwgr

@@ -1,0 +1,71 @@
+#include "ptwgr/partition/row_partition.h"
+
+#include <algorithm>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+
+RowPartition::RowPartition(std::vector<std::size_t> starts)
+    : starts_(std::move(starts)) {
+  PTWGR_EXPECTS(starts_.size() >= 2);
+  PTWGR_EXPECTS(starts_.front() == 0);
+  for (std::size_t i = 1; i < starts_.size(); ++i) {
+    PTWGR_EXPECTS(starts_[i - 1] < starts_[i]);
+  }
+}
+
+std::size_t RowPartition::first_row(int block) const {
+  PTWGR_EXPECTS(block >= 0 && block < num_blocks());
+  return starts_[static_cast<std::size_t>(block)];
+}
+
+std::size_t RowPartition::end_row(int block) const {
+  PTWGR_EXPECTS(block >= 0 && block < num_blocks());
+  return starts_[static_cast<std::size_t>(block) + 1];
+}
+
+int RowPartition::owner_of_row(std::size_t row) const {
+  PTWGR_EXPECTS(row < num_rows());
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), row);
+  return static_cast<int>(it - starts_.begin()) - 1;
+}
+
+RowPartition partition_rows(const Circuit& circuit, int num_blocks) {
+  const std::size_t num_rows = circuit.num_rows();
+  PTWGR_EXPECTS(num_blocks >= 1);
+  PTWGR_EXPECTS(static_cast<std::size_t>(num_blocks) <= num_rows);
+
+  // Per-row pin counts (cell pins; fake pins are transient).
+  std::vector<std::size_t> row_load(num_rows, 1);  // +1 keeps empty rows sane
+  for (std::size_t p = 0; p < circuit.num_pins(); ++p) {
+    const PinId pid{static_cast<std::uint32_t>(p)};
+    ++row_load[circuit.pin_row(pid).index()];
+  }
+  std::size_t total = 0;
+  for (const std::size_t l : row_load) total += l;
+
+  // Greedy sweep: close block b once its cumulative load reaches the b-th
+  // quantile, leaving enough rows for the remaining blocks.
+  std::vector<std::size_t> starts{0};
+  std::size_t cumulative = 0;
+  std::size_t row = 0;
+  for (int b = 0; b < num_blocks - 1; ++b) {
+    const std::size_t target =
+        (total * static_cast<std::size_t>(b + 1)) /
+        static_cast<std::size_t>(num_blocks);
+    const std::size_t rows_remaining_for_others =
+        static_cast<std::size_t>(num_blocks - 1 - b);
+    const std::size_t max_end = num_rows - rows_remaining_for_others;
+    // Block must take at least one row.
+    do {
+      cumulative += row_load[row];
+      ++row;
+    } while (row < max_end && cumulative < target);
+    starts.push_back(row);
+  }
+  starts.push_back(num_rows);
+  return RowPartition(std::move(starts));
+}
+
+}  // namespace ptwgr

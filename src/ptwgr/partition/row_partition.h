@@ -1,0 +1,47 @@
+// Contiguous row partitioning (paper §3).
+//
+// Rows — and with them cells and row-resident pins — are split into
+// contiguous blocks, one per processor, because TWGR's computation is local
+// to rows and their adjacent channels.  Blocks are balanced by per-row pin
+// count, the best static proxy for routing work.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ptwgr/circuit/circuit.h"
+
+namespace ptwgr {
+
+class RowPartition {
+ public:
+  /// Block b owns global rows [start(b), start(b+1)).
+  RowPartition(std::vector<std::size_t> starts);
+
+  int num_blocks() const { return static_cast<int>(starts_.size()) - 1; }
+  std::size_t num_rows() const { return starts_.back(); }
+
+  std::size_t first_row(int block) const;
+  /// One past the last row of the block.
+  std::size_t end_row(int block) const;
+  std::size_t rows_in(int block) const {
+    return end_row(block) - first_row(block);
+  }
+
+  int owner_of_row(std::size_t row) const;
+
+  /// True if [row_a, row_b] crosses at least one block boundary.
+  bool spans_blocks(std::size_t row_a, std::size_t row_b) const {
+    return owner_of_row(row_a) != owner_of_row(row_b);
+  }
+
+ private:
+  std::vector<std::size_t> starts_;  // num_blocks + 1 entries, ascending
+};
+
+/// Splits the circuit's rows into `num_blocks` contiguous blocks with
+/// near-equal pin counts.  Every block receives at least one row; requires
+/// num_blocks <= num_rows.
+RowPartition partition_rows(const Circuit& circuit, int num_blocks);
+
+}  // namespace ptwgr

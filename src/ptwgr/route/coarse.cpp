@@ -1,0 +1,119 @@
+#include "ptwgr/route/coarse.h"
+
+#include <algorithm>
+
+namespace ptwgr {
+
+std::vector<CoarseSegment> extract_coarse_segments(
+    const std::vector<SteinerTree>& trees) {
+  std::vector<CoarseSegment> segments;
+  for (const SteinerTree& tree : trees) {
+    for (const TreeEdge& e : tree.edges) {
+      const RoutePoint& pa = tree.nodes[e.a].at;
+      const RoutePoint& pb = tree.nodes[e.b].at;
+      if (pa.row == pb.row) continue;
+      CoarseSegment seg;
+      seg.net = tree.net;
+      if (pa.row < pb.row) {
+        seg.a = pa;
+        seg.b = pb;
+      } else {
+        seg.a = pb;
+        seg.b = pa;
+      }
+      segments.push_back(seg);
+    }
+  }
+  return segments;
+}
+
+CoarseRouter::CoarseRouter(CoarseGrid& grid, CoarseOptions options)
+    : grid_(&grid), options_(options) {}
+
+CoarseRouter::Footprint CoarseRouter::footprint(const CoarseSegment& seg,
+                                                bool vertical_at_a) const {
+  PTWGR_EXPECTS(seg.a.row < seg.b.row);
+  Footprint fp;
+  const Coord xv = vertical_at_a ? seg.a.x : seg.b.x;
+  fp.vertical_col = grid_->column_of(xv);
+  // Vertical at a ⇒ horizontal leg runs along row b, reached from below:
+  // channel index b.row.  Vertical at b ⇒ horizontal leg along row a,
+  // leaving upward: channel index a.row + 1.
+  fp.channel = vertical_at_a ? seg.b.row : seg.a.row + 1;
+  const std::size_t ca = grid_->column_of(seg.a.x);
+  const std::size_t cb = grid_->column_of(seg.b.x);
+  fp.col_lo = std::min(ca, cb);
+  fp.col_hi = std::max(ca, cb);
+  return fp;
+}
+
+double CoarseRouter::placement_cost(const CoarseSegment& seg,
+                                    bool vertical_at_a) const {
+  const Footprint fp = footprint(seg, vertical_at_a);
+  double cost = 0.0;
+  // Feedthrough congestion in every row the vertical leg crosses.  The
+  // *count* of feedthroughs is orientation-independent (same rows crossed
+  // either way); what the choice controls is where the demand piles up.
+  for (std::uint32_t r = seg.a.row + 1; r < seg.b.row; ++r) {
+    cost += options_.ft_congestion_weight *
+            static_cast<double>(grid_->feedthrough_demand(r, fp.vertical_col));
+  }
+  // Channel congestion along the horizontal leg.
+  cost += options_.chan_congestion_weight *
+          static_cast<double>(
+              grid_->channel_use_sum(fp.channel, fp.col_lo, fp.col_hi));
+  cost += options_.chan_peak_weight *
+          static_cast<double>(
+              grid_->max_channel_use(fp.channel, fp.col_lo, fp.col_hi));
+  return cost;
+}
+
+void CoarseRouter::commit(const CoarseSegment& seg, bool vertical_at_a,
+                          std::int32_t direction) {
+  PTWGR_EXPECTS(direction == 1 || direction == -1);
+  const Footprint fp = footprint(seg, vertical_at_a);
+  for (std::uint32_t r = seg.a.row + 1; r < seg.b.row; ++r) {
+    grid_->add_feedthrough_demand(r, fp.vertical_col, direction);
+  }
+  if (fp.col_lo <= fp.col_hi) {
+    grid_->add_channel_use(fp.channel, fp.col_lo, fp.col_hi, direction);
+  }
+}
+
+void CoarseRouter::place_initial(const std::vector<CoarseSegment>& segments) {
+  for (const CoarseSegment& seg : segments) {
+    commit(seg, seg.vertical_at_a, +1);
+  }
+}
+
+std::size_t CoarseRouter::improve(
+    std::vector<CoarseSegment>& segments, Rng& rng,
+    const std::function<void(std::size_t)>& on_progress) {
+  std::size_t flips = 0;
+  std::size_t decisions = 0;
+
+  std::vector<std::size_t> order(segments.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int pass = 0; pass < options_.passes; ++pass) {
+    // Random segment visitation order — the paper's mechanism for removing
+    // processing-order dependence.
+    rng.shuffle(order);
+    for (const std::size_t idx : order) {
+      CoarseSegment& seg = segments[idx];
+      commit(seg, seg.vertical_at_a, -1);
+      const double keep = placement_cost(seg, seg.vertical_at_a);
+      const double flip = placement_cost(seg, !seg.vertical_at_a);
+      if (flip < keep) {
+        seg.vertical_at_a = !seg.vertical_at_a;
+        ++flips;
+      }
+      commit(seg, seg.vertical_at_a, +1);
+      ++decisions;
+      if (on_progress) on_progress(decisions);
+    }
+  }
+  return flips;
+}
+
+}  // namespace ptwgr

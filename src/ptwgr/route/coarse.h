@@ -1,0 +1,90 @@
+// Coarse global routing (TWGR step 2).
+//
+// Every inter-row Steiner segment is routed as a one-bend L.  The vertical
+// leg may sit at either endpoint's x; the choice determines (a) which grid
+// columns the crossed rows need feedthroughs in and (b) which channel the
+// horizontal leg loads.  Following the paper, segments are first placed with
+// a default orientation and then improved in *random order* — a segment is
+// picked, its two orientations are costed against the live demand maps, and
+// the cheaper one is committed.  Randomization removes the order dependence
+// the paper calls out; the improvement sweeps make the final demand maps
+// insensitive to the initial orientation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ptwgr/route/grid.h"
+#include "ptwgr/route/steiner.h"
+#include "ptwgr/support/rng.h"
+
+namespace ptwgr {
+
+/// One inter-row segment with its current L orientation.  Normalized so that
+/// a.row < b.row.
+struct CoarseSegment {
+  NetId net;
+  RoutePoint a;
+  RoutePoint b;
+  /// true: vertical leg at a.x, horizontal leg along row b (channel b.row);
+  /// false: vertical leg at b.x, horizontal leg along row a (channel a.row+1).
+  bool vertical_at_a = true;
+};
+
+/// Pulls the inter-row edges out of a set of Steiner trees, normalized.
+std::vector<CoarseSegment> extract_coarse_segments(
+    const std::vector<SteinerTree>& trees);
+
+struct CoarseOptions {
+  /// Random-order improvement sweeps after initial placement.
+  int passes = 2;
+  /// Weight of feedthrough congestion (existing demand at the crossing).
+  double ft_congestion_weight = 4.0;
+  /// Weight of channel congestion along the horizontal leg.
+  double chan_congestion_weight = 1.0;
+  /// Weight of the peak channel usage along the horizontal leg.
+  double chan_peak_weight = 2.0;
+};
+
+/// Stateful coarse router bound to a demand grid.  The grid may be shared
+/// with other work (the parallel algorithms route disjoint segment sets
+/// against replicated grids and synchronize externally).
+class CoarseRouter {
+ public:
+  CoarseRouter(CoarseGrid& grid, CoarseOptions options);
+
+  /// Commits each segment with its current orientation (demand +1).
+  void place_initial(const std::vector<CoarseSegment>& segments);
+
+  /// Random-order improvement sweeps over `segments`, flipping orientations
+  /// in place.  `on_progress`, when set, fires after every segment decision
+  /// with the number of decisions made so far — the hook the net-wise
+  /// algorithm uses to synchronize grid replicas periodically.
+  /// Returns the number of flips applied.
+  std::size_t improve(
+      std::vector<CoarseSegment>& segments, Rng& rng,
+      const std::function<void(std::size_t)>& on_progress = {});
+
+  /// Cost of placing `seg` with the given orientation against current demand
+  /// (the segment itself must not be committed).  Exposed for tests.
+  double placement_cost(const CoarseSegment& seg, bool vertical_at_a) const;
+
+  /// Adds (+1) or removes (-1) a segment's demand contributions.
+  void commit(const CoarseSegment& seg, bool vertical_at_a,
+              std::int32_t direction);
+
+  const CoarseGrid& grid() const { return *grid_; }
+
+ private:
+  struct Footprint {
+    std::size_t vertical_col;
+    std::size_t channel;
+    std::size_t col_lo, col_hi;  // horizontal leg span
+  };
+  Footprint footprint(const CoarseSegment& seg, bool vertical_at_a) const;
+
+  CoarseGrid* grid_;
+  CoarseOptions options_;
+};
+
+}  // namespace ptwgr

@@ -1,0 +1,138 @@
+#include "ptwgr/route/connect.h"
+
+#include <algorithm>
+
+#include "ptwgr/route/mst.h"
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+namespace {
+
+TerminalAccess access_of(const Pin& pin) {
+  if (pin.is_fake()) return TerminalAccess::Either;
+  switch (pin.side) {
+    case PinSide::Top: return TerminalAccess::AboveOnly;
+    case PinSide::Bottom: return TerminalAccess::BelowOnly;
+    case PinSide::Both: return TerminalAccess::Either;
+  }
+  return TerminalAccess::Either;
+}
+
+}  // namespace
+
+void connect_terminals(NetId net, const std::vector<Terminal>& terminals,
+                       const ConnectOptions& options,
+                       std::vector<Wire>& wires) {
+  if (terminals.size() < 2) return;
+
+  std::vector<RoutePoint> points;
+  points.reserve(terminals.size());
+  for (const Terminal& t : terminals) {
+    points.push_back(RoutePoint{t.x, t.row});
+  }
+
+  const auto edges = minimum_spanning_tree(points, options.row_cost);
+  for (const TreeEdge& e : edges) {
+    const Terminal& ta = terminals[e.a];
+    const Terminal& tb = terminals[e.b];
+    const Coord lo = std::min(ta.x, tb.x);
+    const Coord hi = std::max(ta.x, tb.x);
+
+    if (ta.row == tb.row) {
+      if (lo == hi) continue;  // stacked terminals: no wire needed
+      Wire wire;
+      wire.net = net;
+      wire.lo = lo;
+      wire.hi = hi;
+      wire.row = ta.row;
+      if (ta.access == TerminalAccess::Either &&
+          tb.access == TerminalAccess::Either) {
+        // Both terminals reachable from either channel: this is the
+        // switchable net segment of paper §2.  The connection step has no
+        // congestion knowledge, so the initial channel is arbitrary (a
+        // deterministic hash) — exactly the state step 5 starts from in
+        // TWGR.
+        wire.switchable = true;
+        wire.channel = ((net.value() + ta.row) & 1u) ? ta.row + 1 : ta.row;
+      } else if (ta.access != TerminalAccess::BelowOnly &&
+                 tb.access != TerminalAccess::BelowOnly) {
+        wire.channel = ta.row + 1;  // above
+      } else if (ta.access != TerminalAccess::AboveOnly &&
+                 tb.access != TerminalAccess::AboveOnly) {
+        wire.channel = ta.row;  // below
+      } else {
+        // Conflicting fixed sides (Top vs Bottom): the detailed router would
+        // jog around the cell; at this abstraction treat it as switchable so
+        // step 5 picks the lighter channel.
+        wire.switchable = true;
+        wire.channel = ((net.value() + ta.row) & 1u) ? ta.row + 1 : ta.row;
+      }
+      wires.push_back(wire);
+      continue;
+    }
+
+    const std::uint32_t row_lo = std::min(ta.row, tb.row);
+    const std::uint32_t row_hi = std::max(ta.row, tb.row);
+    // Horizontal leg in the channel directly below the upper row.
+    {
+      Wire wire;
+      wire.net = net;
+      wire.channel = row_hi;
+      wire.lo = lo;
+      wire.hi = hi;
+      wire.row = row_hi;
+      wires.push_back(wire);
+    }
+    // Rows between adjacent terminals should not happen once feedthroughs
+    // are assigned; when they do (relaxed parallel sync), the vertical run
+    // crosses the intermediate channels as zero-length stubs.
+    const Coord x_stub = (ta.row == row_lo) ? ta.x : tb.x;
+    for (std::uint32_t c = row_lo + 1; c < row_hi; ++c) {
+      Wire stub;
+      stub.net = net;
+      stub.channel = c;
+      stub.lo = x_stub;
+      stub.hi = x_stub;
+      stub.row = c;
+      wires.push_back(stub);
+    }
+  }
+}
+
+void connect_net(const Circuit& circuit, NetId net,
+                 const ConnectOptions& options, std::vector<Wire>& wires) {
+  const auto& pins = circuit.net(net).pins;
+  if (pins.size() < 2) return;
+
+  std::vector<Terminal> terminals;
+  terminals.reserve(pins.size());
+  for (const PinId pid : pins) {
+    terminals.push_back(Terminal{
+        circuit.pin_x(pid),
+        static_cast<std::uint32_t>(circuit.pin_row(pid).index()),
+        access_of(circuit.pin(pid))});
+  }
+  connect_terminals(net, terminals, options, wires);
+}
+
+std::vector<Wire> connect_nets(const Circuit& circuit,
+                               const std::vector<NetId>& nets,
+                               const ConnectOptions& options) {
+  std::vector<Wire> wires;
+  for (const NetId net : nets) {
+    connect_net(circuit, net, options, wires);
+  }
+  return wires;
+}
+
+std::vector<Wire> connect_all_nets(const Circuit& circuit,
+                                   const ConnectOptions& options) {
+  std::vector<NetId> nets;
+  nets.reserve(circuit.num_nets());
+  for (std::size_t n = 0; n < circuit.num_nets(); ++n) {
+    nets.push_back(NetId{static_cast<std::uint32_t>(n)});
+  }
+  return connect_nets(circuit, nets, options);
+}
+
+}  // namespace ptwgr

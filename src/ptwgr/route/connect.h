@@ -1,0 +1,59 @@
+// Net connection (TWGR step 4).
+//
+// With feedthroughs assigned, every net's terminals — regular pins, fake
+// pins, and feedthrough pins — are connected by an MST over the complete
+// graph with a vertical cost high enough that edges prefer same-row and
+// adjacent-row hops (the feedthrough pins guarantee adjacent-row coverage
+// wherever the net crosses rows).  Each MST edge becomes one or more
+// horizontal channel wires; same-row edges whose endpoints both allow both
+// channels become *switchable* wires for step 5.
+#pragma once
+
+#include <vector>
+
+#include "ptwgr/circuit/circuit.h"
+#include "ptwgr/route/wire.h"
+
+namespace ptwgr {
+
+struct ConnectOptions {
+  /// Vertical cost per row in the connection MST metric.  Must exceed any
+  /// horizontal distance so minimal-row-hop trees win; the default is far
+  /// above any realistic core width.
+  std::int64_t row_cost = 1 << 20;
+};
+
+/// Which channel(s) a terminal can be reached from.  Pins with Top/Bottom
+/// sides are single-channel; electrically equivalent pins, fake pins, and
+/// feedthrough pins reach both channels of their row.
+enum class TerminalAccess : std::uint8_t { AboveOnly, BelowOnly, Either };
+
+/// A net terminal in the global coordinate frame.  Trivially copyable so the
+/// parallel algorithms can ship terminal lists between ranks.
+struct Terminal {
+  Coord x = 0;
+  std::uint32_t row = 0;
+  TerminalAccess access = TerminalAccess::Either;
+};
+
+/// Connects a terminal list with an MST and appends the resulting channel
+/// wires.  This is the core of step 4; the Circuit overloads below derive
+/// the terminals from pins.
+void connect_terminals(NetId net, const std::vector<Terminal>& terminals,
+                       const ConnectOptions& options, std::vector<Wire>& wires);
+
+/// Connects one net; appends its wires to `wires`.
+void connect_net(const Circuit& circuit, NetId net,
+                 const ConnectOptions& options, std::vector<Wire>& wires);
+
+/// Connects a subset of nets (the parallel algorithms connect only owned
+/// nets / sub-nets).
+std::vector<Wire> connect_nets(const Circuit& circuit,
+                               const std::vector<NetId>& nets,
+                               const ConnectOptions& options = {});
+
+/// Connects every net.
+std::vector<Wire> connect_all_nets(const Circuit& circuit,
+                                   const ConnectOptions& options = {});
+
+}  // namespace ptwgr

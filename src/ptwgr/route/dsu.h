@@ -1,0 +1,52 @@
+// Disjoint-set union (union-find) with path halving and union by size.
+// Used by Kruskal-style tree construction and by connectivity checks in the
+// routing verifier.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n)
+      : parent_(n), size_(n, 1), num_sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    PTWGR_EXPECTS(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns false if already joined.
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --num_sets_;
+    return true;
+  }
+
+  bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  std::size_t num_sets() const { return num_sets_; }
+  std::size_t set_size(std::size_t x) { return size_[find(x)]; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t num_sets_;
+};
+
+}  // namespace ptwgr

@@ -1,0 +1,68 @@
+#include "ptwgr/route/feedthrough.h"
+
+#include <algorithm>
+
+namespace ptwgr {
+
+void FeedthroughPools::add(std::size_t row, std::size_t col, CellId cell) {
+  pools_[key(row, col)].push_back(cell);
+  ++available_;
+}
+
+CellId FeedthroughPools::take(std::size_t row, std::size_t col) {
+  const auto it = pools_.find(key(row, col));
+  if (it == pools_.end() || it->second.empty()) return CellId{};
+  const CellId cell = it->second.back();
+  it->second.pop_back();
+  --available_;
+  return cell;
+}
+
+FeedthroughPools insert_feedthroughs(
+    Circuit& circuit, const CoarseGrid& grid, Coord feedthrough_width,
+    const std::function<bool(std::size_t)>& row_filter) {
+  PTWGR_EXPECTS(feedthrough_width > 0);
+  FeedthroughPools pools;
+  for (std::size_t row = 0; row < grid.num_rows(); ++row) {
+    if (!row_filter(row)) continue;
+    for (std::size_t col = 0; col < grid.num_columns(); ++col) {
+      const std::int32_t demand = grid.feedthrough_demand(row, col);
+      for (std::int32_t k = 0; k < demand; ++k) {
+        const CellId cell = circuit.insert_feedthrough(
+            RowId{static_cast<std::uint32_t>(row)}, grid.column_center(col),
+            feedthrough_width);
+        pools.add(row, col, cell);
+      }
+    }
+  }
+  return pools;
+}
+
+std::vector<FeedthroughTerminal> assign_feedthroughs(
+    Circuit& circuit, FeedthroughPools& pools, const CoarseGrid& grid,
+    const std::vector<CoarseSegment>& segments, Coord feedthrough_width,
+    const std::function<bool(std::size_t)>& row_filter) {
+  std::vector<FeedthroughTerminal> terminals;
+  for (const CoarseSegment& seg : segments) {
+    const Coord xv = seg.vertical_at_a ? seg.a.x : seg.b.x;
+    const std::size_t col = grid.column_of(xv);
+    for (std::uint32_t row = seg.a.row + 1; row < seg.b.row; ++row) {
+      if (!row_filter(row)) continue;
+      CellId cell = pools.take(row, col);
+      if (!cell.valid()) {
+        // Pool exhausted — replicas desynchronized under relaxed parallel
+        // synchronization.  Insert an emergency feedthrough; quality pays,
+        // correctness does not.
+        cell = circuit.insert_feedthrough(RowId{row}, grid.column_center(col),
+                                          feedthrough_width);
+      }
+      const PinId pin = circuit.add_cell_pin(
+          cell, seg.net, feedthrough_width / 2, PinSide::Both);
+      terminals.push_back(FeedthroughTerminal{
+          seg.net, row, circuit.pin_x(pin), pin});
+    }
+  }
+  return terminals;
+}
+
+}  // namespace ptwgr

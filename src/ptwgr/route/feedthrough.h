@@ -1,0 +1,72 @@
+// Feedthrough materialization and assignment (TWGR step 3).
+//
+// After coarse routing, the grid records how many wires must cross each row
+// at each column.  This module (a) inserts that many feedthrough cells into
+// the rows — the operation that physically widens them — and (b) binds every
+// row-crossing of every committed coarse segment to a concrete feedthrough,
+// adding a Both-sided pin to the crossing net so step 4 can connect through
+// it.
+//
+// Both operations take a row filter because the parallel algorithms perform
+// them per row block: in every algorithm the rows (hence cells) are owned
+// row-wise, and only the row's owner may mutate it (paper §4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ptwgr/route/coarse.h"
+
+namespace ptwgr {
+
+/// Accepts every row (the serial router's filter).
+inline bool all_rows(std::size_t) { return true; }
+
+/// Created feedthrough cells, pooled per (row, column) for assignment.
+class FeedthroughPools {
+ public:
+  void add(std::size_t row, std::size_t col, CellId cell);
+
+  /// Takes one available feedthrough at (row, col); returns an invalid id if
+  /// the pool is exhausted (callers then insert an emergency feedthrough).
+  CellId take(std::size_t row, std::size_t col);
+
+  std::size_t total_available() const { return available_; }
+
+ private:
+  static std::uint64_t key(std::size_t row, std::size_t col) {
+    return (static_cast<std::uint64_t>(row) << 32) |
+           static_cast<std::uint64_t>(col);
+  }
+  std::unordered_map<std::uint64_t, std::vector<CellId>> pools_;
+  std::size_t available_ = 0;
+};
+
+/// One assigned crossing: the net now owns a pin on a feedthrough cell.
+struct FeedthroughTerminal {
+  NetId net;
+  std::uint32_t row;
+  Coord x;      ///< pin position after insertion shifts
+  PinId pin;    ///< the created pin (valid only in the mutated circuit)
+};
+
+/// Inserts feedthrough cells for every (row, col) demand recorded in `grid`,
+/// restricted to rows where `row_filter` returns true.  Rows are processed
+/// left-to-right so insertion shifts accumulate consistently.
+FeedthroughPools insert_feedthroughs(
+    Circuit& circuit, const CoarseGrid& grid, Coord feedthrough_width,
+    const std::function<bool(std::size_t)>& row_filter = all_rows);
+
+/// Binds each segment's row crossings (rows passing `row_filter`) to pooled
+/// feedthroughs, creating net pins.  Segments are visited in the given
+/// order; within a (row, col) pool, assignment is first-come.  If a pool is
+/// exhausted (possible when parallel replicas desynchronize), an emergency
+/// feedthrough is inserted so routing always completes.
+std::vector<FeedthroughTerminal> assign_feedthroughs(
+    Circuit& circuit, FeedthroughPools& pools, const CoarseGrid& grid,
+    const std::vector<CoarseSegment>& segments, Coord feedthrough_width,
+    const std::function<bool(std::size_t)>& row_filter = all_rows);
+
+}  // namespace ptwgr

@@ -1,0 +1,109 @@
+#include "ptwgr/route/grid.h"
+
+#include <algorithm>
+
+namespace ptwgr {
+
+CoarseGrid::CoarseGrid(std::size_t num_rows, Coord width, Coord column_width)
+    : num_rows_(num_rows), column_width_(column_width) {
+  PTWGR_EXPECTS(num_rows >= 1);
+  PTWGR_EXPECTS(column_width > 0);
+  PTWGR_EXPECTS(width >= 0);
+  num_columns_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>((width + column_width - 1) / column_width));
+  ft_demand_.assign(num_rows_ * num_columns_, 0);
+  chan_use_.assign((num_rows_ + 1) * num_columns_, 0);
+}
+
+CoarseGrid::CoarseGrid(const Circuit& circuit, Coord column_width)
+    : CoarseGrid(circuit.num_rows(), circuit.core_width(), column_width) {}
+
+std::size_t CoarseGrid::column_of(Coord x) const {
+  if (x < 0) return 0;
+  const auto col = static_cast<std::size_t>(x / column_width_);
+  return std::min(col, num_columns_ - 1);
+}
+
+Coord CoarseGrid::column_center(std::size_t col) const {
+  PTWGR_EXPECTS(col < num_columns_);
+  return static_cast<Coord>(col) * column_width_ + column_width_ / 2;
+}
+
+void CoarseGrid::add_feedthrough_demand(std::size_t row, std::size_t col,
+                                        std::int32_t delta) {
+  PTWGR_EXPECTS(row < num_rows_ && col < num_columns_);
+  std::int32_t& slot = ft_demand_[row * num_columns_ + col];
+  slot += delta;
+  PTWGR_ENSURES(slot >= 0);
+}
+
+std::int32_t CoarseGrid::feedthrough_demand(std::size_t row,
+                                            std::size_t col) const {
+  PTWGR_EXPECTS(row < num_rows_ && col < num_columns_);
+  return ft_demand_[row * num_columns_ + col];
+}
+
+std::int64_t CoarseGrid::row_feedthrough_total(std::size_t row) const {
+  PTWGR_EXPECTS(row < num_rows_);
+  std::int64_t total = 0;
+  for (std::size_t c = 0; c < num_columns_; ++c) {
+    total += ft_demand_[row * num_columns_ + c];
+  }
+  return total;
+}
+
+void CoarseGrid::add_channel_use(std::size_t channel, std::size_t col_lo,
+                                 std::size_t col_hi, std::int32_t delta) {
+  PTWGR_EXPECTS(channel < num_channels());
+  PTWGR_EXPECTS(col_lo <= col_hi && col_hi < num_columns_);
+  for (std::size_t c = col_lo; c <= col_hi; ++c) {
+    chan_use_[channel * num_columns_ + c] += delta;
+  }
+}
+
+std::int32_t CoarseGrid::channel_use(std::size_t channel,
+                                     std::size_t col) const {
+  PTWGR_EXPECTS(channel < num_channels() && col < num_columns_);
+  return chan_use_[channel * num_columns_ + col];
+}
+
+std::int32_t CoarseGrid::max_channel_use(std::size_t channel,
+                                         std::size_t col_lo,
+                                         std::size_t col_hi) const {
+  PTWGR_EXPECTS(channel < num_channels());
+  PTWGR_EXPECTS(col_lo <= col_hi && col_hi < num_columns_);
+  std::int32_t best = 0;
+  for (std::size_t c = col_lo; c <= col_hi; ++c) {
+    best = std::max(best, chan_use_[channel * num_columns_ + c]);
+  }
+  return best;
+}
+
+std::int64_t CoarseGrid::channel_use_sum(std::size_t channel,
+                                         std::size_t col_lo,
+                                         std::size_t col_hi) const {
+  PTWGR_EXPECTS(channel < num_channels());
+  PTWGR_EXPECTS(col_lo <= col_hi && col_hi < num_columns_);
+  std::int64_t total = 0;
+  for (std::size_t c = col_lo; c <= col_hi; ++c) {
+    total += chan_use_[channel * num_columns_ + c];
+  }
+  return total;
+}
+
+std::vector<std::int32_t> CoarseGrid::export_state() const {
+  std::vector<std::int32_t> state;
+  state.reserve(state_size());
+  state.insert(state.end(), ft_demand_.begin(), ft_demand_.end());
+  state.insert(state.end(), chan_use_.begin(), chan_use_.end());
+  return state;
+}
+
+void CoarseGrid::import_state(const std::vector<std::int32_t>& state) {
+  PTWGR_EXPECTS(state.size() == state_size());
+  std::copy_n(state.begin(), ft_demand_.size(), ft_demand_.begin());
+  std::copy_n(state.begin() + static_cast<std::ptrdiff_t>(ft_demand_.size()),
+              chan_use_.size(), chan_use_.begin());
+}
+
+}  // namespace ptwgr

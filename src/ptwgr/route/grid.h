@@ -1,0 +1,78 @@
+// Coarse global routing grid (TWGR step 2 substrate).
+//
+// The core is cut into equal-width columns.  The grid tracks two demand maps:
+//   * feedthrough demand per (row, column) — how many wires must cross each
+//     row near each column, which is what step 3 materializes as feedthrough
+//     cells;
+//   * channel usage per (channel, column) — the coarse channel-density
+//     estimate the L-orientation choice optimizes against.
+// Both maps are flat integer arrays, exposed for serialization so the
+// net-wise parallel algorithm can synchronize replicas with an allreduce
+// (paper §5: "we need to synchronize the information of each grid point
+// periodically").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptwgr/circuit/circuit.h"
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+
+class CoarseGrid {
+ public:
+  /// Covers [0, width) with ⌈width / column_width⌉ columns (min 1).
+  CoarseGrid(std::size_t num_rows, Coord width, Coord column_width);
+
+  /// Convenience: sized from a circuit's rows and core width.
+  CoarseGrid(const Circuit& circuit, Coord column_width);
+
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_channels() const { return num_rows_ + 1; }
+  std::size_t num_columns() const { return num_columns_; }
+  Coord column_width() const { return column_width_; }
+
+  /// Column containing x (clamped to the grid).
+  std::size_t column_of(Coord x) const;
+  /// Center x of a column.
+  Coord column_center(std::size_t col) const;
+
+  // --- feedthrough demand ------------------------------------------------
+  void add_feedthrough_demand(std::size_t row, std::size_t col,
+                              std::int32_t delta);
+  std::int32_t feedthrough_demand(std::size_t row, std::size_t col) const;
+  /// Total feedthrough demand in one row (the row-width growth driver).
+  std::int64_t row_feedthrough_total(std::size_t row) const;
+
+  // --- channel usage -----------------------------------------------------
+  /// Adds `delta` to every column in [col_lo, col_hi] of a channel.
+  void add_channel_use(std::size_t channel, std::size_t col_lo,
+                       std::size_t col_hi, std::int32_t delta);
+  std::int32_t channel_use(std::size_t channel, std::size_t col) const;
+  /// Max usage over a column span of a channel.
+  std::int32_t max_channel_use(std::size_t channel, std::size_t col_lo,
+                               std::size_t col_hi) const;
+  /// Sum of usage over a column span of a channel.
+  std::int64_t channel_use_sum(std::size_t channel, std::size_t col_lo,
+                               std::size_t col_hi) const;
+
+  // --- replica synchronization (net-wise parallel algorithm) -------------
+  /// Snapshot of both maps as one flat vector (feedthrough demand first).
+  std::vector<std::int32_t> export_state() const;
+  /// Replaces both maps from a snapshot produced by export_state().
+  void import_state(const std::vector<std::int32_t>& state);
+  /// Element count of an export_state() snapshot.
+  std::size_t state_size() const {
+    return ft_demand_.size() + chan_use_.size();
+  }
+
+ private:
+  std::size_t num_rows_;
+  std::size_t num_columns_;
+  Coord column_width_;
+  std::vector<std::int32_t> ft_demand_;  // num_rows × num_columns
+  std::vector<std::int32_t> chan_use_;   // (num_rows+1) × num_columns
+};
+
+}  // namespace ptwgr

@@ -1,0 +1,153 @@
+#include "ptwgr/route/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "ptwgr/route/dsu.h"
+#include "ptwgr/support/interval.h"
+
+namespace ptwgr {
+
+RoutingMetrics compute_metrics(const Circuit& circuit,
+                               const std::vector<Wire>& wires) {
+  RoutingMetrics metrics;
+  const std::size_t num_channels = circuit.num_channels();
+
+  // Density counts *nets* per x, so each net's wires within a channel are
+  // merged into their union before the overlap sweep.
+  std::vector<std::vector<std::pair<std::uint32_t, Interval>>> per_channel(
+      num_channels);
+  for (const Wire& wire : wires) {
+    PTWGR_CHECK_MSG(wire.channel < num_channels, "wire channel out of range");
+    per_channel[wire.channel].emplace_back(wire.net.value(),
+                                           Interval{wire.lo, wire.hi});
+    metrics.total_wirelength += wire.length();
+  }
+
+  metrics.channel_density.resize(num_channels, 0);
+  for (std::size_t c = 0; c < num_channels; ++c) {
+    auto& entries = per_channel[c];
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<Interval> channel_intervals;
+    std::vector<Interval> net_intervals;
+    std::size_t i = 0;
+    while (i < entries.size()) {
+      const std::uint32_t net = entries[i].first;
+      net_intervals.clear();
+      for (; i < entries.size() && entries[i].first == net; ++i) {
+        net_intervals.push_back(entries[i].second);
+      }
+      for (const Interval& iv : merge_intervals(net_intervals)) {
+        channel_intervals.push_back(iv);
+      }
+    }
+    metrics.channel_density[c] = max_overlap(std::move(channel_intervals));
+    metrics.track_count += metrics.channel_density[c];
+  }
+
+  metrics.feedthrough_count = circuit.num_feedthrough_cells();
+
+  Coord rows_height = 0;
+  for (const Row& row : circuit.rows()) rows_height += row.height;
+  metrics.area = circuit.core_width() *
+                 (rows_height + kTrackPitch * metrics.track_count);
+  return metrics;
+}
+
+std::string RoutingMetrics::to_string() const {
+  std::ostringstream os;
+  os << "tracks=" << track_count << " area=" << area
+     << " feedthroughs=" << feedthrough_count
+     << " wirelength=" << total_wirelength;
+  return os.str();
+}
+
+std::vector<std::string> verify_routing(const Circuit& circuit,
+                                        const std::vector<Wire>& wires) {
+  std::vector<std::string> violations;
+  const std::size_t num_channels = circuit.num_channels();
+
+  // Group wires by net.
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> wires_by_net;
+  for (std::size_t w = 0; w < wires.size(); ++w) {
+    const Wire& wire = wires[w];
+    if (wire.channel >= num_channels) {
+      violations.push_back("wire " + std::to_string(w) +
+                           ": channel out of range");
+      continue;
+    }
+    if (wire.lo > wire.hi) {
+      violations.push_back("wire " + std::to_string(w) + ": inverted span");
+      continue;
+    }
+    wires_by_net[wire.net.value()].push_back(w);
+  }
+
+  // Per net: pins + wires must form one connected component.  A pin in row r
+  // touches channels r and r+1; a wire touches a pin when the pin's x lies
+  // within the wire's span (small slack for feedthrough-shift rounding).
+  constexpr Coord kSlack = 2;
+  for (std::size_t n = 0; n < circuit.num_nets(); ++n) {
+    const auto& net_pins = circuit.net(NetId{static_cast<std::uint32_t>(n)})
+                               .pins;
+    if (net_pins.size() < 2) continue;
+
+    const auto wit = wires_by_net.find(static_cast<std::uint32_t>(n));
+    const std::vector<std::size_t> empty;
+    const auto& net_wires = (wit != wires_by_net.end()) ? wit->second : empty;
+
+    // Nodes: [0, P) pins, [P, P+W) wires.
+    const std::size_t P = net_pins.size();
+    const std::size_t W = net_wires.size();
+    DisjointSets dsu(P + W);
+
+    // Pins sharing (x, row) are trivially connected; pins on the same cell
+    // too.  Sort by (row, x) and merge coincident ones.
+    for (std::size_t i = 0; i < P; ++i) {
+      for (std::size_t j = i + 1; j < P; ++j) {
+        if (circuit.pin_row(net_pins[i]) == circuit.pin_row(net_pins[j]) &&
+            circuit.pin_x(net_pins[i]) == circuit.pin_x(net_pins[j])) {
+          dsu.unite(i, j);
+        }
+      }
+    }
+
+    for (std::size_t wi = 0; wi < W; ++wi) {
+      const Wire& wire = wires[net_wires[wi]];
+      for (std::size_t pi = 0; pi < P; ++pi) {
+        const auto prow =
+            static_cast<std::uint32_t>(circuit.pin_row(net_pins[pi]).index());
+        if (wire.channel != prow && wire.channel != prow + 1) continue;
+        const Coord px = circuit.pin_x(net_pins[pi]);
+        if (px >= wire.lo - kSlack && px <= wire.hi + kSlack) {
+          dsu.unite(pi, P + wi);
+        }
+      }
+      // Same-channel overlapping wires of the net are connected.
+      for (std::size_t wj = 0; wj < wi; ++wj) {
+        const Wire& other = wires[net_wires[wj]];
+        if (other.channel != wire.channel) continue;
+        if (other.hi + kSlack >= wire.lo && wire.hi + kSlack >= other.lo) {
+          dsu.unite(P + wi, P + wj);
+        }
+      }
+    }
+
+    bool connected = true;
+    for (std::size_t pi = 1; pi < P; ++pi) {
+      if (!dsu.connected(0, pi)) {
+        connected = false;
+        break;
+      }
+    }
+    if (!connected) {
+      violations.push_back("net " + std::to_string(n) +
+                           ": pins not connected by routing");
+    }
+  }
+  return violations;
+}
+
+}  // namespace ptwgr

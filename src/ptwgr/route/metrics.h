@@ -1,0 +1,45 @@
+// Routing quality metrics (the numbers the paper's tables report).
+//
+// * Track count — Σ over channels of the channel density (the exact maximum
+//   interval overlap of the channel's wires).  Tables 2–4 report this,
+//   scaled against the serial run.
+// * Area — widest row × (Σ row heights + track pitch × track count): grows
+//   with both feedthrough insertion (row widening) and channel density.
+// * Feedthroughs — count of inserted feedthrough cells.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptwgr/circuit/circuit.h"
+#include "ptwgr/route/wire.h"
+
+namespace ptwgr {
+
+struct RoutingMetrics {
+  std::int64_t track_count = 0;
+  std::int64_t area = 0;
+  std::int64_t total_wirelength = 0;
+  std::size_t feedthrough_count = 0;
+  std::vector<std::int64_t> channel_density;
+
+  std::string to_string() const;
+};
+
+/// Height of one routing track in layout units (channel height = density ×
+/// pitch when computing area).
+inline constexpr Coord kTrackPitch = 2;
+
+/// Computes exact metrics from the routed circuit and its wires.
+RoutingMetrics compute_metrics(const Circuit& circuit,
+                               const std::vector<Wire>& wires);
+
+/// Structural sanity check of a routing: every wire's channel exists, spans
+/// are ordered, and — per net — the wires plus same-row adjacency form a
+/// connected set over the net's terminals.  Returns a human-readable list of
+/// violations (empty = valid).  Used by tests and the examples.
+std::vector<std::string> verify_routing(const Circuit& circuit,
+                                        const std::vector<Wire>& wires);
+
+}  // namespace ptwgr

@@ -1,0 +1,65 @@
+#include "ptwgr/route/mst.h"
+
+#include <limits>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+
+std::vector<TreeEdge> minimum_spanning_tree(
+    const std::vector<RoutePoint>& points, std::int64_t row_cost) {
+  const std::size_t n = points.size();
+  std::vector<TreeEdge> edges;
+  if (n <= 1) return edges;
+  edges.reserve(n - 1);
+
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> best(n, kInf);
+  std::vector<std::uint32_t> best_from(n, 0);
+  std::vector<bool> in_tree(n, false);
+
+  // Grow from point 0.
+  in_tree[0] = true;
+  for (std::size_t j = 1; j < n; ++j) {
+    best[j] = route_distance(points[0], points[j], row_cost);
+    best_from[j] = 0;
+  }
+
+  for (std::size_t step = 1; step < n; ++step) {
+    // Cheapest frontier point; ties break on lower index, so the tree is
+    // deterministic for a fixed point order.
+    std::size_t pick = n;
+    std::int64_t pick_cost = kInf;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_tree[j] && best[j] < pick_cost) {
+        pick = j;
+        pick_cost = best[j];
+      }
+    }
+    PTWGR_CHECK(pick < n);
+    in_tree[pick] = true;
+    edges.push_back(TreeEdge{best_from[pick], static_cast<std::uint32_t>(pick)});
+
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_tree[j]) continue;
+      const std::int64_t d = route_distance(points[pick], points[j], row_cost);
+      if (d < best[j]) {
+        best[j] = d;
+        best_from[j] = static_cast<std::uint32_t>(pick);
+      }
+    }
+  }
+  return edges;
+}
+
+std::int64_t tree_length(const std::vector<RoutePoint>& points,
+                         const std::vector<TreeEdge>& edges,
+                         std::int64_t row_cost) {
+  std::int64_t total = 0;
+  for (const TreeEdge& e : edges) {
+    total += route_distance(points[e.a], points[e.b], row_cost);
+  }
+  return total;
+}
+
+}  // namespace ptwgr

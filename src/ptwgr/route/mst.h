@@ -1,0 +1,53 @@
+// Minimum spanning trees over routing points.
+//
+// TWGR uses MSTs twice: the approximate Steiner tree of each net is grown
+// from the net's MST (step 1), and the final connection step builds an MST
+// over each net's pins + assigned feedthroughs (step 4).  Distances are
+// rectilinear with a configurable per-row vertical cost, which biases the
+// connection MST toward same-row / adjacent-row edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptwgr/circuit/types.h"
+
+namespace ptwgr {
+
+/// A routing point: horizontal position and row index.
+struct RoutePoint {
+  Coord x = 0;
+  std::uint32_t row = 0;
+
+  friend bool operator==(const RoutePoint&, const RoutePoint&) = default;
+};
+
+/// Rectilinear distance with vertical edges weighted `row_cost` per row.
+inline std::int64_t route_distance(const RoutePoint& a, const RoutePoint& b,
+                                   std::int64_t row_cost) {
+  const std::int64_t dx = a.x >= b.x ? a.x - b.x : b.x - a.x;
+  const std::int64_t dr =
+      a.row >= b.row ? a.row - b.row : b.row - a.row;
+  return dx + row_cost * dr;
+}
+
+/// Undirected tree edge between point indices.
+struct TreeEdge {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+
+  friend bool operator==(const TreeEdge&, const TreeEdge&) = default;
+};
+
+/// Prim's algorithm over the complete graph of `points` (O(n²), which is the
+/// right trade for net sizes: almost all nets have < 10 pins and the giant
+/// clock nets still fit comfortably).  Returns n-1 edges; empty for n <= 1.
+std::vector<TreeEdge> minimum_spanning_tree(
+    const std::vector<RoutePoint>& points, std::int64_t row_cost);
+
+/// Total edge length of a tree under route_distance.
+std::int64_t tree_length(const std::vector<RoutePoint>& points,
+                         const std::vector<TreeEdge>& edges,
+                         std::int64_t row_cost);
+
+}  // namespace ptwgr

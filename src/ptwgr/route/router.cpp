@@ -1,0 +1,75 @@
+#include "ptwgr/route/router.h"
+
+#include "ptwgr/route/coarse.h"
+#include "ptwgr/route/connect.h"
+#include "ptwgr/route/feedthrough.h"
+#include "ptwgr/route/grid.h"
+#include "ptwgr/route/steiner.h"
+#include "ptwgr/route/switchable.h"
+#include "ptwgr/support/log.h"
+#include "ptwgr/support/rng.h"
+#include "ptwgr/support/timer.h"
+
+namespace ptwgr {
+
+RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
+  PTWGR_EXPECTS(circuit.num_rows() >= 1);
+  Rng rng(options.seed);
+  RoutingResult result;
+  WallTimer timer;
+
+  // Step 1: approximate Steiner trees.
+  SteinerOptions steiner_options;
+  steiner_options.row_cost = options.steiner_row_cost;
+  const auto trees = build_all_steiner_trees(circuit, steiner_options);
+  result.timings.steiner = timer.seconds();
+  timer.reset();
+
+  // Step 2: coarse global routing over the demand grid.
+  CoarseGrid grid(circuit, options.column_width);
+  auto segments = extract_coarse_segments(trees);
+  CoarseOptions coarse_options;
+  coarse_options.passes = options.coarse_passes;
+  CoarseRouter coarse(grid, coarse_options);
+  coarse.place_initial(segments);
+  Rng coarse_rng = rng.split();
+  const std::size_t flips = coarse.improve(segments, coarse_rng);
+  PTWGR_LOG_DEBUG << "coarse routing: " << segments.size() << " segments, "
+                  << flips << " flips";
+  result.timings.coarse = timer.seconds();
+  timer.reset();
+
+  // Step 3: feedthrough insertion and assignment.
+  FeedthroughPools pools =
+      insert_feedthroughs(circuit, grid, options.feedthrough_width);
+  const auto terminals = assign_feedthroughs(
+      circuit, pools, grid, segments, options.feedthrough_width);
+  PTWGR_LOG_DEBUG << "feedthroughs: " << circuit.num_feedthrough_cells()
+                  << " cells, " << terminals.size() << " crossings bound";
+  result.timings.feedthrough = timer.seconds();
+  timer.reset();
+
+  // Step 4: connect each net through its pins and feedthroughs.
+  result.wires = connect_all_nets(circuit);
+  result.timings.connect = timer.seconds();
+  timer.reset();
+
+  // Step 5: switchable net segment optimization.
+  SwitchableOptimizer optimizer(circuit.num_channels(), circuit.core_width(),
+                                options.switch_bucket_width);
+  optimizer.register_wires(result.wires);
+  SwitchableOptions switch_options;
+  switch_options.passes = options.switchable_passes;
+  switch_options.bucket_width = options.switch_bucket_width;
+  Rng switch_rng = rng.split();
+  const std::size_t switch_flips =
+      optimizer.optimize(result.wires, switch_rng, switch_options);
+  PTWGR_LOG_DEBUG << "switchable optimization: " << switch_flips << " flips";
+  result.timings.switchable = timer.seconds();
+
+  result.metrics = compute_metrics(circuit, result.wires);
+  result.circuit = std::move(circuit);
+  return result;
+}
+
+}  // namespace ptwgr

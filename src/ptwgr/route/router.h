@@ -1,0 +1,63 @@
+// The serial TimberWolfSC-style global router (TWGR): the five-step pipeline
+// of paper §2, and the baseline every parallel algorithm is measured against.
+//
+//   1. approximate Steiner trees (steiner.h)
+//   2. coarse global routing — L orientation per inter-row segment (coarse.h)
+//   3. feedthrough insertion + assignment (feedthrough.h)
+//   4. net connection via MST over pins + feedthroughs (connect.h)
+//   5. switchable-segment channel optimization (switchable.h)
+#pragma once
+
+#include <cstdint>
+
+#include "ptwgr/circuit/circuit.h"
+#include "ptwgr/route/metrics.h"
+#include "ptwgr/route/wire.h"
+
+namespace ptwgr {
+
+struct RouterOptions {
+  std::uint64_t seed = 1;
+  /// Coarse grid column width (layout units).
+  Coord column_width = 32;
+  /// Width of an inserted feedthrough cell.
+  Coord feedthrough_width = 3;
+  /// Random-order improvement sweeps in the coarse step.
+  int coarse_passes = 2;
+  /// Random-order flip passes in the switchable step.
+  int switchable_passes = 2;
+  /// Vertical cost per row in the Steiner metric.  Row crossings cost
+  /// feedthroughs, so the tree metric prices them well above a horizontal
+  /// unit; bench/ablation_steiner sweeps this.
+  std::int64_t steiner_row_cost = 128;
+  /// Density-profile bucket width for the switchable step.  Small buckets
+  /// keep the bucketed density estimate faithful to the exact interval
+  /// density the metrics report.
+  Coord switch_bucket_width = 4;
+};
+
+/// Per-step wall-clock seconds (paper-style runtime breakdowns).
+struct StepTimings {
+  double steiner = 0.0;
+  double coarse = 0.0;
+  double feedthrough = 0.0;
+  double connect = 0.0;
+  double switchable = 0.0;
+
+  double total() const {
+    return steiner + coarse + feedthrough + connect + switchable;
+  }
+};
+
+struct RoutingResult {
+  Circuit circuit;  ///< input circuit with feedthrough cells inserted
+  std::vector<Wire> wires;
+  RoutingMetrics metrics;
+  StepTimings timings;
+};
+
+/// Routes `circuit` (taken by value: feedthrough insertion mutates it).
+/// Deterministic in options.seed.
+RoutingResult route_serial(Circuit circuit, const RouterOptions& options = {});
+
+}  // namespace ptwgr

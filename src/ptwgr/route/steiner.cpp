@@ -1,0 +1,168 @@
+#include "ptwgr/route/steiner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+
+std::size_t SteinerTree::num_inter_row_edges() const {
+  return static_cast<std::size_t>(
+      std::count_if(edges.begin(), edges.end(), [this](const TreeEdge& e) {
+        return nodes[e.a].at.row != nodes[e.b].at.row;
+      }));
+}
+
+std::int64_t SteinerTree::length(std::int64_t row_cost) const {
+  std::int64_t total = 0;
+  for (const TreeEdge& e : edges) {
+    total += route_distance(nodes[e.a].at, nodes[e.b].at, row_cost);
+  }
+  return total;
+}
+
+namespace {
+
+/// Corner-merging refinement: for each node, when two tree neighbors lie in
+/// the same quadrant, reroute both through a shared Steiner corner if that
+/// shortens the tree.  One deterministic pass; returns true if changed.
+bool refine_once(SteinerTree& tree, std::int64_t row_cost) {
+  const std::size_t n = tree.nodes.size();
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (const TreeEdge& e : tree.edges) {
+    adj[e.a].push_back(e.b);
+    adj[e.b].push_back(e.a);
+  }
+
+  bool changed = false;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    bool retry = true;
+    while (retry) {
+      retry = false;
+      // Re-fetch each iteration: applying a merge grows `adj`, which can
+      // reallocate and invalidate references into it.
+      const std::vector<std::uint32_t> nbrs = adj[u];
+      const RoutePoint pu = tree.nodes[u].at;
+      for (std::size_t i = 0; i < nbrs.size() && !retry; ++i) {
+        for (std::size_t j = i + 1; j < nbrs.size() && !retry; ++j) {
+          const std::uint32_t v = nbrs[i];
+          const std::uint32_t w = nbrs[j];
+          const RoutePoint pv = tree.nodes[v].at;
+          const RoutePoint pw = tree.nodes[w].at;
+          // Same quadrant: the sign of (dx, drow) agrees and is nonzero in
+          // at least one axis for both.
+          const auto sgn = [](std::int64_t d) {
+            return d > 0 ? 1 : (d < 0 ? -1 : 0);
+          };
+          const int sxv = sgn(pv.x - pu.x);
+          const int sxw = sgn(pw.x - pu.x);
+          const int srv = sgn(static_cast<std::int64_t>(pv.row) -
+                              static_cast<std::int64_t>(pu.row));
+          const int srw = sgn(static_cast<std::int64_t>(pw.row) -
+                              static_cast<std::int64_t>(pu.row));
+          if (sxv != sxw || srv != srw) continue;
+          if (sxv == 0 && srv == 0) continue;
+
+          // Shared corner: the overlap of the two bounding boxes nearest u.
+          RoutePoint s;
+          s.x = (sxv >= 0) ? std::min(pv.x, pw.x) : std::max(pv.x, pw.x);
+          s.row = (srv >= 0) ? std::min(pv.row, pw.row)
+                             : std::max(pv.row, pw.row);
+          if (s == pu || s == pv || s == pw) continue;
+
+          const std::int64_t before = route_distance(pu, pv, row_cost) +
+                                      route_distance(pu, pw, row_cost);
+          const std::int64_t after = route_distance(pu, s, row_cost) +
+                                     route_distance(s, pv, row_cost) +
+                                     route_distance(s, pw, row_cost);
+          if (after >= before) continue;
+
+          // Apply: new Steiner node; u-v and u-w become u-s, s-v, s-w.
+          const auto sid = static_cast<std::uint32_t>(tree.nodes.size());
+          tree.nodes.push_back(SteinerNode{s, PinId{}});
+          adj.emplace_back();
+          adj[sid] = {u, v, w};
+          std::erase(adj[u], v);
+          std::erase(adj[u], w);
+          adj[u].push_back(sid);
+          std::replace(adj[v].begin(), adj[v].end(), u, sid);
+          std::replace(adj[w].begin(), adj[w].end(), u, sid);
+          changed = true;
+          retry = true;  // nbrs changed; restart this node's pair scan
+        }
+      }
+    }
+  }
+
+  if (changed) {
+    tree.edges.clear();
+    for (std::uint32_t u = 0; u < adj.size(); ++u) {
+      for (const std::uint32_t v : adj[u]) {
+        if (u < v) tree.edges.push_back(TreeEdge{u, v});
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+SteinerTree build_steiner_tree(const Circuit& circuit, NetId net,
+                               const SteinerOptions& options) {
+  PTWGR_EXPECTS(net.index() < circuit.num_nets());
+  SteinerTree tree;
+  tree.net = net;
+
+  // One node per distinct pin position (stacked pins collapse).
+  std::unordered_map<std::uint64_t, std::uint32_t> seen;
+  for (const PinId pid : circuit.net(net).pins) {
+    const RoutePoint at{circuit.pin_x(pid),
+                        static_cast<std::uint32_t>(
+                            circuit.pin_row(pid).index())};
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(at.row) << 40) ^
+        static_cast<std::uint64_t>(at.x + (1LL << 38));
+    if (seen.emplace(key, static_cast<std::uint32_t>(tree.nodes.size()))
+            .second) {
+      tree.nodes.push_back(SteinerNode{at, pid});
+    }
+  }
+  if (tree.nodes.size() < 2) return tree;
+
+  std::vector<RoutePoint> points;
+  points.reserve(tree.nodes.size());
+  for (const SteinerNode& node : tree.nodes) points.push_back(node.at);
+  tree.edges = minimum_spanning_tree(points, options.row_cost);
+
+  if (options.refine) {
+    // Corner merging converges quickly; two passes capture almost all gain.
+    for (int pass = 0; pass < 2; ++pass) {
+      if (!refine_once(tree, options.row_cost)) break;
+    }
+  }
+  return tree;
+}
+
+std::vector<SteinerTree> build_steiner_trees(const Circuit& circuit,
+                                             const std::vector<NetId>& nets,
+                                             const SteinerOptions& options) {
+  std::vector<SteinerTree> trees;
+  trees.reserve(nets.size());
+  for (const NetId net : nets) {
+    trees.push_back(build_steiner_tree(circuit, net, options));
+  }
+  return trees;
+}
+
+std::vector<SteinerTree> build_all_steiner_trees(
+    const Circuit& circuit, const SteinerOptions& options) {
+  std::vector<NetId> nets;
+  nets.reserve(circuit.num_nets());
+  for (std::size_t n = 0; n < circuit.num_nets(); ++n) {
+    nets.push_back(NetId{static_cast<std::uint32_t>(n)});
+  }
+  return build_steiner_trees(circuit, nets, options);
+}
+
+}  // namespace ptwgr

@@ -1,0 +1,61 @@
+// Approximate Steiner trees (TWGR step 1).
+//
+// Each net gets a tree whose nodes are its pin positions plus optional
+// Steiner points, grown from the net's MST and locally improved by corner
+// merging: when two tree edges leave a node toward the same quadrant, a
+// Steiner point at the shared corner removes duplicated wire.  The tree's
+// edges are the *segments* all later steps operate on: an edge spanning
+// different rows is an inter-row segment (L-shaped, coarse-routed in step 2);
+// a same-row edge is an intra-row segment (switchable when its pins allow
+// both channels).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptwgr/circuit/circuit.h"
+#include "ptwgr/route/mst.h"
+
+namespace ptwgr {
+
+/// Tree node: a position, plus the pin it represents (invalid for Steiner
+/// points introduced by the refinement).
+struct SteinerNode {
+  RoutePoint at;
+  PinId pin;  ///< invalid for pure Steiner points
+};
+
+struct SteinerTree {
+  NetId net;
+  std::vector<SteinerNode> nodes;
+  std::vector<TreeEdge> edges;
+
+  /// Number of edges spanning more than zero rows.
+  std::size_t num_inter_row_edges() const;
+  /// Total rectilinear length (row step = `row_cost`).
+  std::int64_t length(std::int64_t row_cost) const;
+};
+
+struct SteinerOptions {
+  /// Vertical cost per row used by the MST metric.  Rows are expensive to
+  /// cross (feedthroughs), so this is large relative to a horizontal unit.
+  std::int64_t row_cost = 48;
+  /// Enable the corner-merging refinement pass.
+  bool refine = true;
+};
+
+/// Builds the tree for one net.  Nets with fewer than two distinct pin
+/// positions produce a tree with no edges.
+SteinerTree build_steiner_tree(const Circuit& circuit, NetId net,
+                               const SteinerOptions& options = {});
+
+/// Builds trees for a subset of nets (in the given order).
+std::vector<SteinerTree> build_steiner_trees(
+    const Circuit& circuit, const std::vector<NetId>& nets,
+    const SteinerOptions& options = {});
+
+/// Builds trees for every net in the circuit.
+std::vector<SteinerTree> build_all_steiner_trees(
+    const Circuit& circuit, const SteinerOptions& options = {});
+
+}  // namespace ptwgr

@@ -1,0 +1,128 @@
+#include "ptwgr/route/switchable.h"
+
+#include <algorithm>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+namespace {
+
+Interval wire_span(const Wire& wire) { return Interval{wire.lo, wire.hi}; }
+
+}  // namespace
+
+SwitchableOptimizer::SwitchableOptimizer(std::size_t num_channels,
+                                         Coord core_width,
+                                         Coord bucket_width) {
+  PTWGR_EXPECTS(num_channels >= 1);
+  PTWGR_EXPECTS(bucket_width > 0);
+  buckets_per_channel_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             (std::max<Coord>(core_width, 1) + bucket_width - 1) /
+             bucket_width));
+  profiles_.reserve(num_channels);
+  for (std::size_t c = 0; c < num_channels; ++c) {
+    profiles_.emplace_back(0, bucket_width, buckets_per_channel_);
+  }
+  pending_.assign(num_channels * buckets_per_channel_, 0);
+}
+
+void SwitchableOptimizer::apply(const Wire& wire, std::int64_t direction) {
+  PTWGR_EXPECTS(wire.channel < profiles_.size());
+  DensityProfile& profile = profiles_[wire.channel];
+  const Interval span = wire_span(wire);
+  if (direction > 0) {
+    profile.add(span);
+  } else {
+    profile.remove(span);
+  }
+  // Mirror into the pending-delta accumulator for replica sync.
+  const std::size_t first = profile.bucket_of(span.lo);
+  const std::size_t last =
+      profile.bucket_of(span.lo == span.hi ? span.hi : span.hi - 1);
+  for (std::size_t b = first; b <= last; ++b) {
+    pending_[wire.channel * buckets_per_channel_ + b] +=
+        static_cast<std::int32_t>(direction);
+  }
+}
+
+void SwitchableOptimizer::register_wires(const std::vector<Wire>& wires) {
+  for (const Wire& wire : wires) apply(wire, +1);
+}
+
+std::int64_t SwitchableOptimizer::local_peak(std::size_t channel,
+                                             const Wire& wire) const {
+  PTWGR_EXPECTS(channel < profiles_.size());
+  return profiles_[channel].max_density_over(wire_span(wire));
+}
+
+std::size_t SwitchableOptimizer::optimize(
+    std::vector<Wire>& wires, Rng& rng, const SwitchableOptions& options,
+    const std::function<void(std::size_t)>& on_progress) {
+  // Indices of switchable wires only.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    if (wires[i].switchable) order.push_back(i);
+  }
+
+  std::size_t flips = 0;
+  std::size_t decisions = 0;
+  for (int pass = 0; pass < options.passes; ++pass) {
+    rng.shuffle(order);  // the paper's random segment pick
+    for (const std::size_t idx : order) {
+      Wire& wire = wires[idx];
+      const std::uint32_t below = wire.row;
+      const std::uint32_t above = wire.row + 1;
+      const std::uint32_t other = (wire.channel == below) ? above : below;
+
+      apply(wire, -1);
+      // Evaluate the *track* change of the flip: tracks are per-channel
+      // global maxima, so compare the resulting channel peaks, not just the
+      // crowding under the wire (paper §2: "evaluating the channel track
+      // change when the segment is flipped").
+      const std::int64_t cur_max = profiles_[wire.channel].max_density();
+      const std::int64_t other_max = profiles_[other].max_density();
+      const std::int64_t cur_local = local_peak(wire.channel, wire);
+      const std::int64_t other_local = local_peak(other, wire);
+      const std::int64_t keep_total =
+          std::max(cur_max, cur_local + 1) + other_max;
+      const std::int64_t move_total =
+          cur_max + std::max(other_max, other_local + 1);
+      // Primary: fewer tracks.  Secondary (equal tracks): less local
+      // crowding, which leaves room for later segments.
+      if (move_total < keep_total ||
+          (move_total == keep_total && other_local + 1 < cur_local)) {
+        wire.channel = other;
+        ++flips;
+      }
+      apply(wire, +1);
+      ++decisions;
+      if (on_progress) on_progress(decisions);
+    }
+  }
+  return flips;
+}
+
+std::int64_t SwitchableOptimizer::channel_peak(std::size_t channel) const {
+  PTWGR_EXPECTS(channel < profiles_.size());
+  return profiles_[channel].max_density();
+}
+
+std::vector<std::int32_t> SwitchableOptimizer::take_pending_deltas() {
+  std::vector<std::int32_t> out(delta_state_size(), 0);
+  out.swap(pending_);
+  return out;
+}
+
+void SwitchableOptimizer::apply_external_deltas(
+    const std::vector<std::int32_t>& deltas) {
+  PTWGR_EXPECTS(deltas.size() == delta_state_size());
+  for (std::size_t c = 0; c < profiles_.size(); ++c) {
+    for (std::size_t b = 0; b < buckets_per_channel_; ++b) {
+      const std::int32_t d = deltas[c * buckets_per_channel_ + b];
+      if (d != 0) profiles_[c].add_at_bucket(b, d);
+    }
+  }
+}
+
+}  // namespace ptwgr

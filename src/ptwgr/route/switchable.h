@@ -1,0 +1,68 @@
+// Switchable net segment optimization (TWGR step 5).
+//
+// A switchable wire may ride the channel above or below its row.  Following
+// the paper, the optimizer visits switchable wires in *random order* and
+// flips a wire to the opposite channel when that lowers the local channel
+// density, iterating for a fixed number of passes.  Density is tracked in
+// per-channel bucketed profiles; the profiles expose delta export/import so
+// the net-wise parallel algorithm can periodically reconcile replicas
+// (paper §5: without it, "all processors could assign the same switchable
+// net segments to the same channel").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ptwgr/route/wire.h"
+#include "ptwgr/support/interval.h"
+#include "ptwgr/support/rng.h"
+
+namespace ptwgr {
+
+struct SwitchableOptions {
+  int passes = 2;
+  Coord bucket_width = 4;
+};
+
+class SwitchableOptimizer {
+ public:
+  /// Profiles cover x ∈ [0, core_width) for `num_channels` channels.
+  SwitchableOptimizer(std::size_t num_channels, Coord core_width,
+                      Coord bucket_width);
+
+  /// Registers wires at their current channels (call once before optimize).
+  void register_wires(const std::vector<Wire>& wires);
+
+  /// Random-order flip passes over the switchable wires in `wires`,
+  /// updating their channel in place.  `on_progress` fires after each
+  /// decision with the running decision count (net-wise sync hook).
+  /// Returns the number of flips.
+  std::size_t optimize(std::vector<Wire>& wires, Rng& rng,
+                       const SwitchableOptions& options,
+                       const std::function<void(std::size_t)>& on_progress =
+                           {});
+
+  /// Peak density currently tracked for a channel.
+  std::int64_t channel_peak(std::size_t channel) const;
+
+  // --- replica synchronization -------------------------------------------
+  /// Flat (channel-major) per-bucket deltas accumulated since the last call;
+  /// resets the accumulator.
+  std::vector<std::int32_t> take_pending_deltas();
+  /// Applies another replica's deltas (does not re-enter the accumulator).
+  void apply_external_deltas(const std::vector<std::int32_t>& deltas);
+  std::size_t delta_state_size() const {
+    return profiles_.size() * buckets_per_channel_;
+  }
+
+ private:
+  void apply(const Wire& wire, std::int64_t direction);
+  /// Peak density over the wire's span in `channel`.
+  std::int64_t local_peak(std::size_t channel, const Wire& wire) const;
+
+  std::vector<DensityProfile> profiles_;
+  std::vector<std::int32_t> pending_;
+  std::size_t buckets_per_channel_;
+};
+
+}  // namespace ptwgr

@@ -1,0 +1,28 @@
+// The routed wire: the unit of channel occupancy.
+#pragma once
+
+#include <cstdint>
+
+#include "ptwgr/circuit/types.h"
+
+namespace ptwgr {
+
+/// A horizontal wire in a channel.  Channel c runs below row c (channel R is
+/// above the top row of an R-row core).  Zero-length wires (lo == hi) are
+/// vertical stubs crossing the channel and still occupy a track locally.
+struct Wire {
+  NetId net;
+  std::uint32_t channel = 0;
+  Coord lo = 0;
+  Coord hi = 0;
+  /// A switchable net segment (paper §2): both endpoints have electrically
+  /// equivalent pins, so the wire may ride the channel above or below `row`.
+  bool switchable = false;
+  /// The row a switchable wire hugs; its legal channels are `row` (below)
+  /// and `row + 1` (above).  Unused for fixed wires.
+  std::uint32_t row = 0;
+
+  Coord length() const { return hi - lo; }
+};
+
+}  // namespace ptwgr

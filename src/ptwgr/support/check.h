@@ -1,0 +1,70 @@
+// Checked-assertion support.
+//
+// The library validates preconditions and invariants with PTWGR_CHECK, which
+// throws ptwgr::CheckError instead of aborting.  Routing inputs are frequently
+// user-supplied (netlists, options), so recoverable exceptions are the right
+// failure mode per the C++ Core Guidelines (I.5, E.2): the caller decides
+// whether a malformed circuit kills the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ptwgr {
+
+/// Thrown when a PTWGR_CHECK / PTWGR_EXPECTS / PTWGR_ENSURES condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace ptwgr
+
+/// General invariant check; active in all build types.
+#define PTWGR_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ptwgr::detail::check_failed("check", #cond, __FILE__, __LINE__,    \
+                                    std::string{});                        \
+  } while (false)
+
+/// Invariant check with a streamed context message:
+///   PTWGR_CHECK_MSG(i < n, "pin " << i << " out of range");
+#define PTWGR_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream ptwgr_check_os_;                                  \
+      ptwgr_check_os_ << msg;                                              \
+      ::ptwgr::detail::check_failed("check", #cond, __FILE__, __LINE__,    \
+                                    ptwgr_check_os_.str());                \
+    }                                                                      \
+  } while (false)
+
+/// Function precondition (documents intent; same behaviour as PTWGR_CHECK).
+#define PTWGR_EXPECTS(cond)                                                \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ptwgr::detail::check_failed("precondition", #cond, __FILE__,       \
+                                    __LINE__, std::string{});              \
+  } while (false)
+
+/// Function postcondition.
+#define PTWGR_ENSURES(cond)                                                \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ptwgr::detail::check_failed("postcondition", #cond, __FILE__,      \
+                                    __LINE__, std::string{});              \
+  } while (false)

@@ -1,0 +1,119 @@
+#include "ptwgr/support/interval.h"
+
+#include <algorithm>
+
+namespace ptwgr {
+
+std::int64_t max_overlap(std::vector<Interval> intervals) {
+  if (intervals.empty()) return 0;
+  // Event sweep: +1 at lo, -1 at hi; degenerate intervals widened by one.
+  std::vector<std::pair<std::int64_t, std::int64_t>> events;
+  events.reserve(intervals.size() * 2);
+  for (Interval& iv : intervals) {
+    PTWGR_EXPECTS(iv.lo <= iv.hi);
+    const std::int64_t hi = (iv.lo == iv.hi) ? iv.hi + 1 : iv.hi;
+    events.emplace_back(iv.lo, +1);
+    events.emplace_back(hi, -1);
+  }
+  // Sort by position; ends (-1) before starts (+1) at equal positions, since
+  // the intervals are half-open.
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  std::int64_t depth = 0;
+  std::int64_t best = 0;
+  for (const auto& [pos, delta] : events) {
+    depth += delta;
+    best = std::max(best, depth);
+  }
+  return best;
+}
+
+std::vector<Interval> merge_intervals(std::vector<Interval> intervals) {
+  if (intervals.empty()) return intervals;
+  for (Interval& iv : intervals) {
+    PTWGR_EXPECTS(iv.lo <= iv.hi);
+    if (iv.lo == iv.hi) iv.hi = iv.lo + 1;
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              if (a.lo != b.lo) return a.lo < b.lo;
+              return a.hi < b.hi;
+            });
+  std::vector<Interval> merged;
+  merged.push_back(intervals.front());
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, intervals[i].hi);
+    } else {
+      merged.push_back(intervals[i]);
+    }
+  }
+  return merged;
+}
+
+DensityProfile::DensityProfile(std::int64_t origin, std::int64_t bucket_width,
+                               std::size_t num_buckets)
+    : origin_(origin), bucket_width_(bucket_width), counts_(num_buckets, 0) {
+  PTWGR_EXPECTS(bucket_width > 0);
+  PTWGR_EXPECTS(num_buckets > 0);
+}
+
+std::size_t DensityProfile::bucket_of(std::int64_t x) const {
+  std::int64_t rel = x - origin_;
+  if (rel < 0) rel = 0;
+  auto idx = static_cast<std::size_t>(rel / bucket_width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  return idx;
+}
+
+void DensityProfile::apply(Interval iv, std::int64_t delta) {
+  PTWGR_EXPECTS(iv.lo <= iv.hi);
+  const std::size_t first = bucket_of(iv.lo);
+  // Half-open: the bucket containing hi is included only if hi is strictly
+  // inside it; degenerate intervals still occupy one bucket.
+  const std::size_t last = bucket_of(iv.lo == iv.hi ? iv.hi : iv.hi - 1);
+  for (std::size_t b = first; b <= last; ++b) {
+    counts_[b] += delta;
+    total_ += delta;
+    if (delta > 0) {
+      if (!dirty_ && counts_[b] > cached_max_) cached_max_ = counts_[b];
+    } else if (counts_[b] + 1 == cached_max_) {
+      // Might have lowered the max; recompute lazily.
+      dirty_ = true;
+    }
+  }
+}
+
+void DensityProfile::add_at_bucket(std::size_t bucket, std::int64_t delta) {
+  PTWGR_EXPECTS(bucket < counts_.size());
+  counts_[bucket] += delta;
+  total_ += delta;
+  if (delta > 0) {
+    if (!dirty_ && counts_[bucket] > cached_max_) cached_max_ = counts_[bucket];
+  } else if (delta < 0 && counts_[bucket] - delta == cached_max_) {
+    dirty_ = true;
+  }
+}
+
+std::int64_t DensityProfile::max_density() const {
+  if (dirty_) {
+    cached_max_ = *std::max_element(counts_.begin(), counts_.end());
+    dirty_ = false;
+  }
+  return cached_max_;
+}
+
+std::int64_t DensityProfile::max_density_over(Interval iv) const {
+  const std::size_t first = bucket_of(iv.lo);
+  const std::size_t last = bucket_of(iv.lo == iv.hi ? iv.hi : iv.hi - 1);
+  std::int64_t best = 0;
+  for (std::size_t b = first; b <= last; ++b) {
+    best = std::max(best, counts_[b]);
+  }
+  return best;
+}
+
+}  // namespace ptwgr

@@ -1,0 +1,84 @@
+// Interval overlap machinery.
+//
+// Channel density — the quality metric the paper reports as "tracks" — is the
+// maximum number of net wires crossing any x position of a channel.  Final
+// metrics use an exact endpoint sweep over wire intervals; the optimization
+// inner loops use a bucketed DensityProfile that supports cheap incremental
+// add/remove of intervals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+
+/// Half-open horizontal interval [lo, hi).  Degenerate intervals (lo == hi)
+/// represent vertical stubs and contribute one unit of width when densified.
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Exact maximum overlap of a set of intervals (the channel density):
+/// max over x of |{i : lo_i <= x < hi_i}|.  Degenerate intervals are widened
+/// to one unit.  O(n log n).
+std::int64_t max_overlap(std::vector<Interval> intervals);
+
+/// Merges overlapping or touching intervals into their union.  Degenerate
+/// intervals are widened to one unit first.  Channel density counts *nets*,
+/// not wire segments: all wires one net runs through a channel merge into a
+/// single track wherever they meet, so per-net interval union precedes the
+/// overlap sweep.
+std::vector<Interval> merge_intervals(std::vector<Interval> intervals);
+
+/// Bucketed density counter over a fixed coordinate range.
+///
+/// The range [origin, origin + num_buckets * bucket_width) is divided into
+/// equal buckets; each interval increments every bucket it touches.  Density
+/// queries return the max bucket count.  This is the structure TWGR-style
+/// delta evaluation needs: adding/removing a candidate wire and asking "did
+/// the channel max change?" in O(buckets touched).
+class DensityProfile {
+ public:
+  DensityProfile(std::int64_t origin, std::int64_t bucket_width,
+                 std::size_t num_buckets);
+
+  void add(Interval iv) { apply(iv, +1); }
+  void remove(Interval iv) { apply(iv, -1); }
+
+  /// Maximum bucket count (cached; recomputed lazily after removals).
+  std::int64_t max_density() const;
+
+  /// Maximum bucket count within the buckets an interval touches.
+  std::int64_t max_density_over(Interval iv) const;
+
+  /// Direct bucket adjustment — used to merge deltas produced by another
+  /// replica of the same profile (net-wise parallel synchronization).
+  void add_at_bucket(std::size_t bucket, std::int64_t delta);
+
+  /// Bucket index covering coordinate x (clamped).
+  std::size_t bucket_of(std::int64_t x) const;
+
+  /// Sum of all bucket counts (proxy for total wirelength in the channel).
+  std::int64_t total() const { return total_; }
+
+  std::size_t num_buckets() const { return counts_.size(); }
+  std::int64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+
+ private:
+  void apply(Interval iv, std::int64_t delta);
+
+  std::int64_t origin_;
+  std::int64_t bucket_width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+  // Cached max: exact when dirty_ is false; recomputed on demand otherwise.
+  mutable std::int64_t cached_max_ = 0;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace ptwgr

@@ -1,0 +1,54 @@
+#include "ptwgr/support/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ptwgr {
+namespace {
+
+LogLevel parse_env_level() {
+  const char* env = std::getenv("PTWGR_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "off") == 0) return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level{parse_env_level()};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
+  std::fprintf(stderr, "[ptwgr %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace ptwgr

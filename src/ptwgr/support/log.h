@@ -1,0 +1,53 @@
+// Minimal leveled logging to stderr.
+//
+// The router and the parallel algorithms log phase transitions at Info and
+// per-step details at Debug.  The level is process-global and defaults to
+// Warn so that tests and benchmarks stay quiet; set PTWGR_LOG=debug|info|
+// warn|error in the environment or call set_log_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ptwgr {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Current process-wide level (reads PTWGR_LOG on first use).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one line to stderr if `level` is enabled.  Thread-safe.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace ptwgr
+
+#define PTWGR_LOG(level)                                \
+  if (::ptwgr::log_level() <= ::ptwgr::LogLevel::level) \
+  ::ptwgr::detail::LogStream(::ptwgr::LogLevel::level)
+
+#define PTWGR_LOG_DEBUG PTWGR_LOG(Debug)
+#define PTWGR_LOG_INFO PTWGR_LOG(Info)
+#define PTWGR_LOG_WARN PTWGR_LOG(Warn)
+#define PTWGR_LOG_ERROR PTWGR_LOG(Error)

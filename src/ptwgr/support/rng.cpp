@@ -1,0 +1,11 @@
+#include "ptwgr/support/rng.h"
+
+namespace ptwgr {
+
+Rng Rng::split() {
+  // Draw a fresh seed from this stream; the SplitMix64 expansion in reseed()
+  // decorrelates the child state from the parent state.
+  return Rng{(*this)()};
+}
+
+}  // namespace ptwgr

@@ -1,0 +1,112 @@
+// Deterministic pseudo-random number generation.
+//
+// TWGR's coarse-routing and switchable-segment steps visit work items in a
+// random order, and the paper stresses that randomization removes order
+// dependence.  Reproducible experiments therefore need a seedable,
+// platform-independent generator: xoshiro256** seeded via SplitMix64, which
+// is both faster and better distributed than std::mt19937 and — unlike
+// std::uniform_int_distribution — produces identical streams on every
+// implementation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded with SplitMix64.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes state from a 64-bit seed via SplitMix64 expansion.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    PTWGR_EXPECTS(bound > 0);
+    // Lemire's nearly-divisionless method with rejection for exactness.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    PTWGR_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    const std::uint64_t offset = (span == 0) ? (*this)() : next_below(span);
+    return lo + static_cast<std::int64_t>(offset);
+  }
+
+  /// Uniform size_t index in [0, n). n must be positive.
+  std::size_t next_index(std::size_t n) {
+    return static_cast<std::size_t>(next_below(static_cast<std::uint64_t>(n)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+  /// Fisher–Yates shuffle (deterministic given the generator state).
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = next_index(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each rank / each
+  /// router step its own stream so parallel runs stay deterministic.
+  Rng split();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace ptwgr

@@ -1,0 +1,4 @@
+#include "ptwgr/support/serialize.h"
+
+// Header-only today; this translation unit pins the vtable-free types into
+// the library and keeps a home for future out-of-line helpers.

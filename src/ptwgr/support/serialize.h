@@ -1,0 +1,147 @@
+// Binary serialization for message payloads.
+//
+// The message-passing runtime (ptwgr/mp) moves raw byte buffers between
+// ranks, exactly as MPI does; Writer/Reader provide the typed pack/unpack
+// layer on top.  Supported: trivially copyable scalars and structs,
+// std::string, std::vector and std::pair of supported types.  All encoding is
+// native-endian — ranks are threads in one process, so there is no
+// cross-architecture concern, but sizes are encoded explicitly so that
+// framing errors surface as SerializeError rather than memory corruption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ptwgr {
+
+/// Thrown on malformed or truncated payloads.
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Appends typed values to a growing byte buffer.
+class Writer {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& value) {
+    const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+    buffer_.insert(buffer_.end(), bytes, bytes + sizeof(T));
+  }
+
+  void put(const std::string& s) {
+    put_size(s.size());
+    const auto* bytes = reinterpret_cast<const std::byte*>(s.data());
+    buffer_.insert(buffer_.end(), bytes, bytes + s.size());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const std::vector<T>& v) {
+    put_size(v.size());
+    const auto* bytes = reinterpret_cast<const std::byte*>(v.data());
+    buffer_.insert(buffer_.end(), bytes, bytes + v.size() * sizeof(T));
+  }
+
+  /// Element-wise encoding for vectors of non-trivially-copyable types.
+  template <typename T>
+    requires(!std::is_trivially_copyable_v<T>)
+  void put(const std::vector<T>& v) {
+    put_size(v.size());
+    for (const T& item : v) put(item);
+  }
+
+  template <typename A, typename B>
+  void put(const std::pair<A, B>& p) {
+    put(p.first);
+    put(p.second);
+  }
+
+  std::size_t size() const { return buffer_.size(); }
+  std::vector<std::byte> take() && { return std::move(buffer_); }
+  const std::vector<std::byte>& bytes() const { return buffer_; }
+
+ private:
+  void put_size(std::size_t n) { put(static_cast<std::uint64_t>(n)); }
+
+  std::vector<std::byte> buffer_;
+};
+
+/// Reads typed values back out of a byte buffer, validating bounds.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::byte>& buffer)
+      : data_(buffer.data()), size_(buffer.size()) {}
+  Reader(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    T value;
+    std::memcpy(&value, advance(sizeof(T)), sizeof(T));
+    return value;
+  }
+
+  std::string get_string() {
+    const std::size_t n = get_size();
+    const std::byte* p = advance(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_vector() {
+    const std::size_t n = get_size();
+    std::vector<T> v(n);
+    if (n > 0) std::memcpy(v.data(), advance(n * sizeof(T)), n * sizeof(T));
+    return v;
+  }
+
+  /// Element-wise decode; the element type supplies a static
+  /// `T deserialize(Reader&)` or is read via `reader.get<T>()` by the caller.
+  template <typename T, typename Fn>
+  std::vector<T> get_vector_with(Fn&& decode_one) {
+    const std::size_t n = get_size();
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(decode_one(*this));
+    return v;
+  }
+
+  std::size_t remaining() const { return size_ - offset_; }
+  bool exhausted() const { return offset_ == size_; }
+
+ private:
+  std::size_t get_size() {
+    const auto n = get<std::uint64_t>();
+    if (n > remaining()) {
+      throw SerializeError("encoded size exceeds remaining payload");
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  const std::byte* advance(std::size_t n) {
+    if (n > remaining()) {
+      throw SerializeError("payload truncated: need " + std::to_string(n) +
+                           " bytes, have " + std::to_string(remaining()));
+    }
+    const std::byte* p = data_ + offset_;
+    offset_ += n;
+    return p;
+  }
+
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace ptwgr

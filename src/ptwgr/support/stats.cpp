@@ -1,0 +1,104 @@
+#include "ptwgr/support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const {
+  return mean_ == 0.0 ? 0.0 : stddev() / mean_;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  PTWGR_EXPECTS(!bounds_.empty());
+  PTWGR_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    PTWGR_EXPECTS(bounds_[i - 1] < bounds_[i]);
+  }
+}
+
+void Histogram::add(std::uint64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  ++counts_[idx];
+  ++total_;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  const std::uint64_t peak =
+      *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i < bounds_.size()) {
+      os << "<= " << bounds_[i];
+    } else {
+      os << " > " << bounds_.back();
+    }
+    os << "\t" << counts_[i] << "\t";
+    if (peak > 0) {
+      const auto width = static_cast<std::size_t>(
+          40.0 * static_cast<double>(counts_[i]) / static_cast<double>(peak));
+      os << std::string(width, '#');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+double load_imbalance(const std::vector<double>& per_worker) {
+  if (per_worker.empty()) return 0.0;
+  double sum = 0.0;
+  double peak = 0.0;
+  for (const double w : per_worker) {
+    sum += w;
+    peak = std::max(peak, w);
+  }
+  if (sum <= 0.0) return 0.0;
+  const double mean = sum / static_cast<double>(per_worker.size());
+  return peak / mean;
+}
+
+}  // namespace ptwgr

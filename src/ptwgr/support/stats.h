@@ -1,0 +1,72 @@
+// Streaming statistics and simple histograms, used by the circuit generator
+// (pins-per-net distributions), partition quality reporting (load balance),
+// and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ptwgr {
+
+/// Welford-style running statistics: count, mean, variance, min, max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+  double cv() const;
+
+  /// Merges another accumulator into this one (parallel reduction friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram over non-negative integer values.  The final bucket
+/// is open-ended ("overflow"), which suits pins-per-net distributions where a
+/// handful of clock nets dwarf everything else.
+class Histogram {
+ public:
+  /// upper_bounds must be strictly increasing; value v lands in the first
+  /// bucket with v <= bound, or the overflow bucket.
+  explicit Histogram(std::vector<std::uint64_t> upper_bounds);
+
+  void add(std::uint64_t value);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket_value(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const { return total_; }
+
+  /// Multi-line human-readable rendering with per-bucket bars.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 buckets
+  std::uint64_t total_ = 0;
+};
+
+/// Load-imbalance ratio of a per-worker work vector:
+/// max(work) / mean(work).  1.0 is perfectly balanced; returns 0 for empty
+/// input or all-zero work.
+double load_imbalance(const std::vector<double>& per_worker);
+
+}  // namespace ptwgr

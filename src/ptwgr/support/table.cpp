@@ -1,0 +1,69 @@
+#include "ptwgr/support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ptwgr {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  if (rows_.empty()) return os.str();
+
+  std::size_t ncols = 0;
+  for (const auto& row : rows_) ncols = std::max(ncols, row.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string{};
+      if (c == 0) {
+        os << cell << std::string(widths[c] - cell.size(), ' ');
+      } else {
+        os << "  " << std::string(widths[c] - cell.size(), ' ') << cell;
+      }
+    }
+    os << '\n';
+  };
+
+  emit_row(rows_.front());
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < ncols; ++c) total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (std::size_t r = 1; r < rows_.size(); ++r) emit_row(rows_[r]);
+  return os.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_grouped(long long value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  std::size_t counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter != 0 && counter % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++counter;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ptwgr

@@ -1,0 +1,34 @@
+// Plain-text table rendering for the benchmark harnesses, mirroring the
+// paper's tables (Table 1–5) and figures (speedup series printed as rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ptwgr {
+
+/// Column-aligned ASCII table.  Cells are strings; numeric formatting is the
+/// caller's job (helpers below).  The first added row is the header.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header separator and right-aligned cells (left-aligned
+  /// first column, which holds row labels in all paper tables).
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal rendering ("3.142" for format_fixed(3.14159, 3)).
+std::string format_fixed(double value, int decimals);
+
+/// Thousands-separated integer rendering ("1,234,567"), as the paper prints
+/// track and area counts.
+std::string format_grouped(long long value);
+
+}  // namespace ptwgr

@@ -1,0 +1,60 @@
+// Wall-clock and per-thread CPU timers.
+//
+// The virtual-clock timing model in ptwgr/mp needs each rank's *own* compute
+// time, independent of how the OS schedules the rank threads onto cores
+// (this reproduction may run on a single-core host, where wall clock measures
+// nothing useful about per-rank work).  CLOCK_THREAD_CPUTIME_ID provides
+// exactly that.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace ptwgr {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// CPU time consumed by the calling thread, in seconds.
+/// Falls back to process CPU time on platforms without per-thread clocks.
+inline double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+/// Stopwatch over the calling thread's CPU time.  Must be read from the same
+/// thread that constructed it.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(thread_cpu_seconds()) {}
+
+  void reset() { start_ = thread_cpu_seconds(); }
+
+  /// Thread CPU seconds since construction or the last reset().
+  double seconds() const { return thread_cpu_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+}  // namespace ptwgr

@@ -1,0 +1,133 @@
+#include "ptwgr/baseline/maze_router.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/builder.h"
+#include "ptwgr/circuit/suite.h"
+
+namespace ptwgr {
+namespace {
+
+TEST(MazeRouter, RoutesSimpleTwoPinNet) {
+  CircuitBuilder b;
+  const RowId r0 = b.add_row();
+  const RowId r1 = b.add_row();
+  const CellId c0 = b.add_cell(r0, 100);
+  const CellId c1 = b.add_cell(r1, 100);
+  const NetId n = b.add_net();
+  b.add_pin(c0, n, 10, PinSide::Both);
+  b.add_pin(c1, n, 90, PinSide::Both);
+  const Circuit circuit = std::move(b).build();
+
+  const MazeResult result = route_maze_baseline(circuit);
+  EXPECT_GT(result.track_count, 0);
+  EXPECT_GT(result.path_cells, 0);
+  EXPECT_EQ(result.channel_density.size(), 3u);
+  EXPECT_EQ(result.row_crossings.size(), 2u);
+}
+
+TEST(MazeRouter, SameRowNetNeedsNoCrossings) {
+  CircuitBuilder b;
+  const RowId row = b.add_row();
+  const CellId c0 = b.add_cell(row, 100);
+  const CellId c1 = b.add_cell(row, 100);
+  const NetId n = b.add_net();
+  b.add_pin(c0, n, 0, PinSide::Bottom);
+  b.add_pin(c1, n, 90, PinSide::Bottom);
+  const Circuit circuit = std::move(b).build();
+
+  const MazeResult result = route_maze_baseline(circuit);
+  EXPECT_EQ(result.feedthrough_count, 0);
+  EXPECT_GE(result.track_count, 1);
+}
+
+TEST(MazeRouter, CrossRowNetPaysCrossings) {
+  CircuitBuilder b;
+  const RowId r0 = b.add_row();
+  b.add_row();
+  const RowId r2 = b.add_row();
+  const CellId c0 = b.add_cell(r0, 50);
+  const CellId c2 = b.add_cell(r2, 50);
+  const NetId n = b.add_net();
+  b.add_pin(c0, n, 10, PinSide::Both);
+  b.add_pin(c2, n, 10, PinSide::Both);
+  const Circuit circuit = std::move(b).build();
+
+  const MazeResult result = route_maze_baseline(circuit);
+  // At minimum the middle row must be crossed once; the outer rows' pins
+  // choose adjacent channels.
+  EXPECT_GE(result.feedthrough_count, 1);
+  EXPECT_GE(result.row_crossings[1], 1);
+}
+
+TEST(MazeRouter, StackedPinsCostNothing) {
+  CircuitBuilder b;
+  const RowId row = b.add_row();
+  const CellId cell = b.add_cell(row, 50);
+  const NetId n = b.add_net();
+  b.add_pin(cell, n, 10, PinSide::Both);
+  b.add_pin(cell, n, 10, PinSide::Both);
+  const Circuit circuit = std::move(b).build();
+  const MazeResult result = route_maze_baseline(circuit);
+  EXPECT_EQ(result.path_cells, 0);
+  EXPECT_EQ(result.track_count, 0);
+}
+
+TEST(MazeRouter, DeterministicAndOrderDependent) {
+  const Circuit circuit = small_test_circuit(17, 5, 25);
+  const MazeResult a = route_maze_baseline(circuit);
+  const MazeResult b = route_maze_baseline(circuit);
+  EXPECT_EQ(a.track_count, b.track_count);
+  EXPECT_EQ(a.feedthrough_count, b.feedthrough_count);
+
+  MazeOptions reversed;
+  reversed.reverse_net_order = true;
+  const MazeResult r = route_maze_baseline(circuit, reversed);
+  // The whole point of the baseline: results move with the net order.
+  EXPECT_TRUE(r.track_count != a.track_count ||
+              r.path_cells != a.path_cells ||
+              r.feedthrough_count != a.feedthrough_count);
+}
+
+TEST(MazeRouter, CongestionAwarenessSpreadsLoad) {
+  // Many parallel same-row nets between the same two columns: with
+  // congestion weight they spread over both adjacent channels.
+  CircuitBuilder b;
+  const RowId row = b.add_row();
+  const CellId c0 = b.add_cell(row, 200);
+  const CellId c1 = b.add_cell(row, 200);
+  for (int i = 0; i < 12; ++i) {
+    const NetId n = b.add_net();
+    b.add_pin(c0, n, 10, PinSide::Both);
+    b.add_pin(c1, n, 190, PinSide::Both);
+  }
+  const Circuit circuit = std::move(b).build();
+  const MazeResult result = route_maze_baseline(circuit);
+  // Both channels of the row used, neither carrying everything.
+  EXPECT_GT(result.channel_density[0], 0);
+  EXPECT_GT(result.channel_density[1], 0);
+  EXPECT_LT(result.channel_density[0], 12);
+  EXPECT_LT(result.channel_density[1], 12);
+}
+
+TEST(MazeRouter, HandlesSuiteCircuitAtTinyScale) {
+  const Circuit circuit =
+      build_suite_circuit(suite_entry("primary2", 0.05));
+  const MazeResult result = route_maze_baseline(circuit);
+  EXPECT_GT(result.track_count, 0);
+  EXPECT_GT(result.feedthrough_count, 0);
+}
+
+TEST(MazeRouter, ViaCostControlsCrossingAppetite) {
+  const Circuit circuit = small_test_circuit(18, 6, 25);
+  MazeOptions cheap;
+  cheap.via_cost = 1.0;
+  MazeOptions expensive;
+  expensive.via_cost = 200.0;
+  const MazeResult with_cheap = route_maze_baseline(circuit, cheap);
+  const MazeResult with_expensive = route_maze_baseline(circuit, expensive);
+  EXPECT_LE(with_expensive.feedthrough_count, with_cheap.feedthrough_count);
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,84 @@
+#include "ptwgr/eval/channel_report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ptwgr/circuit/builder.h"
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/route/router.h"
+
+namespace ptwgr {
+namespace {
+
+TEST(ChannelReport, ProfileShowsDensities) {
+  CircuitBuilder b;
+  const RowId row = b.add_row();
+  b.add_cell(row, 100);
+  Circuit circuit = std::move(b).build();
+
+  Wire wire;
+  wire.net = NetId{0};
+  wire.channel = 1;
+  wire.lo = 0;
+  wire.hi = 100;
+  const std::string profile =
+      render_channel_profile(circuit, {wire}, /*columns=*/10);
+  // Channel 1 fully occupied by one net; channel 0 empty.
+  EXPECT_NE(profile.find("ch  1 |1111111111| density 1"), std::string::npos)
+      << profile;
+  EXPECT_NE(profile.find("ch  0 |..........| density 0"), std::string::npos)
+      << profile;
+  EXPECT_NE(profile.find("tracks total: 1"), std::string::npos);
+}
+
+TEST(ChannelReport, SameNetCountsOncePerSlice) {
+  CircuitBuilder b;
+  const RowId row = b.add_row();
+  b.add_cell(row, 100);
+  Circuit circuit = std::move(b).build();
+
+  // Two overlapping wires of the same net: slice depth stays 1.
+  Wire w1;
+  w1.net = NetId{3};
+  w1.channel = 0;
+  w1.lo = 0;
+  w1.hi = 100;
+  Wire w2 = w1;
+  w2.lo = 20;
+  w2.hi = 80;
+  const std::string profile =
+      render_channel_profile(circuit, {w1, w2}, /*columns=*/5);
+  EXPECT_NE(profile.find("|11111|"), std::string::npos) << profile;
+}
+
+TEST(ChannelReport, FullReportHasAllSections) {
+  const RoutingResult result = route_serial(small_test_circuit(44, 4, 20));
+  std::ostringstream out;
+  write_routing_report(out, result.circuit, result.wires);
+  const std::string report = out.str();
+  EXPECT_NE(report.find("# ptwgr routing report"), std::string::npos);
+  EXPECT_NE(report.find("metrics: tracks="), std::string::npos);
+  EXPECT_NE(report.find("channel profile"), std::string::npos);
+  EXPECT_NE(report.find("wires (channel lo hi net switchable):"),
+            std::string::npos);
+  // One wire line per wire after the list header.
+  const auto header_end =
+      report.find('\n', report.find("switchable):")) + 1;
+  std::size_t lines = 0;
+  for (std::size_t pos = header_end;
+       (pos = report.find('\n', pos)) != std::string::npos; ++pos) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, result.wires.size());
+}
+
+TEST(ChannelReport, RejectsZeroColumns) {
+  CircuitBuilder b;
+  b.add_row();
+  const Circuit circuit = std::move(b).build();
+  EXPECT_THROW(render_channel_profile(circuit, {}, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace ptwgr

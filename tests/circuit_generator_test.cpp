@@ -1,0 +1,175 @@
+#include "ptwgr/circuit/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/circuit_stats.h"
+#include "ptwgr/circuit/suite.h"
+
+namespace ptwgr {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.num_rows = 6;
+  cfg.num_cells = 240;
+  cfg.num_nets = 260;
+  cfg.mean_pins_per_net = 3.4;
+  return cfg;
+}
+
+TEST(Generator, ProducesRequestedCounts) {
+  const Circuit c = generate_circuit(small_config(1));
+  EXPECT_EQ(c.num_rows(), 6u);
+  EXPECT_EQ(c.num_cells(), 240u);
+  EXPECT_EQ(c.num_nets(), 260u);
+  c.validate();
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const Circuit a = generate_circuit(small_config(9));
+  const Circuit b = generate_circuit(small_config(9));
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  for (std::size_t p = 0; p < a.num_pins(); ++p) {
+    const PinId pid{static_cast<std::uint32_t>(p)};
+    EXPECT_EQ(a.pin_x(pid), b.pin_x(pid));
+    EXPECT_EQ(a.pin_row(pid), b.pin_row(pid));
+    EXPECT_EQ(a.pin(pid).side, b.pin(pid).side);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Circuit a = generate_circuit(small_config(1));
+  const Circuit b = generate_circuit(small_config(2));
+  bool any_difference = a.num_pins() != b.num_pins();
+  if (!any_difference) {
+    for (std::size_t p = 0; p < a.num_pins(); ++p) {
+      const PinId pid{static_cast<std::uint32_t>(p)};
+      if (a.pin_x(pid) != b.pin_x(pid)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Generator, EveryNetHasAtLeastTwoPins) {
+  const Circuit c = generate_circuit(small_config(3));
+  for (const Net& net : c.nets()) {
+    EXPECT_GE(net.pins.size(), 2u);
+  }
+}
+
+TEST(Generator, MeanDegreeNearTarget) {
+  GeneratorConfig cfg = small_config(4);
+  cfg.num_nets = 4000;
+  cfg.num_cells = 4000;
+  cfg.num_rows = 10;
+  cfg.mean_pins_per_net = 3.5;
+  const Circuit c = generate_circuit(cfg);
+  const CircuitStats stats = compute_stats(c);
+  EXPECT_NEAR(stats.mean_pins_per_net, 3.5, 0.25);
+}
+
+TEST(Generator, GiantNetsCreated) {
+  GeneratorConfig cfg = small_config(5);
+  cfg.giant_net_pins = {500, 100};
+  const Circuit c = generate_circuit(cfg);
+  EXPECT_EQ(c.num_nets(), cfg.num_nets + 2);
+  const CircuitStats stats = compute_stats(c);
+  EXPECT_EQ(stats.max_pins_on_net, 500u);
+}
+
+TEST(Generator, EquivalentPinFractionRoughlyRespected) {
+  GeneratorConfig cfg = small_config(6);
+  cfg.num_nets = 3000;
+  cfg.equivalent_pin_fraction = 0.5;
+  const Circuit c = generate_circuit(cfg);
+  std::size_t both = 0;
+  for (const Pin& pin : c.pins()) {
+    if (pin.side == PinSide::Both) ++both;
+  }
+  const double fraction =
+      static_cast<double>(both) / static_cast<double>(c.num_pins());
+  EXPECT_NEAR(fraction, 0.5, 0.05);
+}
+
+TEST(Generator, CellsBalancedAcrossRows) {
+  const Circuit c = generate_circuit(small_config(7));
+  for (const Row& row : c.rows()) {
+    EXPECT_EQ(row.cells.size(), 40u);  // 240 cells / 6 rows
+  }
+}
+
+TEST(Generator, RejectsBadConfig) {
+  GeneratorConfig cfg = small_config(8);
+  cfg.num_rows = 0;
+  EXPECT_THROW(generate_circuit(cfg), CheckError);
+  cfg = small_config(8);
+  cfg.mean_pins_per_net = 1.0;
+  EXPECT_THROW(generate_circuit(cfg), CheckError);
+  cfg = small_config(8);
+  cfg.max_cell_width = cfg.min_cell_width - 1;
+  EXPECT_THROW(generate_circuit(cfg), CheckError);
+}
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, AlwaysValid) {
+  GeneratorConfig cfg = small_config(GetParam());
+  cfg.num_rows = 3 + GetParam() % 5;
+  const Circuit c = generate_circuit(cfg);
+  c.validate();  // throws on any structural violation
+  EXPECT_GT(c.core_width(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Suite, HasSixCircuits) {
+  const auto suite = benchmark_suite(0.05);
+  ASSERT_EQ(suite.size(), 6u);
+  EXPECT_EQ(suite[0].name, "primary2");
+  EXPECT_EQ(suite[5].name, "avq.large");
+}
+
+TEST(Suite, EntriesScaleProportionally) {
+  const auto full = suite_entry("biomed", 1.0);
+  const auto half = suite_entry("biomed", 0.5);
+  EXPECT_NEAR(static_cast<double>(half.config.num_cells),
+              static_cast<double>(full.config.num_cells) * 0.5, 2.0);
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(suite_entry("nonexistent"), CheckError);
+}
+
+TEST(Suite, SmallScaleCircuitsBuildAndValidate) {
+  for (const SuiteEntry& entry : benchmark_suite(0.02)) {
+    const Circuit c = build_suite_circuit(entry);
+    c.validate();
+    EXPECT_GE(c.num_rows(), 2u) << entry.name;
+    EXPECT_GE(c.num_nets(), 1u) << entry.name;
+  }
+}
+
+TEST(Suite, AvqCircuitsHaveGiantClockNets) {
+  const auto avq = suite_entry("avq.large", 0.1);
+  ASSERT_FALSE(avq.config.giant_net_pins.empty());
+  const Circuit c = build_suite_circuit(avq);
+  const CircuitStats stats = compute_stats(c);
+  EXPECT_GE(stats.max_pins_on_net, 300u);
+  // The paper: 99% of avq nets are small despite the clock monsters.
+  EXPECT_GT(stats.fraction_nets_small, 0.9);
+}
+
+TEST(Suite, SmallTestCircuitIsStable) {
+  const Circuit a = small_test_circuit(7);
+  const Circuit b = small_test_circuit(7);
+  EXPECT_EQ(a.num_pins(), b.num_pins());
+  a.validate();
+}
+
+}  // namespace
+}  // namespace ptwgr

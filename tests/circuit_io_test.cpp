@@ -1,0 +1,143 @@
+#include "ptwgr/circuit/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ptwgr/circuit/builder.h"
+#include "ptwgr/circuit/generator.h"
+
+namespace ptwgr {
+namespace {
+
+Circuit sample_circuit() {
+  CircuitBuilder b;
+  const RowId r0 = b.add_row(16);
+  const RowId r1 = b.add_row(20);
+  const CellId c0 = b.add_cell(r0, 8);
+  const CellId c1 = b.add_cell(r0, 12);
+  const CellId c2 = b.add_cell(r1, 10);
+  const NetId n0 = b.add_net();
+  const NetId n1 = b.add_net();
+  b.add_pin(c0, n0, 2, PinSide::Top);
+  b.add_pin(c2, n0, 5, PinSide::Bottom);
+  b.add_pin(c1, n1, 0, PinSide::Both);
+  b.add_pin(c2, n1, 10, PinSide::Both);
+  return std::move(b).build();
+}
+
+bool structurally_equal(const Circuit& a, const Circuit& b) {
+  if (a.num_rows() != b.num_rows() || a.num_cells() != b.num_cells() ||
+      a.num_pins() != b.num_pins() || a.num_nets() != b.num_nets()) {
+    return false;
+  }
+  for (std::size_t p = 0; p < a.num_pins(); ++p) {
+    const PinId pid{static_cast<std::uint32_t>(p)};
+    if (a.pin_x(pid) != b.pin_x(pid) || a.pin_row(pid) != b.pin_row(pid) ||
+        a.pin(pid).side != b.pin(pid).side) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(CircuitIo, RoundTripSmall) {
+  const Circuit original = sample_circuit();
+  std::stringstream buffer;
+  write_circuit(buffer, original);
+  const Circuit restored = read_circuit(buffer);
+  EXPECT_TRUE(structurally_equal(original, restored));
+}
+
+TEST(CircuitIo, RoundTripGenerated) {
+  GeneratorConfig cfg;
+  cfg.seed = 77;
+  cfg.num_rows = 5;
+  cfg.num_cells = 150;
+  cfg.num_nets = 170;
+  const Circuit original = generate_circuit(cfg);
+  std::stringstream buffer;
+  write_circuit(buffer, original);
+  const Circuit restored = read_circuit(buffer);
+  EXPECT_TRUE(structurally_equal(original, restored));
+}
+
+TEST(CircuitIo, SkipsCommentsAndBlankLines) {
+  const Circuit original = sample_circuit();
+  std::stringstream buffer;
+  write_circuit(buffer, original);
+  std::string text = "# leading comment\n\n" + buffer.str();
+  std::stringstream annotated(text);
+  EXPECT_NO_THROW(read_circuit(annotated));
+}
+
+TEST(CircuitIo, RejectsBadMagic) {
+  std::stringstream in("NOT-A-CIRCUIT 1\n");
+  EXPECT_THROW(read_circuit(in), CircuitIoError);
+}
+
+TEST(CircuitIo, RejectsWrongVersion) {
+  std::stringstream in("PTWGR-CIRCUIT 99\nROWS 0\nCELLS 0\nNETS 0\n");
+  EXPECT_THROW(read_circuit(in), CircuitIoError);
+}
+
+TEST(CircuitIo, RejectsTruncatedFile) {
+  std::stringstream in("PTWGR-CIRCUIT 1\nROWS 2\nROW 16\n");
+  EXPECT_THROW(read_circuit(in), CircuitIoError);
+}
+
+TEST(CircuitIo, RejectsOutOfRangeCellIndex) {
+  std::stringstream in(
+      "PTWGR-CIRCUIT 1\n"
+      "ROWS 1\nROW 16\n"
+      "CELLS 1\nCELL 0 8\n"
+      "NETS 1\nNET 1\nPIN 5 0 T\n");
+  EXPECT_THROW(read_circuit(in), CircuitIoError);
+}
+
+TEST(CircuitIo, RejectsBadPinSide) {
+  std::stringstream in(
+      "PTWGR-CIRCUIT 1\n"
+      "ROWS 1\nROW 16\n"
+      "CELLS 1\nCELL 0 8\n"
+      "NETS 1\nNET 1\nPIN 0 0 Q\n");
+  EXPECT_THROW(read_circuit(in), CircuitIoError);
+}
+
+TEST(CircuitIo, RejectsOffsetOutsideCell) {
+  std::stringstream in(
+      "PTWGR-CIRCUIT 1\n"
+      "ROWS 1\nROW 16\n"
+      "CELLS 1\nCELL 0 8\n"
+      "NETS 1\nNET 1\nPIN 0 99 T\n");
+  EXPECT_THROW(read_circuit(in), CircuitIoError);
+}
+
+TEST(CircuitIo, FileRoundTrip) {
+  const Circuit original = sample_circuit();
+  const std::string path = ::testing::TempDir() + "/ptwgr_io_test.ckt";
+  write_circuit_file(path, original);
+  const Circuit restored = read_circuit_file(path);
+  EXPECT_TRUE(structurally_equal(original, restored));
+}
+
+TEST(CircuitIo, MissingFileThrows) {
+  EXPECT_THROW(read_circuit_file("/nonexistent/path.ckt"), CircuitIoError);
+}
+
+TEST(CircuitIo, FeedthroughsAndFakePinsNotPersisted) {
+  Circuit c = sample_circuit();
+  const NetId net{0};
+  c.add_fake_pin(net, RowId{0}, 55);
+  const CellId ft = c.insert_feedthrough(RowId{0}, 4, 3);
+  c.add_cell_pin(ft, net, 1, PinSide::Both);
+
+  std::stringstream buffer;
+  write_circuit(buffer, c);
+  const Circuit restored = read_circuit(buffer);
+  EXPECT_EQ(restored.num_feedthrough_cells(), 0u);
+  EXPECT_EQ(restored.net(net).pins.size(), 2u);  // only the original 2
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,186 @@
+#include "ptwgr/circuit/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/builder.h"
+
+namespace ptwgr {
+namespace {
+
+TEST(Circuit, EmptyCircuitCounts) {
+  Circuit c;
+  EXPECT_EQ(c.num_rows(), 0u);
+  EXPECT_EQ(c.num_cells(), 0u);
+  EXPECT_EQ(c.num_pins(), 0u);
+  EXPECT_EQ(c.num_nets(), 0u);
+  EXPECT_EQ(c.core_width(), 0);
+}
+
+TEST(Circuit, ChannelsAreRowsPlusOne) {
+  Circuit c;
+  c.add_row(16);
+  c.add_row(16);
+  c.add_row(16);
+  EXPECT_EQ(c.num_channels(), 4u);
+}
+
+TEST(Circuit, PackAssignsContiguousPositions) {
+  Circuit c;
+  const RowId row = c.add_row(16);
+  const CellId a = c.append_cell(row, 10, CellKind::Standard);
+  const CellId b = c.append_cell(row, 5, CellKind::Standard);
+  const CellId d = c.append_cell(row, 7, CellKind::Standard);
+  c.pack_row(row, 2);
+  EXPECT_EQ(c.cell(a).x, 0);
+  EXPECT_EQ(c.cell(b).x, 12);
+  EXPECT_EQ(c.cell(d).x, 19);
+  EXPECT_EQ(c.row_width(row), 26);
+}
+
+TEST(Circuit, PinPositionsDeriveFromCell) {
+  Circuit c;
+  const RowId row = c.add_row(16);
+  const CellId cell = c.append_cell(row, 10, CellKind::Standard);
+  const NetId net = c.add_net();
+  const PinId pin = c.add_cell_pin(cell, net, 4, PinSide::Top);
+  c.pack_row(row);
+  EXPECT_EQ(c.pin_x(pin), 4);
+  EXPECT_EQ(c.pin_row(pin), row);
+  EXPECT_FALSE(c.pin(pin).is_fake());
+}
+
+TEST(Circuit, FakePinHasAbsolutePosition) {
+  Circuit c;
+  const RowId row = c.add_row(16);
+  c.append_cell(row, 10, CellKind::Standard);
+  const NetId net = c.add_net();
+  const PinId fake = c.add_fake_pin(net, row, 123);
+  EXPECT_TRUE(c.pin(fake).is_fake());
+  EXPECT_EQ(c.pin_x(fake), 123);
+  EXPECT_EQ(c.pin_row(fake), row);
+  EXPECT_EQ(c.pin(fake).side, PinSide::Both);
+  // Fake pins belong to the net.
+  EXPECT_EQ(c.net(net).pins.size(), 1u);
+}
+
+TEST(Circuit, InsertFeedthroughShiftsRightNeighbors) {
+  Circuit c;
+  const RowId row = c.add_row(16);
+  const CellId a = c.append_cell(row, 10, CellKind::Standard);
+  const CellId b = c.append_cell(row, 10, CellKind::Standard);
+  c.pack_row(row);
+  ASSERT_EQ(c.cell(b).x, 10);
+
+  const CellId ft = c.insert_feedthrough(row, 10, 4);
+  EXPECT_EQ(c.cell(ft).kind, CellKind::Feedthrough);
+  EXPECT_EQ(c.cell(ft).x, 10);
+  EXPECT_EQ(c.cell(a).x, 0);    // untouched
+  EXPECT_EQ(c.cell(b).x, 14);   // shifted
+  EXPECT_EQ(c.num_feedthrough_cells(), 1u);
+  c.validate();
+}
+
+TEST(Circuit, InsertFeedthroughAbsorbsSlack) {
+  Circuit c;
+  const RowId row = c.add_row(16);
+  const CellId a = c.append_cell(row, 10, CellKind::Standard);
+  const CellId b = c.append_cell(row, 10, CellKind::Standard);
+  c.pack_row(row, 6);  // gap of 6 between cells
+  ASSERT_EQ(c.cell(b).x, 16);
+
+  // Width-4 feedthrough fits in the gap: b should not move.
+  c.insert_feedthrough(row, 10, 4);
+  EXPECT_EQ(c.cell(a).x, 0);
+  EXPECT_EQ(c.cell(b).x, 16);
+  c.validate();
+}
+
+TEST(Circuit, InsertFeedthroughCascadesShifts) {
+  Circuit c;
+  const RowId row = c.add_row(16);
+  c.append_cell(row, 10, CellKind::Standard);
+  const CellId b = c.append_cell(row, 10, CellKind::Standard);
+  const CellId d = c.append_cell(row, 10, CellKind::Standard);
+  c.pack_row(row);
+
+  c.insert_feedthrough(row, 5, 4);  // lands after cell a (x=10)
+  // a's right edge is 10, so the ft sits at 10; b and d shift by 4.
+  EXPECT_EQ(c.cell(b).x, 14);
+  EXPECT_EQ(c.cell(d).x, 24);
+  c.validate();
+}
+
+TEST(Circuit, InsertFeedthroughAtRowEnd) {
+  Circuit c;
+  const RowId row = c.add_row(16);
+  c.append_cell(row, 10, CellKind::Standard);
+  c.pack_row(row);
+  const CellId ft = c.insert_feedthrough(row, 100, 4);
+  EXPECT_EQ(c.cell(ft).x, 100);
+  EXPECT_EQ(c.row_width(row), 104);
+  c.validate();
+}
+
+TEST(Circuit, FeedthroughPinParticipatesInNet) {
+  Circuit c;
+  const RowId row = c.add_row(16);
+  c.append_cell(row, 10, CellKind::Standard);
+  c.pack_row(row);
+  const NetId net = c.add_net();
+  const CellId ft = c.insert_feedthrough(row, 20, 4);
+  const PinId pin = c.add_cell_pin(ft, net, 2, PinSide::Both);
+  EXPECT_EQ(c.pin_x(pin), 22);
+  EXPECT_EQ(c.net(net).pins.size(), 1u);
+  c.validate();
+}
+
+TEST(Circuit, ValidateCatchesPinOffsetOutsideCell) {
+  Circuit c;
+  const RowId row = c.add_row(16);
+  const CellId cell = c.append_cell(row, 10, CellKind::Standard);
+  const NetId net = c.add_net();
+  EXPECT_THROW(c.add_cell_pin(cell, net, 11, PinSide::Top), CheckError);
+}
+
+TEST(Circuit, CoreWidthIsWidestRow) {
+  Circuit c;
+  const RowId r0 = c.add_row(16);
+  const RowId r1 = c.add_row(16);
+  c.append_cell(r0, 10, CellKind::Standard);
+  c.append_cell(r1, 10, CellKind::Standard);
+  c.append_cell(r1, 25, CellKind::Standard);
+  c.pack();
+  EXPECT_EQ(c.core_width(), 35);
+}
+
+TEST(CircuitBuilder, BuildsValidatedCircuit) {
+  CircuitBuilder b;
+  const RowId r0 = b.add_row();
+  const RowId r1 = b.add_row();
+  const CellId c0 = b.add_cell(r0, 8);
+  const CellId c1 = b.add_cell(r1, 8);
+  const NetId n = b.add_net();
+  b.add_pin(c0, n, 2, PinSide::Top);
+  b.add_pin(c1, n, 4, PinSide::Bottom);
+  const Circuit circuit = std::move(b).build();
+  EXPECT_EQ(circuit.num_rows(), 2u);
+  EXPECT_EQ(circuit.num_pins(), 2u);
+  EXPECT_EQ(circuit.net(n).pins.size(), 2u);
+}
+
+TEST(CircuitBuilder, RejectsBadInputs) {
+  CircuitBuilder b;
+  EXPECT_THROW(b.add_row(0), CheckError);
+  const RowId r = b.add_row();
+  EXPECT_THROW(b.add_cell(r, 0), CheckError);
+  EXPECT_THROW(b.add_cell(RowId{42}, 5), CheckError);
+}
+
+TEST(Circuit, AddRowRejectsNonPositiveHeight) {
+  Circuit c;
+  EXPECT_THROW(c.add_row(0), CheckError);
+  EXPECT_THROW(c.add_row(-5), CheckError);
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,70 @@
+#include "ptwgr/circuit/circuit_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/builder.h"
+
+namespace ptwgr {
+namespace {
+
+TEST(CircuitStats, CountsBasicQuantities) {
+  CircuitBuilder b;
+  const RowId r0 = b.add_row();
+  const RowId r1 = b.add_row();
+  const CellId c0 = b.add_cell(r0, 10);
+  const CellId c1 = b.add_cell(r1, 20);
+  const NetId n0 = b.add_net();
+  const NetId n1 = b.add_net();
+  b.add_pin(c0, n0, 0, PinSide::Top);
+  b.add_pin(c1, n0, 0, PinSide::Top);
+  b.add_pin(c0, n1, 1, PinSide::Both);
+  b.add_pin(c1, n1, 2, PinSide::Both);
+  b.add_pin(c1, n1, 3, PinSide::Both);
+  const Circuit circuit = std::move(b).build();
+
+  const CircuitStats stats = compute_stats(circuit);
+  EXPECT_EQ(stats.rows, 2u);
+  EXPECT_EQ(stats.cells, 2u);
+  EXPECT_EQ(stats.pins, 5u);
+  EXPECT_EQ(stats.nets, 2u);
+  EXPECT_EQ(stats.max_pins_on_net, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_pins_per_net, 2.5);
+  EXPECT_DOUBLE_EQ(stats.fraction_nets_small, 1.0);
+  EXPECT_EQ(stats.core_width, 20);
+}
+
+TEST(CircuitStats, SmallNetFractionWithGiant) {
+  CircuitBuilder b;
+  const RowId row = b.add_row();
+  const CellId cell = b.add_cell(row, 100);
+  const NetId small = b.add_net();
+  b.add_pin(cell, small, 0, PinSide::Top);
+  b.add_pin(cell, small, 1, PinSide::Top);
+  const NetId giant = b.add_net();
+  for (Coord i = 0; i < 10; ++i) b.add_pin(cell, giant, i, PinSide::Top);
+  const Circuit circuit = std::move(b).build();
+
+  const CircuitStats stats = compute_stats(circuit);
+  EXPECT_EQ(stats.max_pins_on_net, 10u);
+  EXPECT_DOUBLE_EQ(stats.fraction_nets_small, 0.5);
+}
+
+TEST(CircuitStats, EmptyCircuit) {
+  const CircuitStats stats = compute_stats(Circuit{});
+  EXPECT_EQ(stats.rows, 0u);
+  EXPECT_EQ(stats.nets, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_pins_per_net, 0.0);
+}
+
+TEST(CircuitStats, ToStringMentionsCounts) {
+  CircuitBuilder b;
+  const RowId row = b.add_row();
+  b.add_cell(row, 8);
+  const Circuit circuit = std::move(b).build();
+  const std::string s = compute_stats(circuit).to_string();
+  EXPECT_NE(s.find("1 rows"), std::string::npos);
+  EXPECT_NE(s.find("1 cells"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,118 @@
+#include "ptwgr/detail/left_edge.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/route/router.h"
+#include "ptwgr/support/rng.h"
+
+namespace ptwgr {
+namespace {
+
+using Entry = std::pair<std::uint32_t, Interval>;
+
+TEST(LeftEdge, EmptyChannel) {
+  const ChannelTracks tracks = assign_tracks_left_edge({});
+  EXPECT_EQ(tracks.num_tracks, 0u);
+  EXPECT_TRUE(tracks.placed.empty());
+  EXPECT_TRUE(tracks.valid());
+}
+
+TEST(LeftEdge, DisjointIntervalsShareOneTrack) {
+  const ChannelTracks tracks = assign_tracks_left_edge(
+      {Entry{1, {0, 10}}, Entry{2, {10, 20}}, Entry{3, {25, 30}}});
+  EXPECT_EQ(tracks.num_tracks, 1u);
+  EXPECT_TRUE(tracks.valid());
+}
+
+TEST(LeftEdge, OverlappingIntervalsStack) {
+  const ChannelTracks tracks = assign_tracks_left_edge(
+      {Entry{1, {0, 30}}, Entry{2, {10, 40}}, Entry{3, {20, 50}}});
+  EXPECT_EQ(tracks.num_tracks, 3u);
+  EXPECT_TRUE(tracks.valid());
+}
+
+TEST(LeftEdge, SameNetSpansMergeOntoOneTrack) {
+  // Two touching spans of one net + an overlapping other net: two tracks,
+  // with net 7's spans merged into a single placed interval.
+  const ChannelTracks tracks = assign_tracks_left_edge(
+      {Entry{7, {0, 20}}, Entry{7, {20, 40}}, Entry{9, {10, 30}}});
+  EXPECT_EQ(tracks.num_tracks, 2u);
+  std::size_t net7_intervals = 0;
+  for (const PlacedInterval& p : tracks.placed) {
+    if (p.net == 7) ++net7_intervals;
+  }
+  EXPECT_EQ(net7_intervals, 1u);
+}
+
+TEST(LeftEdge, MatchesDensityOnRandomInputs) {
+  // LEA is optimal for interval graphs: its track count equals the maximum
+  // overlap, which is exactly what the density metric computes.
+  Rng rng(4242);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Entry> entries;
+    std::vector<Interval> raw;
+    const std::size_t n = 1 + rng.next_index(120);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Coord lo = rng.next_int(0, 400);
+      const Interval iv{lo, lo + rng.next_int(0, 80)};
+      entries.emplace_back(static_cast<std::uint32_t>(rng.next_index(40)),
+                           iv);
+    }
+    // Expected density: per-net merged intervals, then max overlap.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.first < b.first; });
+    std::vector<Interval> merged_all;
+    std::size_t i = 0;
+    while (i < entries.size()) {
+      const std::uint32_t net = entries[i].first;
+      std::vector<Interval> spans;
+      for (; i < entries.size() && entries[i].first == net; ++i) {
+        spans.push_back(entries[i].second);
+      }
+      for (const Interval& m : merge_intervals(spans)) {
+        merged_all.push_back(m);
+      }
+    }
+    const std::int64_t density = max_overlap(merged_all);
+
+    const ChannelTracks tracks = assign_tracks_left_edge(entries);
+    ASSERT_TRUE(tracks.valid());
+    ASSERT_EQ(static_cast<std::int64_t>(tracks.num_tracks), density)
+        << "trial " << trial;
+  }
+}
+
+class LeftEdgeRoutedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LeftEdgeRoutedSweep, RealizesExactlyTheReportedTracks) {
+  // End-to-end cross-validation: for a real routing, the detailed router
+  // realizes every channel in exactly the density the metrics report, so
+  // the global router's quality number is the physical track count.
+  RouterOptions options;
+  options.seed = GetParam();
+  const RoutingResult result =
+      route_serial(small_test_circuit(GetParam(), 5, 30), options);
+  const DetailedRouting detailed =
+      assign_all_tracks(result.circuit, result.wires);
+  ASSERT_EQ(detailed.channels.size(), result.metrics.channel_density.size());
+  for (std::size_t c = 0; c < detailed.channels.size(); ++c) {
+    EXPECT_TRUE(detailed.channels[c].valid()) << "channel " << c;
+    EXPECT_EQ(static_cast<std::int64_t>(detailed.channels[c].num_tracks),
+              result.metrics.channel_density[c])
+        << "channel " << c;
+  }
+  EXPECT_EQ(detailed.total_tracks(), result.metrics.track_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeftEdgeRoutedSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(LeftEdge, DegenerateStubsOccupyATrackLocally) {
+  const ChannelTracks tracks =
+      assign_tracks_left_edge({Entry{1, {5, 5}}, Entry{2, {5, 5}}});
+  EXPECT_EQ(tracks.num_tracks, 2u);
+}
+
+}  // namespace
+}  // namespace ptwgr

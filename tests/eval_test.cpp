@@ -1,0 +1,162 @@
+// Tests of the evaluation harness: platform models, the experiment runner's
+// derived quantities (scaled metrics, speedups, timeout extrapolation), and
+// the paper-style report renderers.
+#include <gtest/gtest.h>
+
+#include "ptwgr/eval/report.h"
+
+namespace ptwgr {
+namespace {
+
+TEST(Platform, ModelsHaveExpectedAttributes) {
+  const Platform smp = Platform::sparc_center();
+  EXPECT_EQ(smp.node_memory_bytes, 0u);
+  EXPECT_EQ(smp.max_processors, 8);
+  EXPECT_GT(smp.cost.latency_s, 0.0);
+
+  const Platform dmp = Platform::paragon();
+  EXPECT_EQ(dmp.node_memory_bytes, 32ull * 1024 * 1024);
+  EXPECT_GT(dmp.max_processors, 8);
+  EXPECT_GT(dmp.cost.latency_s, smp.cost.latency_s);
+
+  EXPECT_DOUBLE_EQ(Platform::ideal().cost.latency_s, 0.0);
+}
+
+TEST(Platform, SerialFitsRespectsMemoryLimit) {
+  const Platform dmp = Platform::paragon();
+  EXPECT_TRUE(dmp.serial_fits(16ull << 20));
+  EXPECT_FALSE(dmp.serial_fits(40ull << 20));
+  // Unlimited platforms always fit.
+  EXPECT_TRUE(Platform::sparc_center().serial_fits(1ull << 40));
+}
+
+TEST(Platform, ParagonTimesOutOnExactlyTheTwoPaperCircuits) {
+  const Platform dmp = Platform::paragon();
+  std::vector<std::string> timeouts;
+  for (const SuiteEntry& entry : benchmark_suite(1.0)) {
+    if (!dmp.serial_fits(entry.estimated_memory_bytes)) {
+      timeouts.push_back(entry.name);
+    }
+  }
+  EXPECT_EQ(timeouts, (std::vector<std::string>{"industry3", "avq.large"}));
+}
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.scale = 0.05;
+  config.proc_counts = {1, 2};
+  return config;
+}
+
+TEST(Experiment, ProducesPointsWithDerivedQuantities) {
+  const SuiteEntry entry = suite_entry("primary2", 0.05);
+  const CircuitExperiment result =
+      run_experiment(entry, ParallelAlgorithm::Hybrid, tiny_config());
+  EXPECT_EQ(result.circuit, "primary2");
+  EXPECT_GT(result.serial_tracks, 0);
+  ASSERT_TRUE(result.serial_modeled_seconds.has_value());
+  ASSERT_EQ(result.points.size(), 2u);
+  for (const RunPoint& point : result.points) {
+    EXPECT_GT(point.tracks, 0);
+    EXPECT_GT(point.scaled_tracks, 0.5);
+    EXPECT_LT(point.scaled_tracks, 2.0);
+    EXPECT_GT(point.speedup, 0.0);
+    EXPECT_FALSE(point.speedup_extrapolated);
+  }
+}
+
+TEST(Experiment, SkipsProcCountsAbovePlatformLimit) {
+  ExperimentConfig config = tiny_config();
+  config.proc_counts = {1, 2, 64};
+  config.platform.max_processors = 2;
+  const CircuitExperiment result = run_experiment(
+      suite_entry("primary2", 0.05), ParallelAlgorithm::RowWise, config);
+  EXPECT_EQ(result.points.size(), 2u);
+}
+
+TEST(Experiment, ExtrapolatesSpeedupWhenSerialDoesNotFit) {
+  ExperimentConfig config = tiny_config();
+  config.platform.node_memory_bytes = 1;  // nothing fits
+  const CircuitExperiment result = run_experiment(
+      suite_entry("primary2", 0.05), ParallelAlgorithm::Hybrid, config);
+  EXPECT_FALSE(result.serial_modeled_seconds.has_value());
+  for (const RunPoint& point : result.points) {
+    EXPECT_TRUE(point.speedup_extrapolated);
+    EXPECT_GT(point.speedup, 0.0);
+  }
+}
+
+TEST(Experiment, SuiteRunCoversAllSixCircuits) {
+  ExperimentConfig config = tiny_config();
+  config.proc_counts = {2};
+  const auto runs = run_suite_experiment(ParallelAlgorithm::RowWise, config);
+  ASSERT_EQ(runs.size(), 6u);
+  EXPECT_EQ(runs.front().circuit, "primary2");
+  EXPECT_EQ(runs.back().circuit, "avq.large");
+}
+
+TEST(Report, Table1ListsEveryCircuit) {
+  const std::string table = render_table1(0.02);
+  for (const char* name : {"primary2", "biomed", "industry2", "industry3",
+                           "avq.small", "avq.large"}) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+}
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  static std::vector<CircuitExperiment> sample_runs() {
+    CircuitExperiment a;
+    a.circuit = "alpha";
+    a.serial_tracks = 100;
+    a.serial_area = 1000;
+    a.serial_modeled_seconds = 8.0;
+    a.points = {{2, 104, 1040, 4.4, 1.04, 1.04, 1.82, false},
+                {4, 110, 1100, 2.5, 1.10, 1.10, 3.20, false}};
+    CircuitExperiment b;
+    b.circuit = "beta";
+    b.serial_tracks = 200;
+    b.serial_area = 2000;
+    // No serial time: extrapolated points.
+    b.points = {{2, 202, 2020, 9.0, 1.01, 1.01, 2.00, true},
+                {4, 206, 2060, 5.0, 1.03, 1.03, 3.60, true}};
+    return {a, b};
+  }
+};
+
+TEST_F(ReportFixture, ScaledTracksTableHasRowsAndMeans) {
+  const std::string table =
+      render_scaled_tracks_table("Table X", sample_runs());
+  EXPECT_NE(table.find("Table X"), std::string::npos);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("1.040"), std::string::npos);
+  EXPECT_NE(table.find("(mean)"), std::string::npos);
+  // mean at 4 procs = (1.10 + 1.03) / 2.
+  EXPECT_NE(table.find("1.065"), std::string::npos);
+}
+
+TEST_F(ReportFixture, SpeedupFigureMarksExtrapolation) {
+  const std::string fig = render_speedup_figure("Fig X", sample_runs());
+  EXPECT_NE(fig.find("beta"), std::string::npos);
+  EXPECT_NE(fig.find("3.60*"), std::string::npos);
+  EXPECT_NE(fig.find("3.20"), std::string::npos);
+  EXPECT_EQ(fig.find("3.20*"), std::string::npos);
+}
+
+TEST_F(ReportFixture, Table5ShowsTimeoutForMissingSerial) {
+  const std::string table =
+      render_table5_platform(Platform::paragon(), sample_runs());
+  EXPECT_NE(table.find("timeout"), std::string::npos);
+  EXPECT_NE(table.find("Paragon"), std::string::npos);
+  EXPECT_NE(table.find("32 MB/node"), std::string::npos);
+}
+
+TEST_F(ReportFixture, MeanHelpers) {
+  const auto runs = sample_runs();
+  EXPECT_NEAR(mean_speedup_at(runs, 4), (3.2 + 3.6) / 2, 1e-12);
+  EXPECT_NEAR(mean_scaled_tracks_at(runs, 2), (1.04 + 1.01) / 2, 1e-12);
+  EXPECT_DOUBLE_EQ(mean_speedup_at(runs, 16), 0.0);
+}
+
+}  // namespace
+}  // namespace ptwgr

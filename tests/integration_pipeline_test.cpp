@@ -1,0 +1,125 @@
+// Cross-module integration tests: full pipelines from generation through
+// routing, detailed track assignment, persistence, and reporting — the
+// paths a downstream user strings together.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ptwgr/circuit/io.h"
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/detail/left_edge.h"
+#include "ptwgr/eval/channel_report.h"
+#include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
+
+namespace ptwgr {
+namespace {
+
+TEST(IntegrationPipeline, GenerateSaveLoadRouteVerifyReport) {
+  // The circuit_io example's flow, end to end, with assertions.
+  GeneratorConfig config;
+  config.seed = 321;
+  config.num_rows = 8;
+  config.num_cells = 400;
+  config.num_nets = 420;
+  const Circuit original = generate_circuit(config);
+
+  std::stringstream file;
+  write_circuit(file, original);
+  const Circuit restored = read_circuit(file);
+
+  RouterOptions options;
+  options.seed = 5;
+  const RoutingResult a = route_serial(original, options);
+  const RoutingResult b = route_serial(restored, options);
+  EXPECT_EQ(a.metrics.track_count, b.metrics.track_count);
+  EXPECT_EQ(a.metrics.area, b.metrics.area);
+
+  EXPECT_TRUE(verify_routing(a.circuit, a.wires).empty());
+
+  // Detailed routing realizes the reported tracks.
+  const DetailedRouting detailed = assign_all_tracks(a.circuit, a.wires);
+  EXPECT_EQ(detailed.total_tracks(), a.metrics.track_count);
+
+  // Report renders without error and carries the right totals.
+  std::ostringstream report;
+  write_routing_report(report, a.circuit, a.wires);
+  EXPECT_NE(report.str().find("tracks total: " +
+                              std::to_string(a.metrics.track_count)),
+            std::string::npos);
+}
+
+struct AlgoScaleCase {
+  ParallelAlgorithm algorithm;
+  const char* circuit;
+};
+
+class SuiteSweep : public ::testing::TestWithParam<AlgoScaleCase> {};
+
+TEST_P(SuiteSweep, ParallelRoutesDetailedTracksMatchMetrics) {
+  const auto [algorithm, name] = GetParam();
+  const SuiteEntry entry = suite_entry(name, 0.08);
+  const auto result =
+      route_parallel(build_suite_circuit(entry), algorithm, 4);
+  EXPECT_GT(result.metrics.track_count, 0);
+  // Per-channel densities are consistent with the track total.
+  std::int64_t sum = 0;
+  for (const auto d : result.metrics.channel_density) sum += d;
+  EXPECT_EQ(sum, result.metrics.track_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SuiteSweep,
+    ::testing::Values(
+        AlgoScaleCase{ParallelAlgorithm::RowWise, "primary2"},
+        AlgoScaleCase{ParallelAlgorithm::RowWise, "industry3"},
+        AlgoScaleCase{ParallelAlgorithm::NetWise, "biomed"},
+        AlgoScaleCase{ParallelAlgorithm::NetWise, "avq.small"},
+        AlgoScaleCase{ParallelAlgorithm::Hybrid, "industry2"},
+        AlgoScaleCase{ParallelAlgorithm::Hybrid, "avq.large"}),
+    [](const ::testing::TestParamInfo<AlgoScaleCase>& param_info) {
+      std::string name = to_string(param_info.param.algorithm) + "_" +
+                         param_info.param.circuit;
+      for (auto& ch : name) {
+        if (ch == '-' || ch == '.') ch = '_';
+      }
+      return name;
+    });
+
+TEST(IntegrationPipeline, SerialAndParallelAgreeOnFeedthroughTotals) {
+  // Across the whole tiny suite: the halo model keeps feedthrough counts
+  // within a hair of serial for every circuit and algorithm.
+  for (const SuiteEntry& entry : benchmark_suite(0.06)) {
+    const RoutingResult serial = route_serial(build_suite_circuit(entry));
+    for (const auto algorithm :
+         {ParallelAlgorithm::RowWise, ParallelAlgorithm::Hybrid}) {
+      const auto result =
+          route_parallel(build_suite_circuit(entry), algorithm, 3);
+      const double ratio =
+          static_cast<double>(result.feedthrough_count) /
+          static_cast<double>(serial.metrics.feedthrough_count);
+      EXPECT_GT(ratio, 0.95) << entry.name << " " << to_string(algorithm);
+      EXPECT_LT(ratio, 1.05) << entry.name << " " << to_string(algorithm);
+    }
+  }
+}
+
+TEST(IntegrationPipeline, RouterOptionsFlowThroughParallelFacade) {
+  // A coarser grid must change routing on both serial and parallel paths
+  // identically-directionally (same knob actually reaches the ranks).
+  const SuiteEntry entry = suite_entry("primary2", 0.1);
+  ParallelOptions narrow;
+  narrow.router.column_width = 8;
+  ParallelOptions wide;
+  wide.router.column_width = 128;
+  const auto a = route_parallel(build_suite_circuit(entry),
+                                ParallelAlgorithm::Hybrid, 2, narrow);
+  const auto b = route_parallel(build_suite_circuit(entry),
+                                ParallelAlgorithm::Hybrid, 2, wide);
+  // Different grids → different feedthrough columns → different results.
+  EXPECT_TRUE(a.metrics.track_count != b.metrics.track_count ||
+              a.metrics.total_wirelength != b.metrics.total_wirelength);
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "ptwgr/mp/runtime.h"
+
+namespace ptwgr::mp {
+namespace {
+
+class CollectivesRankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesRankSweep, BarrierCompletes) {
+  run(GetParam(), [](Communicator& comm) {
+    for (int i = 0; i < 10; ++i) comm.barrier();
+  });
+}
+
+TEST_P(CollectivesRankSweep, BroadcastValue) {
+  run(GetParam(), [](Communicator& comm) {
+    const auto v = comm.broadcast_value<std::int64_t>(
+        0, comm.rank() == 0 ? 987 : -1);
+    EXPECT_EQ(v, 987);
+  });
+}
+
+TEST_P(CollectivesRankSweep, BroadcastFromNonZeroRoot) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  run(n, [n](Communicator& comm) {
+    const int root = n - 1;
+    const auto v = comm.broadcast_value<std::int32_t>(
+        root, comm.rank() == root ? 55 : 0);
+    EXPECT_EQ(v, 55);
+  });
+}
+
+TEST_P(CollectivesRankSweep, BroadcastVector) {
+  run(GetParam(), [](Communicator& comm) {
+    std::vector<std::int32_t> payload;
+    if (comm.rank() == 0) payload = {3, 1, 4, 1, 5};
+    const auto v = comm.broadcast_vector(0, payload);
+    EXPECT_EQ(v, (std::vector<std::int32_t>{3, 1, 4, 1, 5}));
+  });
+}
+
+TEST_P(CollectivesRankSweep, AllreduceSum) {
+  const int n = GetParam();
+  run(n, [n](Communicator& comm) {
+    const auto total = comm.allreduce_value(
+        static_cast<std::int64_t>(comm.rank() + 1), SumOp{});
+    EXPECT_EQ(total, static_cast<std::int64_t>(n) * (n + 1) / 2);
+  });
+}
+
+TEST_P(CollectivesRankSweep, AllreduceMinMax) {
+  const int n = GetParam();
+  run(n, [n](Communicator& comm) {
+    EXPECT_EQ(comm.allreduce_value(comm.rank(), MinOp{}), 0);
+    EXPECT_EQ(comm.allreduce_value(comm.rank(), MaxOp{}), n - 1);
+  });
+}
+
+TEST_P(CollectivesRankSweep, AllreduceVectorElementwise) {
+  const int n = GetParam();
+  run(n, [n](Communicator& comm) {
+    std::vector<std::int32_t> mine(5);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = comm.rank() * 10 + static_cast<std::int32_t>(i);
+    }
+    const auto sums = comm.allreduce(mine, SumOp{});
+    ASSERT_EQ(sums.size(), 5u);
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+      // Σ_r (10 r + i) = 10·n(n-1)/2 + n·i
+      EXPECT_EQ(sums[i], 10 * n * (n - 1) / 2 +
+                             n * static_cast<std::int32_t>(i));
+    }
+  });
+}
+
+TEST_P(CollectivesRankSweep, Allgather) {
+  const int n = GetParam();
+  run(n, [n](Communicator& comm) {
+    const auto all = comm.allgather(static_cast<std::int32_t>(comm.rank() * 3));
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 3);
+    }
+  });
+}
+
+TEST_P(CollectivesRankSweep, AllgatherVectorsVariableLength) {
+  const int n = GetParam();
+  run(n, [n](Communicator& comm) {
+    // Rank r contributes r elements, value r each.
+    std::vector<std::int32_t> mine(static_cast<std::size_t>(comm.rank()),
+                                   comm.rank());
+    const auto all = comm.allgather_vectors(mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      const auto& from_r = all[static_cast<std::size_t>(r)];
+      ASSERT_EQ(from_r.size(), static_cast<std::size_t>(r));
+      for (const auto v : from_r) EXPECT_EQ(v, r);
+    }
+  });
+}
+
+TEST_P(CollectivesRankSweep, GatherVectorsOnlyRootReceives) {
+  const int n = GetParam();
+  run(n, [n](Communicator& comm) {
+    std::vector<std::int64_t> mine{comm.rank() * 100LL};
+    const auto all = comm.gather_vectors(0, mine);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) {
+        ASSERT_EQ(all[static_cast<std::size_t>(r)].size(), 1u);
+        EXPECT_EQ(all[static_cast<std::size_t>(r)][0], r * 100LL);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesRankSweep, AllToAllRoutesPersonalizedData) {
+  const int n = GetParam();
+  run(n, [n](Communicator& comm) {
+    // To rank d, send {rank*1000 + d}.
+    std::vector<std::vector<std::int32_t>> outgoing(
+        static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      outgoing[static_cast<std::size_t>(d)] = {comm.rank() * 1000 + d};
+    }
+    const auto incoming = comm.all_to_all(outgoing);
+    ASSERT_EQ(incoming.size(), static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      ASSERT_EQ(incoming[static_cast<std::size_t>(s)].size(), 1u);
+      EXPECT_EQ(incoming[static_cast<std::size_t>(s)][0],
+                s * 1000 + comm.rank());
+    }
+  });
+}
+
+TEST_P(CollectivesRankSweep, AllToAllEmptyParts) {
+  const int n = GetParam();
+  run(n, [n](Communicator& comm) {
+    std::vector<std::vector<std::int32_t>> outgoing(
+        static_cast<std::size_t>(n));
+    const auto incoming = comm.all_to_all(outgoing);
+    for (const auto& part : incoming) EXPECT_TRUE(part.empty());
+  });
+}
+
+TEST_P(CollectivesRankSweep, RepeatedCollectivesStaySynchronized) {
+  const int n = GetParam();
+  run(n, [n](Communicator& comm) {
+    for (std::int64_t round = 0; round < 25; ++round) {
+      const auto v = comm.allreduce_value(round + comm.rank(), MaxOp{});
+      EXPECT_EQ(v, round + n - 1);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, CollectivesRankSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Collectives, MixedP2pAndCollectives) {
+  run(4, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int r = 1; r < 4; ++r) comm.send_value(r, 9, std::int32_t{r * 2});
+    }
+    comm.barrier();
+    if (comm.rank() != 0) {
+      EXPECT_EQ(comm.recv_value<std::int32_t>(0, 9), comm.rank() * 2);
+    }
+    const auto sum = comm.allreduce_value(std::int32_t{1}, SumOp{});
+    EXPECT_EQ(sum, 4);
+  });
+}
+
+}  // namespace
+}  // namespace ptwgr::mp

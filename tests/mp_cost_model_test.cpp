@@ -1,0 +1,59 @@
+#include "ptwgr/mp/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ptwgr::mp {
+namespace {
+
+TEST(CostModel, IdealIsFree) {
+  const CostModel m = CostModel::ideal();
+  EXPECT_DOUBLE_EQ(m.message_cost(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.message_cost(1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(m.collective_cost(16, 4096), 0.0);
+  EXPECT_DOUBLE_EQ(m.compute_scale, 1.0);
+}
+
+TEST(CostModel, MessageCostIsAffine) {
+  CostModel m;
+  m.latency_s = 1e-4;
+  m.per_byte_s = 1e-8;
+  EXPECT_DOUBLE_EQ(m.message_cost(0), 1e-4);
+  EXPECT_DOUBLE_EQ(m.message_cost(100), 1e-4 + 1e-6);
+  // Strictly increasing in payload.
+  EXPECT_GT(m.message_cost(1000), m.message_cost(100));
+}
+
+TEST(CostModel, CollectiveUsesLogRounds) {
+  CostModel m;
+  m.latency_s = 1.0;
+  EXPECT_DOUBLE_EQ(m.collective_cost(1, 0), 0.0);  // nothing to synchronize
+  EXPECT_DOUBLE_EQ(m.collective_cost(2, 0), 1.0);  // 1 round
+  EXPECT_DOUBLE_EQ(m.collective_cost(4, 0), 2.0);  // 2 rounds
+  EXPECT_DOUBLE_EQ(m.collective_cost(8, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.collective_cost(5, 0), 3.0);  // ⌈log₂5⌉
+}
+
+TEST(CostModel, PlatformPresetsAreOrdered) {
+  const CostModel smp = CostModel::sparc_center_smp();
+  const CostModel dmp = CostModel::paragon_dmp();
+  // The Paragon's per-message latency dominates; its bandwidth is higher.
+  EXPECT_GT(dmp.latency_s, smp.latency_s);
+  EXPECT_LT(dmp.per_byte_s, smp.per_byte_s);
+  // Both model period hardware: compute well below modern speed.
+  EXPECT_GT(smp.compute_scale, 1.0);
+  EXPECT_GT(dmp.compute_scale, 1.0);
+  EXPECT_FALSE(smp.name.empty());
+  EXPECT_FALSE(dmp.name.empty());
+}
+
+TEST(CostModel, SmallMessagesFavorSmp_LargeFavorParagonBandwidth) {
+  const CostModel smp = CostModel::sparc_center_smp();
+  const CostModel dmp = CostModel::paragon_dmp();
+  // Latency-bound: SMP wins.
+  EXPECT_LT(smp.message_cost(64), dmp.message_cost(64));
+  // Bandwidth-bound: the Paragon's faster links eventually win.
+  EXPECT_GT(smp.message_cost(4 << 20), dmp.message_cost(4 << 20));
+}
+
+}  // namespace
+}  // namespace ptwgr::mp

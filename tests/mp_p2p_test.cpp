@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "ptwgr/mp/runtime.h"
+
+namespace ptwgr::mp {
+namespace {
+
+TEST(MpP2p, SingleRankRuns) {
+  std::atomic<int> calls{0};
+  const RunReport report = run(1, [&](Communicator& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(report.rank_vtime.size(), 1u);
+}
+
+TEST(MpP2p, EveryRankGetsDistinctRank) {
+  std::vector<std::atomic<int>> hits(8);
+  run(8, [&](Communicator& comm) {
+    ++hits[static_cast<std::size_t>(comm.rank())];
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(MpP2p, SendRecvValue) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 5, std::int64_t{4242});
+    } else {
+      EXPECT_EQ(comm.recv_value<std::int64_t>(0, 5), 4242);
+    }
+  });
+}
+
+TEST(MpP2p, SendRecvVector) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::int32_t> v(100);
+      std::iota(v.begin(), v.end(), 7);
+      comm.send_value(1, 0, v);
+    } else {
+      const auto v = comm.recv_vector<std::int32_t>(0, 0);
+      ASSERT_EQ(v.size(), 100u);
+      EXPECT_EQ(v.front(), 7);
+      EXPECT_EQ(v.back(), 106);
+    }
+  });
+}
+
+TEST(MpP2p, TagMatchingSelectsCorrectMessage) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 10, std::int32_t{100});
+      comm.send_value(1, 20, std::int32_t{200});
+    } else {
+      // Receive out of order by tag.
+      EXPECT_EQ(comm.recv_value<std::int32_t>(0, 20), 200);
+      EXPECT_EQ(comm.recv_value<std::int32_t>(0, 10), 100);
+    }
+  });
+}
+
+TEST(MpP2p, NonOvertakingPerSourceAndTag) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (std::int32_t i = 0; i < 50; ++i) comm.send_value(1, 3, i);
+    } else {
+      for (std::int32_t i = 0; i < 50; ++i) {
+        EXPECT_EQ(comm.recv_value<std::int32_t>(0, 3), i);
+      }
+    }
+  });
+}
+
+TEST(MpP2p, AnySourceReceivesFromEveryone) {
+  run(4, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<bool> seen(4, false);
+      for (int i = 0; i < 3; ++i) {
+        const Received r = comm.recv(kAnySource, 1);
+        Reader reader = r.reader();
+        const auto payload = reader.get<std::int32_t>();
+        EXPECT_EQ(payload, r.envelope.source * 11);
+        seen[static_cast<std::size_t>(r.envelope.source)] = true;
+      }
+      EXPECT_TRUE(seen[1] && seen[2] && seen[3]);
+    } else {
+      comm.send_value(0, 1, std::int32_t{comm.rank() * 11});
+    }
+  });
+}
+
+TEST(MpP2p, AnyTagReceives) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 77, std::int32_t{1});
+    } else {
+      const Received r = comm.recv(0, kAnyTag);
+      EXPECT_EQ(r.envelope.tag, 77);
+    }
+  });
+}
+
+TEST(MpP2p, SelfSendWorks) {
+  run(1, [](Communicator& comm) {
+    comm.send_value(0, 0, std::int32_t{9});
+    EXPECT_EQ(comm.recv_value<std::int32_t>(0, 0), 9);
+  });
+}
+
+TEST(MpP2p, ProbeSeesQueuedMessage) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 4, std::int32_t{1});
+      comm.barrier();
+    } else {
+      comm.barrier();  // after the barrier the message must be queued
+      EXPECT_TRUE(comm.probe(0, 4));
+      EXPECT_FALSE(comm.probe(0, 5));
+      comm.recv(0, 4);
+      EXPECT_FALSE(comm.probe(0, 4));
+    }
+  });
+}
+
+TEST(MpP2p, NegativeTagRejected) {
+  run(1, [](Communicator& comm) {
+    EXPECT_THROW(comm.send_value(0, -1, std::int32_t{0}), CheckError);
+  });
+}
+
+TEST(MpP2p, InvalidDestinationRejected) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send_value(5, 0, std::int32_t{0}), CheckError);
+    }
+  });
+}
+
+TEST(MpP2p, ExceptionInOneRankPropagatesAndUnblocksOthers) {
+  EXPECT_THROW(
+      run(4,
+          [](Communicator& comm) {
+            if (comm.rank() == 2) {
+              throw std::runtime_error("rank 2 failed");
+            }
+            // Everyone else blocks forever waiting on a message that never
+            // comes; abort must unblock them.
+            comm.recv(kAnySource, 999);
+          }),
+      std::runtime_error);
+}
+
+TEST(MpP2p, LargePayloadRoundTrip) {
+  run(2, [](Communicator& comm) {
+    const std::size_t n = 200000;
+    if (comm.rank() == 0) {
+      std::vector<std::uint64_t> big(n);
+      std::iota(big.begin(), big.end(), 0);
+      comm.send_value(1, 0, big);
+    } else {
+      const auto big = comm.recv_vector<std::uint64_t>(0, 0);
+      ASSERT_EQ(big.size(), n);
+      EXPECT_EQ(big[n - 1], n - 1);
+    }
+  });
+}
+
+class MpRankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MpRankSweep, RingPassAccumulates) {
+  const int n = GetParam();
+  run(n, [n](Communicator& comm) {
+    const int next = (comm.rank() + 1) % n;
+    const int prev = (comm.rank() + n - 1) % n;
+    if (comm.rank() == 0) {
+      comm.send_value(next, 0, std::int64_t{0});
+      const auto total = comm.recv_value<std::int64_t>(prev, 0);
+      // Sum of ranks 1..n-1.
+      EXPECT_EQ(total, static_cast<std::int64_t>(n) * (n - 1) / 2);
+    } else {
+      const auto acc = comm.recv_value<std::int64_t>(prev, 0);
+      comm.send_value(next, 0, acc + comm.rank());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, MpRankSweep, ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace ptwgr::mp

@@ -1,0 +1,179 @@
+// Stress and robustness tests of the message-passing runtime: message
+// storms, mixed p2p/collective traffic, and repeated world lifecycles.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ptwgr/mp/runtime.h"
+#include "ptwgr/support/rng.h"
+
+namespace ptwgr::mp {
+namespace {
+
+TEST(MpStress, ManySmallMessagesAllDelivered) {
+  constexpr int kMessages = 500;
+  run(4, [](Communicator& comm) {
+    // Everyone sends kMessages tagged values to everyone (including self).
+    for (int dest = 0; dest < comm.size(); ++dest) {
+      for (std::int32_t i = 0; i < kMessages; ++i) {
+        comm.send_value(dest, /*tag=*/dest, comm.rank() * 100000 + i);
+      }
+    }
+    // Receive per source in order (non-overtaking per source+tag).
+    for (int src = 0; src < comm.size(); ++src) {
+      for (std::int32_t i = 0; i < kMessages; ++i) {
+        EXPECT_EQ(comm.recv_value<std::int32_t>(src, comm.rank()),
+                  src * 100000 + i);
+      }
+    }
+  });
+}
+
+TEST(MpStress, RandomizedTrafficPatternDrains) {
+  // Deterministic pseudo-random sends; every rank knows exactly what to
+  // expect from every peer because all derive the same plan.
+  constexpr int kRanks = 5;
+  constexpr int kRounds = 200;
+  run(kRanks, [](Communicator& comm) {
+    // plan[src][dst] = values src sends dst, in order.
+    std::vector<std::vector<std::vector<std::int64_t>>> plan(
+        kRanks, std::vector<std::vector<std::int64_t>>(kRanks));
+    Rng rng(2024);
+    for (int round = 0; round < kRounds; ++round) {
+      const auto src = static_cast<int>(rng.next_index(kRanks));
+      const auto dst = static_cast<int>(rng.next_index(kRanks));
+      plan[static_cast<std::size_t>(src)][static_cast<std::size_t>(dst)]
+          .push_back(rng.next_int(-1000, 1000));
+    }
+    // Send my part.
+    for (int dst = 0; dst < kRanks; ++dst) {
+      for (const std::int64_t v :
+           plan[static_cast<std::size_t>(comm.rank())]
+               [static_cast<std::size_t>(dst)]) {
+        comm.send_value(dst, 7, v);
+      }
+    }
+    // Receive everyone's part to me, per-source ordered.
+    for (int src = 0; src < kRanks; ++src) {
+      for (const std::int64_t expected :
+           plan[static_cast<std::size_t>(src)]
+               [static_cast<std::size_t>(comm.rank())]) {
+        EXPECT_EQ(comm.recv_value<std::int64_t>(src, 7), expected);
+      }
+    }
+    comm.barrier();
+  });
+}
+
+TEST(MpStress, CollectivesUnderPointToPointBackground) {
+  run(4, [](Communicator& comm) {
+    // Queue up unconsumed p2p messages, then run collectives — the
+    // rendezvous must not confuse mailbox traffic with collective state.
+    for (int dest = 0; dest < comm.size(); ++dest) {
+      comm.send_value(dest, 99, comm.rank());
+    }
+    for (int i = 0; i < 20; ++i) {
+      const auto sum = comm.allreduce_value(std::int64_t{1}, SumOp{});
+      EXPECT_EQ(sum, 4);
+    }
+    for (int src = 0; src < comm.size(); ++src) {
+      EXPECT_EQ(comm.recv_value<int>(src, 99), src);
+    }
+  });
+}
+
+TEST(MpStress, RepeatedWorldLifecycles) {
+  for (int i = 0; i < 50; ++i) {
+    const RunReport report = run(3, [](Communicator& comm) {
+      comm.barrier();
+      comm.allgather(comm.rank());
+    });
+    EXPECT_EQ(report.rank_vtime.size(), 3u);
+  }
+}
+
+TEST(MpStress, AlternatingCollectiveKinds) {
+  run(8, [](Communicator& comm) {
+    Rng rng(55);  // same stream on every rank → same sequence of kinds
+    std::int64_t checksum = 0;
+    for (int i = 0; i < 60; ++i) {
+      switch (rng.next_index(4)) {
+        case 0:
+          comm.barrier();
+          break;
+        case 1:
+          checksum += comm.allreduce_value<std::int64_t>(1, SumOp{});
+          break;
+        case 2: {
+          const auto all = comm.allgather(comm.rank());
+          checksum += all[3];
+          break;
+        }
+        case 3: {
+          const auto v =
+              comm.broadcast_value<std::int64_t>(0, comm.rank() == 0 ? 5 : 0);
+          checksum += v;
+          break;
+        }
+      }
+    }
+    // Every rank must derive the identical checksum.
+    const auto min = comm.allreduce_value(checksum, MinOp{});
+    const auto max = comm.allreduce_value(checksum, MaxOp{});
+    EXPECT_EQ(min, max);
+  });
+}
+
+TEST(MpStress, GatherLargeVariablePayloads) {
+  run(6, [](Communicator& comm) {
+    std::vector<std::int32_t> mine(
+        static_cast<std::size_t>(comm.rank()) * 1000 + 1,
+        comm.rank());
+    const auto all = comm.gather_vectors(2, mine);
+    if (comm.rank() == 2) {
+      for (int r = 0; r < 6; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r)].size(),
+                  static_cast<std::size_t>(r) * 1000 + 1);
+      }
+    }
+  });
+}
+
+TEST(MpStress, AllToAllRepeatedHeavy) {
+  run(4, [](Communicator& comm) {
+    for (int round = 0; round < 10; ++round) {
+      std::vector<std::vector<std::int64_t>> outgoing(4);
+      for (int d = 0; d < 4; ++d) {
+        outgoing[static_cast<std::size_t>(d)].assign(
+            2000, comm.rank() * 10 + d + round);
+      }
+      const auto incoming = comm.all_to_all(outgoing);
+      for (int s = 0; s < 4; ++s) {
+        ASSERT_EQ(incoming[static_cast<std::size_t>(s)].size(), 2000u);
+        EXPECT_EQ(incoming[static_cast<std::size_t>(s)][0],
+                  s * 10 + comm.rank() + round);
+      }
+    }
+  });
+}
+
+TEST(MpStress, VtimeNondecreasingThroughStorm) {
+  const CostModel model = CostModel::sparc_center_smp();
+  run(4, model, [](Communicator& comm) {
+    double last = 0.0;
+    for (int i = 0; i < 30; ++i) {
+      if (comm.rank() == 0) {
+        for (int d = 1; d < 4; ++d) comm.send_value(d, 0, i);
+      } else {
+        comm.recv(0, 0);
+      }
+      comm.barrier();
+      const double now = comm.vtime();
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ptwgr::mp

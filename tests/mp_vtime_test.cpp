@@ -1,0 +1,149 @@
+// Tests of the virtual-clock timing model.  Compute accrual is disabled
+// (compute_scale = 0) so clocks advance only through explicit charges and
+// modeled communication costs, making expectations exact.
+#include <gtest/gtest.h>
+
+#include "ptwgr/mp/runtime.h"
+
+namespace ptwgr::mp {
+namespace {
+
+CostModel comm_only(double latency, double per_byte) {
+  CostModel m;
+  m.latency_s = latency;
+  m.per_byte_s = per_byte;
+  m.compute_scale = 0.0;
+  return m;
+}
+
+TEST(MpVtime, MessageChargesAlphaBeta) {
+  const CostModel m = comm_only(0.5, 0.001);
+  const RunReport report = run(2, m, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 0, std::int64_t{1});  // 8-byte payload
+      // Sender pays α + 8β = 0.508.
+      EXPECT_NEAR(comm.vtime(), 0.508, 1e-9);
+    } else {
+      comm.recv(0, 0);
+      // Receiver clock jumps to the arrival stamp.
+      EXPECT_NEAR(comm.vtime(), 0.508, 1e-9);
+    }
+  });
+  EXPECT_NEAR(report.parallel_time(), 0.508, 1e-9);
+}
+
+TEST(MpVtime, RecvWaitsForLateSender) {
+  const CostModel m = comm_only(1.0, 0.0);
+  run(2, m, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.add_virtual_time(10.0);  // sender is busy for 10 virtual seconds
+      comm.send_value(1, 0, std::int32_t{1});
+    } else {
+      comm.recv(0, 0);
+      EXPECT_NEAR(comm.vtime(), 11.0, 1e-9);
+    }
+  });
+}
+
+TEST(MpVtime, RecvDoesNotRewindFastReceiver) {
+  const CostModel m = comm_only(1.0, 0.0);
+  run(2, m, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 0, std::int32_t{1});  // arrives at t=1
+    } else {
+      comm.add_virtual_time(50.0);  // receiver is already far ahead
+      comm.recv(0, 0);
+      EXPECT_NEAR(comm.vtime(), 50.0, 1e-9);
+    }
+  });
+}
+
+TEST(MpVtime, BarrierSynchronizesToSlowest) {
+  const CostModel m = comm_only(0.25, 0.0);
+  const RunReport report = run(4, m, [](Communicator& comm) {
+    comm.add_virtual_time(static_cast<double>(comm.rank()) * 2.0);
+    comm.barrier();
+    // max entry clock = 6; ⌈log₂4⌉ = 2 rounds of latency.
+    EXPECT_NEAR(comm.vtime(), 6.0 + 2 * 0.25, 1e-9);
+  });
+  EXPECT_NEAR(report.parallel_time(), 6.5, 1e-9);
+}
+
+TEST(MpVtime, CollectiveCostScalesWithPayload) {
+  const CostModel m = comm_only(0.0, 0.01);
+  run(2, m, [](Communicator& comm) {
+    std::vector<std::int8_t> payload(100, 1);  // 100 bytes + 8-byte header
+    comm.broadcast_vector(0, payload);
+    // 1 round × 108 bytes × 0.01 = 1.08.
+    EXPECT_NEAR(comm.vtime(), 1.08, 1e-9);
+  });
+}
+
+TEST(MpVtime, IdealModelCostsNothing) {
+  const RunReport report = run(4, CostModel::ideal(), [](Communicator& comm) {
+    comm.barrier();
+    comm.allreduce_value(comm.rank(), SumOp{});
+    if (comm.rank() == 0) comm.send_value(1, 0, std::int32_t{1});
+    if (comm.rank() == 1) comm.recv(0, 0);
+  });
+  // Only measured CPU time accrues; that is tiny but nonzero.  The modeled
+  // communication contribution must be zero, so vtimes stay far below a
+  // millisecond even on a slow machine.
+  for (const double v : report.rank_vtime) EXPECT_LT(v, 0.5);
+}
+
+TEST(MpVtime, ComputeScaleMultipliesCpuTime) {
+  CostModel slow;
+  slow.compute_scale = 1000.0;
+  CostModel fast;
+  fast.compute_scale = 0.0;
+  const auto burn = [](Communicator& comm) {
+    volatile double sink = 0.0;
+    for (int i = 0; i < 2000000; ++i) sink = sink + 1.0;
+    comm.barrier();
+  };
+  const double t_slow = run(1, slow, burn).parallel_time();
+  const double t_fast = run(1, fast, burn).parallel_time();
+  EXPECT_GT(t_slow, t_fast * 10.0);
+  EXPECT_DOUBLE_EQ(t_fast, 0.0);
+}
+
+TEST(MpVtime, VtimeMonotonicAcrossOperations) {
+  const CostModel m = comm_only(0.1, 0.001);
+  run(4, m, [](Communicator& comm) {
+    double last = comm.vtime();
+    for (int i = 0; i < 5; ++i) {
+      comm.barrier();
+      const double now = comm.vtime();
+      EXPECT_GE(now, last);
+      last = now;
+      comm.allgather(comm.rank());
+      EXPECT_GE(comm.vtime(), last);
+      last = comm.vtime();
+    }
+  });
+}
+
+TEST(MpVtime, PlatformModelsAreOrdered) {
+  // The Paragon's per-message latency exceeds the SparcCenter's; a
+  // latency-bound workload must therefore model slower on the Paragon.
+  const auto latency_bound = [](Communicator& comm) {
+    for (int i = 0; i < 100; ++i) comm.barrier();
+  };
+  const double t_smp =
+      run(8, CostModel::sparc_center_smp(), latency_bound).parallel_time();
+  const double t_dmp =
+      run(8, CostModel::paragon_dmp(), latency_bound).parallel_time();
+  EXPECT_GT(t_dmp, t_smp);
+}
+
+TEST(MpVtime, ReportShapes) {
+  const RunReport report = run(3, [](Communicator&) {});
+  EXPECT_EQ(report.rank_vtime.size(), 3u);
+  EXPECT_EQ(report.rank_cpu_seconds.size(), 3u);
+  EXPECT_GE(report.wall_seconds, 0.0);
+  EXPECT_GE(report.total_cpu_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ptwgr::mp

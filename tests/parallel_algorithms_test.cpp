@@ -1,0 +1,146 @@
+// End-to-end tests of the three parallel algorithms against the serial
+// baseline: completion on every rank count, determinism, and the quality
+// bands the paper reports (approximately — the bound here is generous; the
+// benchmark harness measures the precise ratios).
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
+
+namespace ptwgr {
+namespace {
+
+struct Case {
+  ParallelAlgorithm algorithm;
+  int ranks;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = to_string(info.param.algorithm);
+  for (auto& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name + "_r" + std::to_string(info.param.ranks);
+}
+
+class ParallelSweep : public ::testing::TestWithParam<Case> {
+ protected:
+  static Circuit test_circuit() { return small_test_circuit(21, 8, 30); }
+};
+
+TEST_P(ParallelSweep, CompletesWithPositiveMetrics) {
+  const auto [algorithm, ranks] = GetParam();
+  const ParallelRoutingResult result =
+      route_parallel(test_circuit(), algorithm, ranks);
+  EXPECT_GT(result.metrics.track_count, 0);
+  EXPECT_GT(result.metrics.area, 0);
+  EXPECT_GT(result.feedthrough_count, 0u);
+  EXPECT_EQ(result.report.rank_vtime.size(),
+            static_cast<std::size_t>(ranks));
+}
+
+TEST_P(ParallelSweep, DeterministicForSeed) {
+  const auto [algorithm, ranks] = GetParam();
+  ParallelOptions options;
+  options.router.seed = 77;
+  const auto a = route_parallel(test_circuit(), algorithm, ranks, options);
+  const auto b = route_parallel(test_circuit(), algorithm, ranks, options);
+  EXPECT_EQ(a.metrics.track_count, b.metrics.track_count);
+  EXPECT_EQ(a.metrics.area, b.metrics.area);
+  EXPECT_EQ(a.feedthrough_count, b.feedthrough_count);
+  EXPECT_EQ(a.metrics.channel_density, b.metrics.channel_density);
+}
+
+TEST_P(ParallelSweep, QualityWithinBandOfSerial) {
+  const auto [algorithm, ranks] = GetParam();
+  const RoutingResult serial = route_serial(test_circuit());
+  const ParallelRoutingResult parallel =
+      route_parallel(test_circuit(), algorithm, ranks);
+  const double scaled = static_cast<double>(parallel.metrics.track_count) /
+                        static_cast<double>(serial.metrics.track_count);
+  // The paper's worst case (net-wise, 8 procs) is ~15% degradation; allow
+  // headroom for the small test circuit.
+  EXPECT_GT(scaled, 0.85) << "suspiciously good — wires lost?";
+  EXPECT_LT(scaled, 1.45) << "quality collapsed";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, ParallelSweep,
+    ::testing::Values(Case{ParallelAlgorithm::RowWise, 1},
+                      Case{ParallelAlgorithm::RowWise, 2},
+                      Case{ParallelAlgorithm::RowWise, 4},
+                      Case{ParallelAlgorithm::RowWise, 8},
+                      Case{ParallelAlgorithm::NetWise, 1},
+                      Case{ParallelAlgorithm::NetWise, 2},
+                      Case{ParallelAlgorithm::NetWise, 4},
+                      Case{ParallelAlgorithm::NetWise, 8},
+                      Case{ParallelAlgorithm::Hybrid, 1},
+                      Case{ParallelAlgorithm::Hybrid, 2},
+                      Case{ParallelAlgorithm::Hybrid, 4},
+                      Case{ParallelAlgorithm::Hybrid, 8}),
+    case_name);
+
+TEST(Parallel, SingleRankMatchesSerialClosely) {
+  // One rank removes all partition effects; quality should track the serial
+  // run within random-order noise.
+  const Circuit circuit = small_test_circuit(22, 6, 30);
+  const RoutingResult serial = route_serial(circuit);
+  for (const auto algorithm :
+       {ParallelAlgorithm::RowWise, ParallelAlgorithm::NetWise,
+        ParallelAlgorithm::Hybrid}) {
+    const auto result = route_parallel(circuit, algorithm, 1);
+    const double scaled = static_cast<double>(result.metrics.track_count) /
+                          static_cast<double>(serial.metrics.track_count);
+    EXPECT_GT(scaled, 0.93) << to_string(algorithm);
+    EXPECT_LT(scaled, 1.07) << to_string(algorithm);
+  }
+}
+
+TEST(Parallel, WorkSplitsAcrossRanks) {
+  // Row-wise at 4 ranks: each rank's CPU time must be well below the
+  // 1-rank run's (the work actually partitions).
+  const Circuit circuit = small_test_circuit(23, 12, 60);
+  const auto one = route_parallel(circuit, ParallelAlgorithm::RowWise, 1);
+  const auto four = route_parallel(circuit, ParallelAlgorithm::RowWise, 4);
+  const double t1 = one.report.rank_cpu_seconds[0];
+  double max_rank = 0.0;
+  for (const double t : four.report.rank_cpu_seconds) {
+    max_rank = std::max(max_rank, t);
+  }
+  // Ideal would be ~t1/4 plus fixed per-rank overhead; the loose bound keeps
+  // the test robust to scheduler noise on timesharing hosts.
+  EXPECT_LT(max_rank, t1 * 0.8);
+}
+
+TEST(Parallel, CostModelSlowsModeledTime) {
+  const Circuit circuit = small_test_circuit(24, 8, 25);
+  const auto ideal = route_parallel(circuit, ParallelAlgorithm::NetWise, 4,
+                                    {}, mp::CostModel::ideal());
+  const auto dmp = route_parallel(circuit, ParallelAlgorithm::NetWise, 4, {},
+                                  mp::CostModel::paragon_dmp());
+  EXPECT_GT(dmp.modeled_seconds(), ideal.modeled_seconds());
+  // Same algorithm, same seed: identical quality regardless of platform.
+  EXPECT_EQ(dmp.metrics.track_count, ideal.metrics.track_count);
+}
+
+TEST(Parallel, RejectsMoreRanksThanRows) {
+  const Circuit circuit = small_test_circuit(25, 4, 10);
+  EXPECT_THROW(route_parallel(circuit, ParallelAlgorithm::RowWise, 5),
+               CheckError);
+}
+
+TEST(Parallel, HybridNotWorseThanNetwiseTypically) {
+  // The paper's headline ordering: hybrid beats net-wise on quality.  Run on
+  // a moderately sized circuit where the effect is visible.
+  const Circuit circuit = small_test_circuit(26, 10, 50);
+  const auto hybrid =
+      route_parallel(circuit, ParallelAlgorithm::Hybrid, 4);
+  const auto netwise =
+      route_parallel(circuit, ParallelAlgorithm::NetWise, 4);
+  EXPECT_LE(static_cast<double>(hybrid.metrics.track_count),
+            static_cast<double>(netwise.metrics.track_count) * 1.05);
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,181 @@
+#include "ptwgr/parallel/fake_pins.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/builder.h"
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/parallel/subcircuit.h"
+
+namespace ptwgr {
+namespace {
+
+SteinerTree tree_with_edge(NetId net, RoutePoint a, RoutePoint b) {
+  SteinerTree tree;
+  tree.net = net;
+  tree.nodes.push_back(SteinerNode{a, PinId{}});
+  tree.nodes.push_back(SteinerNode{b, PinId{}});
+  tree.edges.push_back(TreeEdge{0, 1});
+  return tree;
+}
+
+TEST(FakePins, NoCrossingNoRecords) {
+  const RowPartition rows({0, 4, 8});
+  // Edge fully inside block 0.
+  const auto t = tree_with_edge(NetId{7}, {10, 0}, {50, 3});
+  EXPECT_TRUE(compute_fake_pins(t, rows).empty());
+}
+
+TEST(FakePins, SameRowEdgeIgnored) {
+  const RowPartition rows({0, 4, 8});
+  const auto t = tree_with_edge(NetId{7}, {10, 2}, {90, 2});
+  EXPECT_TRUE(compute_fake_pins(t, rows).empty());
+}
+
+TEST(FakePins, SingleBoundaryCrossingYieldsTwoRecords) {
+  const RowPartition rows({0, 4, 8});
+  const auto t = tree_with_edge(NetId{7}, {10, 2}, {50, 6});
+  const auto records = compute_fake_pins(t, rows);
+  ASSERT_EQ(records.size(), 2u);
+  // Each side's record names the row just *across* its boundary (the halo
+  // position), both at the lower endpoint's x.
+  EXPECT_EQ(records[0], (FakePinRecord{7, /*block=*/0, /*row=*/4, 10}));
+  EXPECT_EQ(records[1], (FakePinRecord{7, /*block=*/1, /*row=*/3, 10}));
+}
+
+TEST(FakePins, PassThroughBlockGetsEntryAndExit) {
+  const RowPartition rows({0, 3, 6, 9});
+  // Edge from block 0 to block 2 passes through block 1 entirely.
+  const auto t = tree_with_edge(NetId{1}, {20, 1}, {80, 8});
+  const auto records = compute_fake_pins(t, rows);
+  ASSERT_EQ(records.size(), 4u);
+  // Block 1 receives entry (row 2, bottom halo) and exit (row 6, top halo).
+  std::size_t in_block1 = 0;
+  for (const FakePinRecord& r : records) {
+    if (r.block == 1) {
+      ++in_block1;
+      EXPECT_TRUE(r.row == 2 || r.row == 6);
+    }
+    EXPECT_EQ(r.x, 20);
+  }
+  EXPECT_EQ(in_block1, 2u);
+}
+
+TEST(FakePins, DuplicateCrossingsDeduplicated) {
+  const RowPartition rows({0, 4, 8});
+  SteinerTree tree;
+  tree.net = NetId{3};
+  tree.nodes = {SteinerNode{{10, 1}, PinId{}}, SteinerNode{{10, 6}, PinId{}},
+                SteinerNode{{10, 7}, PinId{}}};
+  tree.edges = {TreeEdge{0, 1}, TreeEdge{0, 2}};  // both cross at x=10
+  const auto records = compute_fake_pins(tree, rows);
+  EXPECT_EQ(records.size(), 2u);
+}
+
+TEST(FakePins, SplitByBlockRoutesByDestination) {
+  const RowPartition rows({0, 4, 8});
+  std::vector<FakePinRecord> records{
+      {1, 0, 4, 10}, {1, 1, 3, 10}, {2, 1, 3, 5}};
+  const auto per_block = split_by_block(records, rows);
+  ASSERT_EQ(per_block.size(), 2u);
+  EXPECT_EQ(per_block[0].size(), 1u);
+  EXPECT_EQ(per_block[1].size(), 2u);
+}
+
+TEST(SubCircuit, ExtractsRowsCellsAndPins) {
+  const Circuit global = [] {
+    CircuitBuilder b;
+    const RowId r0 = b.add_row();
+    const RowId r1 = b.add_row();
+    const RowId r2 = b.add_row();
+    const CellId c0 = b.add_cell(r0, 8);
+    const CellId c1 = b.add_cell(r1, 8);
+    const CellId c2 = b.add_cell(r2, 8);
+    const NetId n = b.add_net();
+    b.add_pin(c0, n, 1, PinSide::Top);
+    b.add_pin(c1, n, 2, PinSide::Both);
+    b.add_pin(c2, n, 3, PinSide::Bottom);
+    return std::move(b).build();
+  }();
+  const RowPartition rows({0, 2, 3});
+
+  const SubCircuit sub0 = extract_subcircuit(global, rows, 0, {});
+  // Block 0: two real rows plus a top halo (it has an upper neighbour).
+  EXPECT_FALSE(sub0.has_bottom_halo);
+  EXPECT_TRUE(sub0.has_top_halo);
+  EXPECT_EQ(sub0.circuit.num_rows(), 3u);
+  EXPECT_EQ(sub0.num_real_rows(), 2u);
+  EXPECT_EQ(sub0.circuit.num_cells(), 2u);
+  EXPECT_EQ(sub0.circuit.num_pins(), 2u);
+  EXPECT_EQ(sub0.circuit.num_nets(), 1u);
+  EXPECT_EQ(sub0.global_net[0], NetId{0});
+  EXPECT_EQ(sub0.first_row, 0u);
+  EXPECT_EQ(sub0.global_channel(2), 2u);
+
+  const SubCircuit sub1 = extract_subcircuit(global, rows, 1, {});
+  // Block 1: one real row plus a bottom halo.
+  EXPECT_TRUE(sub1.has_bottom_halo);
+  EXPECT_FALSE(sub1.has_top_halo);
+  EXPECT_EQ(sub1.circuit.num_rows(), 2u);
+  EXPECT_EQ(sub1.num_real_rows(), 1u);
+  EXPECT_EQ(sub1.circuit.num_pins(), 1u);
+  EXPECT_EQ(sub1.first_row, 2u);
+  // Local channel 2 sits above the real row; local channel 1 — between the
+  // halo and the real row — is the shared boundary channel (sub0's local
+  // channel 2).
+  EXPECT_EQ(sub1.global_channel(2), 3u);
+  EXPECT_EQ(sub1.global_channel(1), 2u);
+  EXPECT_EQ(sub1.global_row(1), 2u);  // real row
+  EXPECT_EQ(sub1.global_row(0), 1u);  // bottom halo stands for row 1
+}
+
+TEST(SubCircuit, PreservesGlobalPlacements) {
+  Circuit global = small_test_circuit(3, 6, 20);
+  const RowPartition rows = partition_rows(global, 3);
+  for (int block = 0; block < 3; ++block) {
+    const SubCircuit sub = extract_subcircuit(global, rows, block, {});
+    // Every local pin must sit exactly where its global twin sits.
+    std::size_t checked = 0;
+    for (std::size_t p = 0; p < global.num_pins(); ++p) {
+      const PinId gpid{static_cast<std::uint32_t>(p)};
+      if (rows.owner_of_row(global.pin_row(gpid).index()) != block) continue;
+      ++checked;
+    }
+    std::size_t local_total = sub.circuit.num_pins();
+    EXPECT_EQ(local_total, checked);
+  }
+}
+
+TEST(SubCircuit, FakePinsLandOnHaloRows) {
+  const Circuit global = small_test_circuit(4, 4, 15);
+  const RowPartition rows = partition_rows(global, 2);
+  // Block 0's top-boundary fake pin: row just across the boundary.
+  const std::vector<FakePinRecord> fakes{
+      {0, 0, static_cast<std::uint32_t>(rows.end_row(0)), 42}};
+  const SubCircuit sub = extract_subcircuit(global, rows, 0, fakes);
+  bool found = false;
+  for (std::size_t p = 0; p < sub.circuit.num_pins(); ++p) {
+    const Pin& pin = sub.circuit.pin(PinId{static_cast<std::uint32_t>(p)});
+    if (pin.is_fake()) {
+      found = true;
+      EXPECT_EQ(pin.fake_x, 42);
+      EXPECT_EQ(sub.global_net[pin.net.index()], NetId{0});
+      // On the top halo, i.e. the last local row.
+      EXPECT_EQ(pin.fake_row.index(), sub.circuit.num_rows() - 1);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SubCircuit, RejectsFakePinOutsideBlockHalo) {
+  const Circuit global = small_test_circuit(5, 4, 15);
+  const RowPartition rows({0, 2, 4});
+  // Row 0 is below block 1's bottom halo (which stands for row 1).
+  EXPECT_THROW(extract_subcircuit(global, rows, 1, {{0, 1, 0, 10}}),
+               CheckError);
+  // Wrong destination block is rejected outright.
+  EXPECT_THROW(extract_subcircuit(global, rows, 1, {{0, 0, 2, 10}}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace ptwgr

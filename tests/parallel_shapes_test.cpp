@@ -1,0 +1,162 @@
+// Reproduction-shape tests: the relative properties the paper's conclusions
+// rest on, checked at reduced scale so they run in CI time.  These are the
+// claims EXPERIMENTS.md quantifies at full scale.
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
+
+namespace ptwgr {
+namespace {
+
+struct Measured {
+  double scaled_tracks;
+  double rank_cpu_max;
+};
+
+Measured measure(const SuiteEntry& entry, ParallelAlgorithm algorithm,
+                 int procs, std::int64_t serial_tracks) {
+  const auto result =
+      route_parallel(build_suite_circuit(entry), algorithm, procs);
+  double max_cpu = 0.0;
+  for (const double c : result.report.rank_cpu_seconds) {
+    max_cpu = std::max(max_cpu, c);
+  }
+  return {static_cast<double>(result.metrics.track_count) /
+              static_cast<double>(serial_tracks),
+          max_cpu};
+}
+
+class ShapeFixture : public ::testing::Test {
+ protected:
+  static constexpr double kScale = 0.25;
+
+  void SetUp() override {
+    entry_ = suite_entry("biomed", kScale);
+    serial_ = route_serial(build_suite_circuit(entry_)).metrics.track_count;
+  }
+
+  SuiteEntry entry_;
+  std::int64_t serial_ = 0;
+};
+
+TEST_F(ShapeFixture, HybridQualityBeatsRowWise) {
+  // Paper: hybrid is the best-quality algorithm; row-wise pays the Fig. 3
+  // boundary cost.
+  const auto hybrid = measure(entry_, ParallelAlgorithm::Hybrid, 8, serial_);
+  const auto rowwise = measure(entry_, ParallelAlgorithm::RowWise, 8, serial_);
+  EXPECT_LT(hybrid.scaled_tracks, rowwise.scaled_tracks);
+}
+
+TEST_F(ShapeFixture, RowWiseDegradationGrowsWithProcessors) {
+  const auto r2 = measure(entry_, ParallelAlgorithm::RowWise, 2, serial_);
+  const auto r8 = measure(entry_, ParallelAlgorithm::RowWise, 8, serial_);
+  EXPECT_GT(r8.scaled_tracks, r2.scaled_tracks);
+}
+
+TEST_F(ShapeFixture, AllAlgorithmsStayWithinPaperBands) {
+  for (const auto algorithm :
+       {ParallelAlgorithm::RowWise, ParallelAlgorithm::NetWise,
+        ParallelAlgorithm::Hybrid}) {
+    for (const int procs : {2, 8}) {
+      const auto m = measure(entry_, algorithm, procs, serial_);
+      EXPECT_GT(m.scaled_tracks, 0.95)
+          << to_string(algorithm) << " @" << procs;
+      EXPECT_LT(m.scaled_tracks, 1.30)
+          << to_string(algorithm) << " @" << procs;
+    }
+  }
+}
+
+TEST_F(ShapeFixture, RowWiseWorkPartitionsBest) {
+  // Total CPU across ranks — a noise-robust proxy for parallel efficiency —
+  // must be smallest for row-wise (everything local) and largest for
+  // net-wise, whose feedthrough insertion is replicated on every rank.
+  const auto total_cpu = [this](ParallelAlgorithm algorithm) {
+    const auto result =
+        route_parallel(build_suite_circuit(entry_), algorithm, 8);
+    return result.report.total_cpu_seconds();
+  };
+  EXPECT_LT(total_cpu(ParallelAlgorithm::RowWise),
+            total_cpu(ParallelAlgorithm::NetWise));
+}
+
+TEST_F(ShapeFixture, NetWiseQualityDegradesWithSparserSync) {
+  ParallelOptions frequent;
+  frequent.coarse_sync_period = 32;
+  frequent.switch_sync_period = 32;
+  ParallelOptions never;
+  never.coarse_sync_period = std::size_t{1} << 30;
+  never.switch_sync_period = std::size_t{1} << 30;
+
+  const auto with_sync =
+      route_parallel(build_suite_circuit(entry_), ParallelAlgorithm::NetWise,
+                     8, frequent);
+  const auto blind =
+      route_parallel(build_suite_circuit(entry_), ParallelAlgorithm::NetWise,
+                     8, never);
+  // Blindness must not *help*; typically it hurts by a small margin.
+  EXPECT_GE(blind.metrics.track_count + 2, with_sync.metrics.track_count);
+  EXPECT_LE(with_sync.metrics.track_count,
+            static_cast<std::int64_t>(
+                static_cast<double>(blind.metrics.track_count) * 1.01));
+}
+
+TEST_F(ShapeFixture, FeedthroughCountsMatchSerialClosely) {
+  // The halo-row fake-pin model keeps crossing accounting exact: parallel
+  // feedthrough counts stay within a fraction of a percent of serial.
+  const auto serial_result = route_serial(build_suite_circuit(entry_));
+  for (const auto algorithm :
+       {ParallelAlgorithm::RowWise, ParallelAlgorithm::NetWise,
+        ParallelAlgorithm::Hybrid}) {
+    const auto result =
+        route_parallel(build_suite_circuit(entry_), algorithm, 8);
+    const double ratio =
+        static_cast<double>(result.feedthrough_count) /
+        static_cast<double>(serial_result.metrics.feedthrough_count);
+    EXPECT_GT(ratio, 0.97) << to_string(algorithm);
+    EXPECT_LT(ratio, 1.03) << to_string(algorithm);
+  }
+}
+
+TEST(Shapes, GiantClockNetLimitsSpeedupOfItsOwner) {
+  // avq.large's 3200-pin net is indivisible: the rank that owns it does
+  // Θ(k²) Steiner work alone.  Its per-rank CPU imbalance must exceed a
+  // no-giants circuit's.
+  const auto giant =
+      route_parallel(build_suite_circuit(suite_entry("avq.large", 0.15)),
+                     ParallelAlgorithm::RowWise, 8);
+  const auto plain =
+      route_parallel(build_suite_circuit(suite_entry("biomed", 0.15)),
+                     ParallelAlgorithm::RowWise, 8);
+  const auto imbalance = [](const mp::RunReport& report) {
+    double max = 0.0;
+    double sum = 0.0;
+    for (const double c : report.rank_cpu_seconds) {
+      max = std::max(max, c);
+      sum += c;
+    }
+    return max * static_cast<double>(report.rank_cpu_seconds.size()) / sum;
+  };
+  EXPECT_GT(imbalance(giant.report), imbalance(plain.report));
+}
+
+TEST(Shapes, QualityIsPlatformIndependent) {
+  const SuiteEntry entry = suite_entry("primary2", 0.2);
+  const auto ideal = route_parallel(build_suite_circuit(entry),
+                                    ParallelAlgorithm::Hybrid, 4, {},
+                                    mp::CostModel::ideal());
+  const auto smp = route_parallel(build_suite_circuit(entry),
+                                  ParallelAlgorithm::Hybrid, 4, {},
+                                  mp::CostModel::sparc_center_smp());
+  const auto dmp = route_parallel(build_suite_circuit(entry),
+                                  ParallelAlgorithm::Hybrid, 4, {},
+                                  mp::CostModel::paragon_dmp());
+  EXPECT_EQ(ideal.metrics.track_count, smp.metrics.track_count);
+  EXPECT_EQ(smp.metrics.track_count, dmp.metrics.track_count);
+  EXPECT_EQ(ideal.metrics.channel_density, dmp.metrics.channel_density);
+}
+
+}  // namespace
+}  // namespace ptwgr

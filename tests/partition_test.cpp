@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/partition/net_partition.h"
+#include "ptwgr/partition/row_partition.h"
+#include "ptwgr/support/stats.h"
+
+namespace ptwgr {
+namespace {
+
+TEST(RowPartition, BasicAccessors) {
+  const RowPartition p({0, 3, 5, 9});
+  EXPECT_EQ(p.num_blocks(), 3);
+  EXPECT_EQ(p.num_rows(), 9u);
+  EXPECT_EQ(p.first_row(0), 0u);
+  EXPECT_EQ(p.end_row(0), 3u);
+  EXPECT_EQ(p.rows_in(2), 4u);
+  EXPECT_EQ(p.owner_of_row(0), 0);
+  EXPECT_EQ(p.owner_of_row(2), 0);
+  EXPECT_EQ(p.owner_of_row(3), 1);
+  EXPECT_EQ(p.owner_of_row(8), 2);
+  EXPECT_TRUE(p.spans_blocks(2, 3));
+  EXPECT_FALSE(p.spans_blocks(3, 4));
+}
+
+TEST(RowPartition, RejectsMalformedStarts) {
+  EXPECT_THROW(RowPartition({0}), CheckError);
+  EXPECT_THROW(RowPartition({1, 5}), CheckError);
+  EXPECT_THROW(RowPartition({0, 5, 5}), CheckError);
+  EXPECT_THROW(RowPartition({0, 5, 3}), CheckError);
+}
+
+TEST(RowPartition, PartitionCoversAllRowsContiguously) {
+  const Circuit c = small_test_circuit(1, 12, 20);
+  for (int blocks : {1, 2, 3, 4, 6, 12}) {
+    const RowPartition p = partition_rows(c, blocks);
+    EXPECT_EQ(p.num_blocks(), blocks);
+    EXPECT_EQ(p.num_rows(), 12u);
+    std::size_t covered = 0;
+    for (int b = 0; b < blocks; ++b) {
+      EXPECT_EQ(p.first_row(b), covered);
+      EXPECT_GE(p.rows_in(b), 1u);
+      covered = p.end_row(b);
+    }
+    EXPECT_EQ(covered, 12u);
+  }
+}
+
+TEST(RowPartition, BalancesPinLoad) {
+  const Circuit c = small_test_circuit(2, 16, 30);
+  const RowPartition p = partition_rows(c, 4);
+  std::vector<double> load(4, 0.0);
+  for (std::size_t pin = 0; pin < c.num_pins(); ++pin) {
+    const PinId pid{static_cast<std::uint32_t>(pin)};
+    load[static_cast<std::size_t>(
+        p.owner_of_row(c.pin_row(pid).index()))] += 1.0;
+  }
+  EXPECT_LT(load_imbalance(load), 1.35);
+}
+
+TEST(RowPartition, MoreBlocksThanRowsRejected) {
+  const Circuit c = small_test_circuit(3, 4, 10);
+  EXPECT_THROW(partition_rows(c, 5), CheckError);
+}
+
+class NetPartitionSchemeSweep
+    : public ::testing::TestWithParam<NetPartitionScheme> {};
+
+TEST_P(NetPartitionSchemeSweep, EveryNetAssignedExactlyOnce) {
+  const Circuit c = small_test_circuit(4, 8, 25);
+  const RowPartition rows = partition_rows(c, 4);
+  NetPartitionOptions options;
+  options.scheme = GetParam();
+  const NetPartition p = partition_nets(c, 4, options, &rows);
+
+  ASSERT_EQ(p.owner.size(), c.num_nets());
+  std::vector<std::size_t> counted(4, 0);
+  for (const int o : p.owner) {
+    ASSERT_GE(o, 0);
+    ASSERT_LT(o, 4);
+    ++counted[static_cast<std::size_t>(o)];
+  }
+  std::size_t total = 0;
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(p.nets_of[static_cast<std::size_t>(r)].size(),
+              counted[static_cast<std::size_t>(r)]);
+    total += counted[static_cast<std::size_t>(r)];
+  }
+  EXPECT_EQ(total, c.num_nets());
+}
+
+TEST_P(NetPartitionSchemeSweep, PinLoadReasonablyBalanced) {
+  const Circuit c = small_test_circuit(5, 8, 40);
+  const RowPartition rows = partition_rows(c, 4);
+  NetPartitionOptions options;
+  options.scheme = GetParam();
+  const NetPartition p = partition_nets(c, 4, options, &rows);
+  // Density clusters by geography and may be skewed; the others balance.
+  const double limit =
+      GetParam() == NetPartitionScheme::Density ? 3.0 : 1.4;
+  EXPECT_LT(load_imbalance(p.pin_load), limit) << to_string(GetParam());
+}
+
+TEST_P(NetPartitionSchemeSweep, DeterministicAssignment) {
+  const Circuit c = small_test_circuit(6, 6, 25);
+  const RowPartition rows = partition_rows(c, 3);
+  NetPartitionOptions options;
+  options.scheme = GetParam();
+  const NetPartition a = partition_nets(c, 3, options, &rows);
+  const NetPartition b = partition_nets(c, 3, options, &rows);
+  EXPECT_EQ(a.owner, b.owner);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, NetPartitionSchemeSweep,
+                         ::testing::Values(NetPartitionScheme::Center,
+                                           NetPartitionScheme::Locus,
+                                           NetPartitionScheme::Density,
+                                           NetPartitionScheme::PinNumberWeight));
+
+TEST(NetPartition, SingleRankOwnsEverything) {
+  const Circuit c = small_test_circuit(7, 4, 15);
+  const NetPartition p = partition_nets(c, 1, {});
+  for (const int o : p.owner) EXPECT_EQ(o, 0);
+}
+
+TEST(NetPartition, CenterSchemeClustersVertically) {
+  // Nets assigned to lower ranks must have lower average centers.
+  const Circuit c = small_test_circuit(8, 10, 30);
+  NetPartitionOptions options;
+  options.scheme = NetPartitionScheme::Center;
+  const NetPartition p = partition_nets(c, 2, options);
+  const auto mean_center = [&](int rank) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const NetId net : p.nets_of[static_cast<std::size_t>(rank)]) {
+      for (const PinId pid : c.net(net).pins) {
+        sum += static_cast<double>(c.pin_row(pid).index());
+        ++n;
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+  EXPECT_LT(mean_center(0), mean_center(1));
+}
+
+TEST(NetPartition, GiantNetsSpreadRoundRobin) {
+  GeneratorConfig cfg;
+  cfg.seed = 10;
+  cfg.num_rows = 8;
+  cfg.num_cells = 400;
+  cfg.num_nets = 500;
+  cfg.giant_net_pins = {300, 280, 260, 240};
+  const Circuit c = generate_circuit(cfg);
+
+  NetPartitionOptions options;
+  options.scheme = NetPartitionScheme::PinNumberWeight;
+  options.giant_net_threshold = 100;
+  const NetPartition p = partition_nets(c, 4, options);
+
+  // The four giant nets are nets 500..503; each must land on its own rank.
+  std::vector<int> giant_owner;
+  for (std::uint32_t n = 500; n < 504; ++n) {
+    giant_owner.push_back(p.owner[n]);
+  }
+  std::sort(giant_owner.begin(), giant_owner.end());
+  EXPECT_EQ(giant_owner, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(NetPartition, PinWeightExponentImprovesBalanceWithGiants) {
+  // Four whole-core clock nets: their centroids coincide, so the Center
+  // scheme piles them onto one rank, while pin-number-weight deals them
+  // round-robin (the paper's AVQ-LARGE fix).
+  GeneratorConfig cfg;
+  cfg.seed = 11;
+  cfg.num_rows = 8;
+  cfg.num_cells = 400;
+  cfg.num_nets = 600;
+  cfg.giant_net_pins = {200, 200, 200, 200};
+  const Circuit c = generate_circuit(cfg);
+
+  // Steiner cost scales superlinearly with pin count, so balance is judged
+  // on k^2 work, not raw pins.
+  const auto work_imbalance = [&](const NetPartition& p) {
+    std::vector<double> work(4, 0.0);
+    for (std::size_t n = 0; n < c.num_nets(); ++n) {
+      const auto k = static_cast<double>(c.net(NetId{
+          static_cast<std::uint32_t>(n)}).pins.size());
+      work[static_cast<std::size_t>(p.owner[n])] += k * k;
+    }
+    return load_imbalance(work);
+  };
+
+  NetPartitionOptions weighted;
+  weighted.scheme = NetPartitionScheme::PinNumberWeight;
+  weighted.pin_weight_exponent = 2.0;
+  NetPartitionOptions unweighted;
+  unweighted.scheme = NetPartitionScheme::Center;
+
+  EXPECT_LT(work_imbalance(partition_nets(c, 4, weighted)),
+            work_imbalance(partition_nets(c, 4, unweighted)));
+}
+
+TEST(NetPartition, DensityRequiresRowPartition) {
+  const Circuit c = small_test_circuit(12, 4, 10);
+  NetPartitionOptions options;
+  options.scheme = NetPartitionScheme::Density;
+  EXPECT_THROW(partition_nets(c, 2, options, nullptr), CheckError);
+}
+
+}  // namespace
+}  // namespace ptwgr

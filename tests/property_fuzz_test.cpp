@@ -1,0 +1,107 @@
+// Randomized property sweeps across module boundaries: for a wide range of
+// generated circuits and parameters, the structural invariants that every
+// routing must satisfy hold — no crashes, no disconnected nets, consistent
+// metrics, realizable track counts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ptwgr/circuit/generator.h"
+#include "ptwgr/circuit/io.h"
+#include "ptwgr/detail/left_edge.h"
+#include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
+#include "ptwgr/support/rng.h"
+
+namespace ptwgr {
+namespace {
+
+GeneratorConfig random_config(Rng& rng) {
+  GeneratorConfig config;
+  config.seed = rng();
+  config.num_rows = 2 + rng.next_index(10);
+  config.num_cells = config.num_rows * (5 + rng.next_index(40));
+  config.num_nets = 1 + rng.next_index(config.num_cells + 30);
+  config.mean_pins_per_net = 2.0 + rng.next_double() * 3.0;
+  config.row_spread = rng.next_double() * 3.0;
+  config.x_spread = rng.next_double() * 0.3;
+  config.equivalent_pin_fraction = rng.next_double();
+  config.min_cell_width = 1 + static_cast<Coord>(rng.next_index(6));
+  config.max_cell_width =
+      config.min_cell_width + static_cast<Coord>(rng.next_index(12));
+  if (rng.next_bool(0.2)) {
+    config.giant_net_pins = {10 + rng.next_index(60)};
+  }
+  return config;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, SerialRoutingInvariantsHold) {
+  Rng rng(GetParam() * 7919 + 13);
+  const GeneratorConfig config = random_config(rng);
+  const Circuit circuit = generate_circuit(config);
+  circuit.validate();
+
+  RouterOptions options;
+  options.seed = rng();
+  options.column_width = 8 + static_cast<Coord>(rng.next_index(64));
+  options.coarse_passes = static_cast<int>(rng.next_index(4));
+  options.switchable_passes = static_cast<int>(rng.next_index(4));
+  const RoutingResult result = route_serial(circuit, options);
+
+  // Invariant 1: the routed circuit stays structurally valid.
+  result.circuit.validate();
+  // Invariant 2: every multi-pin net is connected.
+  const auto violations = verify_routing(result.circuit, result.wires);
+  ASSERT_TRUE(violations.empty())
+      << "config seed " << config.seed << ": " << violations.front();
+  // Invariant 3: densities sum to the track count.
+  std::int64_t sum = 0;
+  for (const auto d : result.metrics.channel_density) sum += d;
+  ASSERT_EQ(sum, result.metrics.track_count);
+  // Invariant 4: the detailed router realizes exactly that many tracks.
+  const DetailedRouting detailed =
+      assign_all_tracks(result.circuit, result.wires);
+  ASSERT_EQ(detailed.total_tracks(), result.metrics.track_count);
+  // Invariant 5: the input netlist round-trips through the text format.
+  std::stringstream buffer;
+  write_circuit(buffer, circuit);
+  const Circuit restored = read_circuit(buffer);
+  ASSERT_EQ(restored.num_pins(), circuit.num_pins());
+}
+
+TEST_P(FuzzSweep, ParallelRoutingInvariantsHold) {
+  Rng rng(GetParam() * 104729 + 7);
+  const GeneratorConfig config = random_config(rng);
+  const Circuit circuit = generate_circuit(config);
+
+  const int max_ranks =
+      static_cast<int>(std::min<std::size_t>(circuit.num_rows(), 6));
+  const int ranks = 1 + static_cast<int>(rng.next_index(
+                            static_cast<std::size_t>(max_ranks)));
+  const auto algorithm = static_cast<ParallelAlgorithm>(rng.next_index(3));
+
+  ParallelOptions options;
+  options.router.seed = rng();
+  options.coarse_sync_period = 1 + rng.next_index(4096);
+  options.switch_sync_period = 1 + rng.next_index(4096);
+  const auto result = route_parallel(circuit, algorithm, ranks, options);
+
+  std::int64_t sum = 0;
+  for (const auto d : result.metrics.channel_density) sum += d;
+  ASSERT_EQ(sum, result.metrics.track_count);
+  ASSERT_GE(result.metrics.track_count, 0);
+  ASSERT_EQ(result.report.rank_vtime.size(),
+            static_cast<std::size_t>(ranks));
+  // Determinism: same inputs, same result.
+  const auto again = route_parallel(circuit, algorithm, ranks, options);
+  ASSERT_EQ(again.metrics.track_count, result.metrics.track_count)
+      << to_string(algorithm) << " ranks=" << ranks;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace ptwgr

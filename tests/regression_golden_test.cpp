@@ -1,0 +1,77 @@
+// Golden regression values: exact outputs for fixed seeds.
+//
+// Routing behaviour is deterministic in (circuit seed, router seed, rank
+// count), so these values pin the current algorithms down to the last
+// track.  They WILL change whenever routing behaviour changes — that is the
+// point: an unexpected diff here means a behavioural change, intended or
+// not.  Update the constants deliberately when the change is intended.
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
+
+namespace ptwgr {
+namespace {
+
+constexpr std::uint64_t kCircuitSeed = 99;
+constexpr std::uint64_t kRouterSeed = 12345;
+
+Circuit golden_circuit() { return small_test_circuit(kCircuitSeed, 6, 30); }
+
+TEST(RegressionGolden, SerialRoute) {
+  RouterOptions options;
+  options.seed = kRouterSeed;
+  const RoutingResult result = route_serial(golden_circuit(), options);
+  EXPECT_EQ(result.metrics.track_count, 97);
+  EXPECT_EQ(result.metrics.area, 105850);
+  EXPECT_EQ(result.metrics.feedthrough_count, 119u);
+  EXPECT_EQ(result.metrics.total_wirelength, 16609);
+  EXPECT_EQ(result.wires.size(), 544u);
+}
+
+TEST(RegressionGolden, RowWiseFourRanks) {
+  ParallelOptions options;
+  options.router.seed = kRouterSeed;
+  const auto result = route_parallel(golden_circuit(),
+                                     ParallelAlgorithm::RowWise, 4, options);
+  EXPECT_EQ(result.metrics.track_count, 127);
+  EXPECT_EQ(result.feedthrough_count, 119u);
+}
+
+TEST(RegressionGolden, NetWiseFourRanks) {
+  ParallelOptions options;
+  options.router.seed = kRouterSeed;
+  const auto result = route_parallel(golden_circuit(),
+                                     ParallelAlgorithm::NetWise, 4, options);
+  EXPECT_EQ(result.metrics.track_count, 102);
+  EXPECT_EQ(result.feedthrough_count, 119u);
+}
+
+TEST(RegressionGolden, HybridFourRanks) {
+  ParallelOptions options;
+  options.router.seed = kRouterSeed;
+  const auto result = route_parallel(golden_circuit(),
+                                     ParallelAlgorithm::Hybrid, 4, options);
+  EXPECT_EQ(result.metrics.track_count, 105);
+  EXPECT_EQ(result.feedthrough_count, 119u);
+}
+
+TEST(RegressionGolden, FeedthroughCountIsAlgorithmInvariant) {
+  // All three algorithms and the serial baseline materialize the same set of
+  // row crossings on this circuit — the halo-row model's exactness.
+  ParallelOptions options;
+  options.router.seed = kRouterSeed;
+  const RoutingResult serial = route_serial(golden_circuit(), options.router);
+  for (const auto algorithm :
+       {ParallelAlgorithm::RowWise, ParallelAlgorithm::NetWise,
+        ParallelAlgorithm::Hybrid}) {
+    const auto result =
+        route_parallel(golden_circuit(), algorithm, 4, options);
+    EXPECT_EQ(result.feedthrough_count, serial.metrics.feedthrough_count)
+        << to_string(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace ptwgr

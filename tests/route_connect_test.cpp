@@ -1,0 +1,185 @@
+#include "ptwgr/route/connect.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/builder.h"
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/route/coarse.h"
+#include "ptwgr/route/feedthrough.h"
+#include "ptwgr/route/metrics.h"
+#include "ptwgr/support/rng.h"
+
+namespace ptwgr {
+namespace {
+
+/// Circuit with fake pins at explicit positions (side Both unless a cell pin
+/// is added explicitly).
+Circuit rows_only(std::uint32_t rows) {
+  CircuitBuilder b;
+  for (std::uint32_t r = 0; r < rows; ++r) b.add_row();
+  return std::move(b).build();
+}
+
+TEST(Connect, TwoPinSameRowProducesOneSwitchableWire) {
+  Circuit c = rows_only(2);
+  const NetId net = c.add_net();
+  c.add_fake_pin(net, RowId{0}, 10);
+  c.add_fake_pin(net, RowId{0}, 60);
+  std::vector<Wire> wires;
+  connect_net(c, net, {}, wires);
+  ASSERT_EQ(wires.size(), 1u);
+  EXPECT_EQ(wires[0].lo, 10);
+  EXPECT_EQ(wires[0].hi, 60);
+  EXPECT_TRUE(wires[0].switchable);  // both fake ⇒ either channel
+  EXPECT_EQ(wires[0].row, 0u);
+}
+
+TEST(Connect, AdjacentRowsUseSharedChannel) {
+  Circuit c = rows_only(3);
+  const NetId net = c.add_net();
+  c.add_fake_pin(net, RowId{1}, 10);
+  c.add_fake_pin(net, RowId{2}, 40);
+  std::vector<Wire> wires;
+  connect_net(c, net, {}, wires);
+  ASSERT_EQ(wires.size(), 1u);
+  EXPECT_EQ(wires[0].channel, 2u);  // between rows 1 and 2
+  EXPECT_FALSE(wires[0].switchable);
+}
+
+TEST(Connect, PinSidesForceChannel) {
+  CircuitBuilder b;
+  const RowId row = b.add_row();
+  const CellId c0 = b.add_cell(row, 10);
+  const CellId c1 = b.add_cell(row, 10);
+  const NetId net = b.add_net();
+  b.add_pin(c0, net, 0, PinSide::Top);
+  b.add_pin(c1, net, 0, PinSide::Top);
+  Circuit c = std::move(b).build();
+
+  const auto wires = connect_all_nets(c);
+  ASSERT_EQ(wires.size(), 1u);
+  EXPECT_EQ(wires[0].channel, 1u);  // above row 0
+  EXPECT_FALSE(wires[0].switchable);
+}
+
+TEST(Connect, BottomPinsForceLowerChannel) {
+  CircuitBuilder b;
+  const RowId row = b.add_row();
+  const CellId c0 = b.add_cell(row, 10);
+  const CellId c1 = b.add_cell(row, 10);
+  const NetId net = b.add_net();
+  b.add_pin(c0, net, 0, PinSide::Bottom);
+  b.add_pin(c1, net, 0, PinSide::Bottom);
+  Circuit c = std::move(b).build();
+
+  const auto wires = connect_all_nets(c);
+  ASSERT_EQ(wires.size(), 1u);
+  EXPECT_EQ(wires[0].channel, 0u);
+  EXPECT_FALSE(wires[0].switchable);
+}
+
+TEST(Connect, ConflictingSidesFallBackToSwitchable) {
+  CircuitBuilder b;
+  const RowId row = b.add_row();
+  const CellId c0 = b.add_cell(row, 10);
+  const CellId c1 = b.add_cell(row, 10);
+  const NetId net = b.add_net();
+  b.add_pin(c0, net, 0, PinSide::Top);
+  b.add_pin(c1, net, 0, PinSide::Bottom);
+  Circuit c = std::move(b).build();
+
+  const auto wires = connect_all_nets(c);
+  ASSERT_EQ(wires.size(), 1u);
+  EXPECT_TRUE(wires[0].switchable);
+}
+
+TEST(Connect, EquivalentPinsMakeSwitchable) {
+  CircuitBuilder b;
+  const RowId row = b.add_row();
+  const CellId c0 = b.add_cell(row, 10);
+  const CellId c1 = b.add_cell(row, 10);
+  const NetId net = b.add_net();
+  b.add_pin(c0, net, 0, PinSide::Both);
+  b.add_pin(c1, net, 0, PinSide::Both);
+  Circuit c = std::move(b).build();
+
+  const auto wires = connect_all_nets(c);
+  ASSERT_EQ(wires.size(), 1u);
+  EXPECT_TRUE(wires[0].switchable);
+}
+
+TEST(Connect, StackedPinsNeedNoWire) {
+  Circuit c = rows_only(1);
+  const NetId net = c.add_net();
+  c.add_fake_pin(net, RowId{0}, 25);
+  c.add_fake_pin(net, RowId{0}, 25);
+  std::vector<Wire> wires;
+  connect_net(c, net, {}, wires);
+  EXPECT_TRUE(wires.empty());
+}
+
+TEST(Connect, SinglePinNetSkipped) {
+  Circuit c = rows_only(1);
+  const NetId net = c.add_net();
+  c.add_fake_pin(net, RowId{0}, 25);
+  std::vector<Wire> wires;
+  connect_net(c, net, {}, wires);
+  EXPECT_TRUE(wires.empty());
+}
+
+TEST(Connect, NonAdjacentRowsEmitStubsInBetween) {
+  Circuit c = rows_only(4);
+  const NetId net = c.add_net();
+  c.add_fake_pin(net, RowId{0}, 10);
+  c.add_fake_pin(net, RowId{3}, 50);
+  std::vector<Wire> wires;
+  connect_net(c, net, {}, wires);
+  // One horizontal wire in channel 3, stubs in channels 1 and 2.
+  ASSERT_EQ(wires.size(), 3u);
+  std::vector<bool> channel_seen(5, false);
+  for (const Wire& w : wires) channel_seen[w.channel] = true;
+  EXPECT_TRUE(channel_seen[1] && channel_seen[2] && channel_seen[3]);
+  for (const Wire& w : wires) {
+    if (w.channel != 3) {
+      EXPECT_EQ(w.length(), 0);
+    }
+  }
+}
+
+TEST(Connect, MultiRowNetPrefersFewestRowHops) {
+  Circuit c = rows_only(3);
+  const NetId net = c.add_net();
+  // A feedthrough chain: row 0, 1, 2 all have terminals.
+  c.add_fake_pin(net, RowId{0}, 10);
+  c.add_fake_pin(net, RowId{1}, 12);
+  c.add_fake_pin(net, RowId{2}, 14);
+  std::vector<Wire> wires;
+  connect_net(c, net, {}, wires);
+  // Adjacent-row hops only: no stub wires needed.
+  for (const Wire& w : wires) {
+    EXPECT_GT(w.length(), 0);
+  }
+  EXPECT_EQ(wires.size(), 2u);
+}
+
+TEST(Connect, RoutingVerifiesOnGeneratedCircuitWithFeedthroughs) {
+  Circuit c = small_test_circuit(9, 5, 25);
+  const auto trees = build_all_steiner_trees(c);
+  auto segments = extract_coarse_segments(trees);
+  CoarseGrid grid(c, 32);
+  CoarseRouter router(grid, {});
+  router.place_initial(segments);
+  Rng rng(9);
+  router.improve(segments, rng);
+  FeedthroughPools pools = insert_feedthroughs(c, grid, 3);
+  assign_feedthroughs(c, pools, grid, segments, 3);
+
+  const auto wires = connect_all_nets(c);
+  const auto violations = verify_routing(c, wires);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations; first: "
+      << (violations.empty() ? "" : violations.front());
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,151 @@
+#include "ptwgr/route/feedthrough.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/suite.h"
+
+namespace ptwgr {
+namespace {
+
+TEST(FeedthroughPools, TakeReturnsInsertedCells) {
+  FeedthroughPools pools;
+  pools.add(1, 2, CellId{10});
+  pools.add(1, 2, CellId{11});
+  pools.add(3, 0, CellId{12});
+  EXPECT_EQ(pools.total_available(), 3u);
+
+  const CellId first = pools.take(1, 2);
+  EXPECT_TRUE(first.valid());
+  const CellId second = pools.take(1, 2);
+  EXPECT_TRUE(second.valid());
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(pools.take(1, 2).valid());  // exhausted
+  EXPECT_FALSE(pools.take(9, 9).valid());  // never stocked
+  EXPECT_EQ(pools.total_available(), 1u);
+}
+
+struct RoutedFixture {
+  Circuit circuit;
+  CoarseGrid grid;
+  std::vector<CoarseSegment> segments;
+
+  explicit RoutedFixture(std::uint64_t seed)
+      : circuit(small_test_circuit(seed, 5, 25)), grid(circuit, 32) {
+    const auto trees = build_all_steiner_trees(circuit);
+    segments = extract_coarse_segments(trees);
+    CoarseRouter router(grid, {});
+    router.place_initial(segments);
+    Rng rng(seed);
+    router.improve(segments, rng);
+  }
+};
+
+TEST(Feedthrough, InsertMatchesDemand) {
+  RoutedFixture f(1);
+  std::int64_t total_demand = 0;
+  for (std::size_t r = 0; r < f.grid.num_rows(); ++r) {
+    total_demand += f.grid.row_feedthrough_total(r);
+  }
+  const FeedthroughPools pools =
+      insert_feedthroughs(f.circuit, f.grid, 3);
+  EXPECT_EQ(pools.total_available(), static_cast<std::size_t>(total_demand));
+  EXPECT_EQ(f.circuit.num_feedthrough_cells(),
+            static_cast<std::size_t>(total_demand));
+  f.circuit.validate();
+}
+
+TEST(Feedthrough, InsertWidensRows) {
+  RoutedFixture f(2);
+  std::vector<Coord> before;
+  for (std::size_t r = 0; r < f.circuit.num_rows(); ++r) {
+    before.push_back(f.circuit.row_width(RowId{static_cast<std::uint32_t>(r)}));
+  }
+  insert_feedthroughs(f.circuit, f.grid, 3);
+  for (std::size_t r = 0; r < f.circuit.num_rows(); ++r) {
+    const Coord after =
+        f.circuit.row_width(RowId{static_cast<std::uint32_t>(r)});
+    EXPECT_GE(after, before[r]);
+    if (f.grid.row_feedthrough_total(r) > 0) {
+      EXPECT_GT(after, before[r]) << "row " << r;
+    }
+  }
+}
+
+TEST(Feedthrough, AssignBindsEveryCrossing) {
+  RoutedFixture f(3);
+  std::size_t expected_crossings = 0;
+  for (const CoarseSegment& seg : f.segments) {
+    expected_crossings += seg.b.row - seg.a.row - 1;
+  }
+  FeedthroughPools pools = insert_feedthroughs(f.circuit, f.grid, 3);
+  const auto terminals = assign_feedthroughs(f.circuit, pools, f.grid,
+                                             f.segments, 3);
+  EXPECT_EQ(terminals.size(), expected_crossings);
+  // Demand and crossings match exactly, so every pooled cell is consumed.
+  EXPECT_EQ(pools.total_available(), 0u);
+  f.circuit.validate();
+}
+
+TEST(Feedthrough, AssignedPinsBelongToTheCrossingNet) {
+  RoutedFixture f(4);
+  FeedthroughPools pools = insert_feedthroughs(f.circuit, f.grid, 3);
+  const auto terminals =
+      assign_feedthroughs(f.circuit, pools, f.grid, f.segments, 3);
+  for (const FeedthroughTerminal& t : terminals) {
+    const Pin& pin = f.circuit.pin(t.pin);
+    EXPECT_EQ(pin.net, t.net);
+    EXPECT_EQ(pin.side, PinSide::Both);
+    EXPECT_EQ(f.circuit.pin_row(t.pin).index(), t.row);
+    EXPECT_EQ(f.circuit.cell(pin.cell).kind, CellKind::Feedthrough);
+  }
+}
+
+TEST(Feedthrough, NetGainsNodesInEveryCrossedRow) {
+  RoutedFixture f(5);
+  FeedthroughPools pools = insert_feedthroughs(f.circuit, f.grid, 3);
+  assign_feedthroughs(f.circuit, pools, f.grid, f.segments, 3);
+  // After assignment each net must have a terminal in every row between its
+  // segment endpoints — that is the property step 4 relies on.
+  for (const CoarseSegment& seg : f.segments) {
+    std::vector<bool> has_row(f.circuit.num_rows(), false);
+    for (const PinId pid : f.circuit.net(seg.net).pins) {
+      has_row[f.circuit.pin_row(pid).index()] = true;
+    }
+    for (std::uint32_t r = seg.a.row; r <= seg.b.row; ++r) {
+      EXPECT_TRUE(has_row[r]) << "net " << seg.net.value() << " row " << r;
+    }
+  }
+}
+
+TEST(Feedthrough, EmergencyInsertionWhenPoolEmpty) {
+  RoutedFixture f(6);
+  // Deliberately skip insertion: every crossing triggers the emergency path.
+  FeedthroughPools empty_pools;
+  const std::size_t cells_before = f.circuit.num_cells();
+  const auto terminals =
+      assign_feedthroughs(f.circuit, empty_pools, f.grid, f.segments, 3);
+  EXPECT_EQ(f.circuit.num_cells(), cells_before + terminals.size());
+  f.circuit.validate();
+}
+
+TEST(Feedthrough, RowFilterRestrictsMutation) {
+  RoutedFixture f(7);
+  const auto only_row_2 = [](std::size_t row) { return row == 2; };
+  FeedthroughPools pools =
+      insert_feedthroughs(f.circuit, f.grid, 3, only_row_2);
+  EXPECT_EQ(pools.total_available(),
+            static_cast<std::size_t>(f.grid.row_feedthrough_total(2)));
+  const auto terminals = assign_feedthroughs(f.circuit, pools, f.grid,
+                                             f.segments, 3, only_row_2);
+  for (const FeedthroughTerminal& t : terminals) {
+    EXPECT_EQ(t.row, 2u);
+  }
+  for (const Cell& cell : f.circuit.cells()) {
+    if (cell.kind == CellKind::Feedthrough) {
+      EXPECT_EQ(cell.row.index(), 2u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptwgr

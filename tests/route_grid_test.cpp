@@ -1,0 +1,107 @@
+#include "ptwgr/route/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace ptwgr {
+namespace {
+
+TEST(CoarseGrid, ColumnGeometry) {
+  CoarseGrid grid(4, 100, 32);
+  EXPECT_EQ(grid.num_rows(), 4u);
+  EXPECT_EQ(grid.num_channels(), 5u);
+  EXPECT_EQ(grid.num_columns(), 4u);  // ceil(100/32)
+  EXPECT_EQ(grid.column_of(0), 0u);
+  EXPECT_EQ(grid.column_of(31), 0u);
+  EXPECT_EQ(grid.column_of(32), 1u);
+  EXPECT_EQ(grid.column_of(99), 3u);
+  // Clamping.
+  EXPECT_EQ(grid.column_of(-5), 0u);
+  EXPECT_EQ(grid.column_of(100000), 3u);
+  EXPECT_EQ(grid.column_center(0), 16);
+  EXPECT_EQ(grid.column_center(1), 48);
+}
+
+TEST(CoarseGrid, ZeroWidthCoreStillHasOneColumn) {
+  CoarseGrid grid(1, 0, 32);
+  EXPECT_EQ(grid.num_columns(), 1u);
+  EXPECT_EQ(grid.column_of(0), 0u);
+}
+
+TEST(CoarseGrid, FeedthroughDemandAccumulates) {
+  CoarseGrid grid(3, 100, 10);
+  grid.add_feedthrough_demand(1, 4, 1);
+  grid.add_feedthrough_demand(1, 4, 1);
+  grid.add_feedthrough_demand(1, 7, 1);
+  EXPECT_EQ(grid.feedthrough_demand(1, 4), 2);
+  EXPECT_EQ(grid.feedthrough_demand(1, 7), 1);
+  EXPECT_EQ(grid.feedthrough_demand(0, 4), 0);
+  EXPECT_EQ(grid.row_feedthrough_total(1), 3);
+  grid.add_feedthrough_demand(1, 4, -2);
+  EXPECT_EQ(grid.feedthrough_demand(1, 4), 0);
+}
+
+TEST(CoarseGrid, NegativeDemandRejected) {
+  CoarseGrid grid(2, 50, 10);
+  EXPECT_THROW(grid.add_feedthrough_demand(0, 0, -1), CheckError);
+}
+
+TEST(CoarseGrid, ChannelUseRangeOps) {
+  CoarseGrid grid(2, 100, 10);
+  grid.add_channel_use(1, 2, 6, 1);
+  grid.add_channel_use(1, 4, 8, 1);
+  EXPECT_EQ(grid.channel_use(1, 3), 1);
+  EXPECT_EQ(grid.channel_use(1, 5), 2);
+  EXPECT_EQ(grid.max_channel_use(1, 0, 9), 2);
+  EXPECT_EQ(grid.max_channel_use(1, 0, 1), 0);
+  EXPECT_EQ(grid.channel_use_sum(1, 2, 8), 5 + 5);
+  // Other channels untouched.
+  EXPECT_EQ(grid.max_channel_use(0, 0, 9), 0);
+  EXPECT_EQ(grid.max_channel_use(2, 0, 9), 0);
+}
+
+TEST(CoarseGrid, TopChannelExists) {
+  CoarseGrid grid(2, 50, 10);
+  grid.add_channel_use(2, 0, 0, 1);  // channel above row 1
+  EXPECT_EQ(grid.channel_use(2, 0), 1);
+  EXPECT_THROW(grid.add_channel_use(3, 0, 0, 1), CheckError);
+}
+
+TEST(CoarseGrid, ExportImportRoundTrip) {
+  CoarseGrid a(3, 100, 10);
+  a.add_feedthrough_demand(0, 1, 2);
+  a.add_channel_use(3, 2, 5, 4);
+  const auto state = a.export_state();
+  EXPECT_EQ(state.size(), a.state_size());
+
+  CoarseGrid b(3, 100, 10);
+  b.import_state(state);
+  EXPECT_EQ(b.feedthrough_demand(0, 1), 2);
+  EXPECT_EQ(b.channel_use(3, 3), 4);
+  EXPECT_EQ(b.channel_use(3, 6), 0);
+}
+
+TEST(CoarseGrid, ImportRejectsWrongSize) {
+  CoarseGrid grid(2, 50, 10);
+  EXPECT_THROW(grid.import_state({1, 2, 3}), CheckError);
+}
+
+TEST(CoarseGrid, StateAdditivityForReplicaSync) {
+  // The net-wise algorithm relies on demand maps being additive: replica
+  // states summed elementwise equal the state of a grid that saw all ops.
+  CoarseGrid a(2, 60, 10);
+  CoarseGrid b(2, 60, 10);
+  CoarseGrid all(2, 60, 10);
+  a.add_feedthrough_demand(0, 2, 1);
+  all.add_feedthrough_demand(0, 2, 1);
+  b.add_channel_use(1, 1, 4, 2);
+  all.add_channel_use(1, 1, 4, 2);
+
+  const auto sa = a.export_state();
+  const auto sb = b.export_state();
+  std::vector<std::int32_t> sum(sa.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) sum[i] = sa[i] + sb[i];
+  EXPECT_EQ(sum, all.export_state());
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,209 @@
+#include "ptwgr/route/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/builder.h"
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/parallel/common.h"
+#include "ptwgr/route/connect.h"
+#include "ptwgr/support/interval.h"
+
+namespace ptwgr {
+namespace {
+
+Wire make_wire(std::uint32_t net, std::uint32_t channel, Coord lo, Coord hi) {
+  Wire w;
+  w.net = NetId{net};
+  w.channel = channel;
+  w.lo = lo;
+  w.hi = hi;
+  w.row = channel;
+  return w;
+}
+
+Circuit two_row_circuit() {
+  CircuitBuilder b;
+  const RowId r0 = b.add_row(10);
+  const RowId r1 = b.add_row(10);
+  b.add_cell(r0, 100);
+  b.add_cell(r1, 100);
+  return std::move(b).build();
+}
+
+TEST(Metrics, EmptyRoutingHasZeroTracks) {
+  const Circuit c = two_row_circuit();
+  const RoutingMetrics m = compute_metrics(c, {});
+  EXPECT_EQ(m.track_count, 0);
+  EXPECT_EQ(m.total_wirelength, 0);
+  // Area is rows-only.
+  EXPECT_EQ(m.area, 100 * 20);
+  EXPECT_EQ(m.channel_density.size(), 3u);
+}
+
+TEST(Metrics, DistinctNetsStack) {
+  const Circuit c = two_row_circuit();
+  const std::vector<Wire> wires{make_wire(0, 1, 0, 50),
+                                make_wire(1, 1, 10, 60),
+                                make_wire(2, 1, 20, 70)};
+  const RoutingMetrics m = compute_metrics(c, wires);
+  EXPECT_EQ(m.channel_density[1], 3);
+  EXPECT_EQ(m.track_count, 3);
+}
+
+TEST(Metrics, SameNetWiresMergeIntoOneTrack) {
+  const Circuit c = two_row_circuit();
+  // Three overlapping/touching wires of ONE net: a single track.
+  const std::vector<Wire> wires{make_wire(7, 1, 0, 30),
+                                make_wire(7, 1, 30, 60),
+                                make_wire(7, 1, 20, 40)};
+  const RoutingMetrics m = compute_metrics(c, wires);
+  EXPECT_EQ(m.channel_density[1], 1);
+}
+
+TEST(Metrics, SameNetDisjointSpansStillOneEach) {
+  const Circuit c = two_row_circuit();
+  // Disjoint spans of one net merge to two intervals, but they never cover
+  // the same x, so density stays 1.
+  const std::vector<Wire> wires{make_wire(7, 1, 0, 10),
+                                make_wire(7, 1, 50, 60)};
+  const RoutingMetrics m = compute_metrics(c, wires);
+  EXPECT_EQ(m.channel_density[1], 1);
+}
+
+TEST(Metrics, MixedNetsMergePerNetBeforeSweep) {
+  const Circuit c = two_row_circuit();
+  const std::vector<Wire> wires{
+      make_wire(1, 0, 0, 40),  make_wire(1, 0, 40, 80),  // net 1: one track
+      make_wire(2, 0, 20, 60),                           // net 2
+      make_wire(3, 0, 30, 50),                           // net 3
+  };
+  const RoutingMetrics m = compute_metrics(c, wires);
+  EXPECT_EQ(m.channel_density[0], 3);
+}
+
+TEST(Metrics, AreaGrowsWithTracksAndWidth) {
+  Circuit c = two_row_circuit();
+  const RoutingMetrics none = compute_metrics(c, {});
+  const std::vector<Wire> wires{make_wire(0, 1, 0, 50)};
+  const RoutingMetrics one = compute_metrics(c, wires);
+  EXPECT_EQ(one.area - none.area, 100 * kTrackPitch);
+}
+
+TEST(Metrics, RecordsPathMatchesCircuitPath) {
+  // metrics_from_records (the parallel gather path) must agree with
+  // compute_metrics for identical wires.
+  const Circuit c = small_test_circuit(31, 5, 25);
+  const auto wires = connect_all_nets(c);
+  const RoutingMetrics direct = compute_metrics(c, wires);
+
+  std::vector<WireRecord> records;
+  for (const Wire& wire : wires) records.push_back(to_record(wire));
+  Coord rows_height = 0;
+  for (const Row& row : c.rows()) rows_height += row.height;
+  const RoutingMetrics via_records = metrics_from_records(
+      c.num_channels(), c.core_width(), rows_height,
+      c.num_feedthrough_cells(), records);
+
+  EXPECT_EQ(direct.track_count, via_records.track_count);
+  EXPECT_EQ(direct.area, via_records.area);
+  EXPECT_EQ(direct.total_wirelength, via_records.total_wirelength);
+  EXPECT_EQ(direct.channel_density, via_records.channel_density);
+}
+
+TEST(Metrics, RejectsOutOfRangeChannel) {
+  const Circuit c = two_row_circuit();
+  const std::vector<Wire> wires{make_wire(0, 9, 0, 10)};
+  EXPECT_THROW(compute_metrics(c, wires), CheckError);
+}
+
+TEST(MergeIntervals, Basics) {
+  EXPECT_TRUE(merge_intervals({}).empty());
+  const auto single = merge_intervals({{3, 8}});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], (Interval{3, 8}));
+}
+
+TEST(MergeIntervals, TouchingIntervalsMerge) {
+  const auto merged = merge_intervals({{0, 5}, {5, 10}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (Interval{0, 10}));
+}
+
+TEST(MergeIntervals, DisjointStay) {
+  const auto merged = merge_intervals({{0, 5}, {7, 10}});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeIntervals, NestedAbsorbed) {
+  const auto merged = merge_intervals({{0, 100}, {10, 20}, {90, 95}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (Interval{0, 100}));
+}
+
+TEST(MergeIntervals, DegenerateWidened) {
+  const auto merged = merge_intervals({{5, 5}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (Interval{5, 6}));
+}
+
+TEST(MergeIntervals, UnsortedInput) {
+  const auto merged = merge_intervals({{50, 60}, {0, 10}, {8, 52}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (Interval{0, 60}));
+}
+
+TEST(VerifyRouting, DetectsDisconnectedNet) {
+  CircuitBuilder b;
+  const RowId r0 = b.add_row();
+  const CellId c0 = b.add_cell(r0, 10);
+  const CellId c1 = b.add_cell(r0, 10);
+  const NetId n = b.add_net();
+  b.add_pin(c0, n, 0, PinSide::Both);
+  b.add_pin(c1, n, 0, PinSide::Both);
+  const Circuit c = std::move(b).build();
+
+  // No wires at all: the two-pin net is disconnected.
+  const auto violations = verify_routing(c, {});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("net 0"), std::string::npos);
+}
+
+TEST(VerifyRouting, AcceptsCorrectWire) {
+  CircuitBuilder b;
+  const RowId r0 = b.add_row();
+  const CellId c0 = b.add_cell(r0, 10);
+  const CellId c1 = b.add_cell(r0, 10);
+  const NetId n = b.add_net();
+  b.add_pin(c0, n, 0, PinSide::Both);
+  b.add_pin(c1, n, 0, PinSide::Both);
+  const Circuit c = std::move(b).build();
+
+  const std::vector<Wire> wires{make_wire(0, 0, 0, 10)};
+  EXPECT_TRUE(verify_routing(c, wires).empty());
+}
+
+TEST(VerifyRouting, WireMustCoverPinPosition) {
+  CircuitBuilder b;
+  const RowId r0 = b.add_row();
+  const CellId c0 = b.add_cell(r0, 10);
+  const CellId c1 = b.add_cell(r0, 50);
+  const NetId n = b.add_net();
+  b.add_pin(c0, n, 0, PinSide::Both);
+  b.add_pin(c1, n, 45, PinSide::Both);  // absolute x = 55
+  const Circuit c = std::move(b).build();
+
+  // Wire stops short of the second pin.
+  const std::vector<Wire> wires{make_wire(0, 0, 0, 20)};
+  EXPECT_FALSE(verify_routing(c, wires).empty());
+}
+
+TEST(VerifyRouting, FlagsMalformedWires) {
+  const Circuit c = two_row_circuit();
+  std::vector<Wire> wires{make_wire(0, 5, 0, 10)};  // channel out of range
+  EXPECT_FALSE(verify_routing(c, wires).empty());
+  wires = {make_wire(0, 0, 10, 0)};  // inverted span
+  EXPECT_FALSE(verify_routing(c, wires).empty());
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,117 @@
+#include "ptwgr/route/mst.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/route/dsu.h"
+#include "ptwgr/support/rng.h"
+
+namespace ptwgr {
+namespace {
+
+TEST(RouteDistance, RectilinearWithRowCost) {
+  EXPECT_EQ(route_distance({0, 0}, {10, 0}, 48), 10);
+  EXPECT_EQ(route_distance({0, 0}, {0, 2}, 48), 96);
+  EXPECT_EQ(route_distance({5, 1}, {2, 3}, 10), 3 + 20);
+  EXPECT_EQ(route_distance({7, 4}, {7, 4}, 48), 0);
+}
+
+TEST(Mst, EmptyAndSingleton) {
+  EXPECT_TRUE(minimum_spanning_tree({}, 1).empty());
+  EXPECT_TRUE(minimum_spanning_tree({{0, 0}}, 1).empty());
+}
+
+TEST(Mst, TwoPoints) {
+  const auto edges = minimum_spanning_tree({{0, 0}, {5, 1}}, 10);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], (TreeEdge{0, 1}));
+}
+
+TEST(Mst, SpansAllPoints) {
+  std::vector<RoutePoint> points{{0, 0}, {10, 0}, {5, 1}, {20, 2}, {1, 2}};
+  const auto edges = minimum_spanning_tree(points, 10);
+  ASSERT_EQ(edges.size(), points.size() - 1);
+  DisjointSets dsu(points.size());
+  for (const TreeEdge& e : edges) {
+    EXPECT_TRUE(dsu.unite(e.a, e.b)) << "cycle in MST";
+  }
+  EXPECT_EQ(dsu.num_sets(), 1u);
+}
+
+TEST(Mst, CollinearPointsChainNaturally) {
+  std::vector<RoutePoint> points{{0, 0}, {10, 0}, {20, 0}, {30, 0}};
+  const auto edges = minimum_spanning_tree(points, 1);
+  EXPECT_EQ(tree_length(points, edges, 1), 30);
+}
+
+TEST(Mst, PrefersSameRowUnderHighRowCost) {
+  // Two rows; high row cost forces one vertical hop only.
+  std::vector<RoutePoint> points{{0, 0}, {100, 0}, {0, 1}, {100, 1}};
+  const auto edges = minimum_spanning_tree(points, 1000);
+  std::size_t vertical = 0;
+  for (const TreeEdge& e : edges) {
+    if (points[e.a].row != points[e.b].row) ++vertical;
+  }
+  EXPECT_EQ(vertical, 1u);
+}
+
+TEST(Mst, DuplicatePointsZeroCostEdges) {
+  std::vector<RoutePoint> points{{5, 2}, {5, 2}, {5, 2}};
+  const auto edges = minimum_spanning_tree(points, 48);
+  EXPECT_EQ(edges.size(), 2u);
+  EXPECT_EQ(tree_length(points, edges, 48), 0);
+}
+
+/// Reference: Kruskal via sorted edge list.
+std::int64_t kruskal_length(const std::vector<RoutePoint>& points,
+                            std::int64_t row_cost) {
+  struct E {
+    std::int64_t w;
+    std::size_t a, b;
+  };
+  std::vector<E> all;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      all.push_back({route_distance(points[i], points[j], row_cost), i, j});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const E& x, const E& y) { return x.w < y.w; });
+  DisjointSets dsu(points.size());
+  std::int64_t total = 0;
+  for (const E& e : all) {
+    if (dsu.unite(e.a, e.b)) total += e.w;
+  }
+  return total;
+}
+
+class MstRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MstRandomSweep, MatchesKruskalWeight) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  std::vector<RoutePoint> points;
+  const std::size_t n = 3 + rng.next_index(40);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.next_int(0, 500),
+                      static_cast<std::uint32_t>(rng.next_index(8))});
+  }
+  const auto edges = minimum_spanning_tree(points, 48);
+  ASSERT_EQ(edges.size(), n - 1);
+  EXPECT_EQ(tree_length(points, edges, 48), kruskal_length(points, 48));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstRandomSweep, ::testing::Range(1, 16));
+
+TEST(DisjointSets, BasicInvariants) {
+  DisjointSets dsu(5);
+  EXPECT_EQ(dsu.num_sets(), 5u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(1, 0));
+  EXPECT_TRUE(dsu.connected(0, 1));
+  EXPECT_FALSE(dsu.connected(0, 2));
+  EXPECT_EQ(dsu.num_sets(), 4u);
+  EXPECT_EQ(dsu.set_size(1), 2u);
+  EXPECT_THROW(dsu.find(5), CheckError);
+}
+
+}  // namespace
+}  // namespace ptwgr

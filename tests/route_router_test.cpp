@@ -1,0 +1,144 @@
+#include "ptwgr/route/router.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/suite.h"
+
+namespace ptwgr {
+namespace {
+
+TEST(Router, EndToEndOnSmallCircuit) {
+  const RoutingResult result = route_serial(small_test_circuit(1, 5, 25));
+  EXPECT_GT(result.metrics.track_count, 0);
+  EXPECT_GT(result.metrics.area, 0);
+  EXPECT_GT(result.metrics.total_wirelength, 0);
+  EXPECT_FALSE(result.wires.empty());
+  EXPECT_EQ(result.metrics.channel_density.size(),
+            result.circuit.num_channels());
+  result.circuit.validate();
+}
+
+TEST(Router, RoutingIsStructurallyValid) {
+  const RoutingResult result = route_serial(small_test_circuit(2, 6, 30));
+  const auto violations = verify_routing(result.circuit, result.wires);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations; first: "
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST(Router, DeterministicForSeed) {
+  RouterOptions options;
+  options.seed = 99;
+  const RoutingResult a = route_serial(small_test_circuit(3, 5, 25), options);
+  const RoutingResult b = route_serial(small_test_circuit(3, 5, 25), options);
+  EXPECT_EQ(a.metrics.track_count, b.metrics.track_count);
+  EXPECT_EQ(a.metrics.area, b.metrics.area);
+  EXPECT_EQ(a.metrics.feedthrough_count, b.metrics.feedthrough_count);
+  ASSERT_EQ(a.wires.size(), b.wires.size());
+  for (std::size_t i = 0; i < a.wires.size(); ++i) {
+    EXPECT_EQ(a.wires[i].channel, b.wires[i].channel);
+    EXPECT_EQ(a.wires[i].lo, b.wires[i].lo);
+  }
+}
+
+TEST(Router, SeedChangesRandomizedDecisions) {
+  RouterOptions a_options;
+  a_options.seed = 1;
+  RouterOptions b_options;
+  b_options.seed = 2;
+  const RoutingResult a = route_serial(small_test_circuit(4, 6, 30), a_options);
+  const RoutingResult b = route_serial(small_test_circuit(4, 6, 30), b_options);
+  // Same circuit, different random orders: results should be close but are
+  // allowed to differ; quality stays within a few percent.
+  const double ratio = static_cast<double>(a.metrics.track_count) /
+                       static_cast<double>(b.metrics.track_count);
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+TEST(Router, FeedthroughsInsertedForMultiRowNets) {
+  const RoutingResult result = route_serial(small_test_circuit(5, 6, 30));
+  EXPECT_GT(result.metrics.feedthrough_count, 0u);
+  EXPECT_GT(result.circuit.num_pins(),
+            small_test_circuit(5, 6, 30).num_pins());
+}
+
+TEST(Router, SingleRowCircuitNeedsNoFeedthroughs) {
+  GeneratorConfig cfg;
+  cfg.seed = 6;
+  cfg.num_rows = 1;
+  cfg.num_cells = 60;
+  cfg.num_nets = 70;
+  cfg.row_spread = 0.0;
+  const RoutingResult result = route_serial(generate_circuit(cfg));
+  EXPECT_EQ(result.metrics.feedthrough_count, 0u);
+  EXPECT_GT(result.metrics.track_count, 0);
+  // Only two channels exist.
+  EXPECT_EQ(result.metrics.channel_density.size(), 2u);
+}
+
+TEST(Router, TimingsPopulated) {
+  const RoutingResult result = route_serial(small_test_circuit(7, 5, 25));
+  EXPECT_GE(result.timings.steiner, 0.0);
+  EXPECT_GT(result.timings.total(), 0.0);
+}
+
+TEST(Router, MorePassesDoNotWorsenQualityMuch) {
+  RouterOptions quick;
+  quick.seed = 11;
+  quick.coarse_passes = 1;
+  quick.switchable_passes = 1;
+  RouterOptions thorough;
+  thorough.seed = 11;
+  thorough.coarse_passes = 4;
+  thorough.switchable_passes = 4;
+  const auto circuit = [] { return small_test_circuit(8, 6, 35); };
+  const RoutingResult q = route_serial(circuit(), quick);
+  const RoutingResult t = route_serial(circuit(), thorough);
+  EXPECT_LE(static_cast<double>(t.metrics.track_count),
+            static_cast<double>(q.metrics.track_count) * 1.05);
+}
+
+TEST(Router, SwitchableOptimizationImprovesTracks) {
+  RouterOptions without;
+  without.seed = 12;
+  without.switchable_passes = 0;
+  RouterOptions with;
+  with.seed = 12;
+  with.switchable_passes = 3;
+  const auto circuit = [] { return small_test_circuit(9, 6, 35); };
+  const RoutingResult a = route_serial(circuit(), without);
+  const RoutingResult b = route_serial(circuit(), with);
+  EXPECT_LT(b.metrics.track_count, a.metrics.track_count);
+}
+
+class RouterPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouterPropertySweep, AlwaysValidAndConnected) {
+  RouterOptions options;
+  options.seed = GetParam();
+  const RoutingResult result =
+      route_serial(small_test_circuit(GetParam(), 4, 20), options);
+  result.circuit.validate();
+  const auto violations = verify_routing(result.circuit, result.wires);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+  // Channel densities must be consistent with the track count.
+  std::int64_t sum = 0;
+  for (const auto d : result.metrics.channel_density) sum += d;
+  EXPECT_EQ(sum, result.metrics.track_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterPropertySweep,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Router, HandlesSuiteCircuitAtTinyScale) {
+  const auto entry = suite_entry("primary2", 0.05);
+  const RoutingResult result = route_serial(build_suite_circuit(entry));
+  EXPECT_GT(result.metrics.track_count, 0);
+  const auto violations = verify_routing(result.circuit, result.wires);
+  EXPECT_TRUE(violations.empty());
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,190 @@
+#include "ptwgr/route/switchable.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/route/connect.h"
+#include "ptwgr/route/metrics.h"
+
+namespace ptwgr {
+namespace {
+
+Wire make_wire(std::uint32_t row, Coord lo, Coord hi, bool switchable,
+               std::uint32_t channel) {
+  Wire w;
+  w.net = NetId{0};
+  w.row = row;
+  w.lo = lo;
+  w.hi = hi;
+  w.switchable = switchable;
+  w.channel = channel;
+  return w;
+}
+
+TEST(Switchable, FlipsOutOfCongestedChannel) {
+  // Channel 0 is crowded with fixed wires; one switchable wire sits there.
+  std::vector<Wire> wires;
+  for (int i = 0; i < 5; ++i) {
+    wires.push_back(make_wire(0, 0, 100, false, 0));
+  }
+  wires.push_back(make_wire(0, 20, 80, true, 0));
+
+  SwitchableOptimizer opt(2, 100, 16);
+  opt.register_wires(wires);
+  Rng rng(1);
+  const std::size_t flips = opt.optimize(wires, rng, {});
+  EXPECT_EQ(flips, 1u);
+  EXPECT_EQ(wires.back().channel, 1u);
+}
+
+TEST(Switchable, StaysWhenCurrentChannelBetter) {
+  std::vector<Wire> wires;
+  for (int i = 0; i < 5; ++i) {
+    wires.push_back(make_wire(0, 0, 100, false, 1));  // crowd the top
+  }
+  wires.push_back(make_wire(0, 20, 80, true, 0));
+  SwitchableOptimizer opt(2, 100, 16);
+  opt.register_wires(wires);
+  Rng rng(2);
+  EXPECT_EQ(opt.optimize(wires, rng, {}), 0u);
+  EXPECT_EQ(wires.back().channel, 0u);
+}
+
+TEST(Switchable, FixedWiresNeverMove) {
+  std::vector<Wire> wires{make_wire(0, 0, 50, false, 1)};
+  for (int i = 0; i < 10; ++i) {
+    wires.push_back(make_wire(0, 0, 50, false, 1));
+  }
+  SwitchableOptimizer opt(2, 100, 16);
+  opt.register_wires(wires);
+  Rng rng(3);
+  EXPECT_EQ(opt.optimize(wires, rng, {}), 0u);
+  for (const Wire& w : wires) EXPECT_EQ(w.channel, 1u);
+}
+
+TEST(Switchable, SpreadsLoadBetweenChannels) {
+  // 20 identical switchable wires all start below; balance ends ~10/10.
+  std::vector<Wire> wires;
+  for (int i = 0; i < 20; ++i) {
+    wires.push_back(make_wire(0, 0, 100, true, 0));
+  }
+  SwitchableOptimizer opt(2, 100, 16);
+  opt.register_wires(wires);
+  Rng rng(4);
+  SwitchableOptions options;
+  options.passes = 4;
+  opt.optimize(wires, rng, options);
+  int below = 0;
+  for (const Wire& w : wires) {
+    if (w.channel == 0) ++below;
+  }
+  EXPECT_NEAR(below, 10, 1);
+  EXPECT_LE(opt.channel_peak(0), 11);
+  EXPECT_LE(opt.channel_peak(1), 11);
+}
+
+TEST(Switchable, TrackCountNeverWorsensOnRealRouting) {
+  Circuit c = small_test_circuit(5, 6, 30);
+  auto wires = connect_all_nets(c);
+  const RoutingMetrics before = compute_metrics(c, wires);
+
+  SwitchableOptimizer opt(c.num_channels(), c.core_width(), 16);
+  opt.register_wires(wires);
+  Rng rng(5);
+  SwitchableOptions options;
+  options.passes = 3;
+  opt.optimize(wires, rng, options);
+
+  const RoutingMetrics after = compute_metrics(c, wires);
+  EXPECT_LE(after.track_count, before.track_count);
+}
+
+TEST(Switchable, ProgressHookCountsDecisions) {
+  std::vector<Wire> wires;
+  for (int i = 0; i < 7; ++i) {
+    wires.push_back(make_wire(0, 0, 10, true, 0));
+  }
+  wires.push_back(make_wire(0, 0, 10, false, 0));
+  SwitchableOptimizer opt(2, 100, 16);
+  opt.register_wires(wires);
+  Rng rng(6);
+  SwitchableOptions options;
+  options.passes = 2;
+  std::size_t calls = 0;
+  opt.optimize(wires, rng, options, [&](std::size_t n) {
+    ++calls;
+    EXPECT_EQ(n, calls);
+  });
+  EXPECT_EQ(calls, 14u);  // 7 switchable × 2 passes; fixed wire excluded
+}
+
+TEST(Switchable, PendingDeltasReflectOperations) {
+  SwitchableOptimizer opt(2, 64, 16);  // 4 buckets per channel
+  std::vector<Wire> wires{make_wire(0, 0, 64, true, 0)};
+  opt.register_wires(wires);
+  auto deltas = opt.take_pending_deltas();
+  ASSERT_EQ(deltas.size(), 8u);
+  // Channel 0 buckets all +1; channel 1 untouched.
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(deltas[b], 1);
+  for (std::size_t b = 4; b < 8; ++b) EXPECT_EQ(deltas[b], 0);
+  // Accumulator reset after take.
+  for (const auto d : opt.take_pending_deltas()) EXPECT_EQ(d, 0);
+}
+
+TEST(Switchable, ExternalDeltasInfluenceDecisions) {
+  // Another replica saturated channel 1; after applying its deltas our
+  // switchable wire must stay in channel 0.
+  SwitchableOptimizer opt(2, 64, 16);
+  std::vector<Wire> wires{make_wire(0, 0, 64, true, 0)};
+  opt.register_wires(wires);
+  std::vector<std::int32_t> external(8, 0);
+  for (std::size_t b = 4; b < 8; ++b) external[b] = 50;
+  opt.apply_external_deltas(external);
+  EXPECT_EQ(opt.channel_peak(1), 50);
+  Rng rng(7);
+  EXPECT_EQ(opt.optimize(wires, rng, {}), 0u);
+  EXPECT_EQ(wires[0].channel, 0u);
+}
+
+TEST(Switchable, ReplicaSyncRevealsPeerCongestion) {
+  // Replica a has loaded channel 0 with fixed wires; replica b owns one
+  // switchable wire in the same channel.  Without a's deltas, b sees an
+  // empty channel 0 and stays; after the sync it evacuates.  This is the
+  // blindness the paper blames for the net-wise algorithm's quality loss.
+  SwitchableOptimizer a(2, 64, 16);
+  std::vector<Wire> wires_a;
+  for (int i = 0; i < 3; ++i) wires_a.push_back(make_wire(0, 0, 64, false, 0));
+  a.register_wires(wires_a);
+
+  const auto make_b = [] {
+    auto opt = std::make_unique<SwitchableOptimizer>(2, 64, 16);
+    return opt;
+  };
+
+  // Unsynced replica: stays put.
+  {
+    auto b = make_b();
+    std::vector<Wire> wb{make_wire(0, 0, 64, true, 0)};
+    b->register_wires(wb);
+    Rng rng(8);
+    b->optimize(wb, rng, {});
+    EXPECT_EQ(wb[0].channel, 0u);
+  }
+
+  // Synced replica: sees a's three wires and moves up.
+  {
+    auto b = make_b();
+    std::vector<Wire> wb{make_wire(0, 0, 64, true, 0)};
+    b->register_wires(wb);
+    b->apply_external_deltas(a.take_pending_deltas());
+    EXPECT_EQ(b->channel_peak(0), 4);
+    Rng rng(8);
+    b->optimize(wb, rng, {});
+    EXPECT_EQ(wb[0].channel, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ptwgr

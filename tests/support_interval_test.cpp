@@ -1,0 +1,169 @@
+#include "ptwgr/support/interval.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/support/rng.h"
+
+namespace ptwgr {
+namespace {
+
+TEST(MaxOverlap, EmptyIsZero) { EXPECT_EQ(max_overlap({}), 0); }
+
+TEST(MaxOverlap, SingleInterval) {
+  EXPECT_EQ(max_overlap({{0, 10}}), 1);
+}
+
+TEST(MaxOverlap, DisjointIntervals) {
+  EXPECT_EQ(max_overlap({{0, 5}, {5, 10}, {10, 15}}), 1);
+}
+
+TEST(MaxOverlap, NestedIntervals) {
+  EXPECT_EQ(max_overlap({{0, 100}, {10, 20}, {12, 18}}), 3);
+}
+
+TEST(MaxOverlap, HalfOpenTouchingDoesNotOverlap) {
+  // [0,5) and [5,10) share no point.
+  EXPECT_EQ(max_overlap({{0, 5}, {5, 10}}), 1);
+}
+
+TEST(MaxOverlap, DegenerateIntervalCountsOne) {
+  EXPECT_EQ(max_overlap({{5, 5}}), 1);
+  EXPECT_EQ(max_overlap({{5, 5}, {5, 5}}), 2);
+  EXPECT_EQ(max_overlap({{0, 10}, {5, 5}}), 2);
+}
+
+TEST(MaxOverlap, StaircasePattern) {
+  std::vector<Interval> ivs;
+  for (int i = 0; i < 10; ++i) {
+    ivs.push_back({i, i + 5});
+  }
+  EXPECT_EQ(max_overlap(std::move(ivs)), 5);
+}
+
+TEST(MaxOverlap, NegativeCoordinates) {
+  EXPECT_EQ(max_overlap({{-10, -2}, {-5, 3}, {-4, 0}}), 3);
+}
+
+/// Brute-force reference: sample density at every half-unit.
+std::int64_t brute_force_overlap(const std::vector<Interval>& ivs) {
+  std::int64_t best = 0;
+  for (const Interval& probe : ivs) {
+    for (const std::int64_t x : {probe.lo, probe.hi}) {
+      std::int64_t depth = 0;
+      for (const Interval& iv : ivs) {
+        const std::int64_t hi = iv.lo == iv.hi ? iv.hi + 1 : iv.hi;
+        if (x >= iv.lo && x < hi) ++depth;
+      }
+      best = std::max(best, depth);
+    }
+  }
+  return best;
+}
+
+class MaxOverlapRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxOverlapRandomSweep, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<Interval> ivs;
+  for (int i = 0; i < 60; ++i) {
+    const std::int64_t lo = rng.next_int(-50, 50);
+    const std::int64_t len = rng.next_int(0, 30);
+    ivs.push_back({lo, lo + len});
+  }
+  EXPECT_EQ(max_overlap(ivs), brute_force_overlap(ivs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxOverlapRandomSweep,
+                         ::testing::Range(1, 13));
+
+TEST(DensityProfile, AddRemoveRoundTrip) {
+  DensityProfile p(0, 10, 10);
+  p.add({0, 50});
+  p.add({20, 80});
+  EXPECT_EQ(p.max_density(), 2);
+  p.remove({0, 50});
+  EXPECT_EQ(p.max_density(), 1);
+  p.remove({20, 80});
+  EXPECT_EQ(p.max_density(), 0);
+  EXPECT_EQ(p.total(), 0);
+}
+
+TEST(DensityProfile, MaxOverSpan) {
+  DensityProfile p(0, 10, 10);
+  p.add({0, 30});
+  p.add({0, 30});
+  p.add({50, 90});
+  EXPECT_EQ(p.max_density_over({0, 30}), 2);
+  EXPECT_EQ(p.max_density_over({50, 90}), 1);
+  EXPECT_EQ(p.max_density_over({35, 45}), 0);
+}
+
+TEST(DensityProfile, ClampsOutOfRangeCoordinates) {
+  DensityProfile p(0, 10, 5);
+  p.add({-100, 500});  // covers everything
+  EXPECT_EQ(p.max_density(), 1);
+  p.add({200, 300});  // clamps into the last bucket
+  EXPECT_EQ(p.max_density(), 2);
+}
+
+TEST(DensityProfile, DegenerateIntervalOccupiesOneBucket) {
+  DensityProfile p(0, 10, 10);
+  p.add({25, 25});
+  EXPECT_EQ(p.max_density_over({20, 30}), 1);
+  EXPECT_EQ(p.max_density_over({0, 10}), 0);
+}
+
+TEST(DensityProfile, HalfOpenUpperBoundaryExcluded) {
+  DensityProfile p(0, 10, 10);
+  p.add({0, 10});  // exactly bucket 0
+  EXPECT_EQ(p.bucket_count(0), 1);
+  EXPECT_EQ(p.bucket_count(1), 0);
+}
+
+TEST(DensityProfile, AddAtBucketTracksMax) {
+  DensityProfile p(0, 10, 4);
+  p.add_at_bucket(2, 3);
+  EXPECT_EQ(p.max_density(), 3);
+  p.add_at_bucket(2, -2);
+  EXPECT_EQ(p.max_density(), 1);
+}
+
+TEST(DensityProfile, LazyMaxAfterManyRemovals) {
+  DensityProfile p(0, 10, 10);
+  for (int i = 0; i < 5; ++i) p.add({0, 100});
+  p.add({40, 60});
+  EXPECT_EQ(p.max_density(), 6);
+  for (int i = 0; i < 5; ++i) p.remove({0, 100});
+  EXPECT_EQ(p.max_density(), 1);
+}
+
+class DensityProfileRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DensityProfileRandomSweep, MaxMatchesDirectScan) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 101);
+  DensityProfile p(0, 7, 23);
+  std::vector<Interval> live;
+  for (int step = 0; step < 300; ++step) {
+    if (!live.empty() && rng.next_bool(0.4)) {
+      const std::size_t idx = rng.next_index(live.size());
+      p.remove(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      const std::int64_t lo = rng.next_int(0, 150);
+      const Interval iv{lo, lo + rng.next_int(0, 40)};
+      p.add(iv);
+      live.push_back(iv);
+    }
+    std::int64_t direct = 0;
+    for (std::size_t b = 0; b < p.num_buckets(); ++b) {
+      direct = std::max(direct, p.bucket_count(b));
+    }
+    ASSERT_EQ(p.max_density(), direct);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DensityProfileRandomSweep,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ptwgr

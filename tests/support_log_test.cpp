@@ -1,0 +1,46 @@
+#include "ptwgr/support/log.h"
+
+#include <gtest/gtest.h>
+
+namespace ptwgr {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST(Log, OrderingOfLevels) {
+  EXPECT_LT(LogLevel::Debug, LogLevel::Info);
+  EXPECT_LT(LogLevel::Info, LogLevel::Warn);
+  EXPECT_LT(LogLevel::Warn, LogLevel::Error);
+  EXPECT_LT(LogLevel::Error, LogLevel::Off);
+}
+
+TEST(Log, MacrosCompileAndRespectLevel) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  // Nothing observable to assert without capturing stderr; this exercises
+  // the streaming path and the level gate for sanitizer/valgrind runs.
+  PTWGR_LOG_DEBUG << "debug " << 1;
+  PTWGR_LOG_INFO << "info " << 2.5;
+  PTWGR_LOG_WARN << "warn " << "three";
+  PTWGR_LOG_ERROR << "error";
+  log_line(LogLevel::Debug, "suppressed direct call");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,127 @@
+#include "ptwgr/support/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ptwgr {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  Writer w;
+  w.put(std::int32_t{-7});
+  w.put(std::uint64_t{123456789012345ULL});
+  w.put(3.25);
+  w.put(char{'x'});
+  const auto bytes = std::move(w).take();
+
+  Reader r(bytes);
+  EXPECT_EQ(r.get<std::int32_t>(), -7);
+  EXPECT_EQ(r.get<std::uint64_t>(), 123456789012345ULL);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get<char>(), 'x');
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, StringRoundTrip) {
+  Writer w;
+  w.put(std::string{"hello world"});
+  w.put(std::string{});
+  w.put(std::string{"\0binary\0data", 12});
+  const auto bytes = std::move(w).take();
+
+  Reader r(bytes);
+  EXPECT_EQ(r.get_string(), "hello world");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), std::string("\0binary\0data", 12));
+}
+
+TEST(Serialize, TrivialVectorRoundTrip) {
+  Writer w;
+  w.put(std::vector<std::int32_t>{1, -2, 3});
+  w.put(std::vector<double>{});
+  const auto bytes = std::move(w).take();
+
+  Reader r(bytes);
+  EXPECT_EQ(r.get_vector<std::int32_t>(),
+            (std::vector<std::int32_t>{1, -2, 3}));
+  EXPECT_TRUE(r.get_vector<double>().empty());
+}
+
+TEST(Serialize, NestedVectorViaElementwise) {
+  Writer w;
+  const std::vector<std::vector<std::int16_t>> nested{{1, 2}, {}, {3}};
+  w.put(nested);
+  const auto bytes = std::move(w).take();
+
+  Reader r(bytes);
+  const auto out = r.get_vector_with<std::vector<std::int16_t>>(
+      [](Reader& rr) { return rr.get_vector<std::int16_t>(); });
+  EXPECT_EQ(out, nested);
+}
+
+TEST(Serialize, StructRoundTrip) {
+  struct Pod {
+    std::int32_t a;
+    double b;
+    bool operator==(const Pod&) const = default;
+  };
+  Writer w;
+  w.put(Pod{9, -1.5});
+  w.put(std::vector<Pod>{{1, 2.0}, {3, 4.0}});
+  const auto bytes = std::move(w).take();
+
+  Reader r(bytes);
+  EXPECT_EQ(r.get<Pod>(), (Pod{9, -1.5}));
+  EXPECT_EQ(r.get_vector<Pod>(), (std::vector<Pod>{{1, 2.0}, {3, 4.0}}));
+}
+
+TEST(Serialize, PairRoundTrip) {
+  Writer w;
+  w.put(std::pair<std::int32_t, std::string>{5, "five"});
+  const auto bytes = std::move(w).take();
+  Reader r(bytes);
+  EXPECT_EQ(r.get<std::int32_t>(), 5);
+  EXPECT_EQ(r.get_string(), "five");
+}
+
+TEST(Serialize, TruncatedPayloadThrows) {
+  Writer w;
+  w.put(std::int64_t{42});
+  auto bytes = std::move(w).take();
+  bytes.resize(4);
+  Reader r(bytes);
+  EXPECT_THROW(r.get<std::int64_t>(), SerializeError);
+}
+
+TEST(Serialize, OversizedLengthPrefixThrows) {
+  Writer w;
+  w.put(std::uint64_t{1000});  // claims a 1000-element payload
+  const auto bytes = std::move(w).take();
+  Reader r(bytes);
+  EXPECT_THROW(r.get_vector<std::int32_t>(), SerializeError);
+}
+
+TEST(Serialize, EmptyBufferExhausted) {
+  const std::vector<std::byte> empty;
+  Reader r(empty);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.get<char>(), SerializeError);
+}
+
+TEST(Serialize, RemainingDecreases) {
+  Writer w;
+  w.put(std::int32_t{1});
+  w.put(std::int32_t{2});
+  const auto bytes = std::move(w).take();
+  Reader r(bytes);
+  EXPECT_EQ(r.remaining(), 8u);
+  r.get<std::int32_t>();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace ptwgr

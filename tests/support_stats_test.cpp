@@ -1,0 +1,131 @@
+#include "ptwgr/support/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningStats target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 1.5);
+}
+
+TEST(RunningStats, CvZeroWhenMeanZero) {
+  RunningStats s;
+  s.add(-1.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Histogram, BucketsByUpperBound) {
+  Histogram h({2, 5, 10});
+  h.add(0);
+  h.add(2);   // <= 2
+  h.add(3);   // <= 5
+  h.add(10);  // <= 10
+  h.add(11);  // overflow
+  EXPECT_EQ(h.bucket_value(0), 2u);
+  EXPECT_EQ(h.bucket_value(1), 1u);
+  EXPECT_EQ(h.bucket_value(2), 1u);
+  EXPECT_EQ(h.bucket_value(3), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({5, 2}), CheckError);
+  EXPECT_THROW(Histogram({2, 2}), CheckError);
+  EXPECT_THROW(Histogram({}), CheckError);
+}
+
+TEST(Histogram, RendersBars) {
+  Histogram h({1, 2});
+  h.add(0);
+  h.add(0);
+  h.add(2);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("<= 1"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(LoadImbalance, PerfectBalanceIsOne) {
+  EXPECT_DOUBLE_EQ(load_imbalance({5.0, 5.0, 5.0, 5.0}), 1.0);
+}
+
+TEST(LoadImbalance, SkewDetected) {
+  EXPECT_DOUBLE_EQ(load_imbalance({9.0, 1.0, 1.0, 1.0}), 3.0);
+}
+
+TEST(LoadImbalance, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(load_imbalance({}), 0.0);
+  EXPECT_DOUBLE_EQ(load_imbalance({0.0, 0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,62 @@
+#include "ptwgr/support/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ptwgr {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t("Demo");
+  t.add_row({"circuit", "tracks", "speedup"});
+  t.add_row({"primary2", "672", "1.00"});
+  t.add_row({"avq.large", "16877", "4.03"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("circuit"), std::string::npos);
+  EXPECT_NE(s.find("avq.large"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+  // Every line in one table body has equal length (alignment check).
+  std::size_t prev = std::string::npos;
+  std::size_t start = s.find('\n') + 1;  // skip title
+  for (std::size_t pos = start; pos < s.size();) {
+    const std::size_t end = s.find('\n', pos);
+    if (end == std::string::npos) break;
+    const std::size_t len = end - pos;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    pos = end + 1;
+  }
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable t;
+  t.add_row({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, EmptyTable) {
+  TextTable t("title only");
+  EXPECT_EQ(t.to_string(), "title only\n");
+}
+
+TEST(FormatFixed, Rounds) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.5, 0), "2");  // banker's-free snprintf rounding
+  EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+  EXPECT_EQ(format_fixed(0.0, 3), "0.000");
+}
+
+TEST(FormatGrouped, InsertsSeparators) {
+  EXPECT_EQ(format_grouped(0), "0");
+  EXPECT_EQ(format_grouped(999), "999");
+  EXPECT_EQ(format_grouped(1000), "1,000");
+  EXPECT_EQ(format_grouped(1234567), "1,234,567");
+  EXPECT_EQ(format_grouped(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,203 @@
+// ptwgr_route — command-line global router.
+//
+// Routes a circuit (from a PTWGR circuit file, a suite name, or a generator
+// spec) with the serial TWGR pipeline or one of the three parallel
+// algorithms, and writes a text routing report.
+//
+// Usage:
+//   ptwgr_route --circuit=FILE            route a circuit file
+//   ptwgr_route --suite=biomed[:SCALE]    route a regenerated MCNC circuit
+//   ptwgr_route --generate=ROWSxCELLS     route a fresh synthetic circuit
+// Options:
+//   --algorithm=serial|row-wise|net-wise|hybrid   (default serial)
+//   --ranks=N                                      (default 4)
+//   --platform=ideal|smp|dmp                       (default ideal)
+//   --seed=N                                       (default 1)
+//   --report=PATH      write the full routing report (serial only)
+//   --profile          print the channel-density profile (serial only)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "ptwgr/circuit/circuit_stats.h"
+#include "ptwgr/circuit/generator.h"
+#include "ptwgr/circuit/io.h"
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/eval/channel_report.h"
+#include "ptwgr/eval/platform.h"
+#include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
+
+namespace {
+
+using namespace ptwgr;
+
+struct CliOptions {
+  std::optional<std::string> circuit_file;
+  std::optional<std::string> suite_name;
+  double suite_scale = 1.0;
+  std::optional<std::pair<std::size_t, std::size_t>> generate;  // rows×cells
+  std::string algorithm = "serial";
+  int ranks = 4;
+  std::string platform = "ideal";
+  std::uint64_t seed = 1;
+  std::optional<std::string> report_path;
+  bool profile = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "ptwgr_route: %s\n", message.c_str());
+  std::fprintf(stderr,
+               "usage: ptwgr_route (--circuit=FILE | --suite=NAME[:SCALE] | "
+               "--generate=ROWSxCELLS)\n"
+               "  [--algorithm=serial|row-wise|net-wise|hybrid] [--ranks=N]\n"
+               "  [--platform=ideal|smp|dmp] [--seed=N] [--report=PATH] "
+               "[--profile]\n");
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* prefix) -> std::optional<std::string> {
+      const std::size_t n = std::strlen(prefix);
+      if (arg.compare(0, n, prefix) == 0) return arg.substr(n);
+      return std::nullopt;
+    };
+    std::optional<std::string> v;
+    if ((v = value_of("--circuit="))) {
+      options.circuit_file = *v;
+    } else if ((v = value_of("--suite="))) {
+      const auto colon = v->find(':');
+      options.suite_name = v->substr(0, colon);
+      if (colon != std::string::npos) {
+        options.suite_scale = std::atof(v->c_str() + colon + 1);
+      }
+    } else if ((v = value_of("--generate="))) {
+      const auto x = v->find('x');
+      if (x == std::string::npos) usage_error("--generate needs ROWSxCELLS");
+      options.generate = {
+          static_cast<std::size_t>(std::atoll(v->c_str())),
+          static_cast<std::size_t>(std::atoll(v->c_str() + x + 1))};
+    } else if ((v = value_of("--algorithm="))) {
+      options.algorithm = *v;
+    } else if ((v = value_of("--ranks="))) {
+      options.ranks = std::atoi(v->c_str());
+    } else if ((v = value_of("--platform="))) {
+      options.platform = *v;
+    } else if ((v = value_of("--seed="))) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(v->c_str()));
+    } else if ((v = value_of("--report="))) {
+      options.report_path = *v;
+    } else if (arg == "--profile") {
+      options.profile = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage_error("help");
+    } else {
+      usage_error("unknown argument '" + arg + "'");
+    }
+  }
+  const int sources = (options.circuit_file ? 1 : 0) +
+                      (options.suite_name ? 1 : 0) +
+                      (options.generate ? 1 : 0);
+  if (sources != 1) {
+    usage_error("exactly one of --circuit / --suite / --generate required");
+  }
+  return options;
+}
+
+Circuit load_circuit(const CliOptions& options) {
+  if (options.circuit_file) return read_circuit_file(*options.circuit_file);
+  if (options.suite_name) {
+    return build_suite_circuit(
+        suite_entry(*options.suite_name, options.suite_scale));
+  }
+  GeneratorConfig config;
+  config.seed = options.seed;
+  config.num_rows = options.generate->first;
+  config.num_cells = options.generate->second;
+  config.num_nets = config.num_cells + config.num_cells / 10;
+  return generate_circuit(config);
+}
+
+mp::CostModel platform_of(const std::string& name) {
+  if (name == "ideal") return mp::CostModel::ideal();
+  if (name == "smp") return mp::CostModel::sparc_center_smp();
+  if (name == "dmp") return mp::CostModel::paragon_dmp();
+  usage_error("unknown platform '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse(argc, argv);
+  try {
+    const Circuit circuit = load_circuit(options);
+    std::printf("circuit: %s\n", compute_stats(circuit).to_string().c_str());
+
+    RouterOptions router;
+    router.seed = options.seed;
+
+    if (options.algorithm == "serial") {
+      const RoutingResult result = route_serial(circuit, router);
+      std::printf("routed (serial): %s\n",
+                  result.metrics.to_string().c_str());
+      std::printf(
+          "step times (s): steiner %.3f, coarse %.3f, feedthrough %.3f, "
+          "connect %.3f, switchable %.3f\n",
+          result.timings.steiner, result.timings.coarse,
+          result.timings.feedthrough, result.timings.connect,
+          result.timings.switchable);
+      if (options.profile) {
+        std::printf("%s",
+                    render_channel_profile(result.circuit, result.wires)
+                        .c_str());
+      }
+      if (options.report_path) {
+        std::ofstream out(*options.report_path);
+        if (!out) {
+          std::fprintf(stderr, "cannot open %s\n",
+                       options.report_path->c_str());
+          return 1;
+        }
+        write_routing_report(out, result.circuit, result.wires);
+        std::printf("report written to %s\n", options.report_path->c_str());
+      }
+      const auto violations = verify_routing(result.circuit, result.wires);
+      if (!violations.empty()) {
+        std::fprintf(stderr, "%zu verification violations (first: %s)\n",
+                     violations.size(), violations.front().c_str());
+        return 1;
+      }
+      return 0;
+    }
+
+    ParallelAlgorithm algorithm;
+    if (options.algorithm == "row-wise") {
+      algorithm = ParallelAlgorithm::RowWise;
+    } else if (options.algorithm == "net-wise") {
+      algorithm = ParallelAlgorithm::NetWise;
+    } else if (options.algorithm == "hybrid") {
+      algorithm = ParallelAlgorithm::Hybrid;
+    } else {
+      usage_error("unknown algorithm '" + options.algorithm + "'");
+    }
+    ParallelOptions parallel;
+    parallel.router = router;
+    const ParallelRoutingResult result =
+        route_parallel(circuit, algorithm, options.ranks, parallel,
+                       platform_of(options.platform));
+    std::printf("routed (%s, %d ranks, %s): %s\n", options.algorithm.c_str(),
+                options.ranks, options.platform.c_str(),
+                result.metrics.to_string().c_str());
+    std::printf("modeled parallel time: %.3f s\n", result.modeled_seconds());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ptwgr_route: %s\n", e.what());
+    return 1;
+  }
+}
