@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_netpartition.dir/ablation_netpartition.cpp.o"
+  "CMakeFiles/ablation_netpartition.dir/ablation_netpartition.cpp.o.d"
+  "ablation_netpartition"
+  "ablation_netpartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_netpartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pinweight.dir/ablation_pinweight.cpp.o"
+  "CMakeFiles/ablation_pinweight.dir/ablation_pinweight.cpp.o.d"
+  "ablation_pinweight"
+  "ablation_pinweight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pinweight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

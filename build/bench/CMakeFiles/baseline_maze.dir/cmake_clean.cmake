@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_maze.dir/baseline_maze.cpp.o"
+  "CMakeFiles/baseline_maze.dir/baseline_maze.cpp.o.d"
+  "baseline_maze"
+  "baseline_maze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_maze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_fig4_rowwise.dir/table2_fig4_rowwise.cpp.o"
+  "CMakeFiles/table2_fig4_rowwise.dir/table2_fig4_rowwise.cpp.o.d"
+  "table2_fig4_rowwise"
+  "table2_fig4_rowwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fig4_rowwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_fig5_netwise.dir/table3_fig5_netwise.cpp.o"
+  "CMakeFiles/table3_fig5_netwise.dir/table3_fig5_netwise.cpp.o.d"
+  "table3_fig5_netwise"
+  "table3_fig5_netwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fig5_netwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_platforms.dir/table5_platforms.cpp.o"
+  "CMakeFiles/table5_platforms.dir/table5_platforms.cpp.o.d"
+  "table5_platforms"
+  "table5_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

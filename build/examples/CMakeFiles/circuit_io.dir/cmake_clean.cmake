@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_io.dir/circuit_io.cpp.o"
+  "CMakeFiles/circuit_io.dir/circuit_io.cpp.o.d"
+  "circuit_io"
+  "circuit_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

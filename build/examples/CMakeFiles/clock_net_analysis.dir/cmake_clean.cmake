@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_net_analysis.dir/clock_net_analysis.cpp.o"
+  "CMakeFiles/clock_net_analysis.dir/clock_net_analysis.cpp.o.d"
+  "clock_net_analysis"
+  "clock_net_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_net_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

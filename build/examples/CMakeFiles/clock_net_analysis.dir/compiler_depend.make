@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for clock_net_analysis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_routing.dir/parallel_routing.cpp.o"
+  "CMakeFiles/parallel_routing.dir/parallel_routing.cpp.o.d"
+  "parallel_routing"
+  "parallel_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_model.dir/platform_model.cpp.o"
+  "CMakeFiles/platform_model.dir/platform_model.cpp.o.d"
+  "platform_model"
+  "platform_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ptwgr/baseline/maze_router.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/baseline/maze_router.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/baseline/maze_router.cpp.o.d"
+  "/root/repo/src/ptwgr/circuit/circuit.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/circuit/circuit.cpp.o.d"
+  "/root/repo/src/ptwgr/circuit/circuit_stats.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/circuit/circuit_stats.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/circuit/circuit_stats.cpp.o.d"
+  "/root/repo/src/ptwgr/circuit/generator.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/circuit/generator.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/circuit/generator.cpp.o.d"
+  "/root/repo/src/ptwgr/circuit/io.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/circuit/io.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/circuit/io.cpp.o.d"
+  "/root/repo/src/ptwgr/circuit/suite.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/circuit/suite.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/circuit/suite.cpp.o.d"
+  "/root/repo/src/ptwgr/detail/left_edge.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/detail/left_edge.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/detail/left_edge.cpp.o.d"
+  "/root/repo/src/ptwgr/eval/channel_report.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/eval/channel_report.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/eval/channel_report.cpp.o.d"
+  "/root/repo/src/ptwgr/eval/experiment.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/eval/experiment.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/eval/experiment.cpp.o.d"
+  "/root/repo/src/ptwgr/eval/platform.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/eval/platform.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/eval/platform.cpp.o.d"
+  "/root/repo/src/ptwgr/eval/report.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/eval/report.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/eval/report.cpp.o.d"
+  "/root/repo/src/ptwgr/mp/communicator.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/mp/communicator.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/mp/communicator.cpp.o.d"
+  "/root/repo/src/ptwgr/mp/cost_model.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/mp/cost_model.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/mp/cost_model.cpp.o.d"
+  "/root/repo/src/ptwgr/mp/mailbox.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/mp/mailbox.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/mp/mailbox.cpp.o.d"
+  "/root/repo/src/ptwgr/mp/runtime.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/mp/runtime.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/mp/runtime.cpp.o.d"
+  "/root/repo/src/ptwgr/parallel/common.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/common.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/common.cpp.o.d"
+  "/root/repo/src/ptwgr/parallel/fake_pins.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/fake_pins.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/fake_pins.cpp.o.d"
+  "/root/repo/src/ptwgr/parallel/hybrid.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/hybrid.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/hybrid.cpp.o.d"
+  "/root/repo/src/ptwgr/parallel/netwise.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/netwise.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/netwise.cpp.o.d"
+  "/root/repo/src/ptwgr/parallel/parallel_router.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/parallel_router.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/parallel_router.cpp.o.d"
+  "/root/repo/src/ptwgr/parallel/rowwise.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/rowwise.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/rowwise.cpp.o.d"
+  "/root/repo/src/ptwgr/parallel/subcircuit.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/subcircuit.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/parallel/subcircuit.cpp.o.d"
+  "/root/repo/src/ptwgr/partition/net_partition.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/partition/net_partition.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/partition/net_partition.cpp.o.d"
+  "/root/repo/src/ptwgr/partition/row_partition.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/partition/row_partition.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/partition/row_partition.cpp.o.d"
+  "/root/repo/src/ptwgr/route/coarse.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/route/coarse.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/route/coarse.cpp.o.d"
+  "/root/repo/src/ptwgr/route/connect.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/route/connect.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/route/connect.cpp.o.d"
+  "/root/repo/src/ptwgr/route/feedthrough.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/route/feedthrough.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/route/feedthrough.cpp.o.d"
+  "/root/repo/src/ptwgr/route/grid.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/route/grid.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/route/grid.cpp.o.d"
+  "/root/repo/src/ptwgr/route/metrics.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/route/metrics.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/route/metrics.cpp.o.d"
+  "/root/repo/src/ptwgr/route/mst.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/route/mst.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/route/mst.cpp.o.d"
+  "/root/repo/src/ptwgr/route/router.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/route/router.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/route/router.cpp.o.d"
+  "/root/repo/src/ptwgr/route/steiner.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/route/steiner.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/route/steiner.cpp.o.d"
+  "/root/repo/src/ptwgr/route/switchable.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/route/switchable.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/route/switchable.cpp.o.d"
+  "/root/repo/src/ptwgr/support/interval.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/support/interval.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/support/interval.cpp.o.d"
+  "/root/repo/src/ptwgr/support/log.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/support/log.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/support/log.cpp.o.d"
+  "/root/repo/src/ptwgr/support/rng.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/support/rng.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/support/rng.cpp.o.d"
+  "/root/repo/src/ptwgr/support/serialize.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/support/serialize.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/support/serialize.cpp.o.d"
+  "/root/repo/src/ptwgr/support/stats.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/support/stats.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/support/stats.cpp.o.d"
+  "/root/repo/src/ptwgr/support/table.cpp" "src/CMakeFiles/ptwgr.dir/ptwgr/support/table.cpp.o" "gcc" "src/CMakeFiles/ptwgr.dir/ptwgr/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_report_test.dir/channel_report_test.cpp.o"
+  "CMakeFiles/channel_report_test.dir/channel_report_test.cpp.o.d"
+  "channel_report_test"
+  "channel_report_test.pdb"
+  "channel_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

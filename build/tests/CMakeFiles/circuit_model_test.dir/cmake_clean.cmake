@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_model_test.dir/circuit_model_test.cpp.o"
+  "CMakeFiles/circuit_model_test.dir/circuit_model_test.cpp.o.d"
+  "circuit_model_test"
+  "circuit_model_test.pdb"
+  "circuit_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detail_left_edge_test.dir/detail_left_edge_test.cpp.o"
+  "CMakeFiles/detail_left_edge_test.dir/detail_left_edge_test.cpp.o.d"
+  "detail_left_edge_test"
+  "detail_left_edge_test.pdb"
+  "detail_left_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detail_left_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_cost_model_test.dir/mp_cost_model_test.cpp.o"
+  "CMakeFiles/mp_cost_model_test.dir/mp_cost_model_test.cpp.o.d"
+  "mp_cost_model_test"
+  "mp_cost_model_test.pdb"
+  "mp_cost_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

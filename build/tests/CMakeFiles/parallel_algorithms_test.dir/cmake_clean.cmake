@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_algorithms_test.dir/parallel_algorithms_test.cpp.o"
+  "CMakeFiles/parallel_algorithms_test.dir/parallel_algorithms_test.cpp.o.d"
+  "parallel_algorithms_test"
+  "parallel_algorithms_test.pdb"
+  "parallel_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_fakepins_test.dir/parallel_fakepins_test.cpp.o"
+  "CMakeFiles/parallel_fakepins_test.dir/parallel_fakepins_test.cpp.o.d"
+  "parallel_fakepins_test"
+  "parallel_fakepins_test.pdb"
+  "parallel_fakepins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_fakepins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

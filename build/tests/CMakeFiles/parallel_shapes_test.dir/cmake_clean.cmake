@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_shapes_test.dir/parallel_shapes_test.cpp.o"
+  "CMakeFiles/parallel_shapes_test.dir/parallel_shapes_test.cpp.o.d"
+  "parallel_shapes_test"
+  "parallel_shapes_test.pdb"
+  "parallel_shapes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

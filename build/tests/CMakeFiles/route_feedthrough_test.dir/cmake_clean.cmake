@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_feedthrough_test.dir/route_feedthrough_test.cpp.o"
+  "CMakeFiles/route_feedthrough_test.dir/route_feedthrough_test.cpp.o.d"
+  "route_feedthrough_test"
+  "route_feedthrough_test.pdb"
+  "route_feedthrough_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_feedthrough_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

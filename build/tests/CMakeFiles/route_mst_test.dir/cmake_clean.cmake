@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_mst_test.dir/route_mst_test.cpp.o"
+  "CMakeFiles/route_mst_test.dir/route_mst_test.cpp.o.d"
+  "route_mst_test"
+  "route_mst_test.pdb"
+  "route_mst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_mst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_router_test.dir/route_router_test.cpp.o"
+  "CMakeFiles/route_router_test.dir/route_router_test.cpp.o.d"
+  "route_router_test"
+  "route_router_test.pdb"
+  "route_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_steiner_test.dir/route_steiner_test.cpp.o"
+  "CMakeFiles/route_steiner_test.dir/route_steiner_test.cpp.o.d"
+  "route_steiner_test"
+  "route_steiner_test.pdb"
+  "route_steiner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_steiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

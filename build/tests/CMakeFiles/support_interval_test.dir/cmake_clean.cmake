@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_interval_test.dir/support_interval_test.cpp.o"
+  "CMakeFiles/support_interval_test.dir/support_interval_test.cpp.o.d"
+  "support_interval_test"
+  "support_interval_test.pdb"
+  "support_interval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_log_test.dir/support_log_test.cpp.o"
+  "CMakeFiles/support_log_test.dir/support_log_test.cpp.o.d"
+  "support_log_test"
+  "support_log_test.pdb"
+  "support_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_serialize_test.dir/support_serialize_test.cpp.o"
+  "CMakeFiles/support_serialize_test.dir/support_serialize_test.cpp.o.d"
+  "support_serialize_test"
+  "support_serialize_test.pdb"
+  "support_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptwgr_route.dir/ptwgr_route.cpp.o"
+  "CMakeFiles/ptwgr_route.dir/ptwgr_route.cpp.o.d"
+  "ptwgr_route"
+  "ptwgr_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptwgr_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
