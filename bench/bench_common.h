@@ -1,21 +1,33 @@
 // Shared command-line handling for the table/figure benchmark harnesses.
 //
 // Every harness accepts:
-//   --scale=<0..1>   suite scale factor (default 1.0 = Table 1 magnitudes)
-//   --seed=<n>       router seed (default 1)
+//   --scale=<0..1>      suite scale factor (default 1.0 = Table 1 magnitudes)
+//   --seed=<n>          router seed (default 1)
+//   --comm              also print the communication-volume table
+//   --trace=<file>      write a Chrome trace of the routing phases
+//   --metrics=<file>    write run metrics as JSON
+//   --log-level=<lvl>   debug|info|warn|error|off
 // Unknown flags are ignored so the harnesses coexist with test drivers.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+
+#include "ptwgr/support/log.h"
+#include "ptwgr/support/metrics.h"
+#include "ptwgr/support/trace.h"
 
 namespace ptwgr::bench {
 
 struct Args {
   double scale = 1.0;
   std::uint64_t seed = 1;
+  bool comm = false;
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -30,9 +42,59 @@ inline Args parse_args(int argc, char** argv) {
       }
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       args.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strcmp(arg, "--comm") == 0) {
+      args.comm = true;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      args.trace_path = arg + 8;
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      args.metrics_path = arg + 10;
+    } else if (std::strncmp(arg, "--log-level=", 12) == 0) {
+      set_log_level(parse_log_level(arg + 12));
     }
   }
   return args;
+}
+
+/// Activates tracing for the harness lifetime when --trace was given, and
+/// writes the Chrome JSON on destruction.
+class ScopedBenchTrace {
+ public:
+  explicit ScopedBenchTrace(const Args& args) : path_(args.trace_path) {
+    if (!path_.empty()) set_active_trace(&collector_);
+  }
+
+  ~ScopedBenchTrace() {
+    if (path_.empty()) return;
+    set_active_trace(nullptr);
+    std::ofstream out(path_);
+    if (out) {
+      out << collector_.to_chrome_json();
+      std::fprintf(stderr, "trace written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open trace file %s\n", path_.c_str());
+    }
+  }
+
+  ScopedBenchTrace(const ScopedBenchTrace&) = delete;
+  ScopedBenchTrace& operator=(const ScopedBenchTrace&) = delete;
+
+ private:
+  std::string path_;
+  TraceCollector collector_;
+};
+
+/// Writes the registry as JSON when --metrics was given.
+inline void write_metrics(const Args& args, const MetricsRegistry& metrics) {
+  if (args.metrics_path.empty()) return;
+  std::ofstream out(args.metrics_path);
+  if (out) {
+    out << metrics.to_json();
+    std::fprintf(stderr, "metrics written to %s\n",
+                 args.metrics_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot open metrics file %s\n",
+                 args.metrics_path.c_str());
+  }
 }
 
 }  // namespace ptwgr::bench

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   config.options.router.seed = args.seed;
   config.platform = Platform::sparc_center();
 
+  const bench::ScopedBenchTrace trace(args);
   const auto runs = run_suite_experiment(ParallelAlgorithm::RowWise, config);
 
   std::printf("%s\n",
@@ -34,6 +35,14 @@ int main(int argc, char** argv) {
                   "algorithm",
                   runs)
                   .c_str());
+  if (args.comm) {
+    std::printf("%s\n",
+                render_comm_volume_table(
+                    "Table 2 companion: communication volume (payload / "
+                    "messages, all ranks)",
+                    runs)
+                    .c_str());
+  }
   std::printf("summary: mean speedup at 8 procs %.2f, mean scaled tracks at "
               "8 procs %.3f\n",
               mean_speedup_at(runs, 8), mean_scaled_tracks_at(runs, 8));

@@ -44,6 +44,9 @@ CircuitExperiment run_experiment(const SuiteEntry& entry,
                           static_cast<double>(result.serial_tracks);
     point.scaled_area = static_cast<double>(point.area) /
                         static_cast<double>(result.serial_area);
+    const mp::CommStats comm = run.comm_totals();
+    point.comm_messages = comm.messages_sent + comm.total_collective_calls();
+    point.comm_bytes = comm.bytes_sent + comm.total_collective_bytes();
     result.points.push_back(point);
   }
 

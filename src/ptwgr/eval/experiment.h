@@ -39,6 +39,10 @@ struct RunPoint {
   /// from the smallest parallel run, as the paper does, and flagged.
   double speedup = 0.0;
   bool speedup_extrapolated = false;
+  /// Communication volume across all ranks: p2p messages + collective
+  /// invocations, and p2p payload bytes + collective contribution bytes.
+  std::uint64_t comm_messages = 0;
+  std::uint64_t comm_bytes = 0;
 };
 
 /// Full result for one (circuit, algorithm, platform) experiment.

@@ -90,6 +90,37 @@ std::string render_scaled_area_table(
   return table.to_string();
 }
 
+std::string render_comm_volume_table(
+    const std::string& title, const std::vector<CircuitExperiment>& runs) {
+  const auto procs = proc_columns(runs);
+  const auto human_bytes = [](std::uint64_t bytes) {
+    if (bytes >= 10ull * 1024 * 1024) {
+      return format_fixed(static_cast<double>(bytes) / (1024.0 * 1024.0), 1) +
+             " MiB";
+    }
+    if (bytes >= 10ull * 1024) {
+      return format_fixed(static_cast<double>(bytes) / 1024.0, 1) + " KiB";
+    }
+    return std::to_string(bytes) + " B";
+  };
+  TextTable table(title);
+  std::vector<std::string> header{"circuit"};
+  for (const int p : procs) header.push_back(std::to_string(p) + " procs");
+  table.add_row(header);
+  for (const CircuitExperiment& run : runs) {
+    std::vector<std::string> row{run.circuit};
+    for (const int p : procs) {
+      const RunPoint* point = point_at(run, p);
+      row.push_back(point ? human_bytes(point->comm_bytes) + " / " +
+                                format_grouped(static_cast<long long>(
+                                    point->comm_messages)) + " msg"
+                          : "-");
+    }
+    table.add_row(row);
+  }
+  return table.to_string();
+}
+
 std::string render_speedup_figure(const std::string& title,
                                   const std::vector<CircuitExperiment>& runs) {
   std::ostringstream os;

@@ -26,6 +26,14 @@ std::string render_scaled_area_table(
 std::string render_speedup_figure(const std::string& title,
                                   const std::vector<CircuitExperiment>& runs);
 
+/// Communication volume per circuit × processor count: total messages
+/// (p2p sends + collective invocations) and payload bytes moved.  Companion
+/// to the speedup figures — the paper's scaling argument is a
+/// communication-cost argument ("communication is more costly than
+/// computation"), and this table shows the traffic behind each speedup.
+std::string render_comm_volume_table(const std::string& title,
+                                     const std::vector<CircuitExperiment>& runs);
+
 /// Table 5: absolute tracks/area/time plus scaled metrics and speedups on
 /// one platform (call once per platform).
 std::string render_table5_platform(const Platform& platform,

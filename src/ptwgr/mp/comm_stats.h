@@ -1,0 +1,90 @@
+// Per-rank communication accounting for the virtual-clock runtime.
+//
+// Every Communicator keeps one CommStats: message/byte counters for both
+// sides of the point-to-point traffic, per-collective-kind invocation counts
+// and contributed payload bytes, and a decomposition of the rank's virtual
+// clock into compute, p2p-wait, and collective-sync buckets.  The final
+// stats of each rank are surfaced through mp::RunReport, which is how the
+// benchmark tables and the --metrics export see them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ptwgr::mp {
+
+enum class CollectiveKind : std::uint8_t {
+  Barrier = 0,
+  Broadcast,
+  Gather,
+  Allgather,
+  Allreduce,
+  AllToAll,
+};
+
+inline constexpr std::size_t kNumCollectiveKinds = 6;
+
+inline const char* to_string(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::Barrier: return "barrier";
+    case CollectiveKind::Broadcast: return "broadcast";
+    case CollectiveKind::Gather: return "gather";
+    case CollectiveKind::Allgather: return "allgather";
+    case CollectiveKind::Allreduce: return "allreduce";
+    case CollectiveKind::AllToAll: return "all_to_all";
+  }
+  return "?";
+}
+
+struct CommStats {
+  // Point-to-point traffic, counted on both sides so the send/recv totals
+  // can be cross-checked (every payload byte sent must be received).
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+
+  // Collectives, indexed by CollectiveKind.  Bytes are the payload this
+  // rank contributed to the operation.
+  std::array<std::uint64_t, kNumCollectiveKinds> collective_calls{};
+  std::array<std::uint64_t, kNumCollectiveKinds> collective_bytes{};
+
+  // Decomposition of the rank's virtual clock: scaled CPU time between
+  // operations (plus explicit add_virtual_time charges), modeled transfer
+  // cost and arrival waits of p2p traffic, and clock jumps inside
+  // collectives (catching up to the slowest participant plus the modeled
+  // dissemination rounds).  The three buckets sum to the rank's vtime.
+  double compute_seconds = 0.0;
+  double p2p_wait_seconds = 0.0;
+  double collective_sync_seconds = 0.0;
+
+  std::uint64_t total_collective_calls() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : collective_calls) total += c;
+    return total;
+  }
+
+  std::uint64_t total_collective_bytes() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : collective_bytes) total += b;
+    return total;
+  }
+
+  /// Folds another rank's stats into this one (whole-run totals).
+  void accumulate(const CommStats& other) {
+    messages_sent += other.messages_sent;
+    bytes_sent += other.bytes_sent;
+    messages_received += other.messages_received;
+    bytes_received += other.bytes_received;
+    for (std::size_t k = 0; k < kNumCollectiveKinds; ++k) {
+      collective_calls[k] += other.collective_calls[k];
+      collective_bytes[k] += other.collective_bytes[k];
+    }
+    compute_seconds += other.compute_seconds;
+    p2p_wait_seconds += other.p2p_wait_seconds;
+    collective_sync_seconds += other.collective_sync_seconds;
+  }
+};
+
+}  // namespace ptwgr::mp

@@ -8,7 +8,11 @@ void Communicator::accrue_compute() {
   const double now = thread_cpu_seconds();
   const double delta = now - last_cpu_;
   last_cpu_ = now;
-  if (delta > 0.0) vtime_ += delta * world_->cost.compute_scale;
+  if (delta > 0.0) {
+    const double scaled = delta * world_->cost.compute_scale;
+    vtime_ += scaled;
+    stats_.compute_seconds += scaled;
+  }
 }
 
 void Communicator::send_bytes(int dest, int tag,
@@ -18,7 +22,11 @@ void Communicator::send_bytes(int dest, int tag,
   accrue_compute();
   // The sender occupies the channel for the full transfer (blocking-send
   // semantics); the payload becomes visible to the receiver at that moment.
-  vtime_ += world_->cost.message_cost(payload.size());
+  const double transfer = world_->cost.message_cost(payload.size());
+  vtime_ += transfer;
+  stats_.p2p_wait_seconds += transfer;
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
   Envelope envelope;
   envelope.source = rank_;
   envelope.tag = tag;
@@ -32,7 +40,12 @@ Received Communicator::recv(int source, int tag) {
   Envelope envelope =
       world_->mailboxes[static_cast<std::size_t>(rank_)]->pop(source, tag);
   accrue_compute();
-  vtime_ = std::max(vtime_, envelope.arrival_vtime);
+  if (envelope.arrival_vtime > vtime_) {
+    stats_.p2p_wait_seconds += envelope.arrival_vtime - vtime_;
+    vtime_ = envelope.arrival_vtime;
+  }
+  ++stats_.messages_received;
+  stats_.bytes_received += envelope.payload.size();
   return Received{std::move(envelope)};
 }
 
@@ -42,15 +55,16 @@ bool Communicator::probe(int source, int tag) {
 }
 
 void Communicator::barrier() {
-  run_collective({}, [](std::vector<std::vector<std::byte>>&,
-                        std::vector<std::vector<std::byte>>&) {});
+  run_collective(CollectiveKind::Barrier, {},
+                 [](std::vector<std::vector<std::byte>>&,
+                    std::vector<std::vector<std::byte>>&) {});
 }
 
 std::vector<std::byte> Communicator::broadcast_bytes(
     int root, std::vector<std::byte> payload) {
   PTWGR_EXPECTS(root >= 0 && root < size());
   return run_collective(
-      std::move(payload),
+      CollectiveKind::Broadcast, std::move(payload),
       [root](std::vector<std::vector<std::byte>>& contrib,
              std::vector<std::vector<std::byte>>& out) {
         const auto& bytes = contrib[static_cast<std::size_t>(root)];
@@ -59,10 +73,13 @@ std::vector<std::byte> Communicator::broadcast_bytes(
 }
 
 std::vector<std::byte> Communicator::run_collective(
-    std::vector<std::byte> contribution,
+    CollectiveKind kind, std::vector<std::byte> contribution,
     const std::function<void(std::vector<std::vector<std::byte>>&,
                              std::vector<std::vector<std::byte>>&)>& combine) {
   accrue_compute();
+  const auto kind_index = static_cast<std::size_t>(kind);
+  ++stats_.collective_calls[kind_index];
+  stats_.collective_bytes[kind_index] += contribution.size();
   World& w = *world_;
   if (w.size == 1) {
     // Trivial world: combine immediately, no synchronization cost.
@@ -96,6 +113,11 @@ std::vector<std::byte> Communicator::run_collective(
     if (w.rv_generation == my_generation && w.rv_aborted) throw WorldAborted{};
   }
 
+  // The clock jump — catching up to the slowest participant plus the modeled
+  // dissemination rounds — is the rank's collective synchronization time.
+  if (w.rv_vout > vtime_) {
+    stats_.collective_sync_seconds += w.rv_vout - vtime_;
+  }
   vtime_ = w.rv_vout;
   // Refresh the CPU mark: time spent blocked in the rendezvous is not the
   // rank's own compute.
@@ -108,6 +130,7 @@ void Communicator::finalize(double cpu_seconds) {
   const std::size_t me = static_cast<std::size_t>(rank_);
   world_->final_vtime[me] = vtime_;
   world_->final_cpu[me] = cpu_seconds;
+  world_->final_comm[me] = stats_;
 }
 
 }  // namespace ptwgr::mp

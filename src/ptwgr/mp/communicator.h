@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "ptwgr/mp/comm_stats.h"
 #include "ptwgr/mp/world.h"
 #include "ptwgr/support/check.h"
 #include "ptwgr/support/serialize.h"
@@ -49,14 +50,53 @@ class Communicator {
   }
 
   /// Explicitly charges virtual seconds (tests; modeling I/O phases).
-  void add_virtual_time(double seconds) { vtime_ += seconds; }
+  /// Counted into the compute bucket of the vtime decomposition.
+  void add_virtual_time(double seconds) {
+    vtime_ += seconds;
+    stats_.compute_seconds += seconds;
+  }
 
   /// Rewinds the clock to a previously observed value, discarding the CPU
   /// spent since.  Used to exclude measurement-only work (metric gathering)
-  /// from the reported routing time.
+  /// from the reported routing time.  CPU accrued since the last operation
+  /// is dropped before it ever reaches the compute bucket; work that already
+  /// hit the clock through comm operations needs mark()/rewind() instead.
   void set_vtime(double vtime) {
     vtime_ = vtime;
     last_cpu_ = thread_cpu_seconds();
+  }
+
+  /// Snapshot of the clock and its decomposition, for rewinding measurement
+  /// phases out of the reported time (see assemble_metrics).
+  struct TimeMark {
+    double vtime = 0.0;
+    double compute_seconds = 0.0;
+    double p2p_wait_seconds = 0.0;
+    double collective_sync_seconds = 0.0;
+  };
+
+  TimeMark mark() {
+    accrue_compute();
+    return TimeMark{vtime_, stats_.compute_seconds, stats_.p2p_wait_seconds,
+                    stats_.collective_sync_seconds};
+  }
+
+  /// Restores the clock and all three vtime buckets to `m`, discarding the
+  /// CPU spent since.  Message/byte counters are NOT rewound: the traffic
+  /// happened and stays visible in the comm accounting.
+  void rewind(const TimeMark& m) {
+    vtime_ = m.vtime;
+    stats_.compute_seconds = m.compute_seconds;
+    stats_.p2p_wait_seconds = m.p2p_wait_seconds;
+    stats_.collective_sync_seconds = m.collective_sync_seconds;
+    last_cpu_ = thread_cpu_seconds();
+  }
+
+  /// Communication counters and vtime decomposition so far (accrues pending
+  /// compute first so the compute bucket is current).
+  const CommStats& comm_stats() {
+    accrue_compute();
+    return stats_;
   }
 
   // --- point-to-point -------------------------------------------------
@@ -133,7 +173,7 @@ class Communicator {
     Writer w;
     w.put(values);
     auto combined = run_collective(
-        std::move(w).take(),
+        CollectiveKind::Allreduce, std::move(w).take(),
         [op](std::vector<std::vector<std::byte>>& contrib,
              std::vector<std::vector<std::byte>>& out) {
           std::vector<T> acc;
@@ -171,7 +211,7 @@ class Communicator {
     Writer w;
     w.put(value);
     auto combined = run_collective(
-        std::move(w).take(),
+        CollectiveKind::Allgather, std::move(w).take(),
         [](std::vector<std::vector<std::byte>>& contrib,
            std::vector<std::vector<std::byte>>& out) {
           Writer out_w;
@@ -196,7 +236,7 @@ class Communicator {
     Writer w;
     w.put(values);
     auto combined = run_collective(
-        std::move(w).take(),
+        CollectiveKind::Allgather, std::move(w).take(),
         [](std::vector<std::vector<std::byte>>& contrib,
            std::vector<std::vector<std::byte>>& out) {
           Writer out_w;
@@ -222,7 +262,7 @@ class Communicator {
     Writer w;
     w.put(values);
     auto combined = run_collective(
-        std::move(w).take(),
+        CollectiveKind::Gather, std::move(w).take(),
         [root](std::vector<std::vector<std::byte>>& contrib,
                std::vector<std::vector<std::byte>>& out) {
           Writer out_w;
@@ -251,7 +291,7 @@ class Communicator {
     for (const auto& part : outgoing) w.put(part);
     const int nranks = size();
     auto combined = run_collective(
-        std::move(w).take(),
+        CollectiveKind::AllToAll, std::move(w).take(),
         [nranks](std::vector<std::vector<std::byte>>& contrib,
                  std::vector<std::vector<std::byte>>& out) {
           // parts[s][d] = bytes rank s sends to rank d.
@@ -292,9 +332,9 @@ class Communicator {
   /// Generation-counted rendezvous: every rank deposits `contribution`; the
   /// last arriver runs `combine` (filling one output buffer per rank) and
   /// advances everyone's clock to max(entry clocks) + the collective cost.
-  /// Returns this rank's output buffer.
+  /// Returns this rank's output buffer.  `kind` feeds the comm accounting.
   std::vector<std::byte> run_collective(
-      std::vector<std::byte> contribution,
+      CollectiveKind kind, std::vector<std::byte> contribution,
       const std::function<void(std::vector<std::vector<std::byte>>&,
                                std::vector<std::vector<std::byte>>&)>&
           combine);
@@ -303,6 +343,7 @@ class Communicator {
   int rank_;
   double vtime_ = 0.0;
   double last_cpu_;
+  CommStats stats_;
 };
 
 // Reduction functors for allreduce.

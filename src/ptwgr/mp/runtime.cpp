@@ -4,6 +4,7 @@
 #include <mutex>
 #include <thread>
 
+#include "ptwgr/support/log.h"
 #include "ptwgr/support/timer.h"
 
 namespace ptwgr::mp {
@@ -17,6 +18,7 @@ RunReport run(int num_ranks, const CostModel& cost,
   std::exception_ptr first_failure;
 
   const auto rank_main = [&](int rank) {
+    const ScopedLogRank log_rank(rank);
     Communicator comm(world, rank);
     const ThreadCpuTimer cpu;
     try {
@@ -49,6 +51,7 @@ RunReport run(int num_ranks, const CostModel& cost,
   report.wall_seconds = wall.seconds();
   report.rank_vtime = world.final_vtime;
   report.rank_cpu_seconds = world.final_cpu;
+  report.rank_comm = world.final_comm;
   return report;
 }
 

@@ -16,6 +16,8 @@ struct RunReport {
   double wall_seconds = 0.0;
   std::vector<double> rank_vtime;
   std::vector<double> rank_cpu_seconds;
+  /// Per-rank communication counters and vtime decomposition.
+  std::vector<CommStats> rank_comm;
 
   /// The modeled parallel runtime: the slowest rank's virtual clock.
   double parallel_time() const {
@@ -28,6 +30,13 @@ struct RunReport {
   double total_cpu_seconds() const {
     double total = 0.0;
     for (const double s : rank_cpu_seconds) total += s;
+    return total;
+  }
+
+  /// Whole-run communication totals (all ranks folded together).
+  CommStats comm_totals() const {
+    CommStats total;
+    for (const CommStats& s : rank_comm) total.accumulate(s);
     return total;
   }
 };

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <vector>
 
+#include "ptwgr/mp/comm_stats.h"
 #include "ptwgr/mp/cost_model.h"
 #include "ptwgr/mp/mailbox.h"
 
@@ -23,7 +24,8 @@ struct World {
         rv_out(static_cast<std::size_t>(num_ranks)),
         rv_vin(static_cast<std::size_t>(num_ranks), 0.0),
         final_vtime(static_cast<std::size_t>(num_ranks), 0.0),
-        final_cpu(static_cast<std::size_t>(num_ranks), 0.0) {
+        final_cpu(static_cast<std::size_t>(num_ranks), 0.0),
+        final_comm(static_cast<std::size_t>(num_ranks)) {
     mailboxes.reserve(static_cast<std::size_t>(num_ranks));
     for (int r = 0; r < num_ranks; ++r) {
       mailboxes.push_back(std::make_unique<Mailbox>());
@@ -49,6 +51,7 @@ struct World {
 
   std::vector<double> final_vtime;
   std::vector<double> final_cpu;
+  std::vector<CommStats> final_comm;
 
   /// Unblocks every rank waiting in a mailbox or the rendezvous; they throw
   /// WorldAborted.  Called when any rank exits with an exception.

@@ -209,8 +209,10 @@ ParallelRunOutput assemble_metrics(mp::Communicator& comm,
                                    Coord local_core_width, Coord rows_height,
                                    std::size_t local_feedthroughs) {
   // Everything below is evaluation, not routing: the reported parallel time
-  // ends here, so the clock is rewound on exit.
-  const double routing_end_vtime = comm.vtime();
+  // ends here, so the clock — including its compute/wait/sync decomposition
+  // — is rewound on exit.  Message counters keep counting (the gather
+  // traffic is real; only the timing is measurement-free).
+  const mp::Communicator::TimeMark routing_end = comm.mark();
   // Geometry reductions every rank participates in.
   const Coord core_width =
       comm.allreduce_value<std::int64_t>(local_core_width, mp::MaxOp{});
@@ -248,7 +250,7 @@ ParallelRunOutput assemble_metrics(mp::Communicator& comm,
   output.metrics.total_wirelength = packed[2];
   output.metrics.feedthrough_count = feedthroughs;
   output.metrics.channel_density.assign(packed.begin() + 3, packed.end());
-  comm.set_vtime(routing_end_vtime);
+  comm.rewind(routing_end);
   return output;
 }
 

@@ -16,6 +16,8 @@
 #include "ptwgr/route/metrics.h"
 #include "ptwgr/route/router.h"
 #include "ptwgr/route/switchable.h"
+#include "ptwgr/support/log.h"
+#include "ptwgr/support/trace.h"
 
 namespace ptwgr {
 
@@ -48,6 +50,54 @@ struct ParallelOptions {
 struct ParallelRunOutput {
   RoutingMetrics metrics;
   std::size_t feedthrough_count = 0;
+};
+
+// --- phase tracing --------------------------------------------------------
+
+/// Chained phase spans on the rank's virtual-clock timeline: construct with
+/// the first phase name, call next() at each transition, and the destructor
+/// (or end()) closes the last span.  Exported traces therefore show the
+/// modeled parallel schedule per rank.  Span recording is a no-op when no
+/// trace collector is active — no clock read, no allocation.  Transitions
+/// also log at Debug (rank-tagged via the runtime's ScopedLogRank).
+class RankPhase {
+ public:
+  RankPhase(const char* name, mp::Communicator& comm)
+      : comm_(&comm), collector_(active_trace()), name_(name) {
+    PTWGR_LOG_DEBUG << "phase: " << name;
+    if (collector_ != nullptr) start_ = comm_->vtime();
+  }
+
+  void next(const char* name) {
+    PTWGR_LOG_DEBUG << "phase: " << name;
+    if (collector_ == nullptr) {
+      name_ = name;
+      return;
+    }
+    const double now = comm_->vtime();
+    if (name_ != nullptr) {
+      collector_->record(name_, comm_->rank(), start_, now);
+    }
+    name_ = name;
+    start_ = now;
+  }
+
+  void end() {
+    if (collector_ == nullptr || name_ == nullptr) return;
+    collector_->record(name_, comm_->rank(), start_, comm_->vtime());
+    name_ = nullptr;
+  }
+
+  ~RankPhase() { end(); }
+
+  RankPhase(const RankPhase&) = delete;
+  RankPhase& operator=(const RankPhase&) = delete;
+
+ private:
+  mp::Communicator* comm_;
+  TraceCollector* collector_;
+  const char* name_;
+  double start_ = 0.0;
 };
 
 // --- replica synchronization --------------------------------------------

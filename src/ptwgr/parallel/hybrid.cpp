@@ -32,6 +32,7 @@ ParallelRunOutput route_hybrid(mp::Communicator& comm, const Circuit& global,
   Rng rng(router.seed + std::uint64_t{0x9e3779b97f4a7c15} *
                             static_cast<std::uint64_t>(rank));
 
+  RankPhase phase("partition", comm);
   const RowPartition rows = partition_rows(global, size);
   const NetPartition nets =
       partition_nets(global, size, options.net_partition, &rows);
@@ -39,6 +40,7 @@ ParallelRunOutput route_hybrid(mp::Communicator& comm, const Circuit& global,
   // --- parallel Steiner construction + fake-pin/segment exchange ----------
   // Identical to row-wise: whole-net trees built by their owners, fake pins
   // and broken tree segments shipped to the block owners.
+  phase.next("steiner");
   SteinerOptions steiner_options;
   steiner_options.row_cost = router.steiner_row_cost;
   std::vector<std::vector<FakePinRecord>> fake_out(
@@ -55,6 +57,7 @@ ParallelRunOutput route_hybrid(mp::Communicator& comm, const Circuit& global,
                           pieces[b].end());
     }
   }
+  phase.next("fake-pin exchange");
   const auto fake_in = comm.all_to_all(fake_out);
   const auto piece_in = comm.all_to_all(piece_out);
   std::vector<FakePinRecord> my_fakes;
@@ -69,6 +72,7 @@ ParallelRunOutput route_hybrid(mp::Communicator& comm, const Circuit& global,
             });
 
   // --- local coarse routing + feedthroughs on the sub-circuit -------------
+  phase.next("coarse");
   SubCircuit sub = extract_subcircuit(global, rows, rank, my_fakes);
   const Coord global_core_width = global.core_width();
   auto segments = local_segments_from_pieces(piece_in, sub);
@@ -81,12 +85,14 @@ ParallelRunOutput route_hybrid(mp::Communicator& comm, const Circuit& global,
   Rng coarse_rng = rng.split();
   coarse.improve(segments, coarse_rng);
 
+  phase.next("feedthrough");
   FeedthroughPools pools =
       insert_feedthroughs(sub.circuit, grid, router.feedthrough_width);
   assign_feedthroughs(sub.circuit, pools, grid, segments,
                       router.feedthrough_width);
 
   // --- whole-net connection by net owners (the hybrid's difference) -------
+  phase.next("connect");
   // Ship every real terminal (cell pins and feedthrough pins; never fake
   // pins) to the net's owner in global coordinates.
   std::vector<std::vector<TerminalRecord>> term_out(
@@ -134,6 +140,7 @@ ParallelRunOutput route_hybrid(mp::Communicator& comm, const Circuit& global,
   }
 
   // --- switchable optimization, row-block local ----------------------------
+  phase.next("switchable");
   // As in row-wise (the hybrid differs only in the connection step): wires
   // return to the owners of the rows they hug, each block optimizes its own
   // switchable segments and exchanges only boundary-channel densities with
@@ -169,6 +176,8 @@ ParallelRunOutput route_hybrid(mp::Communicator& comm, const Circuit& global,
                                global_core_width, router, switch_rng);
 
   // --- gather and report ---------------------------------------------------
+  // Close the span before assemble_metrics rewinds its measurement time.
+  phase.end();
   std::vector<WireRecord> records;
   records.reserve(my_wires.size());
   for (const Wire& wire : my_wires) records.push_back(to_record(wire));

@@ -45,6 +45,7 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
   Rng rng(router.seed + std::uint64_t{0x9e3779b97f4a7c15} *
                             static_cast<std::uint64_t>(rank));
 
+  RankPhase phase("partition", comm);
   const RowPartition rows = partition_rows(global, size);
   const NetPartition nets =
       partition_nets(global, size, options.net_partition, &rows);
@@ -55,12 +56,14 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
   const std::size_t original_pin_count = replica.num_pins();
 
   // --- step 1: Steiner trees for owned nets -------------------------------
+  phase.next("steiner");
   SteinerOptions steiner_options;
   steiner_options.row_cost = router.steiner_row_cost;
   const auto trees = build_steiner_trees(replica, my_nets, steiner_options);
   auto segments = extract_coarse_segments(trees);
 
   // --- step 2: coarse routing on grid replicas with periodic sync ---------
+  phase.next("coarse");
   CoarseGrid grid(replica, router.column_width);
   CoarseOptions coarse_options;
   coarse_options.passes = router.coarse_passes;
@@ -88,6 +91,7 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
   for (; rounds_done < rounds; ++rounds_done) grid_sync.sync(comm);
   grid_sync.sync(comm);  // final reconciliation: replicas now identical
 
+  phase.next("feedthrough");
   // --- step 3: feedthrough insertion + owner-side assignment --------------
   // Grids are identical, so every rank inserts the full feedthrough set into
   // its replica deterministically — replicas stay position-consistent
@@ -140,6 +144,7 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
   const auto term_in = comm.all_to_all(term_out);
 
   // --- step 4: whole-net connection by the net owner ----------------------
+  phase.next("connect");
   std::vector<std::vector<Terminal>> terminals_of(replica.num_nets());
   for (const NetId net : my_nets) {
     for (const PinId pid : replica.net(net).pins) {
@@ -172,6 +177,7 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
   }
 
   // --- step 5: switchable optimization with periodic density sync ---------
+  phase.next("switchable");
   SwitchableOptimizer optimizer(replica.num_channels(), replica.core_width(),
                                 router.switch_bucket_width);
   optimizer.register_wires(wires);
@@ -207,6 +213,8 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
   }
 
   // --- gather and report ---------------------------------------------------
+  // Close the span before assemble_metrics rewinds its measurement time.
+  phase.end();
   std::vector<WireRecord> records;
   records.reserve(wires.size());
   for (const Wire& wire : wires) records.push_back(to_record(wire));

@@ -17,6 +17,10 @@ struct ParallelRoutingResult {
   /// The modeled parallel runtime (slowest rank's virtual clock) — the
   /// number the paper's speedup tables divide the serial time by.
   double modeled_seconds() const { return report.parallel_time(); }
+
+  /// Whole-run communication totals (all ranks folded together): traffic
+  /// volume per algorithm, for the benchmark tables and --metrics export.
+  mp::CommStats comm_totals() const { return report.comm_totals(); }
 };
 
 /// Routes `circuit` with `algorithm` on `num_ranks` ranks under `cost`

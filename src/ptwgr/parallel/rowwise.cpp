@@ -33,6 +33,7 @@ ParallelRunOutput route_rowwise(mp::Communicator& comm, const Circuit& global,
                             static_cast<std::uint64_t>(rank));
 
   // --- partitioning (deterministic; every rank computes the same) --------
+  RankPhase phase("partition", comm);
   const RowPartition rows = partition_rows(global, size);
   const NetPartition nets =
       partition_nets(global, size, options.net_partition, &rows);
@@ -42,6 +43,7 @@ ParallelRunOutput route_rowwise(mp::Communicator& comm, const Circuit& global,
   // pins planted where trees cross block boundaries and (b) the broken tree
   // segments to the blocks that own them — "those broken segments will
   // become the net segments of the processor which owns its two end points."
+  phase.next("steiner");
   SteinerOptions steiner_options;
   steiner_options.row_cost = router.steiner_row_cost;
   std::vector<std::vector<FakePinRecord>> fake_out(
@@ -59,6 +61,7 @@ ParallelRunOutput route_rowwise(mp::Communicator& comm, const Circuit& global,
                           pieces[b].end());
     }
   }
+  phase.next("fake-pin exchange");
   const auto fake_in = comm.all_to_all(fake_out);
   const auto piece_in = comm.all_to_all(piece_out);
   std::vector<FakePinRecord> my_fakes;
@@ -68,6 +71,7 @@ ParallelRunOutput route_rowwise(mp::Communicator& comm, const Circuit& global,
   sort_fake_pins(my_fakes);  // arrival order must not influence routing
 
   // --- local TWGR pipeline on the sub-circuit ----------------------------
+  phase.next("coarse");
   SubCircuit sub = extract_subcircuit(global, rows, rank, my_fakes);
   const Coord global_core_width = global.core_width();
   auto segments = local_segments_from_pieces(piece_in, sub);
@@ -81,11 +85,13 @@ ParallelRunOutput route_rowwise(mp::Communicator& comm, const Circuit& global,
   Rng coarse_rng = rng.split();
   coarse.improve(segments, coarse_rng);
 
+  phase.next("feedthrough");
   FeedthroughPools pools =
       insert_feedthroughs(sub.circuit, grid, router.feedthrough_width);
   assign_feedthroughs(sub.circuit, pools, grid, segments,
                       router.feedthrough_width);
 
+  phase.next("connect");
   std::vector<Wire> wires = connect_all_nets(sub.circuit);
 
   // Map wires (and the rows switchable wires hug) into the global frame.
@@ -98,11 +104,15 @@ ParallelRunOutput route_rowwise(mp::Communicator& comm, const Circuit& global,
   }
 
   // --- switchable step with boundary-channel synchronization -------------
+  phase.next("switchable");
   Rng switch_rng = rng.split();
   optimize_switchable_rowblock(comm, wires, rows, global.num_rows() + 1,
                                global_core_width, router, switch_rng);
 
   // --- gather and report --------------------------------------------------
+  // The span must close while the clock still shows routing time:
+  // assemble_metrics rewinds the vtime it spends on measurement.
+  phase.end();
   std::vector<WireRecord> records;
   records.reserve(wires.size());
   for (const Wire& wire : wires) {

@@ -9,6 +9,7 @@
 #include "ptwgr/support/log.h"
 #include "ptwgr/support/rng.h"
 #include "ptwgr/support/timer.h"
+#include "ptwgr/support/trace.h"
 
 namespace ptwgr {
 
@@ -18,11 +19,22 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   RoutingResult result;
   WallTimer timer;
 
+  // Trace spans for the five steps on a cumulative wall-clock timeline
+  // (track: rank 0).  One atomic load per step when tracing is off.
+  double trace_at = 0.0;
+  const auto trace_step = [&trace_at](const char* name, double step_seconds) {
+    if (TraceCollector* tracer = active_trace()) {
+      tracer->record(name, 0, trace_at, trace_at + step_seconds);
+    }
+    trace_at += step_seconds;
+  };
+
   // Step 1: approximate Steiner trees.
   SteinerOptions steiner_options;
   steiner_options.row_cost = options.steiner_row_cost;
   const auto trees = build_all_steiner_trees(circuit, steiner_options);
   result.timings.steiner = timer.seconds();
+  trace_step("steiner", result.timings.steiner);
   timer.reset();
 
   // Step 2: coarse global routing over the demand grid.
@@ -37,6 +49,7 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   PTWGR_LOG_DEBUG << "coarse routing: " << segments.size() << " segments, "
                   << flips << " flips";
   result.timings.coarse = timer.seconds();
+  trace_step("coarse", result.timings.coarse);
   timer.reset();
 
   // Step 3: feedthrough insertion and assignment.
@@ -47,11 +60,13 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   PTWGR_LOG_DEBUG << "feedthroughs: " << circuit.num_feedthrough_cells()
                   << " cells, " << terminals.size() << " crossings bound";
   result.timings.feedthrough = timer.seconds();
+  trace_step("feedthrough", result.timings.feedthrough);
   timer.reset();
 
   // Step 4: connect each net through its pins and feedthroughs.
   result.wires = connect_all_nets(circuit);
   result.timings.connect = timer.seconds();
+  trace_step("connect", result.timings.connect);
   timer.reset();
 
   // Step 5: switchable net segment optimization.
@@ -66,6 +81,7 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
       optimizer.optimize(result.wires, switch_rng, switch_options);
   PTWGR_LOG_DEBUG << "switchable optimization: " << switch_flips << " flips";
   result.timings.switchable = timer.seconds();
+  trace_step("switchable", result.timings.switchable);
 
   result.metrics = compute_metrics(circuit, result.wires);
   result.circuit = std::move(circuit);

@@ -1,0 +1,30 @@
+// Minimal JSON emission helpers shared by the trace and metrics exporters.
+//
+// Writing only — the repo has no JSON dependency, and the exporters just
+// need escaping and stable number formatting for Chrome trace-event files
+// and the --metrics dump.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ptwgr::json {
+
+/// Appends `s` to `out` as a quoted, escaped JSON string literal.
+void append_quoted(std::string& out, std::string_view s);
+
+inline std::string quoted(std::string_view s) {
+  std::string out;
+  append_quoted(out, s);
+  return out;
+}
+
+/// Formats a double as a JSON number ("null" for NaN/Inf, which JSON cannot
+/// represent).
+std::string number(double value);
+
+inline std::string number(std::int64_t value) { return std::to_string(value); }
+inline std::string number(std::uint64_t value) { return std::to_string(value); }
+
+}  // namespace ptwgr::json

@@ -1,6 +1,7 @@
 #include "ptwgr/support/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -9,19 +10,11 @@
 namespace ptwgr {
 namespace {
 
-LogLevel parse_env_level() {
-  const char* env = std::getenv("PTWGR_LOG");
-  if (env == nullptr) return LogLevel::Warn;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
-  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
-  if (std::strcmp(env, "off") == 0) return LogLevel::Off;
-  return LogLevel::Warn;
-}
-
 std::atomic<LogLevel>& level_storage() {
-  static std::atomic<LogLevel> level{parse_env_level()};
+  static std::atomic<LogLevel> level{[] {
+    const char* env = std::getenv("PTWGR_LOG");
+    return env == nullptr ? LogLevel::Warn : parse_log_level(env);
+  }()};
   return level;
 }
 
@@ -36,7 +29,26 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+/// Seconds since the first log line (monotonic clock).
+double log_uptime_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+thread_local int t_log_rank = -1;
+
 }  // namespace
+
+LogLevel parse_log_level(const char* name) {
+  if (name == nullptr) return LogLevel::Warn;
+  if (std::strcmp(name, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(name, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(name, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(name, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(name, "off") == 0) return LogLevel::Off;
+  return LogLevel::Warn;
+}
 
 LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
 
@@ -44,11 +56,22 @@ void set_log_level(LogLevel level) {
   level_storage().store(level, std::memory_order_relaxed);
 }
 
+void set_thread_log_rank(int rank) { t_log_rank = rank; }
+
+int thread_log_rank() { return t_log_rank; }
+
 void log_line(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
+  const double uptime = log_uptime_seconds();
   static std::mutex mutex;
   const std::lock_guard<std::mutex> lock(mutex);
-  std::fprintf(stderr, "[ptwgr %s] %s\n", level_name(level), message.c_str());
+  if (t_log_rank >= 0) {
+    std::fprintf(stderr, "[ptwgr %s +%.6fs r%d] %s\n", level_name(level),
+                 uptime, t_log_rank, message.c_str());
+  } else {
+    std::fprintf(stderr, "[ptwgr %s +%.6fs] %s\n", level_name(level), uptime,
+                 message.c_str());
+  }
 }
 
 }  // namespace ptwgr

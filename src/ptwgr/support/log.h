@@ -17,7 +17,33 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// Emits one line to stderr if `level` is enabled.  Thread-safe.
+/// Parses "debug|info|warn|error|off" (as in PTWGR_LOG and --log-level);
+/// anything else falls back to Warn.
+LogLevel parse_log_level(const char* name);
+
+/// Associates the calling thread with an mp rank: log lines emitted from it
+/// carry an "rN" marker.  -1 (the default) clears the association.  The mp
+/// runtime sets this for every rank thread via ScopedLogRank.
+void set_thread_log_rank(int rank);
+int thread_log_rank();
+
+class ScopedLogRank {
+ public:
+  explicit ScopedLogRank(int rank) : previous_(thread_log_rank()) {
+    set_thread_log_rank(rank);
+  }
+  ~ScopedLogRank() { set_thread_log_rank(previous_); }
+  ScopedLogRank(const ScopedLogRank&) = delete;
+  ScopedLogRank& operator=(const ScopedLogRank&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// Emits one line to stderr if `level` is enabled, prefixed with the level,
+/// a monotonic timestamp (seconds since the first log line), and the
+/// calling thread's rank when one is set.  Thread-safe; each line is
+/// written atomically.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -1,0 +1,79 @@
+#include "ptwgr/support/metrics.h"
+
+#include "ptwgr/support/json.h"
+
+namespace ptwgr {
+
+MetricsRegistry::Entry& MetricsRegistry::entry_for(std::string_view name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return e;
+  }
+  entries_.push_back(Entry{std::string(name), Kind::Int, 0, 0.0, {}});
+  return entries_.back();
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::find(
+    std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::set(std::string_view name, std::int64_t value) {
+  Entry& e = entry_for(name);
+  e.kind = Kind::Int;
+  e.int_value = value;
+}
+
+void MetricsRegistry::set(std::string_view name, double value) {
+  Entry& e = entry_for(name);
+  e.kind = Kind::Double;
+  e.double_value = value;
+}
+
+void MetricsRegistry::set(std::string_view name, std::string_view value) {
+  Entry& e = entry_for(name);
+  e.kind = Kind::String;
+  e.string_value = std::string(value);
+}
+
+std::optional<double> MetricsRegistry::get_number(
+    std::string_view name) const {
+  const Entry* e = find(name);
+  if (e == nullptr) return std::nullopt;
+  switch (e->kind) {
+    case Kind::Int: return static_cast<double>(e->int_value);
+    case Kind::Double: return e->double_value;
+    case Kind::String: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> MetricsRegistry::get_string(
+    std::string_view name) const {
+  const Entry* e = find(name);
+  if (e == nullptr || e->kind != Kind::String) return std::nullopt;
+  return e->string_value;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\n";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  ";
+    json::append_quoted(out, e.name);
+    out += ": ";
+    switch (e.kind) {
+      case Kind::Int: out += json::number(e.int_value); break;
+      case Kind::Double: out += json::number(e.double_value); break;
+      case Kind::String: json::append_quoted(out, e.string_value); break;
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace ptwgr

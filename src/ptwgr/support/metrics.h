@@ -1,0 +1,62 @@
+// Insertion-ordered metrics registry with JSON export.
+//
+// A flat name → value map (dotted names like "comm.rank0.bytes_sent" give it
+// structure) that the CLI and benchmark harnesses fill after a run and dump
+// with --metrics=FILE.  Values are integers, doubles, or strings; set()
+// overwrites an existing name in place, so emission order stays stable.
+// Not synchronized: fill and export from one thread, after the run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptwgr {
+
+class MetricsRegistry {
+ public:
+  void set(std::string_view name, std::int64_t value);
+  void set(std::string_view name, double value);
+  void set(std::string_view name, std::string_view value);
+
+  // Disambiguating conveniences for common integer types.
+  void set(std::string_view name, std::uint64_t value) {
+    set(name, static_cast<std::int64_t>(value));
+  }
+  void set(std::string_view name, int value) {
+    set(name, static_cast<std::int64_t>(value));
+  }
+  void set(std::string_view name, const char* value) {
+    set(name, std::string_view(value));
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Numeric lookup (ints widen to double); nullopt when absent or a string.
+  std::optional<double> get_number(std::string_view name) const;
+  std::optional<std::string> get_string(std::string_view name) const;
+
+  /// One JSON object, keys in insertion order.
+  std::string to_json() const;
+
+ private:
+  enum class Kind : std::uint8_t { Int, Double, String };
+
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::Int;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  Entry& entry_for(std::string_view name);
+  const Entry* find(std::string_view name) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ptwgr

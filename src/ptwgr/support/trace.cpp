@@ -1,0 +1,80 @@
+#include "ptwgr/support/trace.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "ptwgr/support/json.h"
+
+namespace ptwgr {
+namespace {
+
+std::atomic<TraceCollector*> g_active_trace{nullptr};
+
+}  // namespace
+
+TraceCollector* active_trace() {
+  return g_active_trace.load(std::memory_order_relaxed);
+}
+
+void set_active_trace(TraceCollector* collector) {
+  g_active_trace.store(collector, std::memory_order_relaxed);
+}
+
+void TraceCollector::record(const char* name, int rank, double start_seconds,
+                            double end_seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(
+      TraceSpan{std::string(name), rank, start_seconds, end_seconds});
+}
+
+std::size_t TraceCollector::span_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<TraceSpan> TraceCollector::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  std::vector<TraceSpan> sorted = spans();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.start_seconds < b.start_seconds;
+            });
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+
+  emit("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"ptwgr\"}}");
+  int last_rank = -1;
+  for (const TraceSpan& span : sorted) {
+    if (span.rank != last_rank) {
+      last_rank = span.rank;
+      const std::string tid = std::to_string(span.rank);
+      emit("{\"ph\":\"M\",\"pid\":0,\"tid\":" + tid +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+           json::quoted("rank " + tid) + "}}");
+      emit("{\"ph\":\"M\",\"pid\":0,\"tid\":" + tid +
+           ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" + tid +
+           "}}");
+    }
+    const double dur = std::max(0.0, span.end_seconds - span.start_seconds);
+    emit("{\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(span.rank) +
+         ",\"cat\":\"phase\",\"name\":" + json::quoted(span.name) +
+         ",\"ts\":" + json::number(span.start_seconds * 1e6) +
+         ",\"dur\":" + json::number(dur * 1e6) + "}");
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace ptwgr

@@ -1,0 +1,93 @@
+// Scoped-span tracing over arbitrary clocks, with Chrome trace-event export.
+//
+// The router and the parallel algorithms open a span per phase; parallel
+// spans are stamped on each rank's *virtual* clock, so the exported trace
+// shows the modeled parallel schedule, not the host's thread interleaving
+// (DESIGN.md §observability).  Tracing is off unless a collector is
+// installed with set_active_trace(): a disabled span is one relaxed atomic
+// load — no clock read, no allocation, no lock — so instrumentation can stay
+// in release builds and hot paths.
+//
+// The exported JSON (one "X" complete event per span, one thread track per
+// rank) loads directly in Perfetto / chrome://tracing.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ptwgr {
+
+/// One closed span: a named interval on a rank's timeline, in seconds.
+struct TraceSpan {
+  std::string name;
+  int rank = 0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+/// Thread-safe span sink.  Ranks record concurrently during a parallel run;
+/// export happens after the run from one thread.
+class TraceCollector {
+ public:
+  void record(const char* name, int rank, double start_seconds,
+              double end_seconds);
+
+  std::size_t span_count() const;
+
+  /// Snapshot of all recorded spans (copy; safe while ranks still record).
+  std::vector<TraceSpan> spans() const;
+
+  /// Chrome trace-event JSON: "X" events with ts/dur in microseconds,
+  /// pid 0, tid = rank, plus thread_name/"rank N" metadata per track.
+  std::string to_chrome_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// The process-wide collector, or nullptr when tracing is disabled.
+TraceCollector* active_trace();
+
+/// Installs (or, with nullptr, removes) the process-wide collector.  Install
+/// before launching the traced work; remove before destroying the collector.
+void set_active_trace(TraceCollector* collector);
+
+/// RAII span over a caller-supplied clock.  The clock is consulted only when
+/// a collector is active, so instrumented code pays nothing when tracing is
+/// off.  `name` must outlive the span (string literals in practice).
+class ScopedSpan {
+ public:
+  using ClockFn = double (*)(void*);
+
+  ScopedSpan(const char* name, int rank, ClockFn clock, void* clock_ctx)
+      : collector_(active_trace()) {
+    if (collector_ == nullptr) return;
+    name_ = name;
+    rank_ = rank;
+    clock_ = clock;
+    clock_ctx_ = clock_ctx;
+    start_ = clock_(clock_ctx_);
+  }
+
+  ~ScopedSpan() {
+    if (collector_ != nullptr) {
+      collector_->record(name_, rank_, start_, clock_(clock_ctx_));
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceCollector* collector_;
+  const char* name_ = nullptr;
+  int rank_ = 0;
+  ClockFn clock_ = nullptr;
+  void* clock_ctx_ = nullptr;
+  double start_ = 0.0;
+};
+
+}  // namespace ptwgr

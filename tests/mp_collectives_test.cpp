@@ -164,6 +164,63 @@ TEST_P(CollectivesRankSweep, RepeatedCollectivesStaySynchronized) {
 INSTANTIATE_TEST_SUITE_P(Ranks, CollectivesRankSweep,
                          ::testing::Values(1, 2, 3, 4, 8));
 
+TEST(Collectives, PerKindCountersExactForKnownSequence) {
+  // Contribution sizes under the library serialization: a vector<int64>(1)
+  // is an 8-byte count + 8 bytes = 16; an int32 scalar is 4; all_to_all of
+  // four 1-element int32 parts is 4 × (8 + 4) = 48.
+  const RunReport report = run(4, [](Communicator& comm) {
+    comm.barrier();
+    comm.barrier();
+    comm.barrier();
+    comm.broadcast_value<std::int64_t>(0, comm.rank() == 0 ? 5 : 0);
+    comm.allreduce_value(std::int64_t{1}, SumOp{});
+    comm.allreduce_value(std::int64_t{2}, SumOp{});
+    comm.allgather(std::int32_t{comm.rank()});
+    comm.gather_vectors(0, std::vector<std::int64_t>{comm.rank() * 1LL});
+    std::vector<std::vector<std::int32_t>> outgoing(4);
+    for (int d = 0; d < 4; ++d) outgoing[static_cast<std::size_t>(d)] = {d};
+    comm.all_to_all(outgoing);
+  });
+  ASSERT_EQ(report.rank_comm.size(), 4u);
+  const auto at = [](CollectiveKind kind) {
+    return static_cast<std::size_t>(kind);
+  };
+  for (std::size_t r = 0; r < 4; ++r) {
+    const CommStats& s = report.rank_comm[r];
+    EXPECT_EQ(s.collective_calls[at(CollectiveKind::Barrier)], 3u);
+    EXPECT_EQ(s.collective_calls[at(CollectiveKind::Broadcast)], 1u);
+    EXPECT_EQ(s.collective_calls[at(CollectiveKind::Allreduce)], 2u);
+    EXPECT_EQ(s.collective_calls[at(CollectiveKind::Allgather)], 1u);
+    EXPECT_EQ(s.collective_calls[at(CollectiveKind::Gather)], 1u);
+    EXPECT_EQ(s.collective_calls[at(CollectiveKind::AllToAll)], 1u);
+    EXPECT_EQ(s.total_collective_calls(), 9u);
+    EXPECT_EQ(s.collective_bytes[at(CollectiveKind::Barrier)], 0u);
+    // Only the broadcast root contributes payload.
+    EXPECT_EQ(s.collective_bytes[at(CollectiveKind::Broadcast)],
+              r == 0 ? 8u : 0u);
+    EXPECT_EQ(s.collective_bytes[at(CollectiveKind::Allreduce)], 32u);
+    EXPECT_EQ(s.collective_bytes[at(CollectiveKind::Allgather)], 4u);
+    EXPECT_EQ(s.collective_bytes[at(CollectiveKind::Gather)], 16u);
+    EXPECT_EQ(s.collective_bytes[at(CollectiveKind::AllToAll)], 48u);
+    EXPECT_EQ(s.messages_sent, 0u);  // collectives are not p2p traffic
+    EXPECT_EQ(s.messages_received, 0u);
+  }
+  const CommStats totals = report.comm_totals();
+  EXPECT_EQ(totals.total_collective_calls(), 36u);
+  EXPECT_EQ(totals.total_collective_bytes(),
+            8u + 4u * (32u + 4u + 16u + 48u));
+}
+
+TEST(Collectives, KindNamesAreStable) {
+  // The metrics JSON keys derive from these names; renames break consumers.
+  EXPECT_STREQ(to_string(CollectiveKind::Barrier), "barrier");
+  EXPECT_STREQ(to_string(CollectiveKind::Broadcast), "broadcast");
+  EXPECT_STREQ(to_string(CollectiveKind::Gather), "gather");
+  EXPECT_STREQ(to_string(CollectiveKind::Allgather), "allgather");
+  EXPECT_STREQ(to_string(CollectiveKind::Allreduce), "allreduce");
+  EXPECT_STREQ(to_string(CollectiveKind::AllToAll), "all_to_all");
+}
+
 TEST(Collectives, MixedP2pAndCollectives) {
   run(4, [](Communicator& comm) {
     if (comm.rank() == 0) {

@@ -173,6 +173,64 @@ TEST(MpP2p, LargePayloadRoundTrip) {
   });
 }
 
+TEST(MpP2p, CommCountersExactForKnownSequence) {
+  // Serialized sizes: a scalar int64 is 8 bytes; a vector<int32>(100) is an
+  // 8-byte count plus 400 bytes of elements = 408 bytes.
+  const RunReport report = run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 0, std::int64_t{42});
+      comm.send_value(1, 1, std::vector<std::int32_t>(100, 7));
+    } else {
+      comm.recv(0, 0);
+      comm.recv(0, 1);
+    }
+  });
+  ASSERT_EQ(report.rank_comm.size(), 2u);
+  const CommStats& sender = report.rank_comm[0];
+  EXPECT_EQ(sender.messages_sent, 2u);
+  EXPECT_EQ(sender.bytes_sent, 8u + 408u);
+  EXPECT_EQ(sender.messages_received, 0u);
+  EXPECT_EQ(sender.bytes_received, 0u);
+  const CommStats& receiver = report.rank_comm[1];
+  EXPECT_EQ(receiver.messages_received, 2u);
+  EXPECT_EQ(receiver.bytes_received, 8u + 408u);
+  EXPECT_EQ(receiver.messages_sent, 0u);
+  EXPECT_EQ(receiver.bytes_sent, 0u);
+}
+
+TEST(MpP2p, CommTotalsBalanceAcrossSendAndRecvSides) {
+  // A ring pass: every rank sends one 8-byte int64 and receives one, so the
+  // whole-run totals must balance exactly.
+  const int n = 4;
+  const RunReport report = run(n, [n](Communicator& comm) {
+    const int next = (comm.rank() + 1) % n;
+    const int prev = (comm.rank() + n - 1) % n;
+    comm.send_value(next, 0, std::int64_t{comm.rank()});
+    comm.recv(prev, 0);
+  });
+  const CommStats totals = report.comm_totals();
+  EXPECT_EQ(totals.messages_sent, 4u);
+  EXPECT_EQ(totals.messages_received, 4u);
+  EXPECT_EQ(totals.bytes_sent, 32u);
+  EXPECT_EQ(totals.bytes_received, 32u);
+  EXPECT_EQ(totals.messages_sent, totals.messages_received);
+  EXPECT_EQ(totals.bytes_sent, totals.bytes_received);
+}
+
+TEST(MpP2p, CommStatsVisibleMidRun) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 0, std::int64_t{1});
+      EXPECT_EQ(comm.comm_stats().messages_sent, 1u);
+      EXPECT_EQ(comm.comm_stats().bytes_sent, 8u);
+    } else {
+      comm.recv(0, 0);
+      EXPECT_EQ(comm.comm_stats().messages_received, 1u);
+      EXPECT_EQ(comm.comm_stats().bytes_received, 8u);
+    }
+  });
+}
+
 class MpRankSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(MpRankSweep, RingPassAccumulates) {

@@ -137,6 +137,98 @@ TEST(MpVtime, PlatformModelsAreOrdered) {
   EXPECT_GT(t_dmp, t_smp);
 }
 
+TEST(MpVtime, DecompositionSendAndRecvChargeP2pWait) {
+  const CostModel m = comm_only(0.5, 0.001);
+  const RunReport report = run(2, m, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 0, std::int64_t{1});  // transfer = α + 8β = 0.508
+    } else {
+      comm.recv(0, 0);  // clock jumps from 0 to the arrival stamp
+    }
+  });
+  for (const CommStats& s : report.rank_comm) {
+    EXPECT_NEAR(s.p2p_wait_seconds, 0.508, 1e-9);
+    EXPECT_DOUBLE_EQ(s.compute_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(s.collective_sync_seconds, 0.0);
+  }
+}
+
+TEST(MpVtime, DecompositionCollectiveJumpChargesSyncBucket) {
+  const CostModel m = comm_only(0.25, 0.0);
+  const RunReport report = run(4, m, [](Communicator& comm) {
+    comm.add_virtual_time(static_cast<double>(comm.rank()) * 2.0);
+    comm.barrier();  // everyone leaves at 6 + 2 rounds × 0.25 = 6.5
+  });
+  for (std::size_t r = 0; r < 4; ++r) {
+    const CommStats& s = report.rank_comm[r];
+    EXPECT_NEAR(s.compute_seconds, static_cast<double>(r) * 2.0, 1e-9);
+    EXPECT_NEAR(s.collective_sync_seconds,
+                6.5 - static_cast<double>(r) * 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(s.p2p_wait_seconds, 0.0);
+  }
+}
+
+TEST(MpVtime, DecompositionBucketsSumToVtime) {
+  const CostModel m = comm_only(0.1, 0.002);
+  const RunReport report = run(4, m, [](Communicator& comm) {
+    comm.add_virtual_time(0.5 * (comm.rank() + 1));
+    if (comm.rank() == 0) {
+      comm.send_value(1, 0, std::vector<std::int32_t>(64, 1));
+    } else if (comm.rank() == 1) {
+      comm.recv(0, 0);
+    }
+    comm.barrier();
+    comm.allreduce_value(std::int64_t{comm.rank()}, SumOp{});
+    comm.allgather(comm.rank());
+  });
+  for (std::size_t r = 0; r < 4; ++r) {
+    const CommStats& s = report.rank_comm[r];
+    EXPECT_NEAR(s.compute_seconds + s.p2p_wait_seconds +
+                    s.collective_sync_seconds,
+                report.rank_vtime[r], 1e-9);
+  }
+}
+
+TEST(MpVtime, MarkRewindExcludesMeasurementFromEveryBucket) {
+  const CostModel m = comm_only(1.0, 0.0);
+  const RunReport report = run(2, m, [](Communicator& comm) {
+    comm.barrier();  // routing "work": vtime 1.0, all of it collective sync
+    const Communicator::TimeMark end_of_routing = comm.mark();
+
+    // Measurement phase: compute plus another collective.
+    comm.add_virtual_time(5.0);
+    comm.allreduce_value(std::int64_t{1}, SumOp{});
+    EXPECT_GT(comm.vtime(), 6.0);
+
+    comm.rewind(end_of_routing);
+    const CommStats& s = comm.comm_stats();
+    EXPECT_NEAR(comm.vtime(), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(s.compute_seconds, 0.0);
+    EXPECT_NEAR(s.collective_sync_seconds, 1.0, 1e-9);
+    // The traffic stays counted even though its time was rewound.
+    EXPECT_EQ(s.collective_calls[static_cast<std::size_t>(
+                  CollectiveKind::Allreduce)],
+              1u);
+  });
+  EXPECT_NEAR(report.parallel_time(), 1.0, 1e-9);
+}
+
+TEST(MpVtime, SetVtimeDropsUnaccruedCpuFromComputeBucket) {
+  CostModel m;
+  m.compute_scale = 1000.0;
+  run(1, m, [](Communicator& comm) {
+    const double t0 = comm.vtime();
+    const double c0 = comm.comm_stats().compute_seconds;
+    // Burn real CPU: at 1000× scale this would add seconds of virtual
+    // compute if it were accrued.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 20000000; ++i) sink = sink + 1.0;
+    comm.set_vtime(t0);
+    EXPECT_NEAR(comm.comm_stats().compute_seconds, c0, 0.5);
+    EXPECT_NEAR(comm.vtime(), t0, 0.5);
+  });
+}
+
 TEST(MpVtime, ReportShapes) {
   const RunReport report = run(3, [](Communicator&) {});
   EXPECT_EQ(report.rank_vtime.size(), 3u);

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace ptwgr {
 namespace {
 
@@ -40,6 +46,94 @@ TEST(Log, MacrosCompileAndRespectLevel) {
   PTWGR_LOG_ERROR << "error";
   log_line(LogLevel::Debug, "suppressed direct call");
   SUCCEED();
+}
+
+TEST(Log, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::Debug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::Info);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::Error);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::Off);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::Warn);
+  EXPECT_EQ(parse_log_level(nullptr), LogLevel::Warn);
+}
+
+TEST(Log, ThreadRankDefaultsUnsetAndScopeRestores) {
+  EXPECT_EQ(thread_log_rank(), -1);
+  {
+    const ScopedLogRank outer(2);
+    EXPECT_EQ(thread_log_rank(), 2);
+    {
+      const ScopedLogRank inner(5);
+      EXPECT_EQ(thread_log_rank(), 5);
+    }
+    EXPECT_EQ(thread_log_rank(), 2);
+  }
+  EXPECT_EQ(thread_log_rank(), -1);
+}
+
+TEST(Log, ThreadRankIsPerThread) {
+  const ScopedLogRank mine(1);
+  int seen = -2;
+  std::thread other([&] { seen = thread_log_rank(); });
+  other.join();
+  EXPECT_EQ(seen, -1);  // a fresh thread starts without a rank
+  EXPECT_EQ(thread_log_rank(), 1);
+}
+
+TEST(Log, LineCarriesLevelTimestampAndRank) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Info);
+  ::testing::internal::CaptureStderr();
+  {
+    const ScopedLogRank rank(3);
+    log_line(LogLevel::Info, "with rank");
+  }
+  log_line(LogLevel::Info, "without rank");
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  const std::regex with_rank(
+      R"(\[ptwgr INFO \+\d+\.\d{6}s r3\] with rank)");
+  const std::regex without_rank(
+      R"(\[ptwgr INFO \+\d+\.\d{6}s\] without rank)");
+  EXPECT_TRUE(std::regex_search(captured, with_rank)) << captured;
+  EXPECT_TRUE(std::regex_search(captured, without_rank)) << captured;
+}
+
+TEST(Log, ConcurrentRankThreadsEmitWholeLines) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::Info);
+  constexpr int kThreads = 8;
+  constexpr int kLines = 50;
+  ::testing::internal::CaptureStderr();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        const ScopedLogRank rank(t);
+        for (int i = 0; i < kLines; ++i) {
+          PTWGR_LOG_INFO << "from " << t << " line " << i;
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  // Every line must be intact: correct prefix, and the rank marker must
+  // match the rank embedded in the message (a torn line would break both).
+  const std::regex line_re(
+      R"(\[ptwgr INFO \+\d+\.\d{6}s r(\d+)\] from (\d+) line \d+)");
+  std::istringstream lines(captured);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::smatch match;
+    ASSERT_TRUE(std::regex_match(line, match, line_re)) << line;
+    EXPECT_EQ(match[1], match[2]) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
 }
 
 }  // namespace

@@ -1,0 +1,80 @@
+#include "ptwgr/support/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace ptwgr {
+namespace {
+
+TEST(Metrics, StartsEmpty) {
+  const MetricsRegistry metrics;
+  EXPECT_TRUE(metrics.empty());
+  EXPECT_EQ(metrics.size(), 0u);
+}
+
+TEST(Metrics, SetAndGetEachKind) {
+  MetricsRegistry metrics;
+  metrics.set("count", std::int64_t{42});
+  metrics.set("ratio", 0.75);
+  metrics.set("label", "row-wise");
+  EXPECT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics.get_number("count"), 42.0);
+  EXPECT_EQ(metrics.get_number("ratio"), 0.75);
+  EXPECT_EQ(metrics.get_string("label"), "row-wise");
+  EXPECT_EQ(metrics.get_number("label"), std::nullopt);
+  EXPECT_EQ(metrics.get_number("absent"), std::nullopt);
+  EXPECT_EQ(metrics.get_string("absent"), std::nullopt);
+}
+
+TEST(Metrics, IntegerConvenienceOverloads) {
+  MetricsRegistry metrics;
+  metrics.set("u64", std::uint64_t{7});
+  metrics.set("int", 9);
+  EXPECT_EQ(metrics.get_number("u64"), 7.0);
+  EXPECT_EQ(metrics.get_number("int"), 9.0);
+}
+
+TEST(Metrics, SetOverwritesInPlaceKeepingOrder) {
+  MetricsRegistry metrics;
+  metrics.set("first", 1);
+  metrics.set("second", 2);
+  metrics.set("first", "now a string");
+  EXPECT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics.get_string("first"), "now a string");
+  // "first" must still serialize before "second".
+  const std::string json = metrics.to_json();
+  EXPECT_LT(json.find("\"first\""), json.find("\"second\""));
+}
+
+TEST(Metrics, JsonShapeAndEscaping) {
+  MetricsRegistry metrics;
+  metrics.set("alpha.count", 3);
+  metrics.set("alpha.seconds", 1.5);
+  metrics.set("name \"x\"", "line\nbreak");
+  const std::string json = metrics.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"alpha.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"alpha.seconds\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"name \\\"x\\\"\": \"line\\nbreak\""),
+            std::string::npos);
+  EXPECT_EQ(json.find('{', 1), std::string::npos);  // flat: one object
+}
+
+TEST(Metrics, EmptyRegistrySerializesToEmptyObject) {
+  const MetricsRegistry metrics;
+  const std::string json = metrics.to_json();
+  EXPECT_NE(json.find('{'), std::string::npos);
+  EXPECT_NE(json.find('}'), std::string::npos);
+  EXPECT_EQ(json.find('"'), std::string::npos);
+}
+
+TEST(Metrics, NonFiniteDoublesSerializeAsNull) {
+  MetricsRegistry metrics;
+  metrics.set("nan", std::nan(""));
+  EXPECT_NE(metrics.to_json().find("\"nan\": null"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptwgr

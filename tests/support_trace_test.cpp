@@ -1,0 +1,270 @@
+// Tests of the scoped-span tracer: disabled-by-default behavior, span
+// capture from the serial router and the parallel algorithms, and the
+// Chrome trace-event export (validated with a minimal JSON parser — the
+// repo deliberately has no JSON dependency).
+#include "ptwgr/support/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
+
+namespace ptwgr {
+namespace {
+
+/// Installs a collector for one test and removes it on scope exit so the
+/// process-global stays clean across tests.
+class CollectorGuard {
+ public:
+  explicit CollectorGuard(TraceCollector& collector) {
+    set_active_trace(&collector);
+  }
+  ~CollectorGuard() { set_active_trace(nullptr); }
+  CollectorGuard(const CollectorGuard&) = delete;
+  CollectorGuard& operator=(const CollectorGuard&) = delete;
+};
+
+// --- minimal JSON validator (structure only, no value extraction) --------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// --- tests ---------------------------------------------------------------
+
+TEST(Trace, DisabledByDefault) {
+  EXPECT_EQ(active_trace(), nullptr);
+}
+
+TEST(Trace, DisabledSpanNeverConsultsClock) {
+  ASSERT_EQ(active_trace(), nullptr);
+  const ScopedSpan::ClockFn poisoned = [](void*) -> double {
+    std::abort();  // tracing is off; reaching the clock is a bug
+  };
+  { const ScopedSpan span("idle", 0, poisoned, nullptr); }
+  SUCCEED();
+}
+
+TEST(Trace, SerialRouteRecordsNothingWhenDisabled) {
+  ASSERT_EQ(active_trace(), nullptr);
+  TraceCollector collector;  // exists but is never installed
+  route_serial(small_test_circuit(11, 6, 18));
+  EXPECT_EQ(collector.span_count(), 0u);
+}
+
+TEST(Trace, ScopedSpanRecordsWithActiveCollector) {
+  TraceCollector collector;
+  const CollectorGuard guard(collector);
+  double now = 1.5;
+  const ScopedSpan::ClockFn clock = [](void* ctx) {
+    return *static_cast<double*>(ctx);
+  };
+  {
+    const ScopedSpan span("work", 3, clock, &now);
+    now = 2.75;
+  }
+  ASSERT_EQ(collector.span_count(), 1u);
+  const TraceSpan span = collector.spans().front();
+  EXPECT_EQ(span.name, "work");
+  EXPECT_EQ(span.rank, 3);
+  EXPECT_DOUBLE_EQ(span.start_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(span.end_seconds, 2.75);
+}
+
+TEST(Trace, SerialRouteCoversAllFiveSteps) {
+  TraceCollector collector;
+  const CollectorGuard guard(collector);
+  route_serial(small_test_circuit(11, 6, 18));
+  const std::vector<TraceSpan> spans = collector.spans();
+  std::set<std::string> names;
+  for (const TraceSpan& span : spans) {
+    EXPECT_EQ(span.rank, 0);
+    EXPECT_GE(span.end_seconds, span.start_seconds);
+    names.insert(span.name);
+  }
+  const std::set<std::string> expected{"steiner", "coarse", "feedthrough",
+                                       "connect", "switchable"};
+  EXPECT_EQ(names, expected);
+  ASSERT_EQ(spans.size(), 5u);
+  // The steps tile a cumulative timeline: each starts where the previous
+  // ended.
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_DOUBLE_EQ(spans[i].start_seconds, spans[i - 1].end_seconds);
+  }
+}
+
+TEST(Trace, ParallelRowWiseRecordsOneTrackPerRank) {
+  TraceCollector collector;
+  const CollectorGuard guard(collector);
+  route_parallel(small_test_circuit(21, 8, 30), ParallelAlgorithm::RowWise,
+                 2);
+  std::set<int> ranks;
+  std::set<std::string> names;
+  for (const TraceSpan& span : collector.spans()) {
+    ranks.insert(span.rank);
+    names.insert(span.name);
+  }
+  EXPECT_EQ(ranks, (std::set<int>{0, 1}));
+  for (const char* phase : {"partition", "steiner", "coarse", "feedthrough",
+                            "connect", "switchable"}) {
+    EXPECT_TRUE(names.count(phase) == 1) << "missing phase " << phase;
+  }
+}
+
+TEST(Trace, ChromeJsonParsesAndHasOneThreadNamePerRank) {
+  TraceCollector collector;
+  collector.record("alpha", 0, 0.0, 0.5);
+  collector.record("beta", 1, 0.25, 1.0);
+  collector.record("gamma \"quoted\"\n", 2, 1.0, 1.0);
+  const std::string json = collector.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_EQ(count_occurrences(json, "\"thread_name\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 3u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // The quote and newline in the span name are escaped, not raw (raw
+  // control characters inside a string would also fail JsonChecker).
+  EXPECT_NE(json.find("gamma \\\"quoted\\\"\\n"), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonOfEmptyCollectorIsValid) {
+  const TraceCollector collector;
+  const std::string json = collector.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 0u);
+}
+
+TEST(Trace, ChromeJsonOfParallelRunParses) {
+  TraceCollector collector;
+  {
+    const CollectorGuard guard(collector);
+    route_parallel(small_test_circuit(21, 8, 30),
+                   ParallelAlgorithm::Hybrid, 4);
+  }
+  const std::string json = collector.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_EQ(count_occurrences(json, "\"thread_name\""), 4u);
+  EXPECT_GE(collector.span_count(), 4u * 7u);  // 7 phases on each rank
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -15,6 +15,9 @@
 //   --seed=N                                       (default 1)
 //   --report=PATH      write the full routing report (serial only)
 //   --profile          print the channel-density profile (serial only)
+//   --trace=PATH       write a Chrome trace of the routing phases
+//   --metrics=PATH     write run metrics (counters, timings) as JSON
+//   --log-level=LEVEL  debug|info|warn|error|off (default warn)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +33,9 @@
 #include "ptwgr/eval/platform.h"
 #include "ptwgr/parallel/parallel_router.h"
 #include "ptwgr/route/router.h"
+#include "ptwgr/support/log.h"
+#include "ptwgr/support/metrics.h"
+#include "ptwgr/support/trace.h"
 
 namespace {
 
@@ -46,6 +52,8 @@ struct CliOptions {
   std::uint64_t seed = 1;
   std::optional<std::string> report_path;
   bool profile = false;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> metrics_path;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -55,7 +63,9 @@ struct CliOptions {
                "--generate=ROWSxCELLS)\n"
                "  [--algorithm=serial|row-wise|net-wise|hybrid] [--ranks=N]\n"
                "  [--platform=ideal|smp|dmp] [--seed=N] [--report=PATH] "
-               "[--profile]\n");
+               "[--profile]\n"
+               "  [--trace=PATH] [--metrics=PATH] "
+               "[--log-level=debug|info|warn|error|off]\n");
   std::exit(2);
 }
 
@@ -93,6 +103,12 @@ CliOptions parse(int argc, char** argv) {
       options.seed = static_cast<std::uint64_t>(std::atoll(v->c_str()));
     } else if ((v = value_of("--report="))) {
       options.report_path = *v;
+    } else if ((v = value_of("--trace="))) {
+      options.trace_path = *v;
+    } else if ((v = value_of("--metrics="))) {
+      options.metrics_path = *v;
+    } else if ((v = value_of("--log-level="))) {
+      set_log_level(parse_log_level(v->c_str()));
     } else if (arg == "--profile") {
       options.profile = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -131,6 +147,90 @@ mp::CostModel platform_of(const std::string& name) {
   usage_error("unknown platform '" + name + "'");
 }
 
+/// Installs the trace collector for the routing call when --trace was given
+/// and serializes the Chrome trace JSON on destruction.
+class ScopedCliTrace {
+ public:
+  explicit ScopedCliTrace(const CliOptions& options)
+      : path_(options.trace_path) {
+    if (path_) set_active_trace(&collector_);
+  }
+
+  ~ScopedCliTrace() {
+    if (!path_) return;
+    set_active_trace(nullptr);
+    std::ofstream out(*path_);
+    if (out) {
+      out << collector_.to_chrome_json();
+      std::printf("trace written to %s (%zu spans)\n", path_->c_str(),
+                  collector_.span_count());
+    } else {
+      std::fprintf(stderr, "cannot open trace file %s\n", path_->c_str());
+    }
+  }
+
+  ScopedCliTrace(const ScopedCliTrace&) = delete;
+  ScopedCliTrace& operator=(const ScopedCliTrace&) = delete;
+
+ private:
+  std::optional<std::string> path_;
+  TraceCollector collector_;
+};
+
+void fill_run_metrics(MetricsRegistry& metrics, const CliOptions& options,
+                      const Circuit& circuit) {
+  const CircuitStats stats = compute_stats(circuit);
+  metrics.set("run.algorithm", options.algorithm);
+  metrics.set("run.seed", options.seed);
+  metrics.set("circuit.rows", static_cast<std::int64_t>(stats.rows));
+  metrics.set("circuit.cells", static_cast<std::int64_t>(stats.cells));
+  metrics.set("circuit.nets", static_cast<std::int64_t>(stats.nets));
+  metrics.set("circuit.pins", static_cast<std::int64_t>(stats.pins));
+}
+
+void fill_quality_metrics(MetricsRegistry& metrics,
+                          const RoutingMetrics& quality) {
+  metrics.set("routing.tracks", quality.track_count);
+  metrics.set("routing.area", quality.area);
+  metrics.set("routing.wirelength", quality.total_wirelength);
+  metrics.set("routing.feedthroughs",
+              static_cast<std::int64_t>(quality.feedthrough_count));
+}
+
+void fill_comm_metrics(MetricsRegistry& metrics, const std::string& prefix,
+                       const mp::CommStats& comm) {
+  metrics.set(prefix + ".messages_sent", comm.messages_sent);
+  metrics.set(prefix + ".bytes_sent", comm.bytes_sent);
+  metrics.set(prefix + ".messages_received", comm.messages_received);
+  metrics.set(prefix + ".bytes_received", comm.bytes_received);
+  for (std::size_t k = 0; k < mp::kNumCollectiveKinds; ++k) {
+    if (comm.collective_calls[k] == 0) continue;
+    const std::string kind =
+        mp::to_string(static_cast<mp::CollectiveKind>(k));
+    metrics.set(prefix + ".collective." + kind + ".calls",
+                comm.collective_calls[k]);
+    metrics.set(prefix + ".collective." + kind + ".bytes",
+                comm.collective_bytes[k]);
+  }
+  metrics.set(prefix + ".compute_seconds", comm.compute_seconds);
+  metrics.set(prefix + ".p2p_wait_seconds", comm.p2p_wait_seconds);
+  metrics.set(prefix + ".collective_sync_seconds",
+              comm.collective_sync_seconds);
+}
+
+void write_metrics_file(const CliOptions& options,
+                        const MetricsRegistry& metrics) {
+  if (!options.metrics_path) return;
+  std::ofstream out(*options.metrics_path);
+  if (out) {
+    out << metrics.to_json();
+    std::printf("metrics written to %s\n", options.metrics_path->c_str());
+  } else {
+    std::fprintf(stderr, "cannot open metrics file %s\n",
+                 options.metrics_path->c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,10 +242,22 @@ int main(int argc, char** argv) {
     RouterOptions router;
     router.seed = options.seed;
 
+    const ScopedCliTrace trace(options);
+    MetricsRegistry metrics;
+    fill_run_metrics(metrics, options, circuit);
+
     if (options.algorithm == "serial") {
       const RoutingResult result = route_serial(circuit, router);
       std::printf("routed (serial): %s\n",
                   result.metrics.to_string().c_str());
+      fill_quality_metrics(metrics, result.metrics);
+      metrics.set("serial.steiner_seconds", result.timings.steiner);
+      metrics.set("serial.coarse_seconds", result.timings.coarse);
+      metrics.set("serial.feedthrough_seconds", result.timings.feedthrough);
+      metrics.set("serial.connect_seconds", result.timings.connect);
+      metrics.set("serial.switchable_seconds", result.timings.switchable);
+      metrics.set("serial.total_seconds", result.timings.total());
+      write_metrics_file(options, metrics);
       std::printf(
           "step times (s): steiner %.3f, coarse %.3f, feedthrough %.3f, "
           "connect %.3f, switchable %.3f\n",
@@ -195,6 +307,21 @@ int main(int argc, char** argv) {
                 options.ranks, options.platform.c_str(),
                 result.metrics.to_string().c_str());
     std::printf("modeled parallel time: %.3f s\n", result.modeled_seconds());
+    fill_quality_metrics(metrics, result.metrics);
+    metrics.set("run.ranks", static_cast<std::int64_t>(options.ranks));
+    metrics.set("run.platform", options.platform);
+    metrics.set("parallel.modeled_seconds", result.modeled_seconds());
+    metrics.set("parallel.wall_seconds", result.report.wall_seconds);
+    metrics.set("parallel.total_cpu_seconds",
+                result.report.total_cpu_seconds());
+    for (std::size_t r = 0; r < result.report.rank_comm.size(); ++r) {
+      const std::string prefix = "rank." + std::to_string(r);
+      metrics.set(prefix + ".vtime_seconds", result.report.rank_vtime[r]);
+      metrics.set(prefix + ".cpu_seconds", result.report.rank_cpu_seconds[r]);
+      fill_comm_metrics(metrics, prefix, result.report.rank_comm[r]);
+    }
+    fill_comm_metrics(metrics, "total", result.comm_totals());
+    write_metrics_file(options, metrics);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ptwgr_route: %s\n", e.what());
