@@ -56,6 +56,7 @@ void run_circuit(const char* name, const ptwgr::bench::Args& args) {
     ParallelOptions parallel;
     parallel.router = router;
     parallel.net_partition = options;
+    ptwgr::bench::apply_fault_args(args, parallel);
     const auto result =
         route_parallel(build_suite_circuit(entry), ParallelAlgorithm::NetWise,
                        kProcs, parallel, mp::CostModel::sparc_center_smp());

@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
     ParallelOptions parallel;
     parallel.router = router;
     parallel.net_partition = options;
+    bench::apply_fault_args(args, parallel);
     const auto result =
         route_parallel(build_suite_circuit(entry), ParallelAlgorithm::RowWise,
                        kProcs, parallel, mp::CostModel::sparc_center_smp());

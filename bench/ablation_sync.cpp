@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     options.router = router;
     options.coarse_sync_period = period;
     options.switch_sync_period = period;
+    bench::apply_fault_args(args, options);
     const auto result =
         route_parallel(build_suite_circuit(entry), ParallelAlgorithm::NetWise,
                        kProcs, options, mp::CostModel::sparc_center_smp());

@@ -7,6 +7,10 @@
 //   --trace=<file>      write a Chrome trace of the routing phases
 //   --metrics=<file>    write run metrics as JSON
 //   --log-level=<lvl>   debug|info|warn|error|off
+//   --fault-plan=<spec> deterministic fault injection (see mp::FaultPlan)
+//   --recv-timeout=<s>  recv() timeout in virtual seconds
+//   --max-retries=<n>   p2p retransmissions before a peer is presumed dead
+//   --watchdog          enable the deadlock watchdog
 // Unknown flags are ignored so the harnesses coexist with test drivers.
 #pragma once
 
@@ -14,8 +18,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
+#include "ptwgr/mp/fault.h"
+#include "ptwgr/parallel/common.h"
 #include "ptwgr/support/log.h"
 #include "ptwgr/support/metrics.h"
 #include "ptwgr/support/trace.h"
@@ -28,6 +35,10 @@ struct Args {
   bool comm = false;
   std::string trace_path;
   std::string metrics_path;
+  std::string fault_plan;
+  double recv_timeout = -1.0;
+  int max_retries = 3;
+  bool watchdog = false;
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -48,11 +59,34 @@ inline Args parse_args(int argc, char** argv) {
       args.trace_path = arg + 8;
     } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
       args.metrics_path = arg + 10;
+    } else if (std::strncmp(arg, "--fault-plan=", 13) == 0) {
+      args.fault_plan = arg + 13;
+    } else if (std::strncmp(arg, "--recv-timeout=", 15) == 0) {
+      args.recv_timeout = std::atof(arg + 15);
+    } else if (std::strncmp(arg, "--max-retries=", 14) == 0) {
+      args.max_retries = std::atoi(arg + 14);
+    } else if (std::strcmp(arg, "--watchdog") == 0) {
+      args.watchdog = true;
     } else if (std::strncmp(arg, "--log-level=", 12) == 0) {
       set_log_level(parse_log_level(arg + 12));
     }
   }
   return args;
+}
+
+/// Applies the fault-tolerance flags to a parallel-run option block.  One
+/// shared FaultPlan serves the whole harness; kills fire once across all its
+/// runs (pass a fresh plan per run if that matters).
+inline void apply_fault_args(const Args& args, ParallelOptions& options) {
+  options.fault.retry.max_retries = args.max_retries;
+  options.fault.recv_timeout_seconds = args.recv_timeout;
+  options.fault.watchdog = args.watchdog;
+  if (!args.fault_plan.empty()) {
+    options.fault.plan =
+        std::make_shared<mp::FaultPlan>(mp::FaultPlan::parse(args.fault_plan));
+    std::fprintf(stderr, "fault plan: %s\n",
+                 options.fault.plan->summary().c_str());
+  }
 }
 
 /// Activates tracing for the harness lifetime when --trace was given, and

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
     for (const int p : procs) {
       ParallelOptions options;
       options.router = router;
+      bench::apply_fault_args(args, options);
       const auto result =
           route_parallel(build_suite_circuit(entry), algorithm, p, options,
                          mp::CostModel::sparc_center_smp());

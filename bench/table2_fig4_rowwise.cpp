@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   config.scale = args.scale;
   config.options.router.seed = args.seed;
   config.platform = Platform::sparc_center();
+  bench::apply_fault_args(args, config.options);
 
   const bench::ScopedBenchTrace trace(args);
   const auto runs = run_suite_experiment(ParallelAlgorithm::RowWise, config);

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
     config.options.router.seed = args.seed;
     config.platform = Platform::sparc_center();
     config.proc_counts = {8};
+    bench::apply_fault_args(args, config.options);
     const auto runs = run_suite_experiment(ParallelAlgorithm::Hybrid, config);
     std::printf("%s\n",
                 render_table5_platform(config.platform, runs).c_str());
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
     config.options.router.seed = args.seed;
     config.platform = Platform::paragon();
     config.proc_counts = {8, 16};
+    bench::apply_fault_args(args, config.options);
     const auto runs = run_suite_experiment(ParallelAlgorithm::Hybrid, config);
     std::printf("%s\n",
                 render_table5_platform(config.platform, runs).c_str());

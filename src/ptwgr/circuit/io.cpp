@@ -1,5 +1,7 @@
 #include "ptwgr/circuit/io.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
@@ -13,6 +15,10 @@ namespace {
 constexpr const char* kMagic = "PTWGR-CIRCUIT";
 constexpr int kVersion = 1;
 
+/// Sanity cap for header counts: a corrupted or malicious count field must
+/// produce a diagnostic, not a multi-gigabyte allocation.
+constexpr long long kMaxCount = 100'000'000;
+
 char side_code(PinSide side) {
   switch (side) {
     case PinSide::Top: return 'T';
@@ -22,39 +28,108 @@ char side_code(PinSide side) {
   return '?';
 }
 
-PinSide parse_side(const std::string& token) {
+[[noreturn]] void fail_at(std::size_t line, const std::string& message) {
+  throw CircuitIoError("line " + std::to_string(line) + ": " + message);
+}
+
+PinSide parse_side(const std::string& token, std::size_t line) {
   if (token == "T") return PinSide::Top;
   if (token == "B") return PinSide::Bottom;
   if (token == "E") return PinSide::Both;
-  throw CircuitIoError("bad pin side '" + token + "'");
+  fail_at(line, "bad pin side '" + token + "' (expected T, B, or E)");
 }
 
-/// Reads one non-empty, non-comment line; throws at EOF.
-std::string next_line(std::istream& in) {
-  std::string line;
-  while (std::getline(in, line)) {
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos) continue;
-    if (line[first] == '#') continue;
-    return line;
+/// Line-numbered reader over the circuit stream: skips blanks and comments,
+/// and reports the position of every diagnostic.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(&in) {}
+
+  /// Reads the next non-empty, non-comment line; throws at EOF naming the
+  /// record that was being read.
+  std::string next(const char* what) {
+    std::string line;
+    while (std::getline(*in_, line)) {
+      ++line_no_;
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;
+      if (line[first] == '#') continue;
+      return line;
+    }
+    fail_at(line_no_,
+            std::string("unexpected end of file while reading ") + what);
   }
-  throw CircuitIoError("unexpected end of file");
-}
 
-template <typename T>
-T parse_field(std::istringstream& is, const char* what) {
-  T value{};
-  if (!(is >> value)) {
-    throw CircuitIoError(std::string("expected ") + what);
+  std::size_t line_number() const { return line_no_; }
+
+ private:
+  std::istream* in_;
+  std::size_t line_no_ = 0;
+};
+
+/// Strict integer field parse: rejects floats, NaN/inf spellings, trailing
+/// garbage, and out-of-range magnitudes (all of which `is >> value` would
+/// silently accept, truncate, or wrap).
+long long parse_integer(std::istringstream& is, const char* what,
+                        std::size_t line) {
+  std::string token;
+  if (!(is >> token)) fail_at(line, std::string("expected ") + what);
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE) {
+    fail_at(line, std::string("expected ") + what +
+                      " (an integer), got '" + token + "'");
   }
   return value;
 }
 
-void expect_keyword(std::istringstream& is, const std::string& keyword) {
+/// Count field: non-negative and bounded by the sanity cap, so negative
+/// counts cannot wrap to huge sizes and corrupt headers cannot drive huge
+/// reserves.
+std::size_t parse_count(std::istringstream& is, const char* what,
+                        std::size_t line) {
+  const long long value = parse_integer(is, what, line);
+  if (value < 0) {
+    fail_at(line, std::string(what) + " must be non-negative, got " +
+                      std::to_string(value));
+  }
+  if (value > kMaxCount) {
+    fail_at(line, std::string(what) + " " + std::to_string(value) +
+                      " exceeds the format limit of " +
+                      std::to_string(kMaxCount));
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Geometry field that must be strictly positive (row heights, cell widths).
+Coord parse_positive_coord(std::istringstream& is, const char* what,
+                           std::size_t line) {
+  const long long value = parse_integer(is, what, line);
+  if (value <= 0) {
+    fail_at(line, std::string(what) + " must be positive, got " +
+                      std::to_string(value));
+  }
+  return static_cast<Coord>(value);
+}
+
+/// Geometry field that must be non-negative (pin offsets).
+Coord parse_nonnegative_coord(std::istringstream& is, const char* what,
+                              std::size_t line) {
+  const long long value = parse_integer(is, what, line);
+  if (value < 0) {
+    fail_at(line, std::string(what) + " must be non-negative, got " +
+                      std::to_string(value));
+  }
+  return static_cast<Coord>(value);
+}
+
+void expect_keyword(std::istringstream& is, const std::string& keyword,
+                    std::size_t line) {
   std::string token;
   if (!(is >> token) || token != keyword) {
-    throw CircuitIoError("expected keyword '" + keyword + "', got '" + token +
-                         "'");
+    fail_at(line,
+            "expected keyword '" + keyword + "', got '" + token + "'");
   }
 }
 
@@ -109,55 +184,73 @@ void write_circuit_file(const std::string& path, const Circuit& circuit) {
 
 namespace {
 
-Circuit read_circuit_impl(std::istream& in) {
+Circuit read_circuit_impl(LineReader& reader) {
   CircuitBuilder builder;
 
-  std::istringstream rows_header(next_line(in));
-  expect_keyword(rows_header, "ROWS");
-  const auto num_rows = parse_field<std::size_t>(rows_header, "row count");
+  std::istringstream rows_header(reader.next("ROWS header"));
+  expect_keyword(rows_header, "ROWS", reader.line_number());
+  const auto num_rows =
+      parse_count(rows_header, "row count", reader.line_number());
   std::vector<RowId> rows;
   rows.reserve(num_rows);
   for (std::size_t r = 0; r < num_rows; ++r) {
-    std::istringstream line(next_line(in));
-    expect_keyword(line, "ROW");
-    rows.push_back(builder.add_row(parse_field<Coord>(line, "row height")));
+    std::istringstream line(reader.next("ROW record"));
+    expect_keyword(line, "ROW", reader.line_number());
+    rows.push_back(builder.add_row(
+        parse_positive_coord(line, "row height", reader.line_number())));
   }
 
-  std::istringstream cells_header(next_line(in));
-  expect_keyword(cells_header, "CELLS");
-  const auto num_cells = parse_field<std::size_t>(cells_header, "cell count");
+  std::istringstream cells_header(reader.next("CELLS header"));
+  expect_keyword(cells_header, "CELLS", reader.line_number());
+  const auto num_cells =
+      parse_count(cells_header, "cell count", reader.line_number());
   std::vector<CellId> cells;
   cells.reserve(num_cells);
   for (std::size_t c = 0; c < num_cells; ++c) {
-    std::istringstream line(next_line(in));
-    expect_keyword(line, "CELL");
-    const auto row_index = parse_field<std::size_t>(line, "cell row");
+    std::istringstream line(reader.next("CELL record"));
+    expect_keyword(line, "CELL", reader.line_number());
+    const auto row_index =
+        parse_count(line, "cell row index", reader.line_number());
     if (row_index >= rows.size()) {
-      throw CircuitIoError("cell row index out of range");
+      fail_at(reader.line_number(),
+              "cell row index " + std::to_string(row_index) +
+                  " out of range (circuit has " +
+                  std::to_string(rows.size()) + " rows)");
     }
-    cells.push_back(builder.add_cell(rows[row_index],
-                                     parse_field<Coord>(line, "cell width")));
+    cells.push_back(builder.add_cell(
+        rows[row_index],
+        parse_positive_coord(line, "cell width", reader.line_number())));
   }
 
-  std::istringstream nets_header(next_line(in));
-  expect_keyword(nets_header, "NETS");
-  const auto num_nets = parse_field<std::size_t>(nets_header, "net count");
+  std::istringstream nets_header(reader.next("NETS header"));
+  expect_keyword(nets_header, "NETS", reader.line_number());
+  const auto num_nets =
+      parse_count(nets_header, "net count", reader.line_number());
   for (std::size_t n = 0; n < num_nets; ++n) {
-    std::istringstream net_line(next_line(in));
-    expect_keyword(net_line, "NET");
-    const auto num_pins = parse_field<std::size_t>(net_line, "pin count");
+    std::istringstream net_line(reader.next("NET record"));
+    expect_keyword(net_line, "NET", reader.line_number());
+    const auto num_pins =
+        parse_count(net_line, "pin count", reader.line_number());
     const NetId net = builder.add_net();
     for (std::size_t p = 0; p < num_pins; ++p) {
-      std::istringstream line(next_line(in));
-      expect_keyword(line, "PIN");
-      const auto cell_index = parse_field<std::size_t>(line, "pin cell");
+      std::istringstream line(reader.next("PIN record"));
+      expect_keyword(line, "PIN", reader.line_number());
+      const auto cell_index =
+          parse_count(line, "pin cell index", reader.line_number());
       if (cell_index >= cells.size()) {
-        throw CircuitIoError("pin cell index out of range");
+        fail_at(reader.line_number(),
+                "pin cell index " + std::to_string(cell_index) +
+                    " out of range (circuit has " +
+                    std::to_string(cells.size()) + " cells)");
       }
-      const auto offset = parse_field<Coord>(line, "pin offset");
+      const auto offset =
+          parse_nonnegative_coord(line, "pin offset", reader.line_number());
       std::string side;
-      if (!(line >> side)) throw CircuitIoError("expected pin side");
-      builder.add_pin(cells[cell_index], net, offset, parse_side(side));
+      if (!(line >> side)) {
+        fail_at(reader.line_number(), "expected pin side");
+      }
+      builder.add_pin(cells[cell_index], net, offset,
+                      parse_side(side, reader.line_number()));
     }
   }
 
@@ -167,28 +260,36 @@ Circuit read_circuit_impl(std::istream& in) {
 }  // namespace
 
 Circuit read_circuit(std::istream& in) {
+  LineReader reader(in);
   {
-    std::istringstream header(next_line(in));
-    expect_keyword(header, kMagic);
-    const int version = parse_field<int>(header, "format version");
+    std::istringstream header(reader.next("file header"));
+    expect_keyword(header, kMagic, reader.line_number());
+    const auto version = parse_integer(header, "format version",
+                                       reader.line_number());
     if (version != kVersion) {
-      throw CircuitIoError("unsupported circuit format version " +
-                           std::to_string(version));
+      fail_at(reader.line_number(), "unsupported circuit format version " +
+                                        std::to_string(version));
     }
   }
   try {
-    return read_circuit_impl(in);
+    return read_circuit_impl(reader);
   } catch (const CheckError& e) {
     // Builder-level validation failures (bad offsets, dangling references)
     // surface as I/O errors: the input file is at fault, not the program.
-    throw CircuitIoError(std::string("invalid circuit: ") + e.what());
+    fail_at(reader.line_number(),
+            std::string("invalid circuit: ") + e.what());
   }
 }
 
 Circuit read_circuit_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw CircuitIoError("cannot open '" + path + "'");
-  return read_circuit(in);
+  try {
+    return read_circuit(in);
+  } catch (const CircuitIoError& e) {
+    // Prefix the path so multi-file drivers report which input is bad.
+    throw CircuitIoError(path + ": " + e.what());
+  }
 }
 
 }  // namespace ptwgr

@@ -39,11 +39,25 @@ inline const char* to_string(CollectiveKind kind) {
 
 struct CommStats {
   // Point-to-point traffic, counted on both sides so the send/recv totals
-  // can be cross-checked (every payload byte sent must be received).
+  // can be cross-checked (every payload byte sent must be received).  Under
+  // fault injection each transmission *attempt* counts as sent, so the
+  // cross-check holds only up to the injected drops/corruptions below.
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_received = 0;
+
+  // Fault-tolerance accounting (all zero on fault-free runs).
+  std::uint64_t p2p_retries = 0;         // retransmissions performed
+  std::uint64_t p2p_drops = 0;           // injected drops encountered
+  std::uint64_t p2p_corruptions = 0;     // injected corruptions at send
+  std::uint64_t checksum_failures = 0;   // corrupt payloads caught on recv
+  std::uint64_t injected_delays = 0;     // latency spikes applied
+  std::uint64_t recv_timeouts = 0;       // recv deadlines that expired
+  // Virtual seconds spent in ack timeouts + exponential backoff (also part
+  // of p2p_wait_seconds) and in injected latency spikes.
+  double retry_backoff_seconds = 0.0;
+  double injected_delay_seconds = 0.0;
 
   // Collectives, indexed by CollectiveKind.  Bytes are the payload this
   // rank contributed to the operation.
@@ -77,6 +91,14 @@ struct CommStats {
     bytes_sent += other.bytes_sent;
     messages_received += other.messages_received;
     bytes_received += other.bytes_received;
+    p2p_retries += other.p2p_retries;
+    p2p_drops += other.p2p_drops;
+    p2p_corruptions += other.p2p_corruptions;
+    checksum_failures += other.checksum_failures;
+    injected_delays += other.injected_delays;
+    recv_timeouts += other.recv_timeouts;
+    retry_backoff_seconds += other.retry_backoff_seconds;
+    injected_delay_seconds += other.injected_delay_seconds;
     for (std::size_t k = 0; k < kNumCollectiveKinds; ++k) {
       collective_calls[k] += other.collective_calls[k];
       collective_bytes[k] += other.collective_bytes[k];

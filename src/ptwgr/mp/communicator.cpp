@@ -1,8 +1,44 @@
 #include "ptwgr/mp/communicator.h"
 
 #include <algorithm>
+#include <string>
 
 namespace ptwgr::mp {
+namespace {
+
+/// Restores a rank's watchdog activity slot to Running on scope exit, so
+/// blocked states never leak past the blocking call (including throws).
+class ScopedActivity {
+ public:
+  ScopedActivity(World& world, int rank, RankActivityState state,
+                 int wait_source = 0, int wait_tag = 0)
+      : world_(&world), rank_(rank) {
+    world_->set_activity(rank_, state, wait_source, wait_tag);
+  }
+
+  ~ScopedActivity() { world_->set_activity(rank_, RankActivityState::Running); }
+
+  ScopedActivity(const ScopedActivity&) = delete;
+  ScopedActivity& operator=(const ScopedActivity&) = delete;
+
+ private:
+  World* world_;
+  int rank_;
+};
+
+/// Deterministically damages a payload copy so the receiver's checksum
+/// verification fails (empty payloads get a poisoned byte appended).
+std::vector<std::byte> corrupted_copy(const std::vector<std::byte>& payload) {
+  std::vector<std::byte> bad = payload;
+  if (bad.empty()) {
+    bad.push_back(std::byte{0x5a});
+  } else {
+    bad[bad.size() / 2] ^= std::byte{0xff};
+  }
+  return bad;
+}
+
+}  // namespace
 
 void Communicator::accrue_compute() {
   const double now = thread_cpu_seconds();
@@ -15,38 +51,152 @@ void Communicator::accrue_compute() {
   }
 }
 
+void Communicator::fault_op_entry() {
+  FaultPlan* plan = world_->ft.fault_plan;
+  if (plan == nullptr) return;
+  if (plan->kill_due_at_op(rank_)) {
+    throw RankFailure(rank_, "rank " + std::to_string(rank_) +
+                                 " killed by fault plan at operation " +
+                                 std::to_string(plan->ops_of(rank_)));
+  }
+}
+
+void Communicator::notify_phase(const char* phase) {
+  FaultPlan* plan = world_->ft.fault_plan;
+  if (plan == nullptr) return;
+  if (plan->kill_due_at_phase(rank_, phase)) {
+    throw RankFailure(rank_, "rank " + std::to_string(rank_) +
+                                 " killed by fault plan at phase '" + phase +
+                                 "'");
+  }
+}
+
+void Communicator::check_world_health() {
+  const int failed = world_->failed_rank.load(std::memory_order_acquire);
+  if (failed >= 0) {
+    throw RankFailure(failed, "rank " + std::to_string(failed) +
+                                  " failed; collective cannot complete");
+  }
+}
+
 void Communicator::send_bytes(int dest, int tag,
                               std::vector<std::byte> payload) {
   PTWGR_EXPECTS(dest >= 0 && dest < size());
   PTWGR_EXPECTS(tag >= 0);
+  fault_op_entry();
   accrue_compute();
-  // The sender occupies the channel for the full transfer (blocking-send
-  // semantics); the payload becomes visible to the receiver at that moment.
-  const double transfer = world_->cost.message_cost(payload.size());
-  vtime_ += transfer;
-  stats_.p2p_wait_seconds += transfer;
-  ++stats_.messages_sent;
-  stats_.bytes_sent += payload.size();
-  Envelope envelope;
-  envelope.source = rank_;
-  envelope.tag = tag;
-  envelope.arrival_vtime = vtime_;
-  envelope.payload = std::move(payload);
-  world_->mailboxes[static_cast<std::size_t>(dest)]->push(std::move(envelope));
+  FaultPlan* plan = world_->ft.fault_plan;
+  const RetryPolicy& retry = world_->ft.retry;
+  Mailbox& dest_box = *world_->mailboxes[static_cast<std::size_t>(dest)];
+  const std::uint64_t checksum =
+      plan != nullptr ? payload_checksum(payload) : 0;
+
+  // Acknowledged-with-retry transmission: every attempt occupies the channel
+  // for the full transfer (blocking-send semantics).  An attempt the fault
+  // plan swallows (drop) or damages (corrupt, caught by the receiver's
+  // checksum) is detected after the modeled ack round trip and retransmitted
+  // under exponential backoff; the charges land in the p2p-wait bucket.
+  // Retrying inside send_bytes preserves MPI's per-(source, tag)
+  // non-overtaking order: a later message cannot leave before this one is
+  // through.
+  for (int attempt = 0;; ++attempt) {
+    SendFault fault;
+    if (plan != nullptr) fault = plan->on_send(rank_);
+    if (fault.delay_s > 0.0) {
+      vtime_ += fault.delay_s;
+      stats_.p2p_wait_seconds += fault.delay_s;
+      stats_.injected_delay_seconds += fault.delay_s;
+      ++stats_.injected_delays;
+    }
+    const double transfer = world_->cost.message_cost(payload.size());
+    vtime_ += transfer;
+    stats_.p2p_wait_seconds += transfer;
+    ++stats_.messages_sent;
+    stats_.bytes_sent += payload.size();
+
+    if (fault.corrupt) {
+      // The damaged copy is delivered so the receiver actually exercises its
+      // checksum verification; the intact payload follows as the retry.
+      ++stats_.p2p_corruptions;
+      Envelope envelope;
+      envelope.source = rank_;
+      envelope.tag = tag;
+      envelope.arrival_vtime = vtime_;
+      envelope.payload = corrupted_copy(payload);
+      envelope.checksum = checksum;
+      envelope.checksummed = true;
+      dest_box.push(std::move(envelope));
+    } else if (fault.drop) {
+      ++stats_.p2p_drops;
+    } else {
+      Envelope envelope;
+      envelope.source = rank_;
+      envelope.tag = tag;
+      envelope.arrival_vtime = vtime_;
+      envelope.payload = std::move(payload);
+      envelope.checksum = checksum;
+      envelope.checksummed = plan != nullptr;
+      dest_box.push(std::move(envelope));
+      world_->progress.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    if (attempt >= retry.max_retries) {
+      throw RankFailure(
+          dest, "rank " + std::to_string(rank_) + ": no acknowledgement from rank " +
+                    std::to_string(dest) + " after " +
+                    std::to_string(retry.max_retries) +
+                    " retries; peer presumed dead");
+    }
+    const double backoff = retry.backoff(attempt);
+    vtime_ += backoff;
+    stats_.p2p_wait_seconds += backoff;
+    stats_.retry_backoff_seconds += backoff;
+    ++stats_.p2p_retries;
+  }
 }
 
 Received Communicator::recv(int source, int tag) {
   PTWGR_EXPECTS(source == kAnySource || (source >= 0 && source < size()));
-  Envelope envelope =
-      world_->mailboxes[static_cast<std::size_t>(rank_)]->pop(source, tag);
-  accrue_compute();
-  if (envelope.arrival_vtime > vtime_) {
-    stats_.p2p_wait_seconds += envelope.arrival_vtime - vtime_;
-    vtime_ = envelope.arrival_vtime;
+  fault_op_entry();
+  Mailbox& box = *world_->mailboxes[static_cast<std::size_t>(rank_)];
+  const double timeout = world_->ft.recv_timeout_seconds;
+  const ScopedActivity blocked(*world_, rank_, RankActivityState::RecvBlocked,
+                               source, tag);
+  for (;;) {
+    Mailbox::PopResult result = box.pop_bounded(source, tag, timeout);
+    if (result.status == Mailbox::PopStatus::SourceDead) {
+      accrue_compute();
+      throw RankFailure(source,
+                        "rank " + std::to_string(rank_) + ": recv(source=" +
+                            std::to_string(source) + ", tag=" +
+                            std::to_string(tag) + ") from failed rank");
+    }
+    if (result.status == Mailbox::PopStatus::TimedOut) {
+      accrue_compute();
+      // The wait itself is modeled time spent listening for the message.
+      vtime_ += timeout;
+      stats_.p2p_wait_seconds += timeout;
+      ++stats_.recv_timeouts;
+      throw RecvTimeout(rank_, source, tag, timeout);
+    }
+    Envelope& envelope = result.envelope;
+    if (envelope.checksummed &&
+        payload_checksum(envelope.payload) != envelope.checksum) {
+      // Corrupted in transit; drop it and wait for the retransmission.
+      ++stats_.checksum_failures;
+      continue;
+    }
+    accrue_compute();
+    if (envelope.arrival_vtime > vtime_) {
+      stats_.p2p_wait_seconds += envelope.arrival_vtime - vtime_;
+      vtime_ = envelope.arrival_vtime;
+    }
+    ++stats_.messages_received;
+    stats_.bytes_received += envelope.payload.size();
+    world_->progress.fetch_add(1, std::memory_order_relaxed);
+    return Received{std::move(envelope)};
   }
-  ++stats_.messages_received;
-  stats_.bytes_received += envelope.payload.size();
-  return Received{std::move(envelope)};
 }
 
 bool Communicator::probe(int source, int tag) {
@@ -76,6 +226,7 @@ std::vector<std::byte> Communicator::run_collective(
     CollectiveKind kind, std::vector<std::byte> contribution,
     const std::function<void(std::vector<std::vector<std::byte>>&,
                              std::vector<std::vector<std::byte>>&)>& combine) {
+  fault_op_entry();
   accrue_compute();
   const auto kind_index = static_cast<std::size_t>(kind);
   ++stats_.collective_calls[kind_index];
@@ -88,6 +239,9 @@ std::vector<std::byte> Communicator::run_collective(
     return std::move(w.rv_out[0]);
   }
 
+  check_world_health();
+  const ScopedActivity blocked(w, rank_,
+                               RankActivityState::CollectiveBlocked);
   std::unique_lock<std::mutex> lock(w.rv_mutex);
   if (w.rv_aborted) throw WorldAborted{};
   const std::size_t me = static_cast<std::size_t>(rank_);
@@ -105,12 +259,20 @@ std::vector<std::byte> Communicator::run_collective(
     w.rv_vout = entry_max + w.cost.collective_cost(w.size, max_bytes);
     w.rv_arrived = 0;
     ++w.rv_generation;
+    w.progress.fetch_add(1, std::memory_order_relaxed);
     w.rv_cv.notify_all();
   } else {
     w.rv_cv.wait(lock, [&] {
-      return w.rv_generation != my_generation || w.rv_aborted;
+      return w.rv_generation != my_generation || w.rv_aborted ||
+             w.failed_rank.load(std::memory_order_acquire) >= 0;
     });
-    if (w.rv_generation == my_generation && w.rv_aborted) throw WorldAborted{};
+    if (w.rv_generation == my_generation) {
+      if (w.rv_aborted) throw WorldAborted{};
+      // A participant died before completing this collective; it can never
+      // finish.  (If the generation advanced, the collective completed
+      // first and the result is valid.)
+      check_world_health();
+    }
   }
 
   // The clock jump — catching up to the slowest participant plus the modeled

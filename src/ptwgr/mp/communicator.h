@@ -117,7 +117,10 @@ class Communicator {
   }
 
   /// Blocks until a matching message arrives; source may be kAnySource, tag
-  /// may be kAnyTag.
+  /// may be kAnyTag.  Under fault tolerance this may instead raise
+  /// RecvTimeout (configured recv deadline expired) or RankFailure (waiting
+  /// on a rank known to be dead); corrupted envelopes — checksum mismatch —
+  /// are counted, discarded, and the wait continues for the retransmission.
   Received recv(int source, int tag);
 
   template <typename T>
@@ -325,9 +328,21 @@ class Communicator {
   /// clocks into the world.
   void finalize(double cpu_seconds);
 
+  /// Phase-span hook (RankPhase transitions): triggers at-phase kills from
+  /// the active fault plan.  No-op without a plan.
+  void notify_phase(const char* phase);
+
  private:
   /// Folds pending thread-CPU time into the virtual clock.
   void accrue_compute();
+
+  /// Per-operation fault hook: counts the operation and raises RankFailure
+  /// for this rank when an at-op kill fires.  No-op without a plan.
+  void fault_op_entry();
+
+  /// Raises RankFailure when fail-stop isolation has marked a rank dead
+  /// (collectives cannot complete without every rank).
+  void check_world_health();
 
   /// Generation-counted rendezvous: every rank deposits `contribution`; the
   /// last arriver runs `combine` (filling one output buffer per rank) and

@@ -1,0 +1,200 @@
+#include "ptwgr/mp/fault.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr::mp {
+namespace {
+
+double parse_probability(const std::string& text, const std::string& entry) {
+  char* end = nullptr;
+  const double p = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !(p >= 0.0) || p > 1.0) {
+    throw FaultSpecError("fault plan: probability '" + text + "' in '" +
+                         entry + "' must be in [0, 1]");
+  }
+  return p;
+}
+
+double parse_seconds(const std::string& text, const std::string& entry) {
+  char* end = nullptr;
+  const double s = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !(s >= 0.0)) {
+    throw FaultSpecError("fault plan: seconds '" + text + "' in '" + entry +
+                         "' must be >= 0");
+  }
+  return s;
+}
+
+std::uint64_t parse_count(const std::string& text, const std::string& entry) {
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || text[0] == '-') {
+    throw FaultSpecError("fault plan: number '" + text + "' in '" + entry +
+                         "' must be a non-negative integer");
+  }
+  return n;
+}
+
+KillSpec parse_kill(const std::string& value, const std::string& entry) {
+  // rankR@opN | rankR@phase:NAME
+  constexpr const char* kRank = "rank";
+  const auto at = value.find('@');
+  if (value.compare(0, 4, kRank) != 0 || at == std::string::npos) {
+    throw FaultSpecError(
+        "fault plan: kill spec '" + entry +
+        "' must be kill=rankR@opN or kill=rankR@phase:NAME");
+  }
+  KillSpec kill;
+  const std::string rank_text = value.substr(4, at - 4);
+  kill.rank = static_cast<int>(parse_count(rank_text, entry));
+  const std::string trigger = value.substr(at + 1);
+  if (trigger.compare(0, 2, "op") == 0) {
+    kill.at_op = parse_count(trigger.substr(2), entry);
+    if (kill.at_op == 0) {
+      throw FaultSpecError("fault plan: op index in '" + entry +
+                           "' is 1-based and must be >= 1");
+    }
+  } else if (trigger.compare(0, 6, "phase:") == 0) {
+    kill.at_phase = trigger.substr(6);
+    if (kill.at_phase.empty()) {
+      throw FaultSpecError("fault plan: empty phase name in '" + entry + "'");
+    }
+  } else {
+    throw FaultSpecError("fault plan: kill trigger in '" + entry +
+                         "' must be @opN or @phase:NAME");
+  }
+  return kill;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::stringstream entries(spec);
+  std::string entry;
+  while (std::getline(entries, entry, ';')) {
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos) {
+      throw FaultSpecError("fault plan: entry '" + entry +
+                           "' is not KEY=VALUE");
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed_ = parse_count(value, entry);
+    } else if (key == "drop") {
+      plan.drop_p_ = parse_probability(value, entry);
+    } else if (key == "corrupt") {
+      plan.corrupt_p_ = parse_probability(value, entry);
+    } else if (key == "delay") {
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) {
+        throw FaultSpecError("fault plan: '" + entry +
+                             "' must be delay=P:SECONDS");
+      }
+      plan.delay_p_ = parse_probability(value.substr(0, colon), entry);
+      plan.delay_s_ = parse_seconds(value.substr(colon + 1), entry);
+    } else if (key == "kill") {
+      plan.add_kill(parse_kill(value, entry));
+    } else {
+      throw FaultSpecError("fault plan: unknown key '" + key + "' in '" +
+                           entry + "'");
+    }
+  }
+  plan.spec_ = spec;
+  return plan;
+}
+
+void FaultPlan::add_kill(KillSpec kill) {
+  PTWGR_EXPECTS(kill.rank >= 0);
+  // Exactly one trigger: at_op or at_phase.
+  PTWGR_EXPECTS((kill.at_op > 0) != (!kill.at_phase.empty()));
+  kills_.push_back(std::move(kill));
+  kill_fired_.push_back(false);
+}
+
+void FaultPlan::begin_world(int num_ranks) {
+  PTWGR_EXPECTS(num_ranks >= 1);
+  streams_.clear();
+  streams_.resize(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    // Distinct, scheduling-independent stream per rank.
+    streams_[static_cast<std::size_t>(r)].rng.reseed(
+        seed_ + std::uint64_t{0x9e3779b97f4a7c15} *
+                    static_cast<std::uint64_t>(r + 1));
+  }
+}
+
+void FaultPlan::reset() {
+  streams_.clear();
+  kill_fired_.assign(kills_.size(), false);
+}
+
+SendFault FaultPlan::on_send(int rank) {
+  SendFault fault;
+  auto& stream = streams_[static_cast<std::size_t>(rank)];
+  // Always draw all three decisions so the stream position depends only on
+  // the attempt count, not on which probabilities are non-zero.
+  const double u_drop = stream.rng.next_double();
+  const double u_corrupt = stream.rng.next_double();
+  const double u_delay = stream.rng.next_double();
+  fault.drop = u_drop < drop_p_;
+  fault.corrupt = !fault.drop && u_corrupt < corrupt_p_;
+  if (u_delay < delay_p_) fault.delay_s = delay_s_;
+  return fault;
+}
+
+bool FaultPlan::kill_due_at_op(int rank) {
+  auto& stream = streams_[static_cast<std::size_t>(rank)];
+  ++stream.ops;
+  for (std::size_t k = 0; k < kills_.size(); ++k) {
+    if (kill_fired_[k]) continue;
+    const KillSpec& kill = kills_[k];
+    if (kill.rank == rank && kill.at_op != 0 && stream.ops >= kill.at_op) {
+      kill_fired_[k] = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::kill_due_at_phase(int rank, const char* phase) {
+  for (std::size_t k = 0; k < kills_.size(); ++k) {
+    if (kill_fired_[k]) continue;
+    const KillSpec& kill = kills_[k];
+    if (kill.rank == rank && !kill.at_phase.empty() &&
+        kill.at_phase == phase) {
+      kill_fired_[k] = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FaultPlan::ops_of(int rank) const {
+  return streams_[static_cast<std::size_t>(rank)].ops;
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream os;
+  os << "fault plan(seed=" << seed_;
+  if (drop_p_ > 0.0) os << ", drop=" << drop_p_;
+  if (corrupt_p_ > 0.0) os << ", corrupt=" << corrupt_p_;
+  if (delay_p_ > 0.0) os << ", delay=" << delay_p_ << ":" << delay_s_;
+  for (const KillSpec& kill : kills_) {
+    os << ", kill=rank" << kill.rank;
+    if (kill.at_op != 0) {
+      os << "@op" << kill.at_op;
+    } else {
+      os << "@phase:" << kill.at_phase;
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace ptwgr::mp

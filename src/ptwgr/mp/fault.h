@@ -1,0 +1,223 @@
+// Fault injection and fault tolerance for the message-passing runtime.
+//
+// A FaultPlan is a seeded, fully deterministic description of the failures a
+// run must survive: dropped point-to-point messages, latency spikes,
+// corrupted payloads (caught by the per-Envelope checksum verified on recv),
+// and rank kills triggered at a rank's Nth communication operation or at the
+// entry of a named phase span.  Decisions are drawn from per-rank RNG
+// streams, so they depend only on (seed, rank, operation index) — never on
+// thread scheduling — which is what makes fault runs reproducible and lets
+// the recovery replay in route_parallel produce byte-identical metrics.
+//
+// The same header defines the typed failure vocabulary of the hardened
+// runtime (RankFailure, RecvTimeout, DeadlockDetected), the send retry
+// policy, and the FaultToleranceOptions bundle accepted by mp::run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ptwgr/support/rng.h"
+
+namespace ptwgr::mp {
+
+/// A rank is gone: it was killed by the fault plan, exhausted its send
+/// retries against an unresponsive peer, or a peer observed its death.
+/// `rank()` names the rank that failed (not necessarily the thrower).
+class RankFailure : public std::runtime_error {
+ public:
+  RankFailure(int rank, const std::string& what)
+      : std::runtime_error(what), rank_(rank) {}
+
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// A blocking recv exceeded the configured timeout with no matching message.
+class RecvTimeout : public std::runtime_error {
+ public:
+  RecvTimeout(int rank, int source, int tag, double seconds)
+      : std::runtime_error("rank " + std::to_string(rank) +
+                           ": recv(source=" + std::to_string(source) +
+                           ", tag=" + std::to_string(tag) +
+                           ") timed out after " + std::to_string(seconds) +
+                           " s"),
+        rank_(rank),
+        source_(source),
+        tag_(tag) {}
+
+  int rank() const { return rank_; }
+  int source() const { return source_; }
+  int tag() const { return tag_; }
+
+ private:
+  int rank_;
+  int source_;
+  int tag_;
+};
+
+/// The watchdog found every live rank blocked with no possible progress.
+/// what() carries the who-waits-on-whom report.
+class DeadlockDetected : public std::runtime_error {
+ public:
+  explicit DeadlockDetected(const std::string& report)
+      : std::runtime_error(report) {}
+};
+
+/// Thrown by FaultPlan::parse on a malformed plan specification.
+class FaultSpecError : public std::runtime_error {
+ public:
+  explicit FaultSpecError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Exponential-backoff retry policy for acknowledged point-to-point sends.
+/// A transmission the fault plan swallows is detected by the sender after
+/// `ack_timeout_s` virtual seconds (the modeled acknowledgement round trip)
+/// and retransmitted after an exponentially growing backoff; both charges
+/// land in the sender's p2p-wait bucket and in retry_backoff_seconds.
+struct RetryPolicy {
+  /// Retransmissions per message before the peer is presumed dead.
+  int max_retries = 3;
+  /// Modeled time to conclude an attempt was lost (virtual seconds).
+  double ack_timeout_s = 1e-4;
+  /// First backoff delay; doubles (×multiplier) per further attempt.
+  double backoff_base_s = 1e-4;
+  double backoff_multiplier = 2.0;
+
+  /// Virtual seconds charged before retransmission number `retry` (0-based).
+  double backoff(int retry) const {
+    return ack_timeout_s +
+           backoff_base_s * std::pow(backoff_multiplier, retry);
+  }
+};
+
+/// One scheduled rank kill.  Exactly one trigger is set: `at_op` (the rank's
+/// Nth communication operation, 1-based) or `at_phase` (entry into a named
+/// phase span).  A kill fires at most once per plan lifetime, so the
+/// recovery replay of a killed run completes.
+struct KillSpec {
+  int rank = -1;
+  std::uint64_t at_op = 0;
+  std::string at_phase;
+};
+
+/// Per-send fault decision (drawn deterministically per attempt).
+struct SendFault {
+  bool drop = false;
+  bool corrupt = false;
+  double delay_s = 0.0;
+};
+
+/// Deterministic, seeded fault schedule.  Thread-compatible by design: after
+/// begin_world(), each rank thread touches only its own stream slot; kill
+/// bookkeeping is published by the world teardown (thread join) before the
+/// next begin_world() reads it.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 1) : seed_(seed) {}
+
+  /// Parses a plan from the CLI grammar (entries separated by ';'):
+  ///   seed=N                 RNG seed (default 1)
+  ///   drop=P                 per-attempt p2p drop probability
+  ///   corrupt=P              per-attempt payload corruption probability
+  ///   delay=P:SECONDS        latency spike: probability and virtual seconds
+  ///   kill=rankR@opN         kill rank R at its Nth comm operation
+  ///   kill=rankR@phase:NAME  kill rank R on entering phase NAME
+  /// Throws FaultSpecError on malformed input.
+  static FaultPlan parse(const std::string& spec);
+
+  // Programmatic construction (tests).
+  void set_drop_probability(double p) { drop_p_ = p; }
+  void set_corrupt_probability(double p) { corrupt_p_ = p; }
+  void set_delay(double probability, double seconds) {
+    delay_p_ = probability;
+    delay_s_ = seconds;
+  }
+  void add_kill(KillSpec kill);
+
+  /// Re-seeds the per-rank decision streams and operation counters for a new
+  /// world of `num_ranks` ranks.  Kill already-fired flags persist, which is
+  /// what allows a recovery re-execution to run to completion.  Called by
+  /// mp::run; must not race with an active world.
+  void begin_world(int num_ranks);
+
+  /// Full reset including fired kills (fresh experiment reusing the plan).
+  void reset();
+
+  /// Draws the fault decision for one transmission attempt by `rank`.
+  SendFault on_send(int rank);
+
+  /// Counts one communication operation of `rank` and reports whether an
+  /// at-op kill fires here (the caller then throws RankFailure).
+  bool kill_due_at_op(int rank);
+
+  /// Reports whether an at-phase kill fires as `rank` enters `phase`.
+  bool kill_due_at_phase(int rank, const char* phase);
+
+  /// The rank's operation count so far this world (diagnostics).
+  std::uint64_t ops_of(int rank) const;
+
+  /// Original spec text when parsed, else a synthesized summary.
+  const std::string& spec() const { return spec_; }
+
+  /// Human-readable one-line description.
+  std::string summary() const;
+
+  bool has_faults() const {
+    return drop_p_ > 0.0 || corrupt_p_ > 0.0 || delay_p_ > 0.0 ||
+           !kills_.empty();
+  }
+
+ private:
+  struct RankStream {
+    Rng rng{0};
+    std::uint64_t ops = 0;
+  };
+
+  std::uint64_t seed_;
+  double drop_p_ = 0.0;
+  double corrupt_p_ = 0.0;
+  double delay_p_ = 0.0;
+  double delay_s_ = 0.0;
+  std::vector<KillSpec> kills_;
+  std::vector<bool> kill_fired_;  // parallel to kills_
+  std::vector<RankStream> streams_;
+  std::string spec_;
+};
+
+/// Fault-tolerance configuration of one mp::run launch.  The default is the
+/// pre-existing behaviour: no injection, no checksums, no timeouts, no
+/// watchdog, and any rank failure aborts the whole world.
+struct FaultToleranceOptions {
+  /// Fault schedule to inject; null routes every fast path around the fault
+  /// machinery (no checksum computation, no stream draws).  Not owned; must
+  /// outlive the run.
+  FaultPlan* fault_plan = nullptr;
+
+  /// Retry policy for p2p transmissions the plan interferes with.
+  RetryPolicy retry;
+
+  /// recv() timeout in seconds (< 0 disables).  The same value bounds the
+  /// real wait and is charged to the rank's virtual clock on expiry.
+  double recv_timeout_seconds = -1.0;
+
+  /// Fail-stop isolation: a RankFailure thrown inside a rank body marks only
+  /// that rank dead (peers then observe RankFailure when they depend on it)
+  /// instead of aborting the world.  Non-RankFailure exceptions always abort
+  /// the world.  Inert unless fault machinery actually raises RankFailure.
+  bool isolate_rank_failures = true;
+
+  /// All-ranks-blocked watchdog: samples rank activity and aborts the run
+  /// with DeadlockDetected (reporting who waits on whom) when no progress is
+  /// possible.
+  bool watchdog = false;
+  double watchdog_interval_seconds = 0.25;
+};
+
+}  // namespace ptwgr::mp

@@ -1,6 +1,7 @@
 #include "ptwgr/mp/mailbox.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace ptwgr::mp {
 namespace {
@@ -30,12 +31,52 @@ std::optional<Envelope> Mailbox::try_take(int source, int tag) {
   return out;
 }
 
+bool Mailbox::is_dead(int rank) const {
+  return std::find(dead_ranks_.begin(), dead_ranks_.end(), rank) !=
+         dead_ranks_.end();
+}
+
 Envelope Mailbox::pop(int source, int tag) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (aborted_) throw WorldAborted{};
     if (auto taken = try_take(source, tag)) return std::move(*taken);
     cv_.wait(lock);
+  }
+}
+
+Mailbox::PopResult Mailbox::pop_bounded(int source, int tag,
+                                        double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool bounded = timeout_seconds >= 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(bounded ? timeout_seconds : 0.0));
+  for (;;) {
+    if (aborted_) throw WorldAborted{};
+    if (auto taken = try_take(source, tag)) {
+      return PopResult{PopStatus::Ok, std::move(*taken)};
+    }
+    // Queued messages win over death notices (sent-before-failure delivery);
+    // only an empty match set from a dead peer is hopeless.
+    if (source != kAnySource && is_dead(source)) {
+      return PopResult{PopStatus::SourceDead, {}};
+    }
+    if (bounded) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        if (aborted_) throw WorldAborted{};
+        if (auto taken = try_take(source, tag)) {
+          return PopResult{PopStatus::Ok, std::move(*taken)};
+        }
+        if (source != kAnySource && is_dead(source)) {
+          return PopResult{PopStatus::SourceDead, {}};
+        }
+        return PopResult{PopStatus::TimedOut, {}};
+      }
+    } else {
+      cv_.wait(lock);
+    }
   }
 }
 
@@ -55,6 +96,14 @@ void Mailbox::abort() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::mark_dead(int rank) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!is_dead(rank)) dead_ranks_.push_back(rank);
   }
   cv_.notify_all();
 }

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <vector>
 
 #include "ptwgr/mp/message.h"
 
@@ -23,6 +24,18 @@ class WorldAborted : public std::runtime_error {
 /// mirroring MPI's non-overtaking guarantee per (source, tag) pair.
 class Mailbox {
  public:
+  /// Why a pop returned without a message.
+  enum class PopStatus {
+    Ok,          ///< envelope holds the matched message
+    TimedOut,    ///< deadline expired with no match queued
+    SourceDead,  ///< waiting on a specific rank that has failed
+  };
+
+  struct PopResult {
+    PopStatus status = PopStatus::Ok;
+    Envelope envelope;
+  };
+
   /// Enqueues a message (called by sender threads).
   void push(Envelope envelope);
 
@@ -30,6 +43,13 @@ class Mailbox {
   /// it.  source/tag may be kAnySource/kAnyTag.  Throws WorldAborted if
   /// abort() is called while waiting.
   Envelope pop(int source, int tag);
+
+  /// As pop(), but bounded: gives up after `timeout_seconds` of real time
+  /// (negative disables the deadline), and reports SourceDead when waiting
+  /// on a specific source that was marked dead and has nothing queued.
+  /// Already-queued messages from a dead rank are still delivered — they
+  /// were sent before it failed.
+  PopResult pop_bounded(int source, int tag, double timeout_seconds);
 
   /// Non-blocking probe: returns true if a matching message is queued.
   bool probe(int source, int tag) const;
@@ -40,12 +60,18 @@ class Mailbox {
   /// Wakes all blocked poppers with WorldAborted.
   void abort();
 
+  /// Marks a source rank as failed and wakes poppers so recvs waiting on it
+  /// can report SourceDead.
+  void mark_dead(int rank);
+
  private:
   std::optional<Envelope> try_take(int source, int tag);
+  bool is_dead(int rank) const;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Envelope> queue_;
+  std::vector<int> dead_ranks_;
   bool aborted_ = false;
 };
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace ptwgr::mp {
@@ -11,14 +12,30 @@ inline constexpr int kAnySource = -1;
 /// Matches any non-negative tag in recv/probe.
 inline constexpr int kAnyTag = -1;
 
+/// FNV-1a 64-bit hash of a payload; the per-Envelope integrity checksum
+/// verified by recv when fault injection is active.
+inline std::uint64_t payload_checksum(const std::vector<std::byte>& payload) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::byte b : payload) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
 /// One in-flight message: origin, user tag, payload, and the virtual time at
 /// which the payload becomes available to the receiver (sender's clock at
-/// send plus the modeled transfer cost).
+/// send plus the modeled transfer cost).  Under fault injection the sender
+/// additionally stamps the payload's checksum; a receiver that detects a
+/// mismatch (the fault plan corrupted the payload in transit) discards the
+/// envelope and waits for the retransmission.
 struct Envelope {
   int source = 0;
   int tag = 0;
   std::vector<std::byte> payload;
   double arrival_vtime = 0.0;
+  std::uint64_t checksum = 0;
+  bool checksummed = false;
 };
 
 }  // namespace ptwgr::mp

@@ -1,21 +1,113 @@
 #include "ptwgr/mp/runtime.h"
 
+#include <chrono>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
+#include "ptwgr/mp/world.h"
 #include "ptwgr/support/log.h"
 #include "ptwgr/support/timer.h"
 
 namespace ptwgr::mp {
+namespace {
+
+/// One watchdog sample of the world's blocking picture.
+struct ActivitySnapshot {
+  std::vector<RankActivity> ranks;
+  std::uint64_t progress = 0;
+};
+
+ActivitySnapshot snapshot_activity(World& world) {
+  ActivitySnapshot snap;
+  {
+    const std::lock_guard<std::mutex> lock(world.activity_mutex);
+    snap.ranks = world.activity;
+  }
+  snap.progress = world.progress.load(std::memory_order_relaxed);
+  return snap;
+}
+
+/// True when no rank can make progress on its own: every rank is blocked (or
+/// finished), at least one is blocked, and no blocked recv has a matching
+/// message already queued.
+bool looks_deadlocked(World& world, const ActivitySnapshot& snap) {
+  bool any_blocked = false;
+  for (int r = 0; r < world.size; ++r) {
+    const RankActivity& a = snap.ranks[static_cast<std::size_t>(r)];
+    switch (a.state) {
+      case RankActivityState::Running:
+        return false;  // someone is computing; the world is alive
+      case RankActivityState::Finished:
+        break;
+      case RankActivityState::RecvBlocked:
+        if (world.mailboxes[static_cast<std::size_t>(r)]->probe(
+                a.wait_source, a.wait_tag)) {
+          return false;  // about to wake up
+        }
+        any_blocked = true;
+        break;
+      case RankActivityState::CollectiveBlocked:
+        any_blocked = true;
+        break;
+    }
+  }
+  return any_blocked;
+}
+
+std::string render_deadlock_report(const ActivitySnapshot& snap) {
+  std::ostringstream os;
+  os << "deadlock detected: all ranks blocked with no progress possible —";
+  for (std::size_t r = 0; r < snap.ranks.size(); ++r) {
+    const RankActivity& a = snap.ranks[r];
+    os << " rank " << r << ": ";
+    switch (a.state) {
+      case RankActivityState::Running:
+        os << "running";
+        break;
+      case RankActivityState::Finished:
+        os << "finished";
+        break;
+      case RankActivityState::RecvBlocked:
+        os << "waits on recv(source=";
+        if (a.wait_source == kAnySource) {
+          os << "any";
+        } else {
+          os << a.wait_source;
+        }
+        os << ", tag=";
+        if (a.wait_tag == kAnyTag) {
+          os << "any";
+        } else {
+          os << a.wait_tag;
+        }
+        os << ")";
+        break;
+      case RankActivityState::CollectiveBlocked:
+        os << "waits in collective rendezvous";
+        break;
+    }
+    os << (r + 1 < snap.ranks.size() ? ";" : ".");
+  }
+  return os.str();
+}
+
+}  // namespace
 
 RunReport run(int num_ranks, const CostModel& cost,
+              const FaultToleranceOptions& ft,
               const std::function<void(Communicator&)>& body) {
   PTWGR_EXPECTS(num_ranks >= 1);
-  World world(num_ranks, cost);
+  if (ft.fault_plan != nullptr) ft.fault_plan->begin_world(num_ranks);
+  World world(num_ranks, cost, ft);
 
   std::mutex failure_mutex;
   std::exception_ptr first_failure;
+  const auto record_failure = [&](std::exception_ptr failure) {
+    const std::lock_guard<std::mutex> lock(failure_mutex);
+    if (!first_failure) first_failure = std::move(failure);
+  };
 
   const auto rank_main = [&](int rank) {
     const ScopedLogRank log_rank(rank);
@@ -24,26 +116,84 @@ RunReport run(int num_ranks, const CostModel& cost,
     try {
       body(comm);
       comm.finalize(cpu.seconds());
+      world.set_activity(rank, RankActivityState::Finished);
     } catch (const WorldAborted&) {
       // Another rank failed first; nothing further to report.
-    } catch (...) {
-      {
-        const std::lock_guard<std::mutex> lock(failure_mutex);
-        if (!first_failure) first_failure = std::current_exception();
+    } catch (const RankFailure& failure) {
+      record_failure(std::current_exception());
+      if (world.ft.isolate_rank_failures) {
+        // Fail-stop: only this rank dies.  Peers that depend on it observe
+        // RankFailure through dead-source recvs and collective health
+        // checks; independent ranks keep running.
+        PTWGR_LOG_WARN << "rank " << rank
+                       << " failed (fail-stop): " << failure.what();
+        world.fail_rank(rank);
+      } else {
+        world.abort_all();
       }
+    } catch (...) {
+      record_failure(std::current_exception());
       world.abort_all();
     }
   };
 
   const WallTimer wall;
   {
-    std::vector<std::jthread> threads;
-    threads.reserve(static_cast<std::size_t>(num_ranks - 1));
-    for (int r = 1; r < num_ranks; ++r) {
-      threads.emplace_back(rank_main, r);
+    // The watchdog samples rank activity between grace intervals; two
+    // consecutive all-blocked samples with an unchanged progress counter and
+    // no deliverable message mean nobody can ever move again.
+    std::jthread watchdog;
+    if (ft.watchdog) {
+      watchdog = std::jthread([&world, &record_failure](std::stop_token stop) {
+        const auto interval = std::chrono::duration<double>(
+            world.ft.watchdog_interval_seconds);
+        // Sleep in short slices so request_stop() is honoured promptly.
+        const auto nap = [&stop](std::chrono::duration<double> how_long) {
+          const auto end =
+              std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  how_long);
+          while (!stop.stop_requested() &&
+                 std::chrono::steady_clock::now() < end) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+        };
+        std::uint64_t last_progress = 0;
+        bool armed = false;
+        while (!stop.stop_requested()) {
+          nap(interval / 4);
+          if (stop.stop_requested()) return;
+          const ActivitySnapshot snap = snapshot_activity(world);
+          if (!looks_deadlocked(world, snap)) {
+            armed = false;
+            continue;
+          }
+          if (!armed || snap.progress != last_progress) {
+            armed = true;
+            last_progress = snap.progress;
+            // Grace period: re-check after a full interval of stillness.
+            nap(interval);
+            continue;
+          }
+          const std::string report = render_deadlock_report(snap);
+          PTWGR_LOG_ERROR << report;
+          record_failure(
+              std::make_exception_ptr(DeadlockDetected(report)));
+          world.abort_all();
+          return;
+        }
+      });
     }
-    rank_main(0);
-  }  // jthreads join here
+    {
+      std::vector<std::jthread> threads;
+      threads.reserve(static_cast<std::size_t>(num_ranks - 1));
+      for (int r = 1; r < num_ranks; ++r) {
+        threads.emplace_back(rank_main, r);
+      }
+      rank_main(0);
+    }  // rank jthreads join here
+    if (watchdog.joinable()) watchdog.request_stop();
+  }  // watchdog joins here
 
   if (first_failure) std::rethrow_exception(first_failure);
 
@@ -53,6 +203,11 @@ RunReport run(int num_ranks, const CostModel& cost,
   report.rank_cpu_seconds = world.final_cpu;
   report.rank_comm = world.final_comm;
   return report;
+}
+
+RunReport run(int num_ranks, const CostModel& cost,
+              const std::function<void(Communicator&)>& body) {
+  return run(num_ranks, cost, FaultToleranceOptions{}, body);
 }
 
 }  // namespace ptwgr::mp

@@ -7,6 +7,7 @@
 
 #include "ptwgr/mp/communicator.h"
 #include "ptwgr/mp/cost_model.h"
+#include "ptwgr/mp/fault.h"
 
 namespace ptwgr::mp {
 
@@ -48,6 +49,17 @@ struct RunReport {
 /// WorldAborted) and the first non-abort exception is rethrown after all
 /// ranks have joined.
 RunReport run(int num_ranks, const CostModel& cost,
+              const std::function<void(Communicator&)>& body);
+
+/// Fault-tolerant launch: as above, plus the fault-injection and hardening
+/// machinery in `ft` — an optional deterministic FaultPlan (begin_world is
+/// called on it before the ranks start), p2p retry/backoff, recv timeouts,
+/// fail-stop isolation of RankFailure (only the failing rank dies; peers
+/// observe typed RankFailure when they depend on it), and the
+/// all-ranks-blocked deadlock watchdog, which turns a stuck world into a
+/// DeadlockDetected error reporting who waits on whom.
+RunReport run(int num_ranks, const CostModel& cost,
+              const FaultToleranceOptions& ft,
               const std::function<void(Communicator&)>& body);
 
 /// Convenience overload with the ideal (zero-cost) model.

@@ -10,19 +10,37 @@
 
 #include "ptwgr/mp/comm_stats.h"
 #include "ptwgr/mp/cost_model.h"
+#include "ptwgr/mp/fault.h"
 #include "ptwgr/mp/mailbox.h"
 
 namespace ptwgr::mp {
 
+/// What a rank is doing right now, as seen by the deadlock watchdog.
+enum class RankActivityState : std::uint8_t {
+  Running = 0,        ///< executing user code / non-blocking ops
+  RecvBlocked,        ///< blocked in recv(source, tag)
+  CollectiveBlocked,  ///< blocked in the collective rendezvous
+  Finished,           ///< body returned (or the rank died)
+};
+
+struct RankActivity {
+  RankActivityState state = RankActivityState::Running;
+  int wait_source = 0;  // valid when RecvBlocked
+  int wait_tag = 0;     // valid when RecvBlocked
+};
+
 /// All rank threads of one run share a World: the mailboxes, the collective
-/// rendezvous, and the per-rank timing slots filled at rank exit.
+/// rendezvous, the fault-tolerance configuration, and the per-rank timing
+/// slots filled at rank exit.
 struct World {
-  explicit World(int num_ranks, CostModel cost_model)
+  World(int num_ranks, CostModel cost_model, FaultToleranceOptions ft_options)
       : size(num_ranks),
         cost(std::move(cost_model)),
+        ft(std::move(ft_options)),
         rv_contrib(static_cast<std::size_t>(num_ranks)),
         rv_out(static_cast<std::size_t>(num_ranks)),
         rv_vin(static_cast<std::size_t>(num_ranks), 0.0),
+        activity(static_cast<std::size_t>(num_ranks)),
         final_vtime(static_cast<std::size_t>(num_ranks), 0.0),
         final_cpu(static_cast<std::size_t>(num_ranks), 0.0),
         final_comm(static_cast<std::size_t>(num_ranks)) {
@@ -32,8 +50,12 @@ struct World {
     }
   }
 
+  World(int num_ranks, CostModel cost_model)
+      : World(num_ranks, std::move(cost_model), FaultToleranceOptions{}) {}
+
   const int size;
   const CostModel cost;
+  const FaultToleranceOptions ft;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
 
   // Collective rendezvous.  SPMD programs run at most one collective at a
@@ -49,6 +71,21 @@ struct World {
   double rv_vout = 0.0;
   bool rv_aborted = false;
 
+  // Fail-stop isolation: the first rank that died, or -1.  Set by
+  // fail_rank(); peers that depend on a dead rank observe it and raise
+  // RankFailure instead of blocking forever.
+  std::atomic<int> failed_rank{-1};
+
+  // Monotone progress counter: bumped on every message delivery/acceptance
+  // and every completed collective.  The watchdog reads it to distinguish a
+  // slow world from a stuck one.
+  std::atomic<std::uint64_t> progress{0};
+
+  // Per-rank blocking state for the watchdog (guarded by activity_mutex;
+  // maintained only when ft.watchdog is set).
+  std::mutex activity_mutex;
+  std::vector<RankActivity> activity;
+
   std::vector<double> final_vtime;
   std::vector<double> final_cpu;
   std::vector<CommStats> final_comm;
@@ -62,6 +99,35 @@ struct World {
     }
     rv_cv.notify_all();
     for (auto& box : mailboxes) box->abort();
+  }
+
+  /// Fail-stop isolation: marks `rank` dead and wakes everyone so blocked
+  /// peers can decide whether they depend on it (recv from it, or any
+  /// collective — collectives need every rank).  Unlike abort_all, ranks
+  /// that do not interact with the dead rank keep running.
+  void fail_rank(int rank) {
+    int expected = -1;
+    failed_rank.compare_exchange_strong(expected, rank);
+    set_activity(rank, RankActivityState::Finished);
+    {
+      // Wake rendezvous waiters so they can observe failed_rank.
+      const std::lock_guard<std::mutex> lock(rv_mutex);
+    }
+    rv_cv.notify_all();
+    for (auto& box : mailboxes) box->mark_dead(rank);
+  }
+
+  void set_activity(int rank, RankActivityState state, int wait_source = 0,
+                    int wait_tag = 0) {
+    if (!ft.watchdog) return;
+    const std::lock_guard<std::mutex> lock(activity_mutex);
+    auto& slot = activity[static_cast<std::size_t>(rank)];
+    // A finished (or dead) rank stays finished.
+    if (slot.state == RankActivityState::Finished &&
+        state != RankActivityState::Finished) {
+      return;
+    }
+    slot = RankActivity{state, wait_source, wait_tag};
   }
 };
 

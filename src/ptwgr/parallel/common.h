@@ -3,10 +3,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "ptwgr/mp/communicator.h"
+#include "ptwgr/mp/fault.h"
 #include "ptwgr/parallel/fake_pins.h"
 #include "ptwgr/parallel/records.h"
 #include "ptwgr/parallel/subcircuit.h"
@@ -29,6 +32,36 @@ enum class ParallelAlgorithm : std::uint8_t {
 
 std::string to_string(ParallelAlgorithm algorithm);
 
+/// Invalid parallel-run configuration: rank count out of range for the
+/// circuit, inconsistent fault options, and similar caller errors.
+class ParallelConfigError : public std::runtime_error {
+ public:
+  explicit ParallelConfigError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Fault-injection and fault-tolerance knobs of a parallel run.  The default
+/// is a fault-free run with the hardening disabled — identical behaviour and
+/// cost to the pre-fault-tolerance router.
+struct FaultOptions {
+  /// Deterministic fault schedule; null disables injection.  Shared so the
+  /// caller can inspect the plan after the run (kills fire at most once per
+  /// plan lifetime).
+  std::shared_ptr<mp::FaultPlan> plan;
+  /// Acknowledged-send retry/backoff policy used while `plan` interferes.
+  mp::RetryPolicy retry;
+  /// recv() timeout in seconds (< 0 disables).
+  double recv_timeout_seconds = -1.0;
+  /// All-ranks-blocked deadlock watchdog.
+  bool watchdog = false;
+  double watchdog_interval_seconds = 0.25;
+  /// How many times route_parallel may re-execute the routing run after a
+  /// rank failure before giving up and rethrowing.  Because the algorithms
+  /// are deterministic in (seed, num_ranks) and kills are one-shot, a
+  /// re-execution reproduces the fault-free result byte for byte.
+  int max_recovery_attempts = 2;
+};
+
 struct ParallelOptions {
   /// Base serial-router parameters (seed, grid, passes...).
   RouterOptions router;
@@ -42,6 +75,8 @@ struct ParallelOptions {
   std::size_t coarse_sync_period = 8192;
   /// Net-wise: switchable decisions between channel-density syncs.
   std::size_t switch_sync_period = 8192;
+  /// Fault injection / tolerance (defaults to a plain fault-free run).
+  FaultOptions fault;
 };
 
 /// Everything a parallel run reports.  Metrics are computed on rank 0 from
@@ -60,15 +95,21 @@ struct ParallelRunOutput {
 /// modeled parallel schedule per rank.  Span recording is a no-op when no
 /// trace collector is active — no clock read, no allocation.  Transitions
 /// also log at Debug (rank-tagged via the runtime's ScopedLogRank).
+///
+/// Phase entry is also the fault plan's kill-at-phase hook: entering a phase
+/// notifies the communicator, which throws RankFailure when the plan
+/// schedules this rank's death at that phase name.
 class RankPhase {
  public:
   RankPhase(const char* name, mp::Communicator& comm)
       : comm_(&comm), collector_(active_trace()), name_(name) {
+    comm_->notify_phase(name);
     PTWGR_LOG_DEBUG << "phase: " << name;
     if (collector_ != nullptr) start_ = comm_->vtime();
   }
 
   void next(const char* name) {
+    comm_->notify_phase(name);
     PTWGR_LOG_DEBUG << "phase: " << name;
     if (collector_ == nullptr) {
       name_ = name;

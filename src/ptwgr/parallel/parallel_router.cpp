@@ -1,5 +1,7 @@
 #include "ptwgr/parallel/parallel_router.h"
 
+#include <string>
+
 #include "ptwgr/parallel/hybrid.h"
 #include "ptwgr/parallel/netwise.h"
 #include "ptwgr/parallel/rowwise.h"
@@ -11,8 +13,24 @@ ParallelRoutingResult route_parallel(const Circuit& circuit,
                                      int num_ranks,
                                      const ParallelOptions& options,
                                      const mp::CostModel& cost) {
-  PTWGR_EXPECTS(num_ranks >= 1);
-  PTWGR_EXPECTS(static_cast<std::size_t>(num_ranks) <= circuit.num_rows());
+  if (num_ranks < 1) {
+    throw ParallelConfigError("route_parallel: num_ranks must be >= 1, got " +
+                              std::to_string(num_ranks));
+  }
+  if (static_cast<std::size_t>(num_ranks) > circuit.num_rows()) {
+    throw ParallelConfigError(
+        "route_parallel: num_ranks (" + std::to_string(num_ranks) +
+        ") exceeds the circuit's row count (" +
+        std::to_string(circuit.num_rows()) +
+        "); the row-block partition needs at least one row per rank");
+  }
+
+  mp::FaultToleranceOptions ft;
+  ft.fault_plan = options.fault.plan.get();
+  ft.retry = options.fault.retry;
+  ft.recv_timeout_seconds = options.fault.recv_timeout_seconds;
+  ft.watchdog = options.fault.watchdog;
+  ft.watchdog_interval_seconds = options.fault.watchdog_interval_seconds;
 
   ParallelRoutingResult result;
   // Every rank computes identical output (assemble_metrics broadcasts);
@@ -35,8 +53,37 @@ ParallelRoutingResult route_parallel(const Circuit& circuit,
       result.feedthrough_count = output.feedthrough_count;
     }
   };
-  result.report = mp::run(num_ranks, cost, body);
-  return result;
+
+  // Self-healing: a rank killed by the fault plan (or presumed dead after
+  // send-retry exhaustion / recv timeout) unwinds the world with a typed
+  // error, and the whole deterministic sub-problem is re-executed.  Kills
+  // fire at most once per plan lifetime, so the replay completes, and the
+  // algorithms depend only on (seed, num_ranks) — the recovered metrics are
+  // byte-identical to a fault-free run's.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      result.report = mp::run(num_ranks, cost, ft, body);
+      result.recovery.recovered = result.recovery.attempts > 0;
+      return result;
+    } catch (const mp::RankFailure& failure) {
+      result.recovery.failed_ranks.push_back(failure.rank());
+      if (attempt >= options.fault.max_recovery_attempts) throw;
+      ++result.recovery.attempts;
+      PTWGR_LOG_WARN << "route_parallel: rank " << failure.rank()
+                     << " failed (" << failure.what()
+                     << "); re-executing, recovery attempt "
+                     << result.recovery.attempts;
+    } catch (const mp::RecvTimeout& timeout) {
+      if (timeout.source() >= 0) {
+        result.recovery.failed_ranks.push_back(timeout.source());
+      }
+      if (attempt >= options.fault.max_recovery_attempts) throw;
+      ++result.recovery.attempts;
+      PTWGR_LOG_WARN << "route_parallel: " << timeout.what()
+                     << "; re-executing, recovery attempt "
+                     << result.recovery.attempts;
+    }
+  }
 }
 
 }  // namespace ptwgr

@@ -8,11 +8,23 @@
 
 namespace ptwgr {
 
+/// What the self-healing layer had to do to finish the run.
+struct RecoveryReport {
+  /// Re-executions performed after a rank failure (0 = clean first run).
+  int attempts = 0;
+  /// Ranks whose failure triggered a re-execution, in order of occurrence.
+  std::vector<int> failed_ranks;
+  /// True when at least one failure occurred and the run still completed.
+  bool recovered = false;
+};
+
 struct ParallelRoutingResult {
   RoutingMetrics metrics;
   std::size_t feedthrough_count = 0;
   /// Raw per-rank timing from the runtime.
   mp::RunReport report;
+  /// Rank-failure recovery events (all zero on a fault-free run).
+  RecoveryReport recovery;
 
   /// The modeled parallel runtime (slowest rank's virtual clock) — the
   /// number the paper's speedup tables divide the serial time by.
@@ -25,7 +37,16 @@ struct ParallelRoutingResult {
 
 /// Routes `circuit` with `algorithm` on `num_ranks` ranks under `cost`
 /// (platform communication model).  Deterministic in options.router.seed for
-/// fixed num_ranks.  Requires 1 <= num_ranks <= circuit.num_rows().
+/// fixed num_ranks.  Throws ParallelConfigError unless
+/// 1 <= num_ranks <= circuit.num_rows().
+///
+/// When options.fault carries a plan that kills a rank mid-algorithm, the
+/// survivors detect the death (dead-source recvs, collective health checks,
+/// send-retry exhaustion), the run unwinds with mp::RankFailure, and the
+/// routing is re-executed (up to fault.max_recovery_attempts times).  Kills
+/// fire once per plan lifetime and the algorithms are deterministic, so the
+/// recovered run's RoutingMetrics are byte-identical to a fault-free run;
+/// the recovery events are reported in `recovery`.
 ParallelRoutingResult route_parallel(
     const Circuit& circuit, ParallelAlgorithm algorithm, int num_ranks,
     const ParallelOptions& options = {},

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "ptwgr/circuit/builder.h"
@@ -111,6 +112,103 @@ TEST(CircuitIo, RejectsOffsetOutsideCell) {
       "CELLS 1\nCELL 0 8\n"
       "NETS 1\nNET 1\nPIN 0 99 T\n");
   EXPECT_THROW(read_circuit(in), CircuitIoError);
+}
+
+/// Parses `text` expecting failure; returns the diagnostic (empty = parsed).
+std::string diagnostic_of(const std::string& text) {
+  std::stringstream in(text);
+  try {
+    read_circuit(in);
+  } catch (const CircuitIoError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+bool contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+TEST(CircuitIo, TruncatedFileNamesLineAndRecord) {
+  const std::string msg =
+      diagnostic_of("PTWGR-CIRCUIT 1\nROWS 2\nROW 16\n");
+  EXPECT_TRUE(contains(msg, "line 3")) << msg;
+  EXPECT_TRUE(contains(msg, "unexpected end of file")) << msg;
+  EXPECT_TRUE(contains(msg, "ROW record")) << msg;
+}
+
+TEST(CircuitIo, RejectsNegativeCountWithDiagnostic) {
+  // A negative count must not wrap to a huge unsigned value.
+  const std::string msg = diagnostic_of("PTWGR-CIRCUIT 1\nROWS -2\n");
+  EXPECT_TRUE(contains(msg, "line 2")) << msg;
+  EXPECT_TRUE(contains(msg, "must be non-negative")) << msg;
+}
+
+TEST(CircuitIo, RejectsAbsurdCount) {
+  const std::string msg =
+      diagnostic_of("PTWGR-CIRCUIT 1\nROWS 999999999999\n");
+  EXPECT_TRUE(contains(msg, "exceeds the format limit")) << msg;
+}
+
+TEST(CircuitIo, RejectsNanGeometry) {
+  const std::string msg = diagnostic_of("PTWGR-CIRCUIT 1\nROWS 1\nROW nan\n");
+  EXPECT_TRUE(contains(msg, "line 3")) << msg;
+  EXPECT_TRUE(contains(msg, "row height")) << msg;
+}
+
+TEST(CircuitIo, RejectsFractionalGeometry) {
+  const std::string msg =
+      diagnostic_of("PTWGR-CIRCUIT 1\nROWS 1\nROW 16.5\n");
+  EXPECT_TRUE(contains(msg, "row height")) << msg;
+}
+
+TEST(CircuitIo, RejectsNegativeRowHeight) {
+  const std::string msg = diagnostic_of("PTWGR-CIRCUIT 1\nROWS 1\nROW -4\n");
+  EXPECT_TRUE(contains(msg, "line 3")) << msg;
+  EXPECT_TRUE(contains(msg, "must be positive")) << msg;
+}
+
+TEST(CircuitIo, RejectsZeroCellWidth) {
+  const std::string msg = diagnostic_of(
+      "PTWGR-CIRCUIT 1\nROWS 1\nROW 16\nCELLS 1\nCELL 0 0\n");
+  EXPECT_TRUE(contains(msg, "line 5")) << msg;
+  EXPECT_TRUE(contains(msg, "cell width")) << msg;
+  EXPECT_TRUE(contains(msg, "must be positive")) << msg;
+}
+
+TEST(CircuitIo, RejectsNegativePinOffset) {
+  const std::string msg = diagnostic_of(
+      "PTWGR-CIRCUIT 1\n"
+      "ROWS 1\nROW 16\n"
+      "CELLS 1\nCELL 0 8\n"
+      "NETS 1\nNET 1\nPIN 0 -3 T\n");
+  EXPECT_TRUE(contains(msg, "line 8")) << msg;
+  EXPECT_TRUE(contains(msg, "pin offset")) << msg;
+}
+
+TEST(CircuitIo, OutOfRangeIndexDiagnosticNamesTheRange) {
+  const std::string msg = diagnostic_of(
+      "PTWGR-CIRCUIT 1\n"
+      "ROWS 1\nROW 16\n"
+      "CELLS 1\nCELL 7 8\n");
+  EXPECT_TRUE(contains(msg, "line 5")) << msg;
+  EXPECT_TRUE(contains(msg, "out of range")) << msg;
+  EXPECT_TRUE(contains(msg, "1 rows")) << msg;
+}
+
+TEST(CircuitIo, FileDiagnosticsArePrefixedWithThePath) {
+  const std::string path = ::testing::TempDir() + "/ptwgr_io_bad.ckt";
+  {
+    std::ofstream out(path);
+    out << "PTWGR-CIRCUIT 1\nROWS -1\n";
+  }
+  try {
+    read_circuit_file(path);
+    FAIL() << "expected CircuitIoError";
+  } catch (const CircuitIoError& e) {
+    EXPECT_TRUE(contains(e.what(), path)) << e.what();
+    EXPECT_TRUE(contains(e.what(), "line 2")) << e.what();
+  }
 }
 
 TEST(CircuitIo, FileRoundTrip) {

@@ -1,0 +1,355 @@
+// Fault-injection runtime tests: FaultPlan grammar, deterministic drop /
+// corrupt / delay injection with acknowledged retries, kill triggers, typed
+// failure errors (RankFailure, RecvTimeout), and the deadlock watchdog.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptwgr/mp/fault.h"
+#include "ptwgr/mp/runtime.h"
+
+namespace ptwgr::mp {
+namespace {
+
+FaultToleranceOptions with_plan(FaultPlan& plan) {
+  FaultToleranceOptions ft;
+  ft.fault_plan = &plan;
+  return ft;
+}
+
+// --- plan grammar --------------------------------------------------------
+
+TEST(FaultPlanParse, FullGrammar) {
+  const FaultPlan plan = FaultPlan::parse(
+      "seed=9;drop=0.25;corrupt=0.1;delay=0.5:0.001;kill=rank1@op3;"
+      "kill=rank0@phase:steiner");
+  EXPECT_TRUE(plan.has_faults());
+  const std::string summary = plan.summary();
+  EXPECT_NE(summary.find("seed=9"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("drop=0.25"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("corrupt=0.1"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("kill=rank1@op3"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("kill=rank0@phase:steiner"), std::string::npos)
+      << summary;
+}
+
+TEST(FaultPlanParse, EmptySpecHasNoFaults) {
+  EXPECT_FALSE(FaultPlan::parse("").has_faults());
+  EXPECT_FALSE(FaultPlan::parse("seed=5").has_faults());
+}
+
+TEST(FaultPlanParse, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("drop=1.5"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("drop=-0.1"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("drop=abc"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("bogus=1"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("drop"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("delay=0.5"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("delay=0.5:-1"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("kill=1@op3"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("kill=rank1"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("kill=rank1@opX"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("kill=rank1@op0"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("kill=rank1@phase:"), FaultSpecError);
+  EXPECT_THROW(FaultPlan::parse("kill=rank1@banana"), FaultSpecError);
+}
+
+// --- injection under retry ----------------------------------------------
+
+TEST(MpFault, DroppedMessagesAreRetriedAndDeliveredInOrder) {
+  constexpr int kMessages = 100;
+  FaultPlan plan = FaultPlan::parse("seed=3;drop=0.1");
+  const RunReport report =
+      run(2, CostModel::ideal(), with_plan(plan), [](Communicator& comm) {
+        if (comm.rank() == 0) {
+          for (std::int32_t i = 0; i < kMessages; ++i) {
+            comm.send_value(1, 5, i);
+          }
+        } else {
+          for (std::int32_t i = 0; i < kMessages; ++i) {
+            EXPECT_EQ(comm.recv_value<std::int32_t>(0, 5), i);
+          }
+        }
+      });
+  const CommStats totals = report.comm_totals();
+  EXPECT_GT(totals.p2p_drops, 0u);
+  EXPECT_GE(totals.p2p_retries, totals.p2p_drops);
+  EXPECT_GT(totals.retry_backoff_seconds, 0.0);
+  // Every message got through exactly once despite the drops.
+  EXPECT_EQ(totals.messages_received, static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(MpFault, CorruptionIsCaughtByChecksumAndRetransmitted) {
+  constexpr int kMessages = 60;
+  FaultPlan plan = FaultPlan::parse("seed=4;corrupt=0.2");
+  const RunReport report =
+      run(2, CostModel::ideal(), with_plan(plan), [](Communicator& comm) {
+        if (comm.rank() == 0) {
+          for (std::int32_t i = 0; i < kMessages; ++i) {
+            std::vector<std::int64_t> payload(17, i);
+            comm.send_value(1, 2, payload);
+          }
+        } else {
+          for (std::int32_t i = 0; i < kMessages; ++i) {
+            const auto payload = comm.recv_vector<std::int64_t>(0, 2);
+            // Payload integrity: the damaged copies were discarded.
+            ASSERT_EQ(payload.size(), 17u);
+            for (const std::int64_t v : payload) EXPECT_EQ(v, i);
+          }
+        }
+      });
+  const CommStats totals = report.comm_totals();
+  EXPECT_GT(totals.p2p_corruptions, 0u);
+  // Every damaged envelope was detected on the receive side, exactly once.
+  EXPECT_EQ(totals.checksum_failures, totals.p2p_corruptions);
+  EXPECT_EQ(totals.messages_received, static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(MpFault, InjectedDelaysChargeVirtualTime) {
+  FaultPlan plan = FaultPlan::parse("delay=1.0:0.25");
+  const RunReport report =
+      run(2, CostModel::ideal(), with_plan(plan), [](Communicator& comm) {
+        if (comm.rank() == 0) {
+          for (std::int32_t i = 0; i < 4; ++i) comm.send_value(1, 1, i);
+        } else {
+          for (std::int32_t i = 0; i < 4; ++i) {
+            comm.recv_value<std::int32_t>(0, 1);
+          }
+        }
+      });
+  const CommStats totals = report.comm_totals();
+  EXPECT_EQ(totals.injected_delays, 4u);
+  EXPECT_NEAR(totals.injected_delay_seconds, 1.0, 1e-12);
+  // The latency spikes delayed the sender's virtual clock...
+  EXPECT_GE(report.rank_vtime[0], 1.0);
+  // ...and the receiver inherits them through arrival times.
+  EXPECT_GE(report.rank_vtime[1], 1.0);
+}
+
+TEST(MpFault, InjectionCountersAreDeterministicAcrossRuns) {
+  const auto traffic = [](Communicator& comm) {
+    for (std::int32_t i = 0; i < 40; ++i) {
+      if (comm.rank() == 0) {
+        comm.send_value(1, 9, i);
+      } else if (comm.rank() == 1) {
+        comm.recv_value<std::int32_t>(0, 9);
+      }
+    }
+    comm.barrier();
+  };
+  const auto counters_of = [&] {
+    FaultPlan plan = FaultPlan::parse("seed=12;drop=0.1;corrupt=0.1");
+    FaultToleranceOptions ft = with_plan(plan);
+    // Generous retry budget: the combined ~19% per-attempt failure rate
+    // must never exhaust it, so both runs complete and we can compare.
+    ft.retry.max_retries = 12;
+    const RunReport report = run(3, CostModel::ideal(), ft, traffic);
+    return report.comm_totals();
+  };
+  const CommStats a = counters_of();
+  const CommStats b = counters_of();
+  EXPECT_EQ(a.p2p_drops, b.p2p_drops);
+  EXPECT_EQ(a.p2p_retries, b.p2p_retries);
+  EXPECT_EQ(a.p2p_corruptions, b.p2p_corruptions);
+  EXPECT_EQ(a.checksum_failures, b.checksum_failures);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_GT(a.p2p_drops + a.p2p_corruptions, 0u);
+}
+
+// --- kills and typed failures -------------------------------------------
+
+TEST(MpFault, KillAtOpRaisesRankFailureNamingTheRank) {
+  FaultPlan plan = FaultPlan::parse("kill=rank1@op2");
+  try {
+    run(2, CostModel::ideal(), with_plan(plan), [](Communicator& comm) {
+      for (int i = 0; i < 5; ++i) comm.barrier();
+    });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& failure) {
+    EXPECT_EQ(failure.rank(), 1);
+    EXPECT_NE(std::string(failure.what()).find("fault plan"),
+              std::string::npos);
+  }
+}
+
+TEST(MpFault, KillAtPhaseRaisesRankFailure) {
+  FaultPlan plan = FaultPlan::parse("kill=rank1@phase:switchable");
+  try {
+    run(3, CostModel::ideal(), with_plan(plan), [](Communicator& comm) {
+      comm.notify_phase("steiner");
+      comm.barrier();
+      comm.notify_phase("switchable");
+      comm.barrier();
+    });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& failure) {
+    EXPECT_EQ(failure.rank(), 1);
+    EXPECT_NE(std::string(failure.what()).find("switchable"),
+              std::string::npos);
+  }
+}
+
+TEST(MpFault, KillsFireOncePerPlanLifetime) {
+  // The recovery primitive: the same plan that killed a run lets the
+  // re-execution complete, because begin_world preserves fired kills.
+  FaultPlan plan = FaultPlan::parse("kill=rank0@op1");
+  const auto body = [](Communicator& comm) { comm.barrier(); };
+  EXPECT_THROW(run(2, CostModel::ideal(), with_plan(plan), body),
+               RankFailure);
+  EXPECT_NO_THROW(run(2, CostModel::ideal(), with_plan(plan), body));
+}
+
+TEST(MpFault, RetryExhaustionPresumesPeerDead) {
+  FaultPlan plan = FaultPlan::parse("drop=1.0");
+  FaultToleranceOptions ft = with_plan(plan);
+  ft.retry.max_retries = 2;
+  try {
+    run(2, CostModel::ideal(), ft, [](Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.send_value(1, 0, std::int32_t{42});
+      } else {
+        comm.recv_value<std::int32_t>(0, 0);
+      }
+    });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& failure) {
+    EXPECT_NE(std::string(failure.what()).find("presumed dead"),
+              std::string::npos);
+  }
+}
+
+TEST(MpFault, RecvFromDeadRankRaisesRankFailure) {
+  // Rank 0 dies at its first operation; rank 1 is blocked receiving from it
+  // and must observe the death instead of hanging.
+  FaultPlan plan = FaultPlan::parse("kill=rank0@op1");
+  try {
+    run(2, CostModel::ideal(), with_plan(plan), [](Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.send_value(1, 7, std::int32_t{1});  // dies here
+      } else {
+        comm.recv_value<std::int32_t>(0, 7);
+      }
+    });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& failure) {
+    EXPECT_EQ(failure.rank(), 0);
+  }
+}
+
+TEST(MpFault, QueuedMessagesFromDeadRankAreStillDelivered) {
+  // Sent-before-failure delivery: rank 0 sends, then dies; the message must
+  // reach rank 1 anyway.
+  FaultPlan plan = FaultPlan::parse("kill=rank0@op2");
+  std::int32_t received = 0;
+  try {
+    run(2, CostModel::ideal(), with_plan(plan), [&](Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.send_value(1, 7, std::int32_t{41});  // op 1: delivered
+        comm.barrier();                           // op 2: dies
+      } else {
+        received = comm.recv_value<std::int32_t>(0, 7);
+        comm.barrier();
+      }
+    });
+    FAIL() << "expected RankFailure";
+  } catch (const RankFailure& failure) {
+    EXPECT_EQ(failure.rank(), 0);
+  }
+  EXPECT_EQ(received, 41);
+}
+
+TEST(MpFault, RecvTimeoutRaisesTypedError) {
+  FaultToleranceOptions ft;
+  ft.recv_timeout_seconds = 0.02;
+  try {
+    run(2, CostModel::ideal(), ft, [](Communicator& comm) {
+      if (comm.rank() == 1) {
+        comm.recv(0, 13);  // rank 0 never sends
+      }
+    });
+    FAIL() << "expected RecvTimeout";
+  } catch (const RecvTimeout& timeout) {
+    EXPECT_EQ(timeout.rank(), 1);
+    EXPECT_EQ(timeout.source(), 0);
+    EXPECT_EQ(timeout.tag(), 13);
+  }
+}
+
+// --- watchdog ------------------------------------------------------------
+
+TEST(MpFault, WatchdogTurnsDeadlockIntoDiagnosticError) {
+  FaultToleranceOptions ft;
+  ft.watchdog = true;
+  ft.watchdog_interval_seconds = 0.02;
+  try {
+    run(2, CostModel::ideal(), ft, [](Communicator& comm) {
+      // Crafted wait cycle: each rank receives from the other, nobody sends.
+      comm.recv(1 - comm.rank(), 7);
+    });
+    FAIL() << "expected DeadlockDetected";
+  } catch (const DeadlockDetected& deadlock) {
+    const std::string report = deadlock.what();
+    EXPECT_NE(report.find("deadlock detected"), std::string::npos) << report;
+    // The report names who waits on whom.
+    EXPECT_NE(report.find("rank 0: waits on recv(source=1, tag=7)"),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("rank 1: waits on recv(source=0, tag=7)"),
+              std::string::npos)
+        << report;
+  }
+}
+
+TEST(MpFault, WatchdogDetectsRankExitLeavingCollectiveIncomplete) {
+  FaultToleranceOptions ft;
+  ft.watchdog = true;
+  ft.watchdog_interval_seconds = 0.02;
+  ft.isolate_rank_failures = false;
+  EXPECT_THROW(run(3, CostModel::ideal(), ft,
+                   [](Communicator& comm) {
+                     // Rank 2 returns without joining the barrier: the other
+                     // two block in a rendezvous that can never complete.
+                     if (comm.rank() == 2) return;
+                     comm.barrier();
+                   }),
+               DeadlockDetected);
+}
+
+TEST(MpFault, WatchdogPassesHealthyTraffic) {
+  FaultToleranceOptions ft;
+  ft.watchdog = true;
+  ft.watchdog_interval_seconds = 0.02;
+  const RunReport report =
+      run(4, CostModel::ideal(), ft, [](Communicator& comm) {
+        for (int i = 0; i < 25; ++i) {
+          comm.barrier();
+          comm.send_value((comm.rank() + 1) % comm.size(), 3, i);
+          comm.recv_value<int>((comm.rank() + comm.size() - 1) % comm.size(),
+                               3);
+        }
+      });
+  EXPECT_EQ(report.rank_vtime.size(), 4u);
+}
+
+// --- zero-overhead guarantee --------------------------------------------
+
+TEST(MpFault, NoPlanMeansNoChecksumsAndNoFaultCounters) {
+  const RunReport report = run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 1, std::int32_t{7});
+    } else {
+      const Received r = comm.recv(0, 1);
+      EXPECT_FALSE(r.envelope.checksummed);
+    }
+  });
+  const CommStats totals = report.comm_totals();
+  EXPECT_EQ(totals.p2p_drops, 0u);
+  EXPECT_EQ(totals.p2p_retries, 0u);
+  EXPECT_EQ(totals.checksum_failures, 0u);
+  EXPECT_EQ(totals.injected_delays, 0u);
+}
+
+}  // namespace
+}  // namespace ptwgr::mp

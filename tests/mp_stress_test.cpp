@@ -175,5 +175,97 @@ TEST(MpStress, VtimeNondecreasingThroughStorm) {
   });
 }
 
+// --- abort propagation ---------------------------------------------------
+//
+// When any rank throws, every other rank — whatever it is blocked in —
+// must unblock with WorldAborted, and run() must rethrow the original
+// failure.  One test per blocking shape; none may hang.
+
+/// Rank 3 throws immediately; ranks 0–2 enter `blocked_op` and must be
+/// released by the abort.  run() rethrows the injected error.
+template <typename BlockedOp>
+void expect_abort_unblocks(BlockedOp blocked_op) {
+  try {
+    run(4, [&](Communicator& comm) {
+      if (comm.rank() == 3) throw std::runtime_error("injected failure");
+      blocked_op(comm);
+    });
+    FAIL() << "expected the injected failure to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "injected failure");
+  }
+}
+
+TEST(MpAbort, UnblocksBarrier) {
+  expect_abort_unblocks([](Communicator& comm) { comm.barrier(); });
+}
+
+TEST(MpAbort, UnblocksAllreduce) {
+  expect_abort_unblocks([](Communicator& comm) {
+    comm.allreduce_value(std::int64_t{1}, SumOp{});
+  });
+}
+
+TEST(MpAbort, UnblocksAllgather) {
+  expect_abort_unblocks([](Communicator& comm) { comm.allgather(comm.rank()); });
+}
+
+TEST(MpAbort, UnblocksAllgatherVectors) {
+  expect_abort_unblocks([](Communicator& comm) {
+    std::vector<std::int32_t> mine(100, comm.rank());
+    comm.allgather_vectors(mine);
+  });
+}
+
+TEST(MpAbort, UnblocksGatherVectors) {
+  expect_abort_unblocks([](Communicator& comm) {
+    std::vector<std::int32_t> mine(100, comm.rank());
+    comm.gather_vectors(0, mine);
+  });
+}
+
+TEST(MpAbort, UnblocksBroadcast) {
+  // Root is the failing rank, so nobody ever supplies the value.
+  expect_abort_unblocks([](Communicator& comm) {
+    comm.broadcast_value<std::int64_t>(3, 0);
+  });
+}
+
+TEST(MpAbort, UnblocksAllToAll) {
+  expect_abort_unblocks([](Communicator& comm) {
+    std::vector<std::vector<std::int64_t>> outgoing(4);
+    for (auto& v : outgoing) v.assign(10, comm.rank());
+    comm.all_to_all(outgoing);
+  });
+}
+
+TEST(MpAbort, UnblocksRecvFromSpecificSource) {
+  // The failing rank is the only one that would ever send.
+  expect_abort_unblocks([](Communicator& comm) { comm.recv(3, 5); });
+}
+
+TEST(MpAbort, UnblocksRecvFromAnySource) {
+  expect_abort_unblocks(
+      [](Communicator& comm) { comm.recv(kAnySource, kAnyTag); });
+}
+
+TEST(MpAbort, UnblocksMixedShapes) {
+  // Different ranks stuck in different primitives at abort time.
+  expect_abort_unblocks([](Communicator& comm) {
+    switch (comm.rank()) {
+      case 0: comm.barrier(); break;
+      case 1: comm.recv(3, 9); break;
+      default: comm.allreduce_value(std::int64_t{1}, SumOp{}); break;
+    }
+  });
+}
+
+TEST(MpAbort, WorldIsReusableAfterAbort) {
+  // An aborted world must not poison the next one.
+  expect_abort_unblocks([](Communicator& comm) { comm.barrier(); });
+  const RunReport report = run(4, [](Communicator& comm) { comm.barrier(); });
+  EXPECT_EQ(report.rank_vtime.size(), 4u);
+}
+
 }  // namespace
 }  // namespace ptwgr::mp

@@ -127,7 +127,7 @@ TEST(Parallel, CostModelSlowsModeledTime) {
 TEST(Parallel, RejectsMoreRanksThanRows) {
   const Circuit circuit = small_test_circuit(25, 4, 10);
   EXPECT_THROW(route_parallel(circuit, ParallelAlgorithm::RowWise, 5),
-               CheckError);
+               ParallelConfigError);
 }
 
 TEST(Parallel, HybridNotWorseThanNetwiseTypically) {

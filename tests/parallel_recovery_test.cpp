@@ -1,0 +1,189 @@
+// Self-healing parallel routing: a rank killed mid-algorithm by the fault
+// plan must not lose the run — survivors detect the death, the sub-problem
+// is re-executed, and the final RoutingMetrics are byte-identical to a
+// fault-free run.  Also covers the typed rank-count configuration errors.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ptwgr/circuit/generator.h"
+#include "ptwgr/parallel/parallel_router.h"
+
+namespace ptwgr {
+namespace {
+
+Circuit test_circuit() {
+  GeneratorConfig cfg;
+  cfg.seed = 11;
+  cfg.num_rows = 12;
+  cfg.num_cells = 240;
+  cfg.num_nets = 260;
+  return generate_circuit(cfg);
+}
+
+bool metrics_identical(const RoutingMetrics& a, const RoutingMetrics& b) {
+  return a.track_count == b.track_count && a.area == b.area &&
+         a.total_wirelength == b.total_wirelength &&
+         a.feedthrough_count == b.feedthrough_count &&
+         a.channel_density == b.channel_density;
+}
+
+class ParallelRecovery
+    : public ::testing::TestWithParam<ParallelAlgorithm> {};
+
+TEST_P(ParallelRecovery, KillMidAlgorithmRecoversWithIdenticalMetrics) {
+  const Circuit circuit = test_circuit();
+  constexpr int kRanks = 4;
+
+  ParallelOptions options;
+  options.router.seed = 7;
+  const ParallelRoutingResult baseline =
+      route_parallel(circuit, GetParam(), kRanks, options);
+  EXPECT_EQ(baseline.recovery.attempts, 0);
+  EXPECT_FALSE(baseline.recovery.recovered);
+
+  // Seeded plan: sporadic message drops all along, and rank 2 dies at its
+  // third communication operation.
+  ParallelOptions faulted = options;
+  faulted.fault.plan = std::make_shared<mp::FaultPlan>(
+      mp::FaultPlan::parse("seed=5;drop=0.02;kill=rank2@op3"));
+  const ParallelRoutingResult result =
+      route_parallel(circuit, GetParam(), kRanks, faulted);
+
+  EXPECT_EQ(result.recovery.attempts, 1);
+  EXPECT_TRUE(result.recovery.recovered);
+  ASSERT_FALSE(result.recovery.failed_ranks.empty());
+  EXPECT_EQ(result.recovery.failed_ranks.front(), 2);
+  EXPECT_TRUE(metrics_identical(baseline.metrics, result.metrics))
+      << "faulted: " << result.metrics.to_string()
+      << " baseline: " << baseline.metrics.to_string();
+  EXPECT_EQ(result.feedthrough_count, baseline.feedthrough_count);
+}
+
+TEST_P(ParallelRecovery, KillAtPhaseRecoversWithIdenticalMetrics) {
+  const Circuit circuit = test_circuit();
+  constexpr int kRanks = 3;
+
+  ParallelOptions options;
+  options.router.seed = 7;
+  const ParallelRoutingResult baseline =
+      route_parallel(circuit, GetParam(), kRanks, options);
+
+  // All three algorithms enter a "coarse" phase span.
+  ParallelOptions faulted = options;
+  faulted.fault.plan = std::make_shared<mp::FaultPlan>(
+      mp::FaultPlan::parse("kill=rank1@phase:coarse"));
+  const ParallelRoutingResult result =
+      route_parallel(circuit, GetParam(), kRanks, faulted);
+
+  EXPECT_EQ(result.recovery.attempts, 1);
+  ASSERT_FALSE(result.recovery.failed_ranks.empty());
+  EXPECT_EQ(result.recovery.failed_ranks.front(), 1);
+  EXPECT_TRUE(metrics_identical(baseline.metrics, result.metrics));
+}
+
+TEST_P(ParallelRecovery, WatchdogEnabledRunMatchesBaseline) {
+  const Circuit circuit = test_circuit();
+  constexpr int kRanks = 4;
+
+  ParallelOptions options;
+  options.router.seed = 7;
+  const ParallelRoutingResult baseline =
+      route_parallel(circuit, GetParam(), kRanks, options);
+
+  ParallelOptions watched = options;
+  watched.fault.watchdog = true;
+  watched.fault.watchdog_interval_seconds = 0.05;
+  const ParallelRoutingResult result =
+      route_parallel(circuit, GetParam(), kRanks, watched);
+
+  EXPECT_EQ(result.recovery.attempts, 0);
+  EXPECT_TRUE(metrics_identical(baseline.metrics, result.metrics));
+}
+
+TEST_P(ParallelRecovery, RetriesSurviveSporadicDropsWithoutRecovery) {
+  const Circuit circuit = test_circuit();
+  constexpr int kRanks = 4;
+
+  ParallelOptions options;
+  options.router.seed = 7;
+  const ParallelRoutingResult baseline =
+      route_parallel(circuit, GetParam(), kRanks, options);
+
+  // Drops but no kill: the retry layer absorbs everything, no re-execution.
+  ParallelOptions faulted = options;
+  faulted.fault.plan =
+      std::make_shared<mp::FaultPlan>(mp::FaultPlan::parse("seed=2;drop=0.05"));
+  const ParallelRoutingResult result =
+      route_parallel(circuit, GetParam(), kRanks, faulted);
+
+  EXPECT_EQ(result.recovery.attempts, 0);
+  EXPECT_TRUE(metrics_identical(baseline.metrics, result.metrics));
+}
+
+TEST_P(ParallelRecovery, GivesUpWhenRecoveryIsDisabled) {
+  const Circuit circuit = test_circuit();
+  ParallelOptions options;
+  options.router.seed = 7;
+  options.fault.plan = std::make_shared<mp::FaultPlan>(
+      mp::FaultPlan::parse("kill=rank1@op1"));
+  options.fault.max_recovery_attempts = 0;
+  EXPECT_THROW(route_parallel(circuit, GetParam(), 4, options),
+               mp::RankFailure);
+}
+
+std::string algorithm_name(
+    const ::testing::TestParamInfo<ParallelAlgorithm>& param_info) {
+  switch (param_info.param) {
+    case ParallelAlgorithm::RowWise: return "RowWise";
+    case ParallelAlgorithm::NetWise: return "NetWise";
+    case ParallelAlgorithm::Hybrid: return "Hybrid";
+  }
+  return "Unknown";
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ParallelRecovery,
+                         ::testing::Values(ParallelAlgorithm::RowWise,
+                                           ParallelAlgorithm::NetWise,
+                                           ParallelAlgorithm::Hybrid),
+                         algorithm_name);
+
+TEST(ParallelRecoveryLimits, RetryExhaustionDefeatsReExecution) {
+  // Total message loss: every send exhausts its retries, every re-execution
+  // fails identically, and the typed error surfaces after the re-execution
+  // budget is spent.  Row-wise is the p2p-heavy algorithm, so the first
+  // neighbour exchange already hits the dead link.
+  const Circuit circuit = test_circuit();
+  ParallelOptions options;
+  options.router.seed = 7;
+  options.fault.plan =
+      std::make_shared<mp::FaultPlan>(mp::FaultPlan::parse("drop=1.0"));
+  options.fault.max_recovery_attempts = 1;
+  EXPECT_THROW(route_parallel(circuit, ParallelAlgorithm::RowWise, 4, options),
+               mp::RankFailure);
+}
+
+// --- configuration errors ------------------------------------------------
+
+TEST(ParallelConfig, RejectsNonPositiveRankCount) {
+  const Circuit circuit = test_circuit();
+  EXPECT_THROW(route_parallel(circuit, ParallelAlgorithm::RowWise, 0),
+               ParallelConfigError);
+  EXPECT_THROW(route_parallel(circuit, ParallelAlgorithm::Hybrid, -3),
+               ParallelConfigError);
+}
+
+TEST(ParallelConfig, RejectsMoreRanksThanRowsWithDiagnostic) {
+  const Circuit circuit = test_circuit();  // 12 rows
+  try {
+    route_parallel(circuit, ParallelAlgorithm::NetWise, 13);
+    FAIL() << "expected ParallelConfigError";
+  } catch (const ParallelConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("13"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("row count"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace ptwgr

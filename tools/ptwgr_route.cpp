@@ -18,10 +18,19 @@
 //   --trace=PATH       write a Chrome trace of the routing phases
 //   --metrics=PATH     write run metrics (counters, timings) as JSON
 //   --log-level=LEVEL  debug|info|warn|error|off (default warn)
+// Fault tolerance (parallel algorithms only):
+//   --fault-plan=SPEC  inject deterministic faults; SPEC entries are
+//                      ';'-separated: seed=N, drop=P, corrupt=P,
+//                      delay=P:SECONDS, kill=rankR@opN, kill=rankR@phase:NAME
+//   --recv-timeout=S   recv() timeout in virtual seconds (default: none)
+//   --max-retries=N    p2p send retransmissions before a peer is presumed
+//                      dead (default 3)
+//   --watchdog         enable the all-ranks-blocked deadlock watchdog
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -54,6 +63,10 @@ struct CliOptions {
   bool profile = false;
   std::optional<std::string> trace_path;
   std::optional<std::string> metrics_path;
+  std::optional<std::string> fault_plan;
+  double recv_timeout = -1.0;
+  int max_retries = 3;
+  bool watchdog = false;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -65,7 +78,9 @@ struct CliOptions {
                "  [--platform=ideal|smp|dmp] [--seed=N] [--report=PATH] "
                "[--profile]\n"
                "  [--trace=PATH] [--metrics=PATH] "
-               "[--log-level=debug|info|warn|error|off]\n");
+               "[--log-level=debug|info|warn|error|off]\n"
+               "  [--fault-plan=SPEC] [--recv-timeout=S] [--max-retries=N] "
+               "[--watchdog]\n");
   std::exit(2);
 }
 
@@ -107,6 +122,14 @@ CliOptions parse(int argc, char** argv) {
       options.trace_path = *v;
     } else if ((v = value_of("--metrics="))) {
       options.metrics_path = *v;
+    } else if ((v = value_of("--fault-plan="))) {
+      options.fault_plan = *v;
+    } else if ((v = value_of("--recv-timeout="))) {
+      options.recv_timeout = std::atof(v->c_str());
+    } else if ((v = value_of("--max-retries="))) {
+      options.max_retries = std::atoi(v->c_str());
+    } else if (arg == "--watchdog") {
+      options.watchdog = true;
     } else if ((v = value_of("--log-level="))) {
       set_log_level(parse_log_level(v->c_str()));
     } else if (arg == "--profile") {
@@ -216,6 +239,15 @@ void fill_comm_metrics(MetricsRegistry& metrics, const std::string& prefix,
   metrics.set(prefix + ".p2p_wait_seconds", comm.p2p_wait_seconds);
   metrics.set(prefix + ".collective_sync_seconds",
               comm.collective_sync_seconds);
+  metrics.set(prefix + ".p2p_retries", comm.p2p_retries);
+  metrics.set(prefix + ".p2p_drops", comm.p2p_drops);
+  metrics.set(prefix + ".p2p_corruptions", comm.p2p_corruptions);
+  metrics.set(prefix + ".checksum_failures", comm.checksum_failures);
+  metrics.set(prefix + ".injected_delays", comm.injected_delays);
+  metrics.set(prefix + ".injected_delay_seconds",
+              comm.injected_delay_seconds);
+  metrics.set(prefix + ".retry_backoff_seconds", comm.retry_backoff_seconds);
+  metrics.set(prefix + ".recv_timeouts", comm.recv_timeouts);
 }
 
 void write_metrics_file(const CliOptions& options,
@@ -300,12 +332,32 @@ int main(int argc, char** argv) {
     }
     ParallelOptions parallel;
     parallel.router = router;
+    parallel.fault.retry.max_retries = options.max_retries;
+    parallel.fault.recv_timeout_seconds = options.recv_timeout;
+    parallel.fault.watchdog = options.watchdog;
+    if (options.fault_plan) {
+      parallel.fault.plan = std::make_shared<mp::FaultPlan>(
+          mp::FaultPlan::parse(*options.fault_plan));
+      std::printf("fault plan: %s\n",
+                  parallel.fault.plan->summary().c_str());
+    }
     const ParallelRoutingResult result =
         route_parallel(circuit, algorithm, options.ranks, parallel,
                        platform_of(options.platform));
     std::printf("routed (%s, %d ranks, %s): %s\n", options.algorithm.c_str(),
                 options.ranks, options.platform.c_str(),
                 result.metrics.to_string().c_str());
+    if (result.recovery.attempts > 0) {
+      std::string failed;
+      for (const int r : result.recovery.failed_ranks) {
+        if (!failed.empty()) failed += ",";
+        failed += std::to_string(r);
+      }
+      std::printf("recovered from %d rank failure(s) (ranks %s) in %d "
+                  "re-execution(s)\n",
+                  static_cast<int>(result.recovery.failed_ranks.size()),
+                  failed.c_str(), result.recovery.attempts);
+    }
     std::printf("modeled parallel time: %.3f s\n", result.modeled_seconds());
     fill_quality_metrics(metrics, result.metrics);
     metrics.set("run.ranks", static_cast<std::int64_t>(options.ranks));
@@ -314,6 +366,21 @@ int main(int argc, char** argv) {
     metrics.set("parallel.wall_seconds", result.report.wall_seconds);
     metrics.set("parallel.total_cpu_seconds",
                 result.report.total_cpu_seconds());
+    if (options.fault_plan) {
+      metrics.set("fault.plan", *options.fault_plan);
+    }
+    metrics.set("fault.recovery_attempts",
+                static_cast<std::int64_t>(result.recovery.attempts));
+    metrics.set("fault.recovered",
+                static_cast<std::int64_t>(result.recovery.recovered ? 1 : 0));
+    {
+      std::string failed;
+      for (const int r : result.recovery.failed_ranks) {
+        if (!failed.empty()) failed += ",";
+        failed += std::to_string(r);
+      }
+      metrics.set("fault.failed_ranks", failed);
+    }
     for (std::size_t r = 0; r < result.report.rank_comm.size(); ++r) {
       const std::string prefix = "rank." + std::to_string(r);
       metrics.set(prefix + ".vtime_seconds", result.report.rank_vtime[r]);
