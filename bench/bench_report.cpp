@@ -1,0 +1,267 @@
+// Unified machine-readable benchmark driver: routes a set of suite circuits
+// with a set of parallel algorithms across a processor sweep and writes one
+// versioned BENCH_<name>.json — per-circuit serial baseline (quality metrics
+// + per-step CPU timings), and per (algorithm, proc count) point the quality
+// metrics, scaled tracks/area, modeled speedup, and communication volume.
+//
+// The output feeds ptwgr_compare: quality metrics are integers deterministic
+// in the seed and gate against a checked-in baseline; every timing key
+// contains "seconds" and every speedup key contains "speedup", so the
+// default compare rules treat them as machine-dependent (ignored) or
+// informational.  This is what the CI bench smoke job runs (DESIGN.md §10).
+//
+// Usage (on top of the shared bench flags in bench_common.h):
+//   bench_report [--name=NAME] [--out=FILE] [--platform=ideal|smp|dmp]
+//     [--circuits=a,b,...] [--algorithms=row-wise,net-wise,hybrid]
+//     [--procs=1,2,4,8] [--scale=S] [--seed=N]
+// Defaults: name "suite", out "BENCH_<name>.json", the full six-circuit
+// suite, all three algorithms, procs 1,2,4,8 on the SMP platform model.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "ptwgr/eval/experiment.h"
+#include "ptwgr/support/json.h"
+
+namespace {
+
+using namespace ptwgr;
+using json::number;
+using json::quoted;
+
+struct ReportArgs {
+  std::string name = "suite";
+  std::string out_path;  // defaults to BENCH_<name>.json
+  std::string platform = "smp";
+  std::vector<std::string> circuits;  // empty = whole suite
+  std::vector<std::string> algorithms = {"row-wise", "net-wise", "hybrid"};
+  std::vector<int> procs = {1, 2, 4, 8};
+};
+
+std::vector<std::string> split_list(const char* csv) {
+  std::vector<std::string> out;
+  std::string item;
+  for (const char* p = csv; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!item.empty()) out.push_back(item);
+      item.clear();
+    } else {
+      item += *p;
+    }
+  }
+  if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+ReportArgs parse_report_args(int argc, char** argv) {
+  ReportArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--name=", 7) == 0) {
+      args.name = arg + 7;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      args.out_path = arg + 6;
+    } else if (std::strncmp(arg, "--platform=", 11) == 0) {
+      args.platform = arg + 11;
+    } else if (std::strncmp(arg, "--circuits=", 11) == 0) {
+      args.circuits = split_list(arg + 11);
+    } else if (std::strncmp(arg, "--algorithms=", 13) == 0) {
+      args.algorithms = split_list(arg + 13);
+    } else if (std::strncmp(arg, "--procs=", 8) == 0) {
+      args.procs.clear();
+      for (const std::string& p : split_list(arg + 8)) {
+        args.procs.push_back(std::atoi(p.c_str()));
+      }
+    }
+  }
+  if (args.out_path.empty()) args.out_path = "BENCH_" + args.name + ".json";
+  return args;
+}
+
+Platform platform_of(const std::string& name) {
+  if (name == "ideal") return Platform::ideal();
+  if (name == "smp") return Platform::sparc_center();
+  if (name == "dmp") return Platform::paragon();
+  std::fprintf(stderr, "bench_report: unknown platform '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+ParallelAlgorithm algorithm_of(const std::string& name) {
+  if (name == "row-wise") return ParallelAlgorithm::RowWise;
+  if (name == "net-wise") return ParallelAlgorithm::NetWise;
+  if (name == "hybrid") return ParallelAlgorithm::Hybrid;
+  std::fprintf(stderr, "bench_report: unknown algorithm '%s'\n",
+               name.c_str());
+  std::exit(2);
+}
+
+void append_field(std::string& out, const char* name, const std::string& value,
+                  bool& first) {
+  if (!first) out += ",";
+  first = false;
+  out += quoted(name);
+  out += ":";
+  out += value;
+}
+
+/// The gated quality block (no bulky per-channel payloads): matches the
+/// "*metrics.*" compare rules.
+std::string metrics_json(const RoutingMetrics& m) {
+  std::string out = "{";
+  bool first = true;
+  append_field(out, "tracks", number(m.track_count), first);
+  append_field(out, "area", number(m.area), first);
+  append_field(out, "wirelength", number(m.total_wirelength), first);
+  append_field(out, "feedthroughs",
+               number(static_cast<std::int64_t>(m.feedthrough_count)), first);
+  append_field(out, "coarse_flips", number(m.coarse_flips), first);
+  append_field(out, "coarse_decisions", number(m.coarse_decisions), first);
+  append_field(out, "switch_flips", number(m.switch_flips), first);
+  append_field(out, "switch_decisions", number(m.switch_decisions), first);
+  out += "}";
+  return out;
+}
+
+std::string serial_json(const CircuitExperiment& experiment) {
+  std::string out = "{";
+  bool first = true;
+  append_field(out, "metrics", metrics_json(experiment.serial_metrics),
+               first);
+  std::string steps = "{";
+  bool steps_first = true;
+  append_field(steps, "steiner_seconds",
+               number(experiment.serial_timings.steiner), steps_first);
+  append_field(steps, "coarse_seconds",
+               number(experiment.serial_timings.coarse), steps_first);
+  append_field(steps, "feedthrough_seconds",
+               number(experiment.serial_timings.feedthrough), steps_first);
+  append_field(steps, "connect_seconds",
+               number(experiment.serial_timings.connect), steps_first);
+  append_field(steps, "switchable_seconds",
+               number(experiment.serial_timings.switchable), steps_first);
+  append_field(steps, "total_seconds",
+               number(experiment.serial_timings.total()), steps_first);
+  steps += "}";
+  append_field(out, "step_timings", steps, first);
+  if (experiment.serial_modeled_seconds) {
+    append_field(out, "modeled_seconds",
+                 number(*experiment.serial_modeled_seconds), first);
+  }
+  out += "}";
+  return out;
+}
+
+std::string point_json(const RunPoint& point) {
+  std::string out = "{";
+  bool first = true;
+  append_field(out, "procs", number(static_cast<std::int64_t>(point.procs)),
+               first);
+  append_field(out, "metrics", metrics_json(point.metrics), first);
+  append_field(out, "scaled_tracks", number(point.scaled_tracks), first);
+  append_field(out, "scaled_area", number(point.scaled_area), first);
+  append_field(out, "speedup", number(point.speedup), first);
+  append_field(out, "speedup_extrapolated",
+               point.speedup_extrapolated ? "true" : "false", first);
+  append_field(out, "modeled_seconds", number(point.modeled_seconds), first);
+  append_field(out, "comm_messages",
+               number(static_cast<std::int64_t>(point.comm_messages)), first);
+  append_field(out, "comm_bytes",
+               number(static_cast<std::int64_t>(point.comm_bytes)), first);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::parse_args(argc, argv);
+  const ReportArgs report = parse_report_args(argc, argv);
+
+  ExperimentConfig config;
+  config.scale = args.scale;
+  config.options.router.seed = args.seed;
+  config.platform = platform_of(report.platform);
+  config.proc_counts = report.procs;
+  bench::apply_fault_args(args, config.options);
+
+  std::vector<std::string> circuits = report.circuits;
+  if (circuits.empty()) {
+    for (const SuiteEntry& entry : benchmark_suite(args.scale)) {
+      circuits.push_back(entry.name);
+    }
+  }
+
+  const bench::ScopedBenchTrace trace(args);
+
+  // circuits.<name>.serial / circuits.<name>.<algorithm>.points.<i>.
+  std::string circuits_json = "{";
+  bool circuits_first = true;
+  for (const std::string& circuit : circuits) {
+    const SuiteEntry entry = suite_entry(circuit, args.scale);
+    std::string circuit_json = "{";
+    bool circuit_first = true;
+    for (std::size_t a = 0; a < report.algorithms.size(); ++a) {
+      std::fprintf(stderr, "bench_report: %s / %s\n", circuit.c_str(),
+                   report.algorithms[a].c_str());
+      const CircuitExperiment experiment = run_experiment(
+          entry, algorithm_of(report.algorithms[a]), config);
+      if (a == 0) {
+        // The serial baseline is algorithm-independent; emit it once.
+        append_field(circuit_json, "serial", serial_json(experiment),
+                     circuit_first);
+      }
+      std::string points = "[";
+      for (std::size_t i = 0; i < experiment.points.size(); ++i) {
+        if (i != 0) points += ",";
+        points += point_json(experiment.points[i]);
+      }
+      points += "]";
+      append_field(circuit_json, report.algorithms[a].c_str(),
+                   "{" + quoted("points") + ":" + points + "}",
+                   circuit_first);
+    }
+    circuit_json += "}";
+    append_field(circuits_json, circuit.c_str(), circuit_json,
+                 circuits_first);
+  }
+  circuits_json += "}";
+
+  std::string doc = "{";
+  bool first = true;
+  append_field(doc, "schema", quoted("ptwgr.bench"), first);
+  append_field(doc, "version", number(std::int64_t{1}), first);
+  append_field(doc, "name", quoted(report.name), first);
+  std::string cfg = "{";
+  bool cfg_first = true;
+  append_field(cfg, "scale", number(args.scale), cfg_first);
+  append_field(cfg, "seed",
+               number(static_cast<std::int64_t>(args.seed)), cfg_first);
+  append_field(cfg, "platform", quoted(report.platform), cfg_first);
+  std::string procs = "[";
+  for (std::size_t i = 0; i < report.procs.size(); ++i) {
+    if (i != 0) procs += ",";
+    procs += number(static_cast<std::int64_t>(report.procs[i]));
+  }
+  procs += "]";
+  append_field(cfg, "proc_counts", procs, cfg_first);
+  cfg += "}";
+  append_field(doc, "config", cfg, first);
+  append_field(doc, "circuits", circuits_json, first);
+  doc += "}";
+  doc += "\n";
+
+  std::ofstream out(report.out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n",
+                 report.out_path.c_str());
+    return 1;
+  }
+  out << doc;
+  std::printf("bench report written to %s (%zu circuits, %zu algorithms)\n",
+              report.out_path.c_str(), circuits.size(),
+              report.algorithms.size());
+  return 0;
+}

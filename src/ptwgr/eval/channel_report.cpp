@@ -65,8 +65,11 @@ std::string render_channel_profile(const Circuit& circuit,
 }
 
 void write_routing_report(std::ostream& out, const Circuit& circuit,
-                          const std::vector<Wire>& wires) {
-  const RoutingMetrics metrics = compute_metrics(circuit, wires);
+                          const std::vector<Wire>& wires,
+                          const RoutingMetrics* metrics_override) {
+  const RoutingMetrics metrics = metrics_override != nullptr
+                                     ? *metrics_override
+                                     : compute_metrics(circuit, wires);
   out << "# ptwgr routing report\n";
   out << "circuit: " << circuit.num_rows() << " rows, " << circuit.num_cells()
       << " cells, " << circuit.num_nets() << " nets, " << circuit.num_pins()

@@ -18,8 +18,12 @@ std::string render_channel_profile(const Circuit& circuit,
                                    std::size_t columns = 64);
 
 /// Writes a complete text report: metrics summary, channel profile, and the
-/// wire list sorted by (channel, lo).
+/// wire list sorted by (channel, lo).  `metrics` overrides the summary line
+/// when given — parallel runs pass their assembled metrics, because the
+/// global circuit does not materialize the feedthrough cells the recompute
+/// would need.
 void write_routing_report(std::ostream& out, const Circuit& circuit,
-                          const std::vector<Wire>& wires);
+                          const std::vector<Wire>& wires,
+                          const RoutingMetrics* metrics = nullptr);
 
 }  // namespace ptwgr

@@ -20,6 +20,8 @@ CircuitExperiment run_experiment(const SuiteEntry& entry,
     result.serial_tracks = serial.metrics.track_count;
     result.serial_area = serial.metrics.area;
     result.serial_feedthroughs = serial.metrics.feedthrough_count;
+    result.serial_metrics = serial.metrics;
+    result.serial_timings = serial.timings;
     if (config.platform.serial_fits(entry.estimated_memory_bytes)) {
       // The five routing steps only — metric computation is evaluation and
       // is likewise excluded from the parallel clocks.
@@ -47,6 +49,7 @@ CircuitExperiment run_experiment(const SuiteEntry& entry,
     const mp::CommStats comm = run.comm_totals();
     point.comm_messages = comm.messages_sent + comm.total_collective_calls();
     point.comm_bytes = comm.bytes_sent + comm.total_collective_bytes();
+    point.metrics = run.metrics;
     result.points.push_back(point);
   }
 

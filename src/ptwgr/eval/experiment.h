@@ -12,6 +12,7 @@
 #include "ptwgr/circuit/suite.h"
 #include "ptwgr/eval/platform.h"
 #include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
 
 namespace ptwgr {
 
@@ -43,6 +44,9 @@ struct RunPoint {
   /// invocations, and p2p payload bytes + collective contribution bytes.
   std::uint64_t comm_messages = 0;
   std::uint64_t comm_bytes = 0;
+  /// The run's full quality metrics (wirelength, per-channel densities,
+  /// flip-sweep counters) — what the machine-readable bench files export.
+  RoutingMetrics metrics;
 };
 
 /// Full result for one (circuit, algorithm, platform) experiment.
@@ -54,6 +58,9 @@ struct CircuitExperiment {
   /// Modeled serial runtime (measured CPU seconds × platform compute
   /// scale); unset when the circuit does not fit one node.
   std::optional<double> serial_modeled_seconds;
+  /// Full serial quality metrics and per-step CPU timings.
+  RoutingMetrics serial_metrics;
+  StepTimings serial_timings;
   std::vector<RunPoint> points;
 };
 

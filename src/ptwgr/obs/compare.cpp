@@ -1,0 +1,279 @@
+#include "ptwgr/obs/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "ptwgr/support/table.h"
+
+namespace ptwgr::obs {
+
+namespace {
+
+const char* to_string(DeltaStatus status) {
+  switch (status) {
+    case DeltaStatus::Unchanged: return "ok";
+    case DeltaStatus::Improved: return "IMPROVED";
+    case DeltaStatus::Changed: return "changed";
+    case DeltaStatus::Regressed: return "REGRESSED";
+    case DeltaStatus::Added: return "added";
+    case DeltaStatus::Removed: return "REMOVED";
+  }
+  return "?";
+}
+
+bool gates(CompareDirection direction) {
+  return direction == CompareDirection::LowerIsBetter ||
+         direction == CompareDirection::HigherIsBetter;
+}
+
+/// Numeric leaves of a document as dotted path → value (bools as 0/1;
+/// strings and nulls are not comparable and are skipped).
+void flatten(const json::Value& value, const std::string& prefix,
+             std::map<std::string, double>& out) {
+  switch (value.kind()) {
+    case json::Value::Kind::Number:
+      out.emplace(prefix, value.as_number());
+      break;
+    case json::Value::Kind::Bool:
+      out.emplace(prefix, value.as_bool() ? 1.0 : 0.0);
+      break;
+    case json::Value::Kind::Array: {
+      const auto& elements = value.as_array();
+      for (std::size_t i = 0; i < elements.size(); ++i) {
+        flatten(elements[i], prefix + "." + std::to_string(i), out);
+      }
+      break;
+    }
+    case json::Value::Kind::Object:
+      for (const auto& [key, child] : value.as_object()) {
+        flatten(child, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    case json::Value::Kind::Null:
+    case json::Value::Kind::String: break;
+  }
+}
+
+const CompareRule* match_rule(const std::vector<CompareRule>& rules,
+                              const std::string& path) {
+  for (const CompareRule& rule : rules) {
+    if (glob_match(rule.pattern, path)) return &rule;
+  }
+  return nullptr;
+}
+
+std::string format_value(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative glob with single-star backtracking.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::vector<CompareRule> default_rules(double tolerance) {
+  const double loose = std::max(tolerance, 0.05);
+  return {
+      // Machine-dependent or bulky payloads: not comparable across runs.
+      {"timing.*", CompareDirection::Ignore, 0.0},
+      {"*seconds*", CompareDirection::Ignore, 0.0},
+      {"*.heatmap.*", CompareDirection::Ignore, 0.0},
+      {"ranks.*", CompareDirection::Ignore, 0.0},
+      {"*.per_row.*", CompareDirection::Ignore, 0.0},
+      {"*.per_channel.*", CompareDirection::Ignore, 0.0},
+      {"*channel_density*", CompareDirection::Ignore, 0.0},
+      // Derived ratios and modeled speedups move with the machine: report,
+      // never gate.
+      {"*acceptance_rate", CompareDirection::Info, 0.0},
+      {"*speedup*", CompareDirection::Info, 0.0},
+      // Routing quality: deterministic in the seed, gated at the tolerance.
+      {"*metrics.tracks", CompareDirection::LowerIsBetter, tolerance},
+      {"*metrics.area", CompareDirection::LowerIsBetter, tolerance},
+      {"*metrics.wirelength", CompareDirection::LowerIsBetter, tolerance},
+      {"*metrics.feedthroughs", CompareDirection::LowerIsBetter, tolerance},
+      {"snapshots.*.density.track_count", CompareDirection::LowerIsBetter,
+       tolerance},
+      {"snapshots.*.trees.total_cost", CompareDirection::LowerIsBetter,
+       tolerance},
+      {"snapshots.*.wires.total_wirelength",
+       CompareDirection::LowerIsBetter, tolerance},
+      {"snapshots.*.density.summary.max", CompareDirection::LowerIsBetter,
+       loose},
+  };
+}
+
+bool CompareResult::has_regression() const {
+  for (const MetricDelta& d : deltas) {
+    if (d.status == DeltaStatus::Regressed) return true;
+    if (d.status == DeltaStatus::Removed && gates(d.direction)) return true;
+  }
+  return false;
+}
+
+std::size_t CompareResult::count(DeltaStatus status) const {
+  return static_cast<std::size_t>(
+      std::count_if(deltas.begin(), deltas.end(),
+                    [status](const MetricDelta& d) {
+                      return d.status == status;
+                    }));
+}
+
+CompareResult compare(const json::Value& baseline,
+                      const json::Value& candidate,
+                      const std::vector<CompareRule>& rules) {
+  const json::Value* base_schema = baseline.find("schema");
+  const json::Value* cand_schema = candidate.find("schema");
+  if (base_schema != nullptr && cand_schema != nullptr &&
+      base_schema->is_string() && cand_schema->is_string() &&
+      base_schema->as_string() != cand_schema->as_string()) {
+    throw std::runtime_error("documents are not comparable: schema \"" +
+                             base_schema->as_string() + "\" vs \"" +
+                             cand_schema->as_string() + "\"");
+  }
+
+  std::map<std::string, double> base_leaves;
+  std::map<std::string, double> cand_leaves;
+  flatten(baseline, "", base_leaves);
+  flatten(candidate, "", cand_leaves);
+
+  CompareResult result;
+  // Both maps iterate in path order; walk their union.
+  auto bi = base_leaves.begin();
+  auto ci = cand_leaves.begin();
+  while (bi != base_leaves.end() || ci != cand_leaves.end()) {
+    MetricDelta delta;
+    const bool in_base = bi != base_leaves.end();
+    const bool in_cand = ci != cand_leaves.end();
+    const bool both =
+        in_base && in_cand && bi->first == ci->first;
+    if (both || (in_base && (!in_cand || bi->first < ci->first))) {
+      delta.path = bi->first;
+      delta.baseline = bi->second;
+    } else {
+      delta.path = ci->first;
+    }
+
+    const CompareRule* rule = match_rule(rules, delta.path);
+    const CompareDirection direction =
+        rule != nullptr ? rule->direction : CompareDirection::Info;
+    const double tolerance = rule != nullptr ? rule->tolerance : 0.0;
+    delta.direction = direction;
+
+    if (both) {
+      delta.candidate = ci->second;
+      const double base_mag = std::fabs(delta.baseline);
+      delta.rel_change =
+          base_mag > 0.0
+              ? (delta.candidate - delta.baseline) / base_mag
+              : (delta.candidate == 0.0 ? 0.0
+                                        : (delta.candidate > 0.0 ? 1.0
+                                                                 : -1.0));
+      if (delta.baseline == delta.candidate) {
+        delta.status = DeltaStatus::Unchanged;
+      } else if (direction == CompareDirection::LowerIsBetter &&
+                 delta.rel_change > tolerance) {
+        delta.status = DeltaStatus::Regressed;
+      } else if (direction == CompareDirection::HigherIsBetter &&
+                 delta.rel_change < -tolerance) {
+        delta.status = DeltaStatus::Regressed;
+      } else if (direction == CompareDirection::LowerIsBetter &&
+                 delta.rel_change < -tolerance) {
+        delta.status = DeltaStatus::Improved;
+      } else if (direction == CompareDirection::HigherIsBetter &&
+                 delta.rel_change > tolerance) {
+        delta.status = DeltaStatus::Improved;
+      } else {
+        delta.status = DeltaStatus::Changed;
+      }
+      ++bi;
+      ++ci;
+    } else if (in_base && (!in_cand || bi->first < ci->first)) {
+      delta.status = DeltaStatus::Removed;
+      ++bi;
+    } else {
+      delta.candidate = ci->second;
+      delta.status = DeltaStatus::Added;
+      ++ci;
+    }
+
+    if (direction != CompareDirection::Ignore) {
+      result.deltas.push_back(std::move(delta));
+    }
+  }
+  return result;
+}
+
+std::string render_compare_table(const CompareResult& result,
+                                 bool changes_only) {
+  TextTable table("metric comparison");
+  table.add_row({"metric", "baseline", "candidate", "change", "status"});
+  // Regressions surface first, then improvements, then the rest.
+  const auto severity = [](const MetricDelta& d) {
+    if (d.status == DeltaStatus::Regressed) return 0;
+    if (d.status == DeltaStatus::Removed && gates(d.direction)) return 0;
+    if (d.status == DeltaStatus::Improved) return 1;
+    return 2;
+  };
+  std::vector<const MetricDelta*> ordered;
+  ordered.reserve(result.deltas.size());
+  for (const MetricDelta& d : result.deltas) {
+    if (changes_only && d.status == DeltaStatus::Unchanged) continue;
+    ordered.push_back(&d);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&severity](const MetricDelta* a, const MetricDelta* b) {
+                     return severity(*a) < severity(*b);
+                   });
+  for (const MetricDelta* d : ordered) {
+    const bool has_both = d->status != DeltaStatus::Added &&
+                          d->status != DeltaStatus::Removed;
+    std::string change = "-";
+    if (has_both && d->status != DeltaStatus::Unchanged) {
+      change = format_fixed(d->rel_change * 100.0, 2) + "%";
+      if (d->rel_change > 0.0) change = "+" + change;
+    }
+    table.add_row(
+        {d->path,
+         d->status == DeltaStatus::Added ? "-" : format_value(d->baseline),
+         d->status == DeltaStatus::Removed ? "-"
+                                           : format_value(d->candidate),
+         change, to_string(d->status)});
+  }
+  std::string out = table.to_string();
+  out += "\n";
+  out += std::to_string(result.deltas.size()) + " compared: " +
+         std::to_string(result.count(DeltaStatus::Regressed)) +
+         " regressed, " + std::to_string(result.count(DeltaStatus::Improved)) +
+         " improved, " + std::to_string(result.count(DeltaStatus::Changed) +
+                                        result.count(DeltaStatus::Added) +
+                                        result.count(DeltaStatus::Removed)) +
+         " changed, " + std::to_string(result.count(DeltaStatus::Unchanged)) +
+         " unchanged\n";
+  return out;
+}
+
+}  // namespace ptwgr::obs

@@ -1,0 +1,78 @@
+// Metric-level comparison of two JSON documents (run reports or bench
+// files): the engine behind ptwgr_compare and the CI regression gate.
+//
+// Both documents are flattened to (dotted path → number) leaves; every leaf
+// is matched against an ordered rule list (first match wins).  A rule names
+// a glob pattern, a direction — which way the metric is allowed to move —
+// and a relative tolerance.  Unmatched leaves are informational: reported
+// when they change, but never a regression.  The default rules gate the
+// routing-quality metrics and ignore machine-dependent timings and the bulky
+// per-cell heatmap payloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ptwgr/support/json.h"
+
+namespace ptwgr::obs {
+
+enum class CompareDirection : std::uint8_t {
+  LowerIsBetter,   ///< growth beyond tolerance is a regression
+  HigherIsBetter,  ///< shrinkage beyond tolerance is a regression
+  Info,            ///< report changes, never gate
+  Ignore,          ///< drop entirely (not even reported)
+};
+
+struct CompareRule {
+  std::string pattern;  ///< glob over the dotted path ('*' spans segments)
+  CompareDirection direction = CompareDirection::Info;
+  double tolerance = 0.0;  ///< relative, against the baseline value
+};
+
+/// Glob match with '*' (any run, including dots) and '?' (one char).
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// The built-in rule list: quality metrics gate at `tolerance`, timings /
+/// per-cell payloads are ignored, everything else is informational.
+std::vector<CompareRule> default_rules(double tolerance);
+
+enum class DeltaStatus : std::uint8_t {
+  Unchanged,
+  Improved,   ///< moved the good way beyond tolerance
+  Changed,    ///< informational move (or within tolerance)
+  Regressed,  ///< moved the bad way beyond tolerance
+  Added,      ///< only in the candidate (informational)
+  Removed,    ///< only in the baseline (a regression when the rule gates it)
+};
+
+struct MetricDelta {
+  std::string path;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  /// (candidate - baseline) / |baseline| (0 when both are 0).
+  double rel_change = 0.0;
+  DeltaStatus status = DeltaStatus::Unchanged;
+  CompareDirection direction = CompareDirection::Info;
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> deltas;  ///< path-sorted, ignored leaves dropped
+
+  bool has_regression() const;
+  std::size_t count(DeltaStatus status) const;
+};
+
+/// Flattens both documents and applies `rules`.  Throws std::runtime_error
+/// when the documents are not comparable (different "schema" markers).
+CompareResult compare(const json::Value& baseline,
+                      const json::Value& candidate,
+                      const std::vector<CompareRule>& rules);
+
+/// Regression table.  With `changes_only`, unchanged leaves are elided.
+std::string render_compare_table(const CompareResult& result,
+                                 bool changes_only);
+
+}  // namespace ptwgr::obs

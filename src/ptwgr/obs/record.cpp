@@ -1,0 +1,26 @@
+#include "ptwgr/obs/record.h"
+
+namespace ptwgr::obs {
+
+std::vector<std::pair<std::size_t, std::int64_t>> feedthrough_rows(
+    const Circuit& circuit) {
+  std::vector<std::int64_t> counts(circuit.num_rows(), 0);
+  for (const Cell& cell : circuit.cells()) {
+    if (cell.kind == CellKind::Feedthrough) ++counts[cell.row.index()];
+  }
+  std::vector<std::pair<std::size_t, std::int64_t>> rows;
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    if (counts[r] > 0) rows.emplace_back(r, counts[r]);
+  }
+  return rows;
+}
+
+std::int64_t count_switchable(const std::vector<Wire>& wires) {
+  std::int64_t count = 0;
+  for (const Wire& w : wires) {
+    if (w.switchable) ++count;
+  }
+  return count;
+}
+
+}  // namespace ptwgr::obs

@@ -1,0 +1,42 @@
+// Small helpers shared by the instrumentation sites in the serial router and
+// the parallel rank bodies: cheap local accumulation of the data the
+// QualityCollector contributions need.  Everything here is only ever invoked
+// when a collector is active, so none of it costs anything on plain runs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ptwgr/circuit/circuit.h"
+#include "ptwgr/route/steiner.h"
+#include "ptwgr/route/wire.h"
+
+namespace ptwgr::obs {
+
+/// Accumulates one rank's Steiner-tree batch for
+/// QualityCollector::add_trees.  Trees carry global net ids in every
+/// algorithm (each net's tree is built by exactly one owner), so no
+/// translation is needed.
+struct TreeBatch {
+  std::vector<std::pair<std::uint32_t, std::int64_t>> per_net_costs;
+  std::int64_t edges = 0;
+  std::int64_t inter_row_edges = 0;
+
+  void add(const SteinerTree& tree, std::int64_t row_cost) {
+    per_net_costs.emplace_back(tree.net.value(), tree.length(row_cost));
+    edges += static_cast<std::int64_t>(tree.edges.size());
+    inter_row_edges += static_cast<std::int64_t>(tree.num_inter_row_edges());
+  }
+};
+
+/// Per-row feedthrough cell counts of `circuit`, as (local row, count) pairs
+/// for rows holding at least one feedthrough.  Callers translate local rows
+/// to global ones and filter to owned rows as their algorithm requires.
+std::vector<std::pair<std::size_t, std::int64_t>> feedthrough_rows(
+    const Circuit& circuit);
+
+/// Number of switchable wires (the per-pass decision count of step 5).
+std::int64_t count_switchable(const std::vector<Wire>& wires);
+
+}  // namespace ptwgr::obs

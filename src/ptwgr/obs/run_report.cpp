@@ -1,0 +1,391 @@
+#include "ptwgr/obs/run_report.h"
+
+#include "ptwgr/support/json.h"
+
+namespace ptwgr::obs {
+
+namespace {
+
+using json::number;
+using json::quoted;
+
+void append_field(std::string& out, const char* name, const std::string& value,
+                  bool& first) {
+  if (!first) out += ",";
+  first = false;
+  out += quoted(name);
+  out += ":";
+  out += value;
+}
+
+std::string int_array(const std::vector<std::int64_t>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ",";
+    out += number(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string summary_json(const DistributionSummary& s) {
+  std::string out = "{";
+  bool first = true;
+  append_field(out, "count", number(s.count), first);
+  append_field(out, "total", number(s.total), first);
+  append_field(out, "min", number(s.min), first);
+  append_field(out, "max", number(s.max), first);
+  append_field(out, "mean", number(s.mean), first);
+  append_field(out, "p50", number(s.p50), first);
+  append_field(out, "p90", number(s.p90), first);
+  append_field(out, "p99", number(s.p99), first);
+  out += "}";
+  return out;
+}
+
+std::string heatmap_json(const Heatmap& map) {
+  std::string out = "{";
+  bool first = true;
+  append_field(out, "rows", number(static_cast<std::int64_t>(map.rows)),
+               first);
+  append_field(out, "cols", number(static_cast<std::int64_t>(map.cols)),
+               first);
+  append_field(out, "column_width", number(map.column_width), first);
+  append_field(out, "max", number(map.max_cell()), first);
+  std::string cells = "[";
+  for (std::size_t r = 0; r < map.rows; ++r) {
+    if (r != 0) cells += ",";
+    cells += "[";
+    for (std::size_t c = 0; c < map.cols; ++c) {
+      if (c != 0) cells += ",";
+      cells += number(map.at(r, c));
+    }
+    cells += "]";
+  }
+  cells += "]";
+  append_field(out, "cells", cells, first);
+  out += "}";
+  return out;
+}
+
+std::string flip_sweep_json(const FlipSweepStats& flips) {
+  std::string out = "{";
+  bool first = true;
+  append_field(out, "decisions", number(flips.decisions), first);
+  append_field(out, "flips", number(flips.flips), first);
+  append_field(out, "passes",
+               number(static_cast<std::int64_t>(flips.passes)), first);
+  append_field(out, "acceptance_rate", number(flips.acceptance_rate()),
+               first);
+  out += "}";
+  return out;
+}
+
+std::string comm_stats_json(const mp::CommStats& comm) {
+  std::string out = "{";
+  bool first = true;
+  append_field(out, "messages_sent", number(comm.messages_sent), first);
+  append_field(out, "bytes_sent", number(comm.bytes_sent), first);
+  append_field(out, "messages_received", number(comm.messages_received),
+               first);
+  append_field(out, "bytes_received", number(comm.bytes_received), first);
+  append_field(out, "p2p_retries", number(comm.p2p_retries), first);
+  append_field(out, "recv_timeouts", number(comm.recv_timeouts), first);
+  std::string collectives = "{";
+  bool cfirst = true;
+  for (std::size_t k = 0; k < mp::kNumCollectiveKinds; ++k) {
+    if (comm.collective_calls[k] == 0) continue;
+    std::string entry = "{";
+    bool efirst = true;
+    append_field(entry, "calls", number(comm.collective_calls[k]), efirst);
+    append_field(entry, "bytes", number(comm.collective_bytes[k]), efirst);
+    entry += "}";
+    append_field(collectives,
+                 mp::to_string(static_cast<mp::CollectiveKind>(k)), entry,
+                 cfirst);
+  }
+  collectives += "}";
+  append_field(out, "collectives", collectives, first);
+  append_field(out, "compute_seconds", number(comm.compute_seconds), first);
+  append_field(out, "p2p_wait_seconds", number(comm.p2p_wait_seconds), first);
+  append_field(out, "collective_sync_seconds",
+               number(comm.collective_sync_seconds), first);
+  out += "}";
+  return out;
+}
+
+std::string metrics_json(const RoutingMetrics& metrics) {
+  std::string out = "{";
+  bool first = true;
+  append_field(out, "tracks", number(metrics.track_count), first);
+  append_field(out, "area", number(metrics.area), first);
+  append_field(out, "wirelength", number(metrics.total_wirelength), first);
+  append_field(out, "feedthroughs",
+               number(static_cast<std::int64_t>(metrics.feedthrough_count)),
+               first);
+  append_field(out, "channel_density", int_array(metrics.channel_density),
+               first);
+  std::string coarse = "{";
+  bool sfirst = true;
+  append_field(coarse, "decisions", number(metrics.coarse_decisions), sfirst);
+  append_field(coarse, "flips", number(metrics.coarse_flips), sfirst);
+  coarse += "}";
+  append_field(out, "coarse_sweep", coarse, first);
+  std::string sw = "{";
+  sfirst = true;
+  append_field(sw, "decisions", number(metrics.switch_decisions), sfirst);
+  append_field(sw, "flips", number(metrics.switch_flips), sfirst);
+  sw += "}";
+  append_field(out, "switch_sweep", sw, first);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string snapshot_to_json(const PhaseSnapshot& snapshot) {
+  std::string out = "{";
+  bool first = true;
+  append_field(out, "phase", quoted(to_string(snapshot.phase)), first);
+
+  if (snapshot.net_count > 0) {
+    std::string trees = "{";
+    bool tfirst = true;
+    append_field(trees, "nets", number(snapshot.net_count), tfirst);
+    append_field(trees, "edges", number(snapshot.tree_edge_count), tfirst);
+    append_field(trees, "inter_row_edges",
+                 number(snapshot.inter_row_edge_count), tfirst);
+    append_field(trees, "total_cost", number(snapshot.tree_cost), tfirst);
+    append_field(trees, "per_net_cost",
+                 summary_json(snapshot.per_net_tree_cost), tfirst);
+    trees += "}";
+    append_field(out, "trees", trees, first);
+  }
+
+  if (!snapshot.channel_use.empty() || !snapshot.crossing_demand.empty()) {
+    std::string maps = "{";
+    bool mfirst = true;
+    if (!snapshot.channel_use.empty()) {
+      append_field(maps, "channel_use", heatmap_json(snapshot.channel_use),
+                   mfirst);
+    }
+    if (!snapshot.crossing_demand.empty()) {
+      append_field(maps, "crossing_demand",
+                   heatmap_json(snapshot.crossing_demand), mfirst);
+    }
+    maps += "}";
+    append_field(out, "heatmap", maps, first);
+  }
+
+  if (!snapshot.feedthroughs_per_row.empty()) {
+    std::string ft = "{";
+    bool ffirst = true;
+    append_field(ft, "total", number(snapshot.feedthrough_total), ffirst);
+    append_field(ft, "per_row", int_array(snapshot.feedthroughs_per_row),
+                 ffirst);
+    ft += "}";
+    append_field(out, "feedthroughs", ft, first);
+  }
+
+  if (snapshot.wire_count > 0) {
+    std::string wires = "{";
+    bool wfirst = true;
+    append_field(wires, "count", number(snapshot.wire_count), wfirst);
+    append_field(wires, "total_wirelength",
+                 number(snapshot.total_wirelength), wfirst);
+    append_field(wires, "per_net_wirelength",
+                 summary_json(snapshot.per_net_wirelength), wfirst);
+    wires += "}";
+    append_field(out, "wires", wires, first);
+  }
+
+  if (!snapshot.channel_density.empty()) {
+    std::string density = "{";
+    bool dfirst = true;
+    append_field(density, "exact",
+                 snapshot.density_exact ? "true" : "false", dfirst);
+    append_field(density, "track_count", number(snapshot.track_count),
+                 dfirst);
+    append_field(density, "per_channel", int_array(snapshot.channel_density),
+                 dfirst);
+    append_field(density, "summary", summary_json(snapshot.density_summary),
+                 dfirst);
+    density += "}";
+    append_field(out, "density", density, first);
+  }
+
+  if (snapshot.flip_sweep.decisions > 0 || snapshot.flip_sweep.passes > 0) {
+    append_field(out, "flip_sweep", flip_sweep_json(snapshot.flip_sweep),
+                 first);
+  }
+
+  out += "}";
+  return out;
+}
+
+void RunReport::fill_snapshots(const QualityCollector& collector) {
+  snapshots = collector.finalize();
+  has_snapshots = true;
+}
+
+void RunReport::clear_volatile() {
+  step_timings = StepTimings{};
+  modeled_seconds = 0.0;
+  wall_seconds = 0.0;
+  total_cpu_seconds = 0.0;
+  for (RankReport& r : rank_reports) {
+    r.vtime_seconds = 0.0;
+    r.cpu_seconds = 0.0;
+    r.comm.compute_seconds = 0.0;
+    r.comm.p2p_wait_seconds = 0.0;
+    r.comm.collective_sync_seconds = 0.0;
+    r.comm.retry_backoff_seconds = 0.0;
+    r.comm.injected_delay_seconds = 0.0;
+  }
+}
+
+std::string RunReport::to_json() const {
+  std::string out = "{\n";
+  bool first = true;
+  append_field(out, "schema", quoted("ptwgr.run_report"), first);
+  out += "\n";
+  append_field(out, "version",
+               number(static_cast<std::int64_t>(kRunReportVersion)), first);
+  out += "\n";
+
+  {
+    std::string config = "{";
+    bool cfirst = true;
+    append_field(config, "algorithm", quoted(algorithm), cfirst);
+    append_field(config, "seed", number(seed), cfirst);
+    append_field(config, "ranks", number(static_cast<std::int64_t>(ranks)),
+                 cfirst);
+    append_field(config, "platform", quoted(platform), cfirst);
+    std::string rt = "{";
+    bool rfirst = true;
+    append_field(rt, "column_width", number(router.column_width), rfirst);
+    append_field(rt, "feedthrough_width", number(router.feedthrough_width),
+                 rfirst);
+    append_field(rt, "coarse_passes",
+                 number(static_cast<std::int64_t>(router.coarse_passes)),
+                 rfirst);
+    append_field(rt, "switchable_passes",
+                 number(static_cast<std::int64_t>(router.switchable_passes)),
+                 rfirst);
+    append_field(rt, "steiner_row_cost", number(router.steiner_row_cost),
+                 rfirst);
+    append_field(rt, "switch_bucket_width",
+                 number(router.switch_bucket_width), rfirst);
+    rt += "}";
+    append_field(config, "router", rt, cfirst);
+    config += "}";
+    append_field(out, "config", config, first);
+    out += "\n";
+  }
+
+  {
+    std::string c = "{";
+    bool cfirst = true;
+    append_field(c, "source", quoted(circuit_source), cfirst);
+    append_field(c, "rows", number(static_cast<std::int64_t>(circuit.rows)),
+                 cfirst);
+    append_field(c, "cells", number(static_cast<std::int64_t>(circuit.cells)),
+                 cfirst);
+    append_field(c, "pins", number(static_cast<std::int64_t>(circuit.pins)),
+                 cfirst);
+    append_field(c, "nets", number(static_cast<std::int64_t>(circuit.nets)),
+                 cfirst);
+    append_field(c, "max_pins_on_net",
+                 number(static_cast<std::int64_t>(circuit.max_pins_on_net)),
+                 cfirst);
+    append_field(c, "mean_pins_per_net", number(circuit.mean_pins_per_net),
+                 cfirst);
+    append_field(c, "core_width", number(circuit.core_width), cfirst);
+    c += "}";
+    append_field(out, "circuit", c, first);
+    out += "\n";
+  }
+
+  if (has_snapshots) {
+    std::string snaps = "[\n";
+    for (std::size_t i = 0; i < snapshots.size(); ++i) {
+      if (i != 0) snaps += ",\n";
+      snaps += snapshot_to_json(snapshots[i]);
+    }
+    snaps += "\n]";
+    append_field(out, "snapshots", snaps, first);
+    out += "\n";
+  }
+
+  append_field(out, "metrics", metrics_json(metrics), first);
+  out += "\n";
+
+  {
+    std::string timing = "{";
+    bool tfirst = true;
+    if (has_step_timings) {
+      std::string steps = "{";
+      bool sfirst = true;
+      append_field(steps, "steiner", number(step_timings.steiner), sfirst);
+      append_field(steps, "coarse", number(step_timings.coarse), sfirst);
+      append_field(steps, "feedthrough", number(step_timings.feedthrough),
+                   sfirst);
+      append_field(steps, "connect", number(step_timings.connect), sfirst);
+      append_field(steps, "switchable", number(step_timings.switchable),
+                   sfirst);
+      append_field(steps, "total", number(step_timings.total()), sfirst);
+      steps += "}";
+      append_field(timing, "serial_step_seconds", steps, tfirst);
+    }
+    append_field(timing, "modeled_seconds", number(modeled_seconds), tfirst);
+    append_field(timing, "wall_seconds", number(wall_seconds), tfirst);
+    append_field(timing, "total_cpu_seconds", number(total_cpu_seconds),
+                 tfirst);
+    timing += "}";
+    append_field(out, "timing", timing, first);
+    out += "\n";
+  }
+
+  if (!rank_reports.empty()) {
+    std::string ranks_json = "[\n";
+    for (std::size_t i = 0; i < rank_reports.size(); ++i) {
+      const RankReport& r = rank_reports[i];
+      if (i != 0) ranks_json += ",\n";
+      std::string entry = "{";
+      bool efirst = true;
+      append_field(entry, "rank", number(static_cast<std::int64_t>(r.rank)),
+                   efirst);
+      append_field(entry, "vtime_seconds", number(r.vtime_seconds), efirst);
+      append_field(entry, "cpu_seconds", number(r.cpu_seconds), efirst);
+      append_field(entry, "comm", comm_stats_json(r.comm), efirst);
+      entry += "}";
+      ranks_json += entry;
+    }
+    ranks_json += "\n]";
+    append_field(out, "ranks", ranks_json, first);
+    out += "\n";
+  }
+
+  {
+    std::string recovery = "{";
+    bool rfirst = true;
+    append_field(recovery, "attempts",
+                 number(static_cast<std::int64_t>(recovery_attempts)),
+                 rfirst);
+    std::string failed = "[";
+    for (std::size_t i = 0; i < failed_ranks.size(); ++i) {
+      if (i != 0) failed += ",";
+      failed += number(static_cast<std::int64_t>(failed_ranks[i]));
+    }
+    failed += "]";
+    append_field(recovery, "failed_ranks", failed, rfirst);
+    recovery += "}";
+    append_field(out, "recovery", recovery, first);
+    out += "\n";
+  }
+
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ptwgr::obs

@@ -1,0 +1,77 @@
+// The versioned JSON run report: one self-describing document per routing
+// run — configuration and seed, circuit characteristics, the five per-phase
+// quality snapshots, final routing metrics, timings, and (for parallel runs)
+// the per-rank virtual-time and communication accounting.
+//
+// The schema is versioned ("schema": "ptwgr.run_report", "version": N) so
+// downstream tooling — ptwgr_compare, the CI regression gate, notebooks —
+// can evolve with it.  DESIGN.md §10 documents every section.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptwgr/circuit/circuit_stats.h"
+#include "ptwgr/mp/comm_stats.h"
+#include "ptwgr/obs/snapshot.h"
+#include "ptwgr/route/router.h"
+
+namespace ptwgr::obs {
+
+/// Bump when the JSON layout changes incompatibly.
+inline constexpr int kRunReportVersion = 1;
+
+/// One rank's timing and communication accounting (parallel runs).
+struct RankReport {
+  int rank = 0;
+  double vtime_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  mp::CommStats comm;
+};
+
+struct RunReport {
+  // --- configuration ------------------------------------------------------
+  std::string algorithm = "serial";  ///< serial | row-wise | net-wise | hybrid
+  std::uint64_t seed = 1;
+  int ranks = 1;
+  std::string platform = "n/a";  ///< ideal | smp | dmp | n/a (serial)
+  RouterOptions router;
+
+  // --- circuit ------------------------------------------------------------
+  std::string circuit_source;  ///< file path, suite spec, or generator spec
+  CircuitStats circuit;
+
+  // --- solution -----------------------------------------------------------
+  bool has_snapshots = false;
+  std::array<PhaseSnapshot, kNumPhases> snapshots{};
+  RoutingMetrics metrics;
+
+  // --- timing (volatile: machine-dependent, see clear_volatile) ----------
+  StepTimings step_timings;       ///< serial runs
+  bool has_step_timings = false;
+  double modeled_seconds = 0.0;   ///< parallel: slowest rank's virtual clock
+  double wall_seconds = 0.0;
+  double total_cpu_seconds = 0.0;
+  std::vector<RankReport> rank_reports;
+
+  // --- fault recovery -----------------------------------------------------
+  int recovery_attempts = 0;
+  std::vector<int> failed_ranks;
+
+  /// Copies the collector's merged snapshots in.
+  void fill_snapshots(const QualityCollector& collector);
+
+  /// Zeroes every machine-dependent field (wall/CPU/virtual seconds, per-rank
+  /// vtime decompositions) so two same-seed reports compare byte-identical.
+  /// Deterministic counters (message/byte counts, quality, snapshots) stay.
+  void clear_volatile();
+
+  /// The whole report as one JSON document.
+  std::string to_json() const;
+};
+
+/// JSON for one snapshot (shared by to_json; exposed for tests).
+std::string snapshot_to_json(const PhaseSnapshot& snapshot);
+
+}  // namespace ptwgr::obs

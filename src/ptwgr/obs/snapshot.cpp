@@ -1,0 +1,321 @@
+#include "ptwgr/obs/snapshot.h"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+#include "ptwgr/route/grid.h"
+#include "ptwgr/support/check.h"
+#include "ptwgr/support/interval.h"
+
+namespace ptwgr::obs {
+
+namespace {
+
+std::atomic<QualityCollector*> g_collector{nullptr};
+
+/// Nearest-rank percentile of a sorted non-empty vector.
+std::int64_t percentile(const std::vector<std::int64_t>& sorted, double p) {
+  const auto n = sorted.size();
+  const auto rank = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(n) - 1.0,
+                       p * static_cast<double>(n)));
+  return sorted[rank];
+}
+
+/// Sorted (by key) snapshot of a hash map's values.
+std::vector<std::int64_t> sorted_values(
+    const std::unordered_map<std::uint32_t, std::int64_t>& map) {
+  std::vector<std::pair<std::uint32_t, std::int64_t>> entries(map.begin(),
+                                                              map.end());
+  std::sort(entries.begin(), entries.end());
+  std::vector<std::int64_t> values;
+  values.reserve(entries.size());
+  for (const auto& [key, value] : entries) values.push_back(value);
+  return values;
+}
+
+void merge_heatmap(Heatmap& into, std::size_t rows, std::size_t cols,
+                   Coord column_width) {
+  if (into.cells.empty()) {
+    into.rows = rows;
+    into.cols = cols;
+    into.column_width = column_width;
+    into.cells.assign(rows * cols, 0);
+  } else {
+    PTWGR_CHECK_MSG(into.rows == rows && into.cols == cols,
+                    "heatmap contribution shape mismatch: have "
+                        << into.rows << "x" << into.cols << ", got " << rows
+                        << "x" << cols);
+  }
+}
+
+}  // namespace
+
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::Steiner: return "steiner";
+    case Phase::Coarse: return "coarse";
+    case Phase::Feedthrough: return "feedthrough";
+    case Phase::Connect: return "connect";
+    case Phase::Switchable: return "switchable";
+  }
+  return "?";
+}
+
+DistributionSummary summarize(std::vector<std::int64_t> values) {
+  DistributionSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = static_cast<std::int64_t>(values.size());
+  s.min = values.front();
+  s.max = values.back();
+  for (const std::int64_t v : values) s.total += v;
+  s.mean = static_cast<double>(s.total) / static_cast<double>(s.count);
+  s.p50 = percentile(values, 0.50);
+  s.p90 = percentile(values, 0.90);
+  s.p99 = percentile(values, 0.99);
+  return s;
+}
+
+std::int64_t Heatmap::max_cell() const {
+  std::int64_t max = 0;
+  for (const std::int64_t c : cells) max = std::max(max, c);
+  return max;
+}
+
+std::string render_heatmap_ascii(const Heatmap& map, const std::string& label) {
+  std::ostringstream os;
+  os << label << " (" << map.rows << " rows x " << map.cols
+     << " cols, column width " << map.column_width << ")\n";
+  if (map.empty()) {
+    os << "  (empty)\n";
+    return os.str();
+  }
+  const std::int64_t max = map.max_cell();
+  os << "  scale: '.'=0";
+  if (max > 0) {
+    os << ", '1'..'9' up to " << max << ", '#'=" << max;
+  }
+  os << "\n";
+  // Top row first, matching the usual die orientation.
+  for (std::size_t r = map.rows; r-- > 0;) {
+    os << "  " << (r < 10 ? " " : "") << r << " |";
+    for (std::size_t c = 0; c < map.cols; ++c) {
+      const std::int64_t v = map.at(r, c);
+      char glyph = '.';
+      if (v > 0 && max > 0) {
+        if (v == max) {
+          glyph = '#';
+        } else {
+          const auto bucket = static_cast<std::int64_t>(
+              1 + (9 * (v - 1)) / std::max<std::int64_t>(max, 1));
+          glyph = static_cast<char>(
+              '0' + std::min<std::int64_t>(bucket, 9));
+        }
+      }
+      os << glyph;
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+std::vector<std::int64_t> exact_channel_density(
+    std::size_t num_channels, const std::vector<Wire>& wires) {
+  // Density counts nets, so each net's wires within a channel are merged
+  // into their union before the overlap sweep (as in compute_metrics).
+  std::vector<std::vector<std::pair<std::uint32_t, Interval>>> per_channel(
+      num_channels);
+  for (const Wire& wire : wires) {
+    PTWGR_CHECK_MSG(wire.channel < num_channels,
+                    "wire channel " << wire.channel << " out of range");
+    per_channel[wire.channel].emplace_back(wire.net.value(),
+                                           Interval{wire.lo, wire.hi});
+  }
+  std::vector<std::int64_t> density(num_channels, 0);
+  for (std::size_t c = 0; c < num_channels; ++c) {
+    auto& entries = per_channel[c];
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<Interval> channel_intervals;
+    std::vector<Interval> net_intervals;
+    std::size_t i = 0;
+    while (i < entries.size()) {
+      const std::uint32_t net = entries[i].first;
+      net_intervals.clear();
+      for (; i < entries.size() && entries[i].first == net; ++i) {
+        net_intervals.push_back(entries[i].second);
+      }
+      for (const Interval& iv : merge_intervals(net_intervals)) {
+        channel_intervals.push_back(iv);
+      }
+    }
+    density[c] = max_overlap(std::move(channel_intervals));
+  }
+  return density;
+}
+
+void QualityCollector::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (PhaseAccum& p : phases_) p = PhaseAccum{};
+}
+
+void QualityCollector::add_trees(
+    const std::vector<std::pair<std::uint32_t, std::int64_t>>& per_net_costs,
+    std::int64_t edge_count, std::int64_t inter_row_edge_count) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PhaseAccum& p = accum(Phase::Steiner);
+  p.touched = true;
+  p.edge_count += edge_count;
+  p.inter_row_edge_count += inter_row_edge_count;
+  for (const auto& [net, cost] : per_net_costs) p.per_net_cost[net] += cost;
+}
+
+void QualityCollector::add_grid(Phase phase, const CoarseGrid& grid,
+                                std::size_t row_offset,
+                                std::size_t channel_offset,
+                                std::size_t global_rows) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PhaseAccum& p = accum(phase);
+  p.touched = true;
+  const std::size_t cols = grid.num_columns();
+  merge_heatmap(p.crossing_demand, global_rows, cols, grid.column_width());
+  merge_heatmap(p.channel_use, global_rows + 1, cols, grid.column_width());
+  for (std::size_t r = 0; r < grid.num_rows(); ++r) {
+    const std::size_t gr = row_offset + r;
+    PTWGR_CHECK_MSG(gr < global_rows, "grid row contribution out of range");
+    for (std::size_t c = 0; c < cols; ++c) {
+      p.crossing_demand.cells[gr * cols + c] += grid.feedthrough_demand(r, c);
+    }
+  }
+  for (std::size_t ch = 0; ch < grid.num_channels(); ++ch) {
+    const std::size_t gch = channel_offset + ch;
+    PTWGR_CHECK_MSG(gch < global_rows + 1,
+                    "grid channel contribution out of range");
+    for (std::size_t c = 0; c < cols; ++c) {
+      p.channel_use.cells[gch * cols + c] += grid.channel_use(ch, c);
+    }
+  }
+}
+
+void QualityCollector::add_feedthroughs(
+    const std::vector<std::pair<std::size_t, std::int64_t>>& per_row,
+    std::size_t global_rows) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PhaseAccum& p = accum(Phase::Feedthrough);
+  p.touched = true;
+  if (p.feedthroughs_per_row.size() < global_rows) {
+    p.feedthroughs_per_row.resize(global_rows, 0);
+  }
+  for (const auto& [row, count] : per_row) {
+    PTWGR_CHECK_MSG(row < global_rows, "feedthrough row out of range");
+    p.feedthroughs_per_row[row] += count;
+  }
+}
+
+void QualityCollector::add_wires(Phase phase, const std::vector<Wire>& wires,
+                                 std::size_t num_channels) {
+  // Compute the (rank-local, exact) density before taking the lock.
+  std::vector<std::int64_t> local_density =
+      exact_channel_density(num_channels, wires);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PhaseAccum& p = accum(phase);
+  p.touched = true;
+  p.wire_count += static_cast<std::int64_t>(wires.size());
+  for (const Wire& wire : wires) {
+    p.per_net_wirelength[wire.net.value()] += wire.length();
+  }
+  if (p.density_sum.size() < num_channels) {
+    p.density_sum.resize(num_channels, 0);
+  }
+  for (std::size_t c = 0; c < num_channels; ++c) {
+    p.density_sum[c] += local_density[c];
+  }
+  ++p.density_contributors;
+}
+
+void QualityCollector::add_flips(Phase phase, std::int64_t decisions,
+                                 std::int64_t flips, int passes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PhaseAccum& p = accum(phase);
+  p.touched = true;
+  p.flips.decisions += decisions;
+  p.flips.flips += flips;
+  p.flips.passes = std::max(p.flips.passes, passes);
+}
+
+void QualityCollector::set_exact_density(
+    Phase phase, const std::vector<std::int64_t>& density) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PhaseAccum& p = accum(phase);
+  p.touched = true;
+  p.exact_density = density;
+  p.has_exact_density = true;
+}
+
+std::array<PhaseSnapshot, kNumPhases> QualityCollector::finalize() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::array<PhaseSnapshot, kNumPhases> snapshots;
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const PhaseAccum& p = phases_[i];
+    PhaseSnapshot& s = snapshots[i];
+    s.phase = static_cast<Phase>(i);
+
+    // Distinct nets, not contributions: a net spanning several row blocks
+    // is recorded once per block but is still one net.
+    s.net_count = static_cast<std::int64_t>(p.per_net_cost.size());
+    s.tree_edge_count = p.edge_count;
+    s.inter_row_edge_count = p.inter_row_edge_count;
+    if (!p.per_net_cost.empty()) {
+      s.per_net_tree_cost = summarize(sorted_values(p.per_net_cost));
+      s.tree_cost = s.per_net_tree_cost.total;
+    }
+
+    s.channel_use = p.channel_use;
+    s.crossing_demand = p.crossing_demand;
+
+    s.feedthroughs_per_row = p.feedthroughs_per_row;
+    for (const std::int64_t n : s.feedthroughs_per_row) {
+      s.feedthrough_total += n;
+    }
+
+    s.wire_count = p.wire_count;
+    if (!p.per_net_wirelength.empty()) {
+      s.per_net_wirelength = summarize(sorted_values(p.per_net_wirelength));
+      s.total_wirelength = s.per_net_wirelength.total;
+    }
+    if (p.has_exact_density) {
+      s.channel_density = p.exact_density;
+      s.density_exact = true;
+    } else {
+      s.channel_density = p.density_sum;
+      s.density_exact = p.density_contributors <= 1;
+    }
+    if (!s.channel_density.empty()) {
+      s.density_summary = summarize(s.channel_density);
+      s.track_count = s.density_summary.total;
+    }
+
+    s.flip_sweep = p.flips;
+  }
+  return snapshots;
+}
+
+bool QualityCollector::any_recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const PhaseAccum& p : phases_) {
+    if (p.touched) return true;
+  }
+  return false;
+}
+
+QualityCollector* active_quality() {
+  return g_collector.load(std::memory_order_relaxed);
+}
+
+void set_active_quality(QualityCollector* collector) {
+  g_collector.store(collector, std::memory_order_release);
+}
+
+}  // namespace ptwgr::obs

@@ -1,0 +1,237 @@
+// Per-phase routing-quality snapshots (the solution-side companion of the
+// runtime tracing in support/trace.h).
+//
+// After each of the five TWGR steps the router — serial or any parallel
+// algorithm — records what the solution looks like at that point: wirelength
+// totals and per-net distribution, per-channel density, the coarse-grid
+// congestion heatmap (per-cell occupancy of the channel-usage and
+// row-crossing demand maps), the per-row feedthrough distribution, and the
+// acceptance statistics of the random-order flip sweeps of steps 2 and 5.
+//
+// Collection follows the trace-collector pattern: a process-wide
+// QualityCollector is installed with set_active_quality(); when none is
+// installed every instrumentation site is a single atomic load.  Parallel
+// ranks record *contributions* — additive pieces in global coordinates
+// (rank-local rows/channels/nets translated before recording) — and the
+// collector merges them by summation, so the merged snapshot is independent
+// of rank arrival order and a fixed seed yields a byte-identical report.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ptwgr/circuit/types.h"
+#include "ptwgr/route/wire.h"
+
+namespace ptwgr {
+class CoarseGrid;
+}
+
+namespace ptwgr::obs {
+
+/// The five TWGR steps, in pipeline order.
+enum class Phase : std::uint8_t {
+  Steiner = 0,
+  Coarse = 1,
+  Feedthrough = 2,
+  Connect = 3,
+  Switchable = 4,
+};
+
+inline constexpr std::size_t kNumPhases = 5;
+const char* to_string(Phase phase);
+
+/// Acceptance statistics of one random-order improvement sweep (coarse
+/// L-orientation flips, switchable channel flips).
+struct FlipSweepStats {
+  std::int64_t decisions = 0;  ///< orientation/channel choices examined
+  std::int64_t flips = 0;      ///< decisions that changed the solution
+  int passes = 0;
+
+  /// flips / decisions (0 when nothing was examined).
+  double acceptance_rate() const {
+    return decisions == 0
+               ? 0.0
+               : static_cast<double>(flips) / static_cast<double>(decisions);
+  }
+};
+
+/// Summary of an integer distribution: extremes, mean, and percentiles
+/// (nearest-rank on the sorted values).
+struct DistributionSummary {
+  std::int64_t count = 0;
+  std::int64_t total = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  double mean = 0.0;
+  std::int64_t p50 = 0;
+  std::int64_t p90 = 0;
+  std::int64_t p99 = 0;
+};
+
+/// Summarizes `values` (consumed: sorted in place).
+DistributionSummary summarize(std::vector<std::int64_t> values);
+
+/// A dense row-major occupancy grid (one of the two coarse-grid demand
+/// maps, or any per-(row, column) integer field).
+struct Heatmap {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  Coord column_width = 0;
+  std::vector<std::int64_t> cells;  ///< rows × cols, row-major
+
+  bool empty() const { return cells.empty(); }
+  std::int64_t at(std::size_t row, std::size_t col) const {
+    return cells[row * cols + col];
+  }
+  std::int64_t max_cell() const;
+};
+
+/// Renders a heatmap as ASCII art for terminal use: one line per row (top
+/// row first), one character per column scaled to the map's maximum
+/// ('.' = 0, '1'..'9' linear buckets, '#' = the hottest cells), with a
+/// legend line.  `label` names the map in the header.
+std::string render_heatmap_ascii(const Heatmap& map, const std::string& label);
+
+/// The solution state after one TWGR step.  Sections that the step cannot
+/// yet populate stay empty (e.g. there are no wires before step 4); the JSON
+/// serialization omits empty sections.
+struct PhaseSnapshot {
+  Phase phase = Phase::Steiner;
+
+  // Steiner (step 1): tree construction totals.  tree_cost is the
+  // rectilinear tree length with row crossings priced at the router's
+  // steiner_row_cost (the metric the trees minimize).
+  std::int64_t net_count = 0;
+  std::int64_t tree_edge_count = 0;
+  std::int64_t inter_row_edge_count = 0;
+  std::int64_t tree_cost = 0;
+  DistributionSummary per_net_tree_cost;
+
+  // Coarse / feedthrough (steps 2–3): congestion heatmaps.  channel_use is
+  // the per-(channel, column) coarse channel occupancy; crossing_demand the
+  // per-(row, column) feedthrough demand.
+  Heatmap channel_use;
+  Heatmap crossing_demand;
+
+  // Feedthrough (step 3): materialized feedthrough cells per row.
+  std::vector<std::int64_t> feedthroughs_per_row;
+  std::int64_t feedthrough_total = 0;
+
+  // Connect / switchable (steps 4–5): wire-level quality.
+  std::int64_t wire_count = 0;
+  std::int64_t total_wirelength = 0;
+  DistributionSummary per_net_wirelength;
+  /// Exact per-channel density when one contributor recorded the phase (the
+  /// serial router, or an overriding exact record); otherwise the sum of the
+  /// ranks' local densities — an upper bound, since ranks sharing a channel
+  /// each count their own wires' overlap.
+  std::vector<std::int64_t> channel_density;
+  bool density_exact = false;
+  DistributionSummary density_summary;
+  std::int64_t track_count = 0;
+
+  // Flip sweeps (steps 2 and 5).
+  FlipSweepStats flip_sweep;
+};
+
+/// Exact per-channel max-overlap density of a wire set (the metric sweep of
+/// compute_metrics, shared here so snapshots price wires identically).
+std::vector<std::int64_t> exact_channel_density(std::size_t num_channels,
+                                                const std::vector<Wire>& wires);
+
+/// Thread-safe accumulator of per-phase contributions.  One collector spans
+/// one routing run; ranks record concurrently, finalize() merges.
+class QualityCollector {
+ public:
+  /// Discards all recorded contributions (route_parallel calls this before
+  /// each recovery re-execution so the replay does not double-accumulate).
+  void reset();
+
+  // --- contribution recording (all additive, thread-safe) ----------------
+
+  /// Step 1: a batch of Steiner trees.  `per_net_costs` holds one entry per
+  /// tree: (global net id, tree length at the router's row cost).
+  void add_trees(const std::vector<std::pair<std::uint32_t, std::int64_t>>&
+                     per_net_costs,
+                 std::int64_t edge_count, std::int64_t inter_row_edge_count);
+
+  /// Steps 2–3: one rank's coarse-grid demand maps, translated to global
+  /// coordinates.  Local grid row r maps to global row `row_offset + r`,
+  /// local channel c to `channel_offset + c`; columns align because every
+  /// rank builds its grid over the global core width.  Contributions sum
+  /// cell-wise.  `global_rows` sizes the merged maps on first use.
+  void add_grid(Phase phase, const CoarseGrid& grid, std::size_t row_offset,
+                std::size_t channel_offset, std::size_t global_rows);
+
+  /// Step 3: materialized feedthrough counts per global row.
+  void add_feedthroughs(
+      const std::vector<std::pair<std::size_t, std::int64_t>>& per_row,
+      std::size_t global_rows);
+
+  /// Steps 4–5: one rank's wires in the global channel frame with global
+  /// net ids.  Accumulates wire count, wirelength totals, the per-net
+  /// wirelength map, and this contribution's exact local channel densities
+  /// (summed across contributors; flagged exact only for a single one).
+  void add_wires(Phase phase, const std::vector<Wire>& wires,
+                 std::size_t num_channels);
+
+  /// Steps 2 and 5: one rank's flip-sweep statistics.
+  void add_flips(Phase phase, std::int64_t decisions, std::int64_t flips,
+                 int passes);
+
+  /// Overrides a phase's channel density with exact values computed from
+  /// the globally gathered wires (rank 0 after assemble_metrics).
+  void set_exact_density(Phase phase,
+                         const std::vector<std::int64_t>& density);
+
+  // --- finalization -------------------------------------------------------
+
+  /// Merges all contributions into the five ordered snapshots.  Call after
+  /// the run (not concurrently with recording).
+  std::array<PhaseSnapshot, kNumPhases> finalize() const;
+
+  /// True when any contribution was recorded.
+  bool any_recorded() const;
+
+ private:
+  struct PhaseAccum {
+    std::int64_t edge_count = 0;
+    std::int64_t inter_row_edge_count = 0;
+    std::unordered_map<std::uint32_t, std::int64_t> per_net_cost;
+
+    Heatmap channel_use;
+    Heatmap crossing_demand;
+
+    std::vector<std::int64_t> feedthroughs_per_row;
+
+    std::int64_t wire_count = 0;
+    std::unordered_map<std::uint32_t, std::int64_t> per_net_wirelength;
+    std::vector<std::int64_t> density_sum;
+    std::size_t density_contributors = 0;
+    std::vector<std::int64_t> exact_density;
+    bool has_exact_density = false;
+
+    FlipSweepStats flips;
+    bool touched = false;
+  };
+
+  PhaseAccum& accum(Phase phase) {
+    return phases_[static_cast<std::size_t>(phase)];
+  }
+
+  mutable std::mutex mutex_;
+  std::array<PhaseAccum, kNumPhases> phases_;
+};
+
+/// The process-wide collector, or nullptr when quality snapshots are off.
+QualityCollector* active_quality();
+
+/// Installs (or, with nullptr, removes) the process-wide collector.
+void set_active_quality(QualityCollector* collector);
+
+}  // namespace ptwgr::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "ptwgr/obs/record.h"
+#include "ptwgr/obs/snapshot.h"
 #include "ptwgr/support/interval.h"
 
 namespace ptwgr {
@@ -105,11 +107,13 @@ std::vector<CoarseSegment> local_segments_from_pieces(
   return segments;
 }
 
-void optimize_switchable_rowblock(mp::Communicator& comm,
-                                  std::vector<Wire>& wires,
-                                  const RowPartition& rows,
-                                  std::size_t num_channels, Coord core_width,
-                                  const RouterOptions& router, Rng& rng) {
+SweepCounts optimize_switchable_rowblock(mp::Communicator& comm,
+                                         std::vector<Wire>& wires,
+                                         const RowPartition& rows,
+                                         std::size_t num_channels,
+                                         Coord core_width,
+                                         const RouterOptions& router,
+                                         Rng& rng) {
   const int rank = comm.rank();
   const int size = comm.size();
   SwitchableOptimizer optimizer(num_channels, core_width,
@@ -157,7 +161,13 @@ void optimize_switchable_rowblock(mp::Communicator& comm,
   SwitchableOptions switch_options;
   switch_options.passes = router.switchable_passes;
   switch_options.bucket_width = router.switch_bucket_width;
-  optimizer.optimize(wires, rng, switch_options);
+  const std::size_t flips = optimizer.optimize(wires, rng, switch_options);
+
+  SweepCounts sweeps;
+  sweeps.switch_decisions =
+      obs::count_switchable(wires) * router.switchable_passes;
+  sweeps.switch_flips = static_cast<std::int64_t>(flips);
+  return sweeps;
 }
 
 RoutingMetrics metrics_from_records(std::size_t num_channels,
@@ -207,7 +217,9 @@ ParallelRunOutput assemble_metrics(mp::Communicator& comm,
                                    const std::vector<WireRecord>& my_wires,
                                    std::size_t num_channels,
                                    Coord local_core_width, Coord rows_height,
-                                   std::size_t local_feedthroughs) {
+                                   std::size_t local_feedthroughs,
+                                   const SweepCounts& sweeps,
+                                   bool keep_wires) {
   // Everything below is evaluation, not routing: the reported parallel time
   // ends here, so the clock — including its compute/wait/sync decomposition
   // — is rewound on exit.  Message counters keep counting (the gather
@@ -219,6 +231,14 @@ ParallelRunOutput assemble_metrics(mp::Communicator& comm,
   const auto feedthroughs = static_cast<std::size_t>(
       comm.allreduce_value<std::int64_t>(
           static_cast<std::int64_t>(local_feedthroughs), mp::SumOp{}));
+
+  // Flip-sweep counts sum across ranks (deterministic integers, so every
+  // rank sees identical totals without a broadcast).
+  const auto sweep_totals = comm.allreduce(
+      std::vector<std::int64_t>{sweeps.coarse_decisions, sweeps.coarse_flips,
+                                sweeps.switch_decisions,
+                                sweeps.switch_flips},
+      mp::SumOp{});
 
   // Wires converge on rank 0.
   const auto gathered = comm.gather_vectors(0, my_wires);
@@ -236,6 +256,13 @@ ParallelRunOutput assemble_metrics(mp::Communicator& comm,
     }
     const RoutingMetrics metrics = metrics_from_records(
         num_channels, core_width, rows_height, feedthroughs, all);
+    // The final snapshot's density upper bound is replaced with the exact
+    // values just computed from the full gathered solution.
+    if (obs::QualityCollector* quality = obs::active_quality()) {
+      quality->set_exact_density(obs::Phase::Switchable,
+                                 metrics.channel_density);
+    }
+    if (keep_wires) output.wires = std::move(all);
     packed.reserve(3 + metrics.channel_density.size());
     packed.push_back(metrics.track_count);
     packed.push_back(metrics.area);
@@ -250,6 +277,10 @@ ParallelRunOutput assemble_metrics(mp::Communicator& comm,
   output.metrics.total_wirelength = packed[2];
   output.metrics.feedthrough_count = feedthroughs;
   output.metrics.channel_density.assign(packed.begin() + 3, packed.end());
+  output.metrics.coarse_decisions = sweep_totals[0];
+  output.metrics.coarse_flips = sweep_totals[1];
+  output.metrics.switch_decisions = sweep_totals[2];
+  output.metrics.switch_flips = sweep_totals[3];
   comm.rewind(routing_end);
   return output;
 }

@@ -75,8 +75,21 @@ struct ParallelOptions {
   std::size_t coarse_sync_period = 8192;
   /// Net-wise: switchable decisions between channel-density syncs.
   std::size_t switch_sync_period = 8192;
+  /// Keep the globally gathered wires in the run output (rank 0): the text
+  /// routing report and channel profiles need the actual solution, not just
+  /// its metrics.  Off by default — gathered wires can be large.
+  bool keep_wires = false;
   /// Fault injection / tolerance (defaults to a plain fault-free run).
   FaultOptions fault;
+};
+
+/// One rank's flip-sweep acceptance counts (coarse step 2, switchable step
+/// 5); allreduce-summed into RoutingMetrics by assemble_metrics.
+struct SweepCounts {
+  std::int64_t coarse_decisions = 0;
+  std::int64_t coarse_flips = 0;
+  std::int64_t switch_decisions = 0;
+  std::int64_t switch_flips = 0;
 };
 
 /// Everything a parallel run reports.  Metrics are computed on rank 0 from
@@ -85,6 +98,9 @@ struct ParallelOptions {
 struct ParallelRunOutput {
   RoutingMetrics metrics;
   std::size_t feedthrough_count = 0;
+  /// The globally gathered solution (rank 0 only, and only when
+  /// ParallelOptions::keep_wires is set).
+  std::vector<WireRecord> wires;
 };
 
 // --- phase tracing --------------------------------------------------------
@@ -182,12 +198,15 @@ std::vector<CoarseSegment> local_segments_from_pieces(
 /// hybrid algorithms): registers `wires` (global channel frame) into a
 /// global-channel density replica, exchanges the registration deltas of the
 /// two shared boundary channels with the neighbouring ranks only, then
-/// optimizes in place.  Everything else stays rank-local.
-void optimize_switchable_rowblock(mp::Communicator& comm,
-                                  std::vector<Wire>& wires,
-                                  const RowPartition& rows,
-                                  std::size_t num_channels, Coord core_width,
-                                  const RouterOptions& router, Rng& rng);
+/// optimizes in place.  Everything else stays rank-local.  Returns this
+/// rank's switchable decision/flip counts (coarse fields stay zero).
+SweepCounts optimize_switchable_rowblock(mp::Communicator& comm,
+                                         std::vector<Wire>& wires,
+                                         const RowPartition& rows,
+                                         std::size_t num_channels,
+                                         Coord core_width,
+                                         const RouterOptions& router,
+                                         Rng& rng);
 
 // --- metric assembly -----------------------------------------------------
 
@@ -201,12 +220,18 @@ RoutingMetrics metrics_from_records(std::size_t num_channels,
 /// allreduce-derived geometry (max row width, total feedthroughs), computes
 /// metrics on rank 0 and broadcasts them.  `core_width` and
 /// `feedthrough_count` are this rank's local values; `rows_height` and
-/// `num_channels` are global constants.
+/// `num_channels` are global constants.  `sweeps` carries this rank's
+/// flip-sweep counts; their global sums land in the returned metrics.  With
+/// `keep_wires`, rank 0's output additionally keeps the gathered solution.
+/// When a quality collector is active, rank 0 overrides the switchable
+/// snapshot's channel density with the exact gathered values.
 ParallelRunOutput assemble_metrics(mp::Communicator& comm,
                                    const std::vector<WireRecord>& my_wires,
                                    std::size_t num_channels,
                                    Coord local_core_width, Coord rows_height,
-                                   std::size_t local_feedthroughs);
+                                   std::size_t local_feedthroughs,
+                                   const SweepCounts& sweeps,
+                                   bool keep_wires = false);
 
 /// Sum of all row heights of a circuit (area term shared by all ranks).
 Coord total_rows_height(const Circuit& circuit);

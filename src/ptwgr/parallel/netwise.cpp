@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ptwgr/obs/record.h"
+#include "ptwgr/obs/snapshot.h"
 #include "ptwgr/route/coarse.h"
 #include "ptwgr/route/connect.h"
 #include "ptwgr/route/feedthrough.h"
@@ -57,10 +59,23 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
 
   // --- step 1: Steiner trees for owned nets -------------------------------
   phase.next("steiner");
+  // Quality snapshots: global-coordinate contributions, recording excluded
+  // from the modeled clock via mark()/rewind() (see rowwise.cpp).
+  obs::QualityCollector* quality = obs::active_quality();
   SteinerOptions steiner_options;
   steiner_options.row_cost = router.steiner_row_cost;
   const auto trees = build_steiner_trees(replica, my_nets, steiner_options);
   auto segments = extract_coarse_segments(trees);
+  if (quality != nullptr) {
+    const auto m = comm.mark();
+    obs::TreeBatch batch;
+    for (const SteinerTree& tree : trees) {
+      batch.add(tree, router.steiner_row_cost);
+    }
+    quality->add_trees(batch.per_net_costs, batch.edges,
+                       batch.inter_row_edges);
+    comm.rewind(m);
+  }
 
   // --- step 2: coarse routing on grid replicas with periodic sync ---------
   phase.next("coarse");
@@ -82,14 +97,29 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
       plan_sync_rounds(comm, my_decisions, options.coarse_sync_period);
   std::size_t rounds_done = 0;
   Rng coarse_rng = rng.split();
-  coarse.improve(segments, coarse_rng, [&](std::size_t decisions) {
-    if (decisions % options.coarse_sync_period == 0) {
-      grid_sync.sync(comm);
-      ++rounds_done;
-    }
-  });
+  const std::size_t coarse_flips =
+      coarse.improve(segments, coarse_rng, [&](std::size_t decisions) {
+        if (decisions % options.coarse_sync_period == 0) {
+          grid_sync.sync(comm);
+          ++rounds_done;
+        }
+      });
   for (; rounds_done < rounds; ++rounds_done) grid_sync.sync(comm);
   grid_sync.sync(comm);  // final reconciliation: replicas now identical
+  SweepCounts sweeps;
+  sweeps.coarse_decisions = static_cast<std::int64_t>(my_decisions);
+  sweeps.coarse_flips = static_cast<std::int64_t>(coarse_flips);
+  if (quality != nullptr) {
+    const auto m = comm.mark();
+    // Replicas are identical after the final sync, so only rank 0
+    // contributes the grid heatmap; flip counts are per-rank work.
+    if (rank == 0) {
+      quality->add_grid(obs::Phase::Coarse, grid, 0, 0, replica.num_rows());
+    }
+    quality->add_flips(obs::Phase::Coarse, sweeps.coarse_decisions,
+                       sweeps.coarse_flips, router.coarse_passes);
+    comm.rewind(m);
+  }
 
   phase.next("feedthrough");
   // --- step 3: feedthrough insertion + owner-side assignment --------------
@@ -132,6 +162,19 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
   };
   const auto terminals = assign_feedthroughs(
       replica, pools, grid, to_assign, router.feedthrough_width, my_row);
+  if (quality != nullptr) {
+    // Every replica inserted every feedthrough; contribute only own rows so
+    // the per-row sums count each cell once.
+    const auto m = comm.mark();
+    auto per_row = obs::feedthrough_rows(replica);
+    per_row.erase(std::remove_if(per_row.begin(), per_row.end(),
+                                 [&](const auto& entry) {
+                                   return !my_row(entry.first);
+                                 }),
+                  per_row.end());
+    quality->add_feedthroughs(per_row, replica.num_rows());
+    comm.rewind(m);
+  }
 
   // Assigned terminals travel back to the nets' owners.
   std::vector<std::vector<TerminalRecord>> term_out(
@@ -175,6 +218,11 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
   for (const NetId net : my_nets) {
     connect_terminals(net, terminals_of[net.index()], connect_options, wires);
   }
+  if (quality != nullptr) {
+    const auto m = comm.mark();
+    quality->add_wires(obs::Phase::Connect, wires, replica.num_channels());
+    comm.rewind(m);
+  }
 
   // --- step 5: switchable optimization with periodic density sync ---------
   phase.next("switchable");
@@ -201,15 +249,26 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
   switch_options.passes = router.switchable_passes;
   switch_options.bucket_width = router.switch_bucket_width;
   Rng switch_rng = rng.split();
-  optimizer.optimize(wires, switch_rng, switch_options,
-                     [&](std::size_t decisions) {
-                       if (decisions % options.switch_sync_period == 0) {
-                         sync_switch_densities(comm, optimizer);
-                         ++switch_done;
-                       }
-                     });
+  const std::size_t switch_flips =
+      optimizer.optimize(wires, switch_rng, switch_options,
+                         [&](std::size_t decisions) {
+                           if (decisions % options.switch_sync_period == 0) {
+                             sync_switch_densities(comm, optimizer);
+                             ++switch_done;
+                           }
+                         });
   for (; switch_done < switch_rounds; ++switch_done) {
     sync_switch_densities(comm, optimizer);
+  }
+  sweeps.switch_decisions = static_cast<std::int64_t>(switch_decisions);
+  sweeps.switch_flips = static_cast<std::int64_t>(switch_flips);
+  if (quality != nullptr) {
+    const auto m = comm.mark();
+    quality->add_wires(obs::Phase::Switchable, wires,
+                       replica.num_channels());
+    quality->add_flips(obs::Phase::Switchable, sweeps.switch_decisions,
+                       sweeps.switch_flips, router.switchable_passes);
+    comm.rewind(m);
   }
 
   // --- gather and report ---------------------------------------------------
@@ -229,7 +288,7 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
   }
   return assemble_metrics(comm, records, replica.num_channels(),
                           replica.core_width(), total_rows_height(replica),
-                          my_fts);
+                          my_fts, sweeps, options.keep_wires);
 }
 
 }  // namespace ptwgr

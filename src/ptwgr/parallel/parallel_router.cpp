@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "ptwgr/obs/snapshot.h"
 #include "ptwgr/parallel/hybrid.h"
 #include "ptwgr/parallel/netwise.h"
 #include "ptwgr/parallel/rowwise.h"
@@ -51,6 +52,7 @@ ParallelRoutingResult route_parallel(const Circuit& circuit,
     if (comm.rank() == 0) {
       result.metrics = std::move(output.metrics);
       result.feedthrough_count = output.feedthrough_count;
+      result.wires = std::move(output.wires);
     }
   };
 
@@ -62,6 +64,11 @@ ParallelRoutingResult route_parallel(const Circuit& circuit,
   // byte-identical to a fault-free run's.
   for (int attempt = 0;; ++attempt) {
     try {
+      // Each attempt records a complete set of quality contributions; a
+      // replayed run must not double-accumulate the aborted attempt's.
+      if (obs::QualityCollector* quality = obs::active_quality()) {
+        quality->reset();
+      }
       result.report = mp::run(num_ranks, cost, ft, body);
       result.recovery.recovered = result.recovery.attempts > 0;
       return result;

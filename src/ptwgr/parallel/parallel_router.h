@@ -21,6 +21,9 @@ struct RecoveryReport {
 struct ParallelRoutingResult {
   RoutingMetrics metrics;
   std::size_t feedthrough_count = 0;
+  /// The globally gathered solution (only when ParallelOptions::keep_wires
+  /// is set): what the text routing report and channel profiles render.
+  std::vector<WireRecord> wires;
   /// Raw per-rank timing from the runtime.
   mp::RunReport report;
   /// Rank-failure recovery events (all zero on a fault-free run).

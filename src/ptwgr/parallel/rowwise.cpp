@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ptwgr/obs/record.h"
+#include "ptwgr/obs/snapshot.h"
 #include "ptwgr/parallel/fake_pins.h"
 #include "ptwgr/parallel/subcircuit.h"
 #include "ptwgr/route/coarse.h"
@@ -44,15 +46,23 @@ ParallelRunOutput route_rowwise(mp::Communicator& comm, const Circuit& global,
   // segments to the blocks that own them — "those broken segments will
   // become the net segments of the processor which owns its two end points."
   phase.next("steiner");
+  // Quality snapshots: contributions are recorded in global coordinates and
+  // summed by the collector; mark()/rewind() keeps the recording work off
+  // the modeled clock.
+  obs::QualityCollector* quality = obs::active_quality();
   SteinerOptions steiner_options;
   steiner_options.row_cost = router.steiner_row_cost;
   std::vector<std::vector<FakePinRecord>> fake_out(
       static_cast<std::size_t>(size));
   std::vector<std::vector<TreePieceRecord>> piece_out(
       static_cast<std::size_t>(size));
+  obs::TreeBatch tree_batch;
   for (const NetId net :
        nets.nets_of[static_cast<std::size_t>(rank)]) {
     const SteinerTree tree = build_steiner_tree(global, net, steiner_options);
+    if (quality != nullptr) {
+      tree_batch.add(tree, router.steiner_row_cost);
+    }
     auto fakes = split_by_block(compute_fake_pins(tree, rows), rows);
     auto pieces = split_tree_segments(tree, rows);
     for (std::size_t b = 0; b < fakes.size(); ++b) {
@@ -60,6 +70,12 @@ ParallelRunOutput route_rowwise(mp::Communicator& comm, const Circuit& global,
       piece_out[b].insert(piece_out[b].end(), pieces[b].begin(),
                           pieces[b].end());
     }
+  }
+  if (quality != nullptr) {
+    const auto m = comm.mark();
+    quality->add_trees(tree_batch.per_net_costs, tree_batch.edges,
+                       tree_batch.inter_row_edges);
+    comm.rewind(m);
   }
   phase.next("fake-pin exchange");
   const auto fake_in = comm.all_to_all(fake_out);
@@ -83,13 +99,36 @@ ParallelRunOutput route_rowwise(mp::Communicator& comm, const Circuit& global,
   CoarseRouter coarse(grid, coarse_options);
   coarse.place_initial(segments);
   Rng coarse_rng = rng.split();
-  coarse.improve(segments, coarse_rng);
+  const std::size_t coarse_flips = coarse.improve(segments, coarse_rng);
+  SweepCounts sweeps;
+  sweeps.coarse_decisions = static_cast<std::int64_t>(
+      segments.size() * static_cast<std::size_t>(router.coarse_passes));
+  sweeps.coarse_flips = static_cast<std::int64_t>(coarse_flips);
+  if (quality != nullptr) {
+    // Block rows/channels translate by the block offset (halo slots carry
+    // zero demand); columns already align on the global core width.
+    const auto m = comm.mark();
+    quality->add_grid(obs::Phase::Coarse, grid, sub.global_row(0),
+                      sub.global_channel(0), global.num_rows());
+    quality->add_flips(obs::Phase::Coarse, sweeps.coarse_decisions,
+                       sweeps.coarse_flips, router.coarse_passes);
+    comm.rewind(m);
+  }
 
   phase.next("feedthrough");
   FeedthroughPools pools =
       insert_feedthroughs(sub.circuit, grid, router.feedthrough_width);
   assign_feedthroughs(sub.circuit, pools, grid, segments,
                       router.feedthrough_width);
+  if (quality != nullptr) {
+    const auto m = comm.mark();
+    auto per_row = obs::feedthrough_rows(sub.circuit);
+    for (auto& [row, count] : per_row) {
+      row = sub.global_row(static_cast<std::uint32_t>(row));
+    }
+    quality->add_feedthroughs(per_row, global.num_rows());
+    comm.rewind(m);
+  }
 
   phase.next("connect");
   std::vector<Wire> wires = connect_all_nets(sub.circuit);
@@ -102,12 +141,35 @@ ParallelRunOutput route_rowwise(mp::Communicator& comm, const Circuit& global,
     wire.channel = sub.global_channel(wire.channel);
     wire.row = sub.global_row(wire.row);
   }
+  // Global-net view of the block's wires for snapshot recording.
+  const auto global_wires = [&sub](const std::vector<Wire>& local) {
+    std::vector<Wire> out = local;
+    for (Wire& wire : out) wire.net = sub.global_net[wire.net.index()];
+    return out;
+  };
+  if (quality != nullptr) {
+    const auto m = comm.mark();
+    quality->add_wires(obs::Phase::Connect, global_wires(wires),
+                       global.num_rows() + 1);
+    comm.rewind(m);
+  }
 
   // --- switchable step with boundary-channel synchronization -------------
   phase.next("switchable");
   Rng switch_rng = rng.split();
-  optimize_switchable_rowblock(comm, wires, rows, global.num_rows() + 1,
-                               global_core_width, router, switch_rng);
+  const SweepCounts switch_sweeps = optimize_switchable_rowblock(
+      comm, wires, rows, global.num_rows() + 1, global_core_width, router,
+      switch_rng);
+  sweeps.switch_decisions = switch_sweeps.switch_decisions;
+  sweeps.switch_flips = switch_sweeps.switch_flips;
+  if (quality != nullptr) {
+    const auto m = comm.mark();
+    quality->add_wires(obs::Phase::Switchable, global_wires(wires),
+                       global.num_rows() + 1);
+    quality->add_flips(obs::Phase::Switchable, sweeps.switch_decisions,
+                       sweeps.switch_flips, router.switchable_passes);
+    comm.rewind(m);
+  }
 
   // --- gather and report --------------------------------------------------
   // The span must close while the clock still shows routing time:
@@ -123,7 +185,8 @@ ParallelRunOutput route_rowwise(mp::Communicator& comm, const Circuit& global,
   return assemble_metrics(comm, records, global.num_rows() + 1,
                           sub.circuit.core_width(),
                           total_rows_height(global),
-                          sub.circuit.num_feedthrough_cells());
+                          sub.circuit.num_feedthrough_cells(), sweeps,
+                          options.keep_wires);
 }
 
 }  // namespace ptwgr

@@ -61,6 +61,10 @@ std::string RoutingMetrics::to_string() const {
   os << "tracks=" << track_count << " area=" << area
      << " feedthroughs=" << feedthrough_count
      << " wirelength=" << total_wirelength;
+  if (coarse_decisions > 0 || switch_decisions > 0) {
+    os << " coarse_flips=" << coarse_flips << "/" << coarse_decisions
+       << " switch_flips=" << switch_flips << "/" << switch_decisions;
+  }
   return os.str();
 }
 

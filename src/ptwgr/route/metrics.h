@@ -24,6 +24,15 @@ struct RoutingMetrics {
   std::size_t feedthrough_count = 0;
   std::vector<std::int64_t> channel_density;
 
+  // Acceptance statistics of the two random-order improvement sweeps:
+  // orientation decisions examined / flipped in the coarse step (step 2) and
+  // segment assignments examined / flipped in the switchable step (step 5).
+  // Summed over ranks for parallel runs.
+  std::int64_t coarse_decisions = 0;
+  std::int64_t coarse_flips = 0;
+  std::int64_t switch_decisions = 0;
+  std::int64_t switch_flips = 0;
+
   std::string to_string() const;
 };
 

@@ -1,5 +1,7 @@
 #include "ptwgr/route/router.h"
 
+#include "ptwgr/obs/record.h"
+#include "ptwgr/obs/snapshot.h"
 #include "ptwgr/route/coarse.h"
 #include "ptwgr/route/connect.h"
 #include "ptwgr/route/feedthrough.h"
@@ -35,6 +37,18 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   const auto trees = build_all_steiner_trees(circuit, steiner_options);
   result.timings.steiner = timer.seconds();
   trace_step("steiner", result.timings.steiner);
+  // Quality snapshots (one atomic load per step when off).  Recording sits
+  // between the step's timer read and the next reset, so the step timings
+  // never include it.
+  obs::QualityCollector* quality = obs::active_quality();
+  if (quality != nullptr) {
+    obs::TreeBatch batch;
+    for (const SteinerTree& tree : trees) {
+      batch.add(tree, options.steiner_row_cost);
+    }
+    quality->add_trees(batch.per_net_costs, batch.edges,
+                       batch.inter_row_edges);
+  }
   timer.reset();
 
   // Step 2: coarse global routing over the demand grid.
@@ -48,8 +62,16 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   const std::size_t flips = coarse.improve(segments, coarse_rng);
   PTWGR_LOG_DEBUG << "coarse routing: " << segments.size() << " segments, "
                   << flips << " flips";
+  result.metrics.coarse_decisions = static_cast<std::int64_t>(
+      segments.size() * static_cast<std::size_t>(options.coarse_passes));
+  result.metrics.coarse_flips = static_cast<std::int64_t>(flips);
   result.timings.coarse = timer.seconds();
   trace_step("coarse", result.timings.coarse);
+  if (quality != nullptr) {
+    quality->add_grid(obs::Phase::Coarse, grid, 0, 0, circuit.num_rows());
+    quality->add_flips(obs::Phase::Coarse, result.metrics.coarse_decisions,
+                       result.metrics.coarse_flips, options.coarse_passes);
+  }
   timer.reset();
 
   // Step 3: feedthrough insertion and assignment.
@@ -61,12 +83,20 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
                   << " cells, " << terminals.size() << " crossings bound";
   result.timings.feedthrough = timer.seconds();
   trace_step("feedthrough", result.timings.feedthrough);
+  if (quality != nullptr) {
+    quality->add_feedthroughs(obs::feedthrough_rows(circuit),
+                              circuit.num_rows());
+  }
   timer.reset();
 
   // Step 4: connect each net through its pins and feedthroughs.
   result.wires = connect_all_nets(circuit);
   result.timings.connect = timer.seconds();
   trace_step("connect", result.timings.connect);
+  if (quality != nullptr) {
+    quality->add_wires(obs::Phase::Connect, result.wires,
+                       circuit.num_channels());
+  }
   timer.reset();
 
   // Step 5: switchable net segment optimization.
@@ -83,7 +113,23 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   result.timings.switchable = timer.seconds();
   trace_step("switchable", result.timings.switchable);
 
+  // compute_metrics replaces the whole struct; carry the sweep stats across.
+  const std::int64_t coarse_decisions = result.metrics.coarse_decisions;
+  const std::int64_t coarse_flips = result.metrics.coarse_flips;
+  const std::int64_t switch_decisions =
+      obs::count_switchable(result.wires) * options.switchable_passes;
   result.metrics = compute_metrics(circuit, result.wires);
+  result.metrics.coarse_decisions = coarse_decisions;
+  result.metrics.coarse_flips = coarse_flips;
+  result.metrics.switch_decisions = switch_decisions;
+  result.metrics.switch_flips = static_cast<std::int64_t>(switch_flips);
+  if (quality != nullptr) {
+    quality->add_wires(obs::Phase::Switchable, result.wires,
+                       circuit.num_channels());
+    quality->add_flips(obs::Phase::Switchable, switch_decisions,
+                       result.metrics.switch_flips,
+                       options.switchable_passes);
+  }
   result.circuit = std::move(circuit);
   return result;
 }

@@ -1,13 +1,19 @@
-// Minimal JSON emission helpers shared by the trace and metrics exporters.
+// Minimal JSON support shared by the trace/metrics/run-report exporters and
+// the ptwgr_compare reader.
 //
-// Writing only — the repo has no JSON dependency, and the exporters just
-// need escaping and stable number formatting for Chrome trace-event files
-// and the --metrics dump.
+// The repo has no JSON dependency: emission is escaping plus stable number
+// formatting, and reading is a small recursive-descent parser into a Value
+// tree — enough for run reports, bench files, and the --metrics dumps the
+// tooling produces itself (it accepts any standard JSON document).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace ptwgr::json {
 
@@ -26,5 +32,76 @@ std::string number(double value);
 
 inline std::string number(std::int64_t value) { return std::to_string(value); }
 inline std::string number(std::uint64_t value) { return std::to_string(value); }
+
+// --- reading ---------------------------------------------------------------
+
+/// Malformed JSON input, with a byte offset into the document.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// One parsed JSON value.  Objects keep their members sorted by key (the
+/// comparison tooling needs deterministic iteration, not source order).
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() = default;
+  static Value make_null() { return Value(); }
+  static Value make_bool(bool b);
+  static Value make_number(double n);
+  static Value make_string(std::string s);
+  static Value make_array(Array a);
+  static Value make_object(Object o);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Typed accessors; throw std::logic_error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  /// Dotted-path lookup ("metrics.tracks"); nullptr when any hop is absent.
+  /// Path segments never contain dots in the documents this repo emits.
+  const Value* find_path(std::string_view dotted) const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Indirect so Value stays movable/copyable with incomplete containers.
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Throws ParseError on malformed input.
+Value parse(std::string_view text);
+
+/// Reads and parses a JSON file.  Throws std::runtime_error when the file
+/// cannot be read, ParseError when it cannot be parsed.
+Value parse_file(const std::string& path);
 
 }  // namespace ptwgr::json

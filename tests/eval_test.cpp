@@ -111,15 +111,15 @@ class ReportFixture : public ::testing::Test {
     a.serial_tracks = 100;
     a.serial_area = 1000;
     a.serial_modeled_seconds = 8.0;
-    a.points = {{2, 104, 1040, 4.4, 1.04, 1.04, 1.82, false},
-                {4, 110, 1100, 2.5, 1.10, 1.10, 3.20, false}};
+    a.points = {{2, 104, 1040, 4.4, 1.04, 1.04, 1.82, false, 0, 0, {}},
+                {4, 110, 1100, 2.5, 1.10, 1.10, 3.20, false, 0, 0, {}}};
     CircuitExperiment b;
     b.circuit = "beta";
     b.serial_tracks = 200;
     b.serial_area = 2000;
     // No serial time: extrapolated points.
-    b.points = {{2, 202, 2020, 9.0, 1.01, 1.01, 2.00, true},
-                {4, 206, 2060, 5.0, 1.03, 1.03, 3.60, true}};
+    b.points = {{2, 202, 2020, 9.0, 1.01, 1.01, 2.00, true, 0, 0, {}},
+                {4, 206, 2060, 5.0, 1.03, 1.03, 3.60, true, 0, 0, {}}};
     return {a, b};
   }
 };

@@ -1,0 +1,164 @@
+// Tests of the metric-comparison engine behind ptwgr_compare: glob
+// matching, rule precedence, threshold semantics, regression/improvement
+// classification, and the exit-code contract (has_regression).
+#include "ptwgr/obs/compare.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ptwgr {
+namespace {
+
+using obs::CompareDirection;
+using obs::CompareResult;
+using obs::CompareRule;
+using obs::DeltaStatus;
+using obs::MetricDelta;
+
+TEST(GlobMatch, Basics) {
+  EXPECT_TRUE(obs::glob_match("*", "anything.at.all"));
+  EXPECT_TRUE(obs::glob_match("metrics.tracks", "metrics.tracks"));
+  EXPECT_FALSE(obs::glob_match("metrics.tracks", "metrics.track"));
+  EXPECT_TRUE(obs::glob_match("*metrics.tracks",
+                              "circuits.biomed.serial.metrics.tracks"));
+  EXPECT_TRUE(obs::glob_match("*seconds*", "timing.wall_seconds"));
+  EXPECT_TRUE(obs::glob_match("snapshots.*.density.track_count",
+                              "snapshots.4.density.track_count"));
+  EXPECT_FALSE(obs::glob_match("snapshots.*.density.track_count",
+                               "snapshots.4.density.per_channel.0"));
+  EXPECT_TRUE(obs::glob_match("a?c", "abc"));
+  EXPECT_FALSE(obs::glob_match("a?c", "ac"));
+}
+
+const MetricDelta* find_delta(const CompareResult& result,
+                              const std::string& path) {
+  for (const MetricDelta& d : result.deltas) {
+    if (d.path == path) return &d;
+  }
+  return nullptr;
+}
+
+CompareResult compare_docs(const char* base, const char* cand,
+                           double tolerance = 0.02) {
+  return obs::compare(json::parse(base), json::parse(cand),
+                      obs::default_rules(tolerance));
+}
+
+TEST(Compare, DetectsInjectedQualityRegression) {
+  // +20% tracks against a 2% gate: the candidate must be rejected — this is
+  // the nonzero-exit path of ptwgr_compare.
+  const auto result = compare_docs(
+      R"({"metrics":{"tracks":100,"wirelength":5000}})",
+      R"({"metrics":{"tracks":120,"wirelength":5000}})");
+  EXPECT_TRUE(result.has_regression());
+  const MetricDelta* tracks = find_delta(result, "metrics.tracks");
+  ASSERT_NE(tracks, nullptr);
+  EXPECT_EQ(tracks->status, DeltaStatus::Regressed);
+  EXPECT_NEAR(tracks->rel_change, 0.2, 1e-12);
+  const MetricDelta* wl = find_delta(result, "metrics.wirelength");
+  ASSERT_NE(wl, nullptr);
+  EXPECT_EQ(wl->status, DeltaStatus::Unchanged);
+}
+
+TEST(Compare, WithinToleranceIsNotARegression) {
+  const auto result = compare_docs(R"({"metrics":{"tracks":100}})",
+                                   R"({"metrics":{"tracks":101}})");
+  EXPECT_FALSE(result.has_regression());
+  EXPECT_EQ(find_delta(result, "metrics.tracks")->status,
+            DeltaStatus::Changed);
+}
+
+TEST(Compare, ImprovementBeyondToleranceIsFlagged) {
+  const auto result = compare_docs(R"({"metrics":{"tracks":100}})",
+                                   R"({"metrics":{"tracks":90}})");
+  EXPECT_FALSE(result.has_regression());
+  EXPECT_EQ(find_delta(result, "metrics.tracks")->status,
+            DeltaStatus::Improved);
+}
+
+TEST(Compare, TimingsAreIgnoredAndSpeedupsAreInfo) {
+  const auto result = compare_docs(
+      R"({"timing":{"wall_seconds":1.0},"points":{"speedup":4.0}})",
+      R"({"timing":{"wall_seconds":9.0},"points":{"speedup":1.0}})");
+  EXPECT_FALSE(result.has_regression());
+  // Ignored leaves are dropped entirely; Info leaves are reported only.
+  EXPECT_EQ(find_delta(result, "timing.wall_seconds"), nullptr);
+  const MetricDelta* speedup = find_delta(result, "points.speedup");
+  ASSERT_NE(speedup, nullptr);
+  EXPECT_EQ(speedup->status, DeltaStatus::Changed);
+  EXPECT_EQ(speedup->direction, CompareDirection::Info);
+}
+
+TEST(Compare, RemovedGatedMetricIsARegression) {
+  const auto result = compare_docs(R"({"metrics":{"tracks":100}})",
+                                   R"({"metrics":{}})");
+  EXPECT_TRUE(result.has_regression());
+  EXPECT_EQ(find_delta(result, "metrics.tracks")->status,
+            DeltaStatus::Removed);
+}
+
+TEST(Compare, AddedMetricIsInformational) {
+  const auto result = compare_docs(R"({"metrics":{}})",
+                                   R"({"metrics":{"tracks":100}})");
+  EXPECT_FALSE(result.has_regression());
+  EXPECT_EQ(find_delta(result, "metrics.tracks")->status,
+            DeltaStatus::Added);
+}
+
+TEST(Compare, CustomRulePrependedOverridesDefault) {
+  // ptwgr_compare prepends --rule specs; first match wins, so a custom
+  // ignore silences the default tracks gate.
+  std::vector<CompareRule> rules = {
+      {"metrics.tracks", CompareDirection::Ignore, 0.0}};
+  for (CompareRule& rule : obs::default_rules(0.02)) {
+    rules.push_back(std::move(rule));
+  }
+  const auto result =
+      obs::compare(json::parse(R"({"metrics":{"tracks":100}})"),
+                   json::parse(R"({"metrics":{"tracks":200}})"), rules);
+  EXPECT_FALSE(result.has_regression());
+  EXPECT_EQ(find_delta(result, "metrics.tracks"), nullptr);
+}
+
+TEST(Compare, HigherIsBetterDirection) {
+  const std::vector<CompareRule> rules = {
+      {"score", CompareDirection::HigherIsBetter, 0.05}};
+  const auto worse = obs::compare(json::parse(R"({"score":100})"),
+                                  json::parse(R"({"score":90})"), rules);
+  EXPECT_TRUE(worse.has_regression());
+  const auto better = obs::compare(json::parse(R"({"score":100})"),
+                                   json::parse(R"({"score":110})"), rules);
+  EXPECT_FALSE(better.has_regression());
+  EXPECT_EQ(find_delta(better, "score")->status, DeltaStatus::Improved);
+}
+
+TEST(Compare, MismatchedSchemasThrow) {
+  EXPECT_THROW(compare_docs(R"({"schema":"ptwgr.run_report","version":1})",
+                            R"({"schema":"ptwgr.bench","version":1})"),
+               std::runtime_error);
+}
+
+TEST(Compare, RenderTableNamesRegressions) {
+  const auto result = compare_docs(R"({"metrics":{"tracks":100}})",
+                                   R"({"metrics":{"tracks":120}})");
+  const std::string table = obs::render_compare_table(result, true);
+  EXPECT_NE(table.find("metrics.tracks"), std::string::npos);
+  EXPECT_NE(table.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(table.find("1 regressed"), std::string::npos);
+}
+
+TEST(Compare, DefaultRulesGateLooseDensityMax) {
+  // The density-summary max gates at a loosened 5% threshold.
+  const auto small = compare_docs(
+      R"({"snapshots":[{"density":{"summary":{"max":100}}}]})",
+      R"({"snapshots":[{"density":{"summary":{"max":104}}}]})");
+  EXPECT_FALSE(small.has_regression());
+  const auto big = compare_docs(
+      R"({"snapshots":[{"density":{"summary":{"max":100}}}]})",
+      R"({"snapshots":[{"density":{"summary":{"max":110}}}]})");
+  EXPECT_TRUE(big.has_regression());
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,222 @@
+// Golden-schema and determinism tests of the versioned JSON run report:
+// field presence for serial and parallel runs, all five phase snapshots
+// (including the congestion heatmap), and byte-identical serialization for
+// a fixed seed once the machine-dependent timings are cleared.
+#include "ptwgr/obs/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/circuit_stats.h"
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
+#include "ptwgr/support/json.h"
+
+namespace ptwgr {
+namespace {
+
+using obs::Phase;
+using obs::QualityCollector;
+using obs::RunReport;
+
+/// Routes the small test circuit serially with a collector installed and
+/// returns the filled report.
+RunReport serial_report(std::uint64_t seed) {
+  const Circuit circuit = small_test_circuit();
+  RouterOptions router;
+  router.seed = seed;
+  QualityCollector collector;
+  obs::set_active_quality(&collector);
+  const RoutingResult result = route_serial(circuit, router);
+  obs::set_active_quality(nullptr);
+
+  RunReport run;
+  run.algorithm = "serial";
+  run.seed = seed;
+  run.router = router;
+  run.circuit_source = "small_test_circuit";
+  run.circuit = compute_stats(circuit);
+  run.metrics = result.metrics;
+  run.step_timings = result.timings;
+  run.has_step_timings = true;
+  run.fill_snapshots(collector);
+  return run;
+}
+
+RunReport parallel_report(ParallelAlgorithm algorithm, int ranks,
+                          std::uint64_t seed) {
+  const Circuit circuit = small_test_circuit();
+  ParallelOptions options;
+  options.router.seed = seed;
+  QualityCollector collector;
+  obs::set_active_quality(&collector);
+  const ParallelRoutingResult result =
+      route_parallel(circuit, algorithm, ranks, options);
+  obs::set_active_quality(nullptr);
+
+  RunReport run;
+  run.algorithm = to_string(algorithm);
+  run.seed = seed;
+  run.ranks = ranks;
+  run.platform = "ideal";
+  run.router = options.router;
+  run.circuit_source = "small_test_circuit";
+  run.circuit = compute_stats(circuit);
+  run.metrics = result.metrics;
+  run.modeled_seconds = result.modeled_seconds();
+  run.wall_seconds = result.report.wall_seconds;
+  run.total_cpu_seconds = result.report.total_cpu_seconds();
+  for (std::size_t r = 0; r < result.report.rank_comm.size(); ++r) {
+    obs::RankReport rank;
+    rank.rank = static_cast<int>(r);
+    rank.vtime_seconds = result.report.rank_vtime[r];
+    rank.cpu_seconds = result.report.rank_cpu_seconds[r];
+    rank.comm = result.report.rank_comm[r];
+    run.rank_reports.push_back(rank);
+  }
+  run.fill_snapshots(collector);
+  return run;
+}
+
+/// Every structural expectation of the versioned schema in one place.
+void expect_schema(const json::Value& doc, const std::string& algorithm,
+                   int ranks) {
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->as_string(), "ptwgr.run_report");
+  ASSERT_NE(doc.find("version"), nullptr);
+  EXPECT_EQ(doc.find("version")->as_number(), obs::kRunReportVersion);
+
+  const json::Value* config = doc.find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->find("algorithm")->as_string(), algorithm);
+  EXPECT_EQ(config->find("ranks")->as_number(), ranks);
+  ASSERT_NE(config->find("router"), nullptr);
+  EXPECT_NE(config->find("router")->find("coarse_passes"), nullptr);
+
+  const json::Value* circuit = doc.find("circuit");
+  ASSERT_NE(circuit, nullptr);
+  EXPECT_GT(circuit->find("nets")->as_number(), 0.0);
+
+  const json::Value* snapshots = doc.find("snapshots");
+  ASSERT_NE(snapshots, nullptr);
+  ASSERT_EQ(snapshots->as_array().size(), obs::kNumPhases);
+  const char* expected_phases[] = {"steiner", "coarse", "feedthrough",
+                                   "connect", "switchable"};
+  for (std::size_t i = 0; i < obs::kNumPhases; ++i) {
+    const json::Value& snap = snapshots->as_array()[i];
+    ASSERT_NE(snap.find("phase"), nullptr);
+    EXPECT_EQ(snap.find("phase")->as_string(), expected_phases[i]);
+  }
+  // Phase-specific payloads: trees after step 1, the congestion heatmap
+  // after step 2, feedthroughs after step 3, wires + density after 4/5.
+  const auto& snaps = snapshots->as_array();
+  EXPECT_NE(snaps[0].find("trees"), nullptr);
+  const json::Value* heatmap = snaps[1].find("heatmap");
+  ASSERT_NE(heatmap, nullptr);
+  ASSERT_NE(heatmap->find("channel_use"), nullptr);
+  EXPECT_GT(heatmap->find("channel_use")->find("max")->as_number(), 0.0);
+  EXPECT_NE(snaps[1].find("flip_sweep"), nullptr);
+  EXPECT_NE(snaps[2].find("feedthroughs"), nullptr);
+  EXPECT_NE(snaps[3].find("wires"), nullptr);
+  const json::Value* density = snaps[4].find("density");
+  ASSERT_NE(density, nullptr);
+  EXPECT_TRUE(density->find("exact")->as_bool());
+  EXPECT_NE(snaps[4].find("flip_sweep"), nullptr);
+
+  const json::Value* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_GT(metrics->find("tracks")->as_number(), 0.0);
+  EXPECT_GT(metrics->find("coarse_sweep")->find("decisions")->as_number(),
+            0.0);
+}
+
+TEST(RunReport, SerialSchemaIsComplete) {
+  const RunReport run = serial_report(7);
+  const json::Value doc = json::parse(run.to_json());
+  expect_schema(doc, "serial", 1);
+  ASSERT_NE(doc.find("timing"), nullptr);
+  EXPECT_NE(doc.find("timing")->find("serial_step_seconds"), nullptr);
+}
+
+TEST(RunReport, SerialDeterministicForSeed) {
+  RunReport a = serial_report(42);
+  RunReport b = serial_report(42);
+  a.clear_volatile();
+  b.clear_volatile();
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(RunReport, DifferentSeedsDiffer) {
+  RunReport a = serial_report(1);
+  RunReport b = serial_report(2);
+  a.clear_volatile();
+  b.clear_volatile();
+  EXPECT_NE(a.to_json(), b.to_json());
+}
+
+struct ParallelCase {
+  ParallelAlgorithm algorithm;
+  int ranks;
+};
+
+class RunReportParallel : public ::testing::TestWithParam<ParallelCase> {};
+
+TEST_P(RunReportParallel, SchemaIsComplete) {
+  const auto [algorithm, ranks] = GetParam();
+  const RunReport run = parallel_report(algorithm, ranks, 7);
+  const json::Value doc = json::parse(run.to_json());
+  expect_schema(doc, to_string(algorithm), ranks);
+  const json::Value* rank_array = doc.find("ranks");
+  ASSERT_NE(rank_array, nullptr);
+  ASSERT_EQ(rank_array->as_array().size(), static_cast<std::size_t>(ranks));
+  EXPECT_NE(rank_array->as_array()[0].find("comm"), nullptr);
+  // The merged feedthrough distribution matches the final metrics.
+  const auto& snaps = doc.find("snapshots")->as_array();
+  EXPECT_EQ(snaps[2].find("feedthroughs")->find("total")->as_number(),
+            doc.find("metrics")->find("feedthroughs")->as_number());
+}
+
+TEST_P(RunReportParallel, DeterministicForSeed) {
+  const auto [algorithm, ranks] = GetParam();
+  RunReport a = parallel_report(algorithm, ranks, 99);
+  RunReport b = parallel_report(algorithm, ranks, 99);
+  a.clear_volatile();
+  b.clear_volatile();
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, RunReportParallel,
+    ::testing::Values(ParallelCase{ParallelAlgorithm::RowWise, 3},
+                      ParallelCase{ParallelAlgorithm::NetWise, 3},
+                      ParallelCase{ParallelAlgorithm::Hybrid, 3}),
+    [](const ::testing::TestParamInfo<ParallelCase>& param) {
+      std::string name = to_string(param.param.algorithm);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(RunReport, SerialFlipCountersReachRoutingMetrics) {
+  const Circuit circuit = small_test_circuit();
+  const RoutingResult result = route_serial(circuit);
+  EXPECT_GT(result.metrics.coarse_decisions, 0);
+  EXPECT_GT(result.metrics.switch_decisions, 0);
+  EXPECT_GE(result.metrics.coarse_flips, 0);
+  EXPECT_LE(result.metrics.coarse_flips, result.metrics.coarse_decisions);
+  EXPECT_LE(result.metrics.switch_flips, result.metrics.switch_decisions);
+}
+
+TEST(RunReport, ParallelFlipCountersMatchSerialShape) {
+  const Circuit circuit = small_test_circuit();
+  ParallelOptions options;
+  const ParallelRoutingResult result =
+      route_parallel(circuit, ParallelAlgorithm::NetWise, 2, options);
+  EXPECT_GT(result.metrics.coarse_decisions, 0);
+  EXPECT_GT(result.metrics.switch_decisions, 0);
+  EXPECT_LE(result.metrics.coarse_flips, result.metrics.coarse_decisions);
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -1,0 +1,175 @@
+// Unit tests of the quality-snapshot building blocks: distribution
+// summaries, heatmaps and their ASCII rendering, the exact channel-density
+// sweep, and the QualityCollector's additive merge semantics.
+#include "ptwgr/obs/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/route/grid.h"
+#include "ptwgr/route/metrics.h"
+
+namespace ptwgr {
+namespace {
+
+using obs::Phase;
+using obs::QualityCollector;
+
+Wire make_wire(std::uint32_t net, std::uint32_t channel, Coord lo, Coord hi) {
+  Wire w;
+  w.net = NetId{net};
+  w.channel = channel;
+  w.lo = lo;
+  w.hi = hi;
+  w.row = channel;
+  return w;
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+  const obs::DistributionSummary s = obs::summarize({});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.total, 0);
+  EXPECT_EQ(s.max, 0);
+  EXPECT_EQ(s.p99, 0);
+}
+
+TEST(Summarize, PercentilesAreNearestRank) {
+  std::vector<std::int64_t> values;
+  for (std::int64_t v = 1; v <= 100; ++v) values.push_back(101 - v);
+  const obs::DistributionSummary s = obs::summarize(std::move(values));
+  EXPECT_EQ(s.count, 100);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 100);
+  EXPECT_EQ(s.total, 5050);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.p50, 51);
+  EXPECT_EQ(s.p90, 91);
+  EXPECT_EQ(s.p99, 100);
+}
+
+TEST(Heatmap, RenderShowsScaleAndShape) {
+  obs::Heatmap map;
+  map.rows = 2;
+  map.cols = 3;
+  map.column_width = 32;
+  map.cells = {0, 5, 10, 10, 0, 2};
+  EXPECT_EQ(map.max_cell(), 10);
+  const std::string art = obs::render_heatmap_ascii(map, "test map");
+  EXPECT_NE(art.find("test map"), std::string::npos);
+  // Top row (row index 1) renders first; zero cells are dots and the
+  // hottest cells are '#'.
+  EXPECT_NE(art.find("#.1"), std::string::npos);
+  EXPECT_NE(art.find(".4#"), std::string::npos);
+}
+
+TEST(ExactDensity, MatchesMetricsSweep) {
+  const Circuit circuit = small_test_circuit();
+  const std::vector<Wire> wires = {
+      make_wire(0, 1, 0, 50), make_wire(1, 1, 25, 75),
+      make_wire(2, 1, 60, 90), make_wire(3, 2, 0, 10)};
+  const RoutingMetrics metrics = compute_metrics(circuit, wires);
+  EXPECT_EQ(obs::exact_channel_density(circuit.num_channels(), wires),
+            metrics.channel_density);
+}
+
+TEST(QualityCollector, MergesTreeContributionsAdditively) {
+  QualityCollector collector;
+  collector.add_trees({{0, 10}, {1, 20}}, 3, 1);
+  collector.add_trees({{2, 30}}, 2, 2);
+  // A second contribution to an already-seen net accumulates onto it
+  // (row-wise blocks each build the trees of their own pins).
+  collector.add_trees({{1, 5}}, 1, 0);
+  const auto snapshots = collector.finalize();
+  const obs::PhaseSnapshot& s =
+      snapshots[static_cast<std::size_t>(Phase::Steiner)];
+  EXPECT_EQ(s.phase, Phase::Steiner);
+  EXPECT_EQ(s.net_count, 3);
+  EXPECT_EQ(s.tree_edge_count, 6);
+  EXPECT_EQ(s.inter_row_edge_count, 3);
+  EXPECT_EQ(s.tree_cost, 65);
+  EXPECT_EQ(s.per_net_tree_cost.max, 30);
+}
+
+TEST(QualityCollector, SingleWireContributorIsExact) {
+  QualityCollector collector;
+  const std::vector<Wire> wires = {make_wire(0, 0, 0, 10),
+                                   make_wire(1, 0, 5, 15)};
+  collector.add_wires(Phase::Connect, wires, 2);
+  const auto snapshots = collector.finalize();
+  const obs::PhaseSnapshot& s =
+      snapshots[static_cast<std::size_t>(Phase::Connect)];
+  EXPECT_EQ(s.wire_count, 2);
+  EXPECT_EQ(s.total_wirelength, 20);
+  EXPECT_TRUE(s.density_exact);
+  EXPECT_EQ(s.channel_density[0], 2);
+}
+
+TEST(QualityCollector, MultipleContributorsSumAndLoseExactness) {
+  QualityCollector collector;
+  // Two ranks each record one wire on the shared channel 0: the summed
+  // density (2) is an upper bound on the true overlap.
+  collector.add_wires(Phase::Switchable, {make_wire(0, 0, 0, 10)}, 2);
+  collector.add_wires(Phase::Switchable, {make_wire(1, 0, 20, 30)}, 2);
+  auto snapshots = collector.finalize();
+  {
+    const obs::PhaseSnapshot& s =
+        snapshots[static_cast<std::size_t>(Phase::Switchable)];
+    EXPECT_EQ(s.wire_count, 2);
+    EXPECT_FALSE(s.density_exact);
+    EXPECT_EQ(s.channel_density[0], 2);
+  }
+  // The exact override (computed from the globally gathered wires) wins.
+  collector.set_exact_density(Phase::Switchable, {1, 0});
+  snapshots = collector.finalize();
+  {
+    const obs::PhaseSnapshot& s =
+        snapshots[static_cast<std::size_t>(Phase::Switchable)];
+    EXPECT_TRUE(s.density_exact);
+    EXPECT_EQ(s.channel_density[0], 1);
+    EXPECT_EQ(s.track_count, 1);
+  }
+}
+
+TEST(QualityCollector, FlipAndFeedthroughContributionsAccumulate) {
+  QualityCollector collector;
+  collector.add_flips(Phase::Coarse, 100, 10, 2);
+  collector.add_flips(Phase::Coarse, 50, 5, 2);
+  collector.add_feedthroughs({{0, 3}, {2, 1}}, 4);
+  collector.add_feedthroughs({{2, 2}}, 4);
+  const auto snapshots = collector.finalize();
+  const obs::PhaseSnapshot& coarse =
+      snapshots[static_cast<std::size_t>(Phase::Coarse)];
+  EXPECT_EQ(coarse.flip_sweep.decisions, 150);
+  EXPECT_EQ(coarse.flip_sweep.flips, 15);
+  EXPECT_EQ(coarse.flip_sweep.passes, 2);
+  EXPECT_DOUBLE_EQ(coarse.flip_sweep.acceptance_rate(), 0.1);
+  const obs::PhaseSnapshot& ft =
+      snapshots[static_cast<std::size_t>(Phase::Feedthrough)];
+  EXPECT_EQ(ft.feedthrough_total, 6);
+  EXPECT_EQ(ft.feedthroughs_per_row,
+            (std::vector<std::int64_t>{3, 0, 3, 0}));
+}
+
+TEST(QualityCollector, ResetDiscardsEverything) {
+  QualityCollector collector;
+  collector.add_flips(Phase::Coarse, 10, 1, 1);
+  EXPECT_TRUE(collector.any_recorded());
+  collector.reset();
+  EXPECT_FALSE(collector.any_recorded());
+  const auto snapshots = collector.finalize();
+  EXPECT_EQ(snapshots[static_cast<std::size_t>(Phase::Coarse)]
+                .flip_sweep.decisions,
+            0);
+}
+
+TEST(ActiveQuality, InstallAndRemove) {
+  EXPECT_EQ(obs::active_quality(), nullptr);
+  QualityCollector collector;
+  obs::set_active_quality(&collector);
+  EXPECT_EQ(obs::active_quality(), &collector);
+  obs::set_active_quality(nullptr);
+  EXPECT_EQ(obs::active_quality(), nullptr);
+}
+
+}  // namespace
+}  // namespace ptwgr

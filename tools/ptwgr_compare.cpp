@@ -1,0 +1,168 @@
+// ptwgr_compare: diff two run reports or bench JSON files metric by metric
+// and gate on regressions.
+//
+//   ptwgr_compare baseline.json candidate.json
+//   ptwgr_compare --tolerance=0.05 --all BENCH_base.json BENCH_new.json
+//   ptwgr_compare --rule='metrics.tracks:lower:0' base.json cand.json
+//
+// Exit codes: 0 = no regression, 1 = at least one gated metric regressed,
+// 2 = usage or I/O error.  This is what CI runs against the checked-in
+// baseline (see .github/workflows/ci.yml and DESIGN.md §10).
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ptwgr/obs/compare.h"
+#include "ptwgr/support/json.h"
+
+namespace {
+
+using ptwgr::obs::CompareDirection;
+using ptwgr::obs::CompareRule;
+
+constexpr int kExitOk = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitUsage = 2;
+
+void print_usage() {
+  std::fprintf(
+      stderr,
+      "usage: ptwgr_compare [options] BASELINE.json CANDIDATE.json\n"
+      "\n"
+      "Compares every numeric metric of two ptwgr JSON documents (run\n"
+      "reports from --run-report, bench files from bench_report) and exits\n"
+      "nonzero when a gated quality metric regressed.\n"
+      "\n"
+      "options:\n"
+      "  --tolerance=X   relative tolerance of the default quality gates\n"
+      "                  (default 0.02 = 2%%)\n"
+      "  --rule=P:DIR[:TOL]\n"
+      "                  prepend a custom rule: glob path pattern P,\n"
+      "                  DIR in {lower,higher,info,ignore}, relative\n"
+      "                  tolerance TOL (default 0).  First match wins, so\n"
+      "                  custom rules override the defaults.\n"
+      "  --all           print unchanged metrics too\n"
+      "  --quiet         print nothing, just set the exit code\n"
+      "\n"
+      "exit codes: 0 no regression, 1 regression, 2 usage/IO error\n");
+}
+
+std::optional<CompareDirection> parse_direction(std::string_view name) {
+  if (name == "lower") return CompareDirection::LowerIsBetter;
+  if (name == "higher") return CompareDirection::HigherIsBetter;
+  if (name == "info") return CompareDirection::Info;
+  if (name == "ignore") return CompareDirection::Ignore;
+  return std::nullopt;
+}
+
+std::optional<CompareRule> parse_rule(std::string_view spec) {
+  const std::size_t first = spec.find(':');
+  if (first == std::string_view::npos || first == 0) return std::nullopt;
+  CompareRule rule;
+  rule.pattern = std::string(spec.substr(0, first));
+  std::string_view rest = spec.substr(first + 1);
+  const std::size_t second = rest.find(':');
+  const std::string_view dir_name =
+      second == std::string_view::npos ? rest : rest.substr(0, second);
+  const auto direction = parse_direction(dir_name);
+  if (!direction.has_value()) return std::nullopt;
+  rule.direction = *direction;
+  if (second != std::string_view::npos) {
+    const std::string tol(rest.substr(second + 1));
+    char* end = nullptr;
+    rule.tolerance = std::strtod(tol.c_str(), &end);
+    if (end == nullptr || *end != '\0' || rule.tolerance < 0.0) {
+      return std::nullopt;
+    }
+  }
+  return rule;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.02;
+  bool show_all = false;
+  bool quiet = false;
+  std::vector<CompareRule> custom_rules;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return kExitOk;
+    }
+    if (arg == "--all") {
+      show_all = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      const std::string value(arg.substr(12));
+      char* end = nullptr;
+      tolerance = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0' || tolerance < 0.0) {
+        std::fprintf(stderr, "ptwgr_compare: bad --tolerance value '%s'\n",
+                     value.c_str());
+        return kExitUsage;
+      }
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      const auto rule = parse_rule(arg.substr(7));
+      if (!rule.has_value()) {
+        std::fprintf(stderr,
+                     "ptwgr_compare: bad --rule spec '%s' (want "
+                     "PATTERN:DIR[:TOL], DIR in lower|higher|info|ignore)\n",
+                     std::string(arg.substr(7)).c_str());
+        return kExitUsage;
+      }
+      custom_rules.push_back(*rule);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ptwgr_compare: unknown option '%s'\n",
+                   std::string(arg).c_str());
+      print_usage();
+      return kExitUsage;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "ptwgr_compare: expected exactly two files, got %zu\n",
+                 files.size());
+    print_usage();
+    return kExitUsage;
+  }
+
+  try {
+    const ptwgr::json::Value baseline = ptwgr::json::parse_file(files[0]);
+    const ptwgr::json::Value candidate = ptwgr::json::parse_file(files[1]);
+
+    std::vector<CompareRule> rules = std::move(custom_rules);
+    for (CompareRule& rule : ptwgr::obs::default_rules(tolerance)) {
+      rules.push_back(std::move(rule));
+    }
+
+    const auto result = ptwgr::obs::compare(baseline, candidate, rules);
+    if (!quiet) {
+      std::fputs(
+          ptwgr::obs::render_compare_table(result, !show_all).c_str(),
+          stdout);
+    }
+    if (result.has_regression()) {
+      if (!quiet) {
+        std::fprintf(stdout, "REGRESSION: %s is worse than %s\n",
+                     files[1].c_str(), files[0].c_str());
+      }
+      return kExitRegression;
+    }
+    return kExitOk;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ptwgr_compare: %s\n", error.what());
+    return kExitUsage;
+  }
+}

@@ -13,8 +13,11 @@
 //   --ranks=N                                      (default 4)
 //   --platform=ideal|smp|dmp                       (default ideal)
 //   --seed=N                                       (default 1)
-//   --report=PATH      write the full routing report (serial only)
-//   --profile          print the channel-density profile (serial only)
+//   --report=PATH      write the full text routing report
+//   --profile          print the channel-density profile
+//   --run-report=PATH  write the versioned JSON run report (per-phase
+//                      quality snapshots, congestion heatmaps, metrics)
+//   --heatmap          print the coarse congestion heatmaps as ASCII
 //   --trace=PATH       write a Chrome trace of the routing phases
 //   --metrics=PATH     write run metrics (counters, timings) as JSON
 //   --log-level=LEVEL  debug|info|warn|error|off (default warn)
@@ -40,7 +43,10 @@
 #include "ptwgr/circuit/suite.h"
 #include "ptwgr/eval/channel_report.h"
 #include "ptwgr/eval/platform.h"
+#include "ptwgr/obs/run_report.h"
+#include "ptwgr/obs/snapshot.h"
 #include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/parallel/records.h"
 #include "ptwgr/route/router.h"
 #include "ptwgr/support/log.h"
 #include "ptwgr/support/metrics.h"
@@ -61,6 +67,8 @@ struct CliOptions {
   std::uint64_t seed = 1;
   std::optional<std::string> report_path;
   bool profile = false;
+  std::optional<std::string> run_report_path;
+  bool heatmap = false;
   std::optional<std::string> trace_path;
   std::optional<std::string> metrics_path;
   std::optional<std::string> fault_plan;
@@ -77,6 +85,7 @@ struct CliOptions {
                "  [--algorithm=serial|row-wise|net-wise|hybrid] [--ranks=N]\n"
                "  [--platform=ideal|smp|dmp] [--seed=N] [--report=PATH] "
                "[--profile]\n"
+               "  [--run-report=PATH] [--heatmap]\n"
                "  [--trace=PATH] [--metrics=PATH] "
                "[--log-level=debug|info|warn|error|off]\n"
                "  [--fault-plan=SPEC] [--recv-timeout=S] [--max-retries=N] "
@@ -118,6 +127,10 @@ CliOptions parse(int argc, char** argv) {
       options.seed = static_cast<std::uint64_t>(std::atoll(v->c_str()));
     } else if ((v = value_of("--report="))) {
       options.report_path = *v;
+    } else if ((v = value_of("--run-report="))) {
+      options.run_report_path = *v;
+    } else if (arg == "--heatmap") {
+      options.heatmap = true;
     } else if ((v = value_of("--trace="))) {
       options.trace_path = *v;
     } else if ((v = value_of("--metrics="))) {
@@ -200,6 +213,95 @@ class ScopedCliTrace {
   TraceCollector collector_;
 };
 
+/// Installs the quality collector for the routing call when --run-report or
+/// --heatmap was given; the collected snapshots are read back afterwards.
+class ScopedCliQuality {
+ public:
+  explicit ScopedCliQuality(const CliOptions& options)
+      : enabled_(options.run_report_path.has_value() || options.heatmap) {
+    if (enabled_) obs::set_active_quality(&collector_);
+  }
+
+  ~ScopedCliQuality() {
+    if (enabled_) obs::set_active_quality(nullptr);
+  }
+
+  bool enabled() const { return enabled_; }
+  const obs::QualityCollector& collector() const { return collector_; }
+
+  ScopedCliQuality(const ScopedCliQuality&) = delete;
+  ScopedCliQuality& operator=(const ScopedCliQuality&) = delete;
+
+ private:
+  bool enabled_ = false;
+  obs::QualityCollector collector_;
+};
+
+/// The circuit spec as given on the command line, for the run report.
+std::string describe_source(const CliOptions& options) {
+  if (options.circuit_file) return *options.circuit_file;
+  if (options.suite_name) {
+    std::string spec = "suite:" + *options.suite_name;
+    if (options.suite_scale != 1.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), ":%g", options.suite_scale);
+      spec += buf;
+    }
+    return spec;
+  }
+  return "generate:" + std::to_string(options.generate->first) + "x" +
+         std::to_string(options.generate->second);
+}
+
+/// Run-report skeleton shared by the serial and parallel branches.
+obs::RunReport make_run_report(const CliOptions& options,
+                               const Circuit& circuit,
+                               const RouterOptions& router) {
+  obs::RunReport run;
+  run.algorithm = options.algorithm;
+  run.seed = options.seed;
+  run.router = router;
+  run.circuit_source = describe_source(options);
+  run.circuit = compute_stats(circuit);
+  return run;
+}
+
+/// Finalizes the snapshots into `run` and serializes it.  Returns false on
+/// I/O failure.
+bool write_run_report(const CliOptions& options, obs::RunReport& run,
+                      const ScopedCliQuality& quality) {
+  if (!options.run_report_path) return true;
+  run.fill_snapshots(quality.collector());
+  std::ofstream out(*options.run_report_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open run-report file %s\n",
+                 options.run_report_path->c_str());
+    return false;
+  }
+  out << run.to_json();
+  std::printf("run report written to %s\n",
+              options.run_report_path->c_str());
+  return true;
+}
+
+/// Prints the step-2 congestion heatmaps (channel use + row-crossing
+/// demand) collected during the run.
+void print_heatmaps(const ScopedCliQuality& quality) {
+  const auto snapshots = quality.collector().finalize();
+  const obs::PhaseSnapshot& coarse =
+      snapshots[static_cast<std::size_t>(obs::Phase::Coarse)];
+  if (!coarse.channel_use.empty()) {
+    std::printf("%s", obs::render_heatmap_ascii(coarse.channel_use,
+                                                "coarse channel use")
+                          .c_str());
+  }
+  if (!coarse.crossing_demand.empty()) {
+    std::printf("%s", obs::render_heatmap_ascii(coarse.crossing_demand,
+                                                "row crossing demand")
+                          .c_str());
+  }
+}
+
 void fill_run_metrics(MetricsRegistry& metrics, const CliOptions& options,
                       const Circuit& circuit) {
   const CircuitStats stats = compute_stats(circuit);
@@ -218,6 +320,10 @@ void fill_quality_metrics(MetricsRegistry& metrics,
   metrics.set("routing.wirelength", quality.total_wirelength);
   metrics.set("routing.feedthroughs",
               static_cast<std::int64_t>(quality.feedthrough_count));
+  metrics.set("routing.coarse_decisions", quality.coarse_decisions);
+  metrics.set("routing.coarse_flips", quality.coarse_flips);
+  metrics.set("routing.switch_decisions", quality.switch_decisions);
+  metrics.set("routing.switch_flips", quality.switch_flips);
 }
 
 void fill_comm_metrics(MetricsRegistry& metrics, const std::string& prefix,
@@ -275,6 +381,7 @@ int main(int argc, char** argv) {
     router.seed = options.seed;
 
     const ScopedCliTrace trace(options);
+    const ScopedCliQuality quality(options);
     MetricsRegistry metrics;
     fill_run_metrics(metrics, options, circuit);
 
@@ -296,6 +403,14 @@ int main(int argc, char** argv) {
           result.timings.steiner, result.timings.coarse,
           result.timings.feedthrough, result.timings.connect,
           result.timings.switchable);
+      if (options.heatmap) print_heatmaps(quality);
+      if (options.run_report_path) {
+        obs::RunReport run = make_run_report(options, circuit, router);
+        run.metrics = result.metrics;
+        run.step_timings = result.timings;
+        run.has_step_timings = true;
+        if (!write_run_report(options, run, quality)) return 1;
+      }
       if (options.profile) {
         std::printf("%s",
                     render_channel_profile(result.circuit, result.wires)
@@ -332,6 +447,8 @@ int main(int argc, char** argv) {
     }
     ParallelOptions parallel;
     parallel.router = router;
+    parallel.keep_wires =
+        options.report_path.has_value() || options.profile;
     parallel.fault.retry.max_retries = options.max_retries;
     parallel.fault.recv_timeout_seconds = options.recv_timeout;
     parallel.fault.watchdog = options.watchdog;
@@ -359,6 +476,47 @@ int main(int argc, char** argv) {
                   failed.c_str(), result.recovery.attempts);
     }
     std::printf("modeled parallel time: %.3f s\n", result.modeled_seconds());
+    if (options.heatmap) print_heatmaps(quality);
+    if (options.run_report_path) {
+      obs::RunReport run = make_run_report(options, circuit, router);
+      run.ranks = options.ranks;
+      run.platform = options.platform;
+      run.metrics = result.metrics;
+      run.modeled_seconds = result.modeled_seconds();
+      run.wall_seconds = result.report.wall_seconds;
+      run.total_cpu_seconds = result.report.total_cpu_seconds();
+      for (std::size_t r = 0; r < result.report.rank_comm.size(); ++r) {
+        obs::RankReport rank;
+        rank.rank = static_cast<int>(r);
+        rank.vtime_seconds = result.report.rank_vtime[r];
+        rank.cpu_seconds = result.report.rank_cpu_seconds[r];
+        rank.comm = result.report.rank_comm[r];
+        run.rank_reports.push_back(rank);
+      }
+      run.recovery_attempts = result.recovery.attempts;
+      run.failed_ranks = result.recovery.failed_ranks;
+      if (!write_run_report(options, run, quality)) return 1;
+    }
+    if (options.profile || options.report_path) {
+      std::vector<Wire> wires;
+      wires.reserve(result.wires.size());
+      for (const WireRecord& record : result.wires) {
+        wires.push_back(from_record(record));
+      }
+      if (options.profile) {
+        std::printf("%s", render_channel_profile(circuit, wires).c_str());
+      }
+      if (options.report_path) {
+        std::ofstream out(*options.report_path);
+        if (!out) {
+          std::fprintf(stderr, "cannot open %s\n",
+                       options.report_path->c_str());
+          return 1;
+        }
+        write_routing_report(out, circuit, wires, &result.metrics);
+        std::printf("report written to %s\n", options.report_path->c_str());
+      }
+    }
     fill_quality_metrics(metrics, result.metrics);
     metrics.set("run.ranks", static_cast<std::int64_t>(options.ranks));
     metrics.set("run.platform", options.platform);
