@@ -1,0 +1,485 @@
+// bench_grid — naive-vs-incremental microbenchmark of the flip-sweep
+// congestion evaluation (DESIGN.md §11).
+//
+// Replays the coarse L-orientation sweep and the switchable channel sweep on
+// a large synthetic grid twice: once through the segment-tree-backed
+// incremental evaluators the routers use, and once through self-contained
+// replicas of the pre-incremental data structures (flat arrays, linear span
+// scans, remove → evaluate → re-add per decision).  Both runs consume
+// identical RNG sequences, so they must make identical decisions — the bench
+// doubles as a large-scale cross-check and aborts on any divergence in flip
+// counts, final placements, or final demand state.  Results (timings +
+// speedups) go to BENCH_grid.json.
+//
+// Usage: bench_grid [--out=FILE] [--seed=N] [--segments=N] [--wires=N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ptwgr/route/coarse.h"
+#include "ptwgr/route/switchable.h"
+#include "ptwgr/support/json.h"
+#include "ptwgr/support/parse.h"
+#include "ptwgr/support/rng.h"
+#include "ptwgr/support/timer.h"
+
+namespace {
+
+using namespace ptwgr;
+
+struct BenchArgs {
+  std::string out_path = "BENCH_grid.json";
+  std::uint64_t seed = 1;
+  std::size_t num_segments = 20000;
+  std::size_t num_wires = 10000;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "bench_grid: %s\n", message.c_str());
+  std::fprintf(stderr,
+               "usage: bench_grid [--out=FILE] [--seed=N] [--segments=N] "
+               "[--wires=N]\n");
+  std::exit(2);
+}
+
+template <typename T>
+T parse_or_die(const std::string& text, const char* flag) {
+  const std::optional<T> parsed = parse_number<T>(text);
+  if (!parsed) usage_error("invalid numeric value '" + text + "' for " + flag);
+  return *parsed;
+}
+
+BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* prefix) -> std::optional<std::string> {
+      const std::size_t n = std::strlen(prefix);
+      if (arg.compare(0, n, prefix) == 0) return arg.substr(n);
+      return std::nullopt;
+    };
+    std::optional<std::string> v;
+    if ((v = value_of("--out="))) {
+      args.out_path = *v;
+    } else if ((v = value_of("--seed="))) {
+      args.seed = parse_or_die<std::uint64_t>(*v, "--seed");
+    } else if ((v = value_of("--segments="))) {
+      args.num_segments = parse_or_die<std::size_t>(*v, "--segments");
+    } else if ((v = value_of("--wires="))) {
+      args.num_wires = parse_or_die<std::size_t>(*v, "--wires");
+    } else {
+      usage_error("unknown argument '" + arg + "'");
+    }
+  }
+  return args;
+}
+
+struct SweepResult {
+  double naive_seconds = 0.0;
+  double incremental_seconds = 0.0;
+  std::size_t decisions = 0;
+  std::size_t flips = 0;
+  bool identical = false;
+
+  double speedup() const {
+    return incremental_seconds > 0.0 ? naive_seconds / incremental_seconds
+                                     : 0.0;
+  }
+};
+
+// --- coarse sweep ----------------------------------------------------------
+
+// Wide, shallow core: the flip decision's span queries (linear in columns for
+// the naive evaluation, logarithmic for the tree-backed one) dominate the
+// per-row feedthrough updates both paths share.
+constexpr std::size_t kCoarseRows = 8;
+constexpr Coord kCoarseWidth = 1 << 22;
+constexpr Coord kColumnWidth = 32;  // 131072 columns
+constexpr int kCoarsePasses = 2;
+
+/// The pre-incremental coarse substrate: flat demand arrays, linear span
+/// scans, and the remove → cost both → re-add decision loop the router used
+/// before the segment-tree backing.  Kept arithmetic-identical to
+/// CoarseRouter::placement_cost (integer aggregates × weights, same order).
+class NaiveCoarse {
+ public:
+  NaiveCoarse(std::size_t num_rows, Coord width, Coord column_width)
+      : num_rows_(num_rows), column_width_(column_width) {
+    num_columns_ = static_cast<std::size_t>((width + column_width - 1) /
+                                            column_width);
+    ft_.assign(num_rows_ * num_columns_, 0);
+    use_.assign((num_rows_ + 1) * num_columns_, 0);
+  }
+
+  std::size_t column_of(Coord x) const {
+    if (x < 0) return 0;
+    const auto col = static_cast<std::size_t>(x / column_width_);
+    return col < num_columns_ ? col : num_columns_ - 1;
+  }
+
+  void commit(const CoarseSegment& seg, bool vertical_at_a,
+              std::int32_t direction) {
+    const std::size_t vcol =
+        column_of(vertical_at_a ? seg.a.x : seg.b.x);
+    const std::size_t channel = vertical_at_a ? seg.b.row : seg.a.row + 1;
+    for (std::uint32_t r = seg.a.row + 1; r < seg.b.row; ++r) {
+      ft_[r * num_columns_ + vcol] += direction;
+    }
+    const std::size_t ca = column_of(seg.a.x);
+    const std::size_t cb = column_of(seg.b.x);
+    const std::size_t lo = ca < cb ? ca : cb;
+    const std::size_t hi = ca < cb ? cb : ca;
+    for (std::size_t c = lo; c <= hi; ++c) {
+      use_[channel * num_columns_ + c] += direction;
+    }
+  }
+
+  double cost(const CoarseSegment& seg, bool vertical_at_a) const {
+    const std::size_t vcol =
+        column_of(vertical_at_a ? seg.a.x : seg.b.x);
+    const std::size_t channel = vertical_at_a ? seg.b.row : seg.a.row + 1;
+    std::int64_t ft = 0;
+    for (std::uint32_t r = seg.a.row + 1; r < seg.b.row; ++r) {
+      ft += ft_[r * num_columns_ + vcol];
+    }
+    const std::size_t ca = column_of(seg.a.x);
+    const std::size_t cb = column_of(seg.b.x);
+    const std::size_t lo = ca < cb ? ca : cb;
+    const std::size_t hi = ca < cb ? cb : ca;
+    std::int64_t sum = 0;
+    std::int32_t peak = 0;
+    for (std::size_t c = lo; c <= hi; ++c) {
+      const std::int32_t u = use_[channel * num_columns_ + c];
+      sum += u;
+      if (u > peak) peak = u;
+    }
+    const CoarseOptions defaults;
+    return defaults.ft_congestion_weight * static_cast<double>(ft) +
+           defaults.chan_congestion_weight * static_cast<double>(sum) +
+           defaults.chan_peak_weight * static_cast<double>(peak);
+  }
+
+  std::size_t improve(std::vector<CoarseSegment>& segments, Rng& rng,
+                      int passes) {
+    std::size_t flips = 0;
+    std::vector<std::size_t> order(segments.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (int pass = 0; pass < passes; ++pass) {
+      rng.shuffle(order);
+      for (const std::size_t idx : order) {
+        CoarseSegment& seg = segments[idx];
+        commit(seg, seg.vertical_at_a, -1);
+        const double keep = cost(seg, seg.vertical_at_a);
+        const double flip = cost(seg, !seg.vertical_at_a);
+        if (flip < keep) {
+          seg.vertical_at_a = !seg.vertical_at_a;
+          ++flips;
+        }
+        commit(seg, seg.vertical_at_a, +1);
+      }
+    }
+    return flips;
+  }
+
+  std::vector<std::int32_t> state() const {
+    std::vector<std::int32_t> out;
+    out.reserve(ft_.size() + use_.size());
+    out.insert(out.end(), ft_.begin(), ft_.end());
+    out.insert(out.end(), use_.begin(), use_.end());
+    return out;
+  }
+
+ private:
+  std::size_t num_rows_;
+  std::size_t num_columns_;
+  Coord column_width_;
+  std::vector<std::int32_t> ft_;
+  std::vector<std::int32_t> use_;
+};
+
+std::vector<CoarseSegment> synthetic_segments(std::size_t count,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CoarseSegment> segments;
+  segments.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    CoarseSegment seg;
+    seg.net = NetId{static_cast<std::uint32_t>(i)};
+    const auto row_a =
+        static_cast<std::uint32_t>(rng.next_below(kCoarseRows - 1));
+    const auto span =
+        1 + rng.next_below(static_cast<std::size_t>(kCoarseRows) - 1 - row_a);
+    seg.a = RoutePoint{static_cast<Coord>(rng.next_below(
+                           static_cast<std::size_t>(kCoarseWidth))),
+                       row_a};
+    seg.b = RoutePoint{static_cast<Coord>(rng.next_below(
+                           static_cast<std::size_t>(kCoarseWidth))),
+                       row_a + static_cast<std::uint32_t>(span)};
+    segments.push_back(seg);
+  }
+  return segments;
+}
+
+SweepResult bench_coarse(const BenchArgs& args) {
+  SweepResult result;
+  const auto base = synthetic_segments(args.num_segments, args.seed);
+  result.decisions = base.size() * static_cast<std::size_t>(kCoarsePasses);
+
+  // Incremental: the production CoarseRouter over the tree-backed grid.
+  auto fast_segments = base;
+  CoarseGrid grid(kCoarseRows, kCoarseWidth, kColumnWidth);
+  CoarseRouter router(grid, CoarseOptions{});
+  router.place_initial(fast_segments);
+  Rng fast_rng(args.seed + 1);
+  WallTimer timer;
+  result.flips = router.improve(fast_segments, fast_rng);
+  result.incremental_seconds = timer.seconds();
+
+  // Naive: flat arrays, linear scans, identical RNG sequence.
+  auto slow_segments = base;
+  NaiveCoarse naive(kCoarseRows, kCoarseWidth, kColumnWidth);
+  for (const CoarseSegment& seg : slow_segments) {
+    naive.commit(seg, seg.vertical_at_a, +1);
+  }
+  Rng slow_rng(args.seed + 1);
+  timer.reset();
+  const std::size_t naive_flips =
+      naive.improve(slow_segments, slow_rng, kCoarsePasses);
+  result.naive_seconds = timer.seconds();
+
+  result.identical = naive_flips == result.flips;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (fast_segments[i].vertical_at_a != slow_segments[i].vertical_at_a) {
+      result.identical = false;
+      break;
+    }
+  }
+  if (grid.export_state() != naive.state()) result.identical = false;
+  return result;
+}
+
+// --- switchable sweep ------------------------------------------------------
+
+constexpr std::size_t kSwitchChannels = 65;
+constexpr Coord kSwitchWidth = 16384;
+constexpr Coord kBucketWidth = 4;  // 4096 buckets per channel
+constexpr int kSwitchPasses = 2;
+
+/// The pre-incremental switchable substrate: per-channel flat bucket counts
+/// and full-channel rescans for every peak, with the wire removed and
+/// re-added around each decision.  Uses the fixed tie-break, so its
+/// decisions must match the production optimizer's exactly.
+class NaiveSwitch {
+ public:
+  NaiveSwitch(std::size_t num_channels, Coord core_width, Coord bucket_width)
+      : bucket_width_(bucket_width) {
+    buckets_ = static_cast<std::size_t>((core_width + bucket_width - 1) /
+                                        bucket_width);
+    counts_.assign(num_channels * buckets_, 0);
+  }
+
+  std::size_t bucket_of(std::int64_t x) const {
+    if (x < 0) return 0;
+    const auto idx = static_cast<std::size_t>(x / bucket_width_);
+    return idx < buckets_ ? idx : buckets_ - 1;
+  }
+
+  void apply(const Wire& wire, std::int32_t direction) {
+    const std::size_t first = bucket_of(wire.lo);
+    const std::size_t last =
+        bucket_of(wire.lo == wire.hi ? wire.hi : wire.hi - 1);
+    for (std::size_t b = first; b <= last; ++b) {
+      counts_[wire.channel * buckets_ + b] += direction;
+    }
+  }
+
+  std::int64_t channel_max(std::size_t channel) const {
+    std::int64_t best = 0;
+    for (std::size_t b = 0; b < buckets_; ++b) {
+      const std::int32_t v = counts_[channel * buckets_ + b];
+      if (v > best) best = v;
+    }
+    return best;
+  }
+
+  std::int64_t local_peak(std::size_t channel, const Wire& wire) const {
+    const std::size_t first = bucket_of(wire.lo);
+    const std::size_t last =
+        bucket_of(wire.lo == wire.hi ? wire.hi : wire.hi - 1);
+    std::int64_t best = 0;
+    for (std::size_t b = first; b <= last; ++b) {
+      const std::int32_t v = counts_[channel * buckets_ + b];
+      if (v > best) best = v;
+    }
+    return best;
+  }
+
+  std::size_t optimize(std::vector<Wire>& wires, Rng& rng, int passes) {
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < wires.size(); ++i) {
+      if (wires[i].switchable) order.push_back(i);
+    }
+    std::size_t flips = 0;
+    for (int pass = 0; pass < passes; ++pass) {
+      rng.shuffle(order);
+      for (const std::size_t idx : order) {
+        Wire& wire = wires[idx];
+        const std::uint32_t below = wire.row;
+        const std::uint32_t above = wire.row + 1;
+        const std::uint32_t other = (wire.channel == below) ? above : below;
+        apply(wire, -1);
+        const std::int64_t cur_max = channel_max(wire.channel);
+        const std::int64_t other_max = channel_max(other);
+        const std::int64_t cur_local = local_peak(wire.channel, wire);
+        const std::int64_t other_local = local_peak(other, wire);
+        const std::int64_t keep_total =
+            std::max(cur_max, cur_local + 1) + other_max;
+        const std::int64_t move_total =
+            cur_max + std::max(other_max, other_local + 1);
+        if (move_total < keep_total ||
+            (move_total == keep_total && other_local < cur_local)) {
+          wire.channel = other;
+          ++flips;
+        }
+        apply(wire, +1);
+      }
+    }
+    return flips;
+  }
+
+  const std::vector<std::int32_t>& counts() const { return counts_; }
+
+ private:
+  Coord bucket_width_;
+  std::size_t buckets_;
+  std::vector<std::int32_t> counts_;
+};
+
+std::vector<Wire> synthetic_wires(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Wire> wires;
+  wires.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Wire w;
+    w.net = NetId{static_cast<std::uint32_t>(i)};
+    w.row = static_cast<std::uint32_t>(rng.next_below(kSwitchChannels - 1));
+    w.channel = w.row + static_cast<std::uint32_t>(rng.next_below(2));
+    w.switchable = true;
+    w.lo = static_cast<Coord>(
+        rng.next_below(static_cast<std::size_t>(kSwitchWidth)));
+    w.hi = w.lo + static_cast<Coord>(rng.next_below(
+                      static_cast<std::size_t>(kSwitchWidth - w.lo) + 1));
+    wires.push_back(w);
+  }
+  return wires;
+}
+
+SweepResult bench_switchable(const BenchArgs& args) {
+  SweepResult result;
+  const auto base = synthetic_wires(args.num_wires, args.seed + 2);
+  result.decisions = base.size() * static_cast<std::size_t>(kSwitchPasses);
+
+  auto fast_wires = base;
+  SwitchableOptimizer optimizer(kSwitchChannels, kSwitchWidth, kBucketWidth);
+  optimizer.register_wires(fast_wires);
+  SwitchableOptions options;
+  options.passes = kSwitchPasses;
+  options.bucket_width = kBucketWidth;
+  Rng fast_rng(args.seed + 3);
+  WallTimer timer;
+  result.flips = optimizer.optimize(fast_wires, fast_rng, options);
+  result.incremental_seconds = timer.seconds();
+
+  auto slow_wires = base;
+  NaiveSwitch naive(kSwitchChannels, kSwitchWidth, kBucketWidth);
+  for (const Wire& w : slow_wires) naive.apply(w, +1);
+  Rng slow_rng(args.seed + 3);
+  timer.reset();
+  const std::size_t naive_flips =
+      naive.optimize(slow_wires, slow_rng, kSwitchPasses);
+  result.naive_seconds = timer.seconds();
+
+  result.identical = naive_flips == result.flips;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (fast_wires[i].channel != slow_wires[i].channel) {
+      result.identical = false;
+      break;
+    }
+  }
+  // The optimizer's cumulative pending deltas since construction ARE its
+  // final bucket counts; they must equal the naive flat array.
+  const auto deltas = optimizer.take_pending_deltas();
+  if (deltas != naive.counts()) result.identical = false;
+  return result;
+}
+
+void append_sweep(std::string& out, const char* key, const SweepResult& r,
+                  std::size_t problem_size) {
+  out += "  ";
+  out += json::quoted(key);
+  out += ": {\n";
+  out += "    \"problem_size\": " + json::number(
+             static_cast<std::int64_t>(problem_size)) + ",\n";
+  out += "    \"decisions\": " + json::number(
+             static_cast<std::int64_t>(r.decisions)) + ",\n";
+  out += "    \"flips\": " + json::number(
+             static_cast<std::int64_t>(r.flips)) + ",\n";
+  out += "    \"identical_to_naive\": ";
+  out += r.identical ? "true" : "false";
+  out += ",\n";
+  out += "    \"naive_seconds\": " + json::number(r.naive_seconds) + ",\n";
+  out += "    \"incremental_seconds\": " +
+         json::number(r.incremental_seconds) + ",\n";
+  out += "    \"speedup\": " + json::number(r.speedup()) + "\n";
+  out += "  }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_args(argc, argv);
+
+  std::printf("bench_grid: coarse sweep (%zu segments, %d passes)...\n",
+              args.num_segments, kCoarsePasses);
+  const SweepResult coarse = bench_coarse(args);
+  std::printf(
+      "  naive %.3fs, incremental %.3fs, speedup %.1fx, %zu flips, %s\n",
+      coarse.naive_seconds, coarse.incremental_seconds, coarse.speedup(),
+      coarse.flips, coarse.identical ? "identical" : "DIVERGED");
+
+  std::printf("bench_grid: switchable sweep (%zu wires, %d passes)...\n",
+              args.num_wires, kSwitchPasses);
+  const SweepResult switchable = bench_switchable(args);
+  std::printf(
+      "  naive %.3fs, incremental %.3fs, speedup %.1fx, %zu flips, %s\n",
+      switchable.naive_seconds, switchable.incremental_seconds,
+      switchable.speedup(), switchable.flips,
+      switchable.identical ? "identical" : "DIVERGED");
+
+  std::string out = "{\n";
+  out += "  \"schema\": \"ptwgr-bench-grid-v1\",\n";
+  out += "  \"seed\": " + json::number(args.seed) + ",\n";
+  append_sweep(out, "coarse", coarse, args.num_segments);
+  out += ",\n";
+  append_sweep(out, "switchable", switchable, args.num_wires);
+  out += "\n}\n";
+
+  std::ofstream file(args.out_path);
+  if (!file) {
+    std::fprintf(stderr, "bench_grid: cannot open %s\n",
+                 args.out_path.c_str());
+    return 1;
+  }
+  file << out;
+  std::printf("written to %s\n", args.out_path.c_str());
+
+  if (!coarse.identical || !switchable.identical) {
+    std::fprintf(stderr,
+                 "bench_grid: incremental and naive evaluation DIVERGED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -161,6 +161,7 @@ SweepCounts optimize_switchable_rowblock(mp::Communicator& comm,
   SwitchableOptions switch_options;
   switch_options.passes = router.switchable_passes;
   switch_options.bucket_width = router.switch_bucket_width;
+  switch_options.cross_check = router.cross_check;
   const std::size_t flips = optimizer.optimize(wires, rng, switch_options);
 
   SweepCounts sweeps;

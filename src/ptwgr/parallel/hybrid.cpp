@@ -95,6 +95,7 @@ ParallelRunOutput route_hybrid(mp::Communicator& comm, const Circuit& global,
                   router.column_width);
   CoarseOptions coarse_options;
   coarse_options.passes = router.coarse_passes;
+  coarse_options.cross_check = router.cross_check;
   CoarseRouter coarse(grid, coarse_options);
   coarse.place_initial(segments);
   Rng coarse_rng = rng.split();

@@ -82,6 +82,7 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
   CoarseGrid grid(replica, router.column_width);
   CoarseOptions coarse_options;
   coarse_options.passes = router.coarse_passes;
+  coarse_options.cross_check = router.cross_check;
   CoarseRouter coarse(grid, coarse_options);
   // The synchronizer's baseline must predate the initial placement so that
   // those commitments travel with the first sync.
@@ -248,6 +249,7 @@ ParallelRunOutput route_netwise(mp::Communicator& comm, const Circuit& global,
   SwitchableOptions switch_options;
   switch_options.passes = router.switchable_passes;
   switch_options.bucket_width = router.switch_bucket_width;
+  switch_options.cross_check = router.cross_check;
   Rng switch_rng = rng.split();
   const std::size_t switch_flips =
       optimizer.optimize(wires, switch_rng, switch_options,

@@ -44,6 +44,9 @@ struct CoarseOptions {
   double chan_congestion_weight = 1.0;
   /// Weight of the peak channel usage along the horizontal leg.
   double chan_peak_weight = 2.0;
+  /// Debug: re-derive every flip decision with the naive remove → evaluate →
+  /// re-add scan and PTWGR_CHECK that it matches the incremental one.
+  bool cross_check = false;
 };
 
 /// Stateful coarse router bound to a demand grid.  The grid may be shared
@@ -82,6 +85,23 @@ class CoarseRouter {
     std::size_t col_lo, col_hi;  // horizontal leg span
   };
   Footprint footprint(const CoarseSegment& seg, bool vertical_at_a) const;
+
+  /// Shared cost form: both the incremental and the naive evaluation reduce
+  /// to these three integer aggregates, multiplied by the weights in the same
+  /// order — so the two paths produce bit-identical doubles.
+  double cost_of(std::int64_t ft_sum, std::int64_t use_sum,
+                 std::int64_t use_max) const;
+
+  /// Would flipping `seg`'s orientation reduce its placement cost?  Pure
+  /// delta evaluation: queries only the columns where the two footprints
+  /// differ and subtracts the segment's own uniform +1 contribution
+  /// arithmetically instead of removing it from the grid (DESIGN.md §11).
+  bool flip_reduces_cost(const CoarseSegment& seg) const;
+
+  /// The pre-incremental decision procedure (remove → cost both → re-add),
+  /// kept as the cross_check reference.  Mutates the grid transiently but is
+  /// net-zero on it.
+  bool naive_flip_reduces_cost(const CoarseSegment& seg);
 
   CoarseGrid* grid_;
   CoarseOptions options_;

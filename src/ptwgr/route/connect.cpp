@@ -48,12 +48,9 @@ void connect_terminals(NetId net, const std::vector<Terminal>& terminals,
       if (ta.access == TerminalAccess::Either &&
           tb.access == TerminalAccess::Either) {
         // Both terminals reachable from either channel: this is the
-        // switchable net segment of paper §2.  The connection step has no
-        // congestion knowledge, so the initial channel is arbitrary (a
-        // deterministic hash) — exactly the state step 5 starts from in
-        // TWGR.
+        // switchable net segment of paper §2.
         wire.switchable = true;
-        wire.channel = ((net.value() + ta.row) & 1u) ? ta.row + 1 : ta.row;
+        wire.channel = initial_switchable_channel(net, ta.row);
       } else if (ta.access != TerminalAccess::BelowOnly &&
                  tb.access != TerminalAccess::BelowOnly) {
         wire.channel = ta.row + 1;  // above
@@ -65,7 +62,7 @@ void connect_terminals(NetId net, const std::vector<Terminal>& terminals,
         // jog around the cell; at this abstraction treat it as switchable so
         // step 5 picks the lighter channel.
         wire.switchable = true;
-        wire.channel = ((net.value() + ta.row) & 1u) ? ta.row + 1 : ta.row;
+        wire.channel = initial_switchable_channel(net, ta.row);
       }
       wires.push_back(wire);
       continue;

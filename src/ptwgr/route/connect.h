@@ -36,6 +36,15 @@ struct Terminal {
   TerminalAccess access = TerminalAccess::Either;
 };
 
+/// Deterministic initial channel for a switchable wire hugging `row`.  The
+/// connection step has no congestion knowledge, so the choice is an
+/// arbitrary-but-stable hash of (net, row) — exactly the state TWGR step 5
+/// starts from.  Every replica must compute the same answer or the parallel
+/// algorithms' density profiles desynchronize.
+inline std::uint32_t initial_switchable_channel(NetId net, std::uint32_t row) {
+  return ((net.value() + row) & 1u) ? row + 1 : row;
+}
+
 /// Connects a terminal list with an MST and appends the resulting channel
 /// wires.  This is the core of step 4; the Circuit overloads below derive
 /// the terminals from pins.

@@ -12,7 +12,10 @@ CoarseGrid::CoarseGrid(std::size_t num_rows, Coord width, Coord column_width)
   num_columns_ = std::max<std::size_t>(
       1, static_cast<std::size_t>((width + column_width - 1) / column_width));
   ft_demand_.assign(num_rows_ * num_columns_, 0);
-  chan_use_.assign((num_rows_ + 1) * num_columns_, 0);
+  chan_use_.reserve(num_rows_ + 1);
+  for (std::size_t ch = 0; ch <= num_rows_; ++ch) {
+    chan_use_.emplace_back(num_columns_);
+  }
 }
 
 CoarseGrid::CoarseGrid(const Circuit& circuit, Coord column_width)
@@ -52,19 +55,29 @@ std::int64_t CoarseGrid::row_feedthrough_total(std::size_t row) const {
   return total;
 }
 
+std::int64_t CoarseGrid::feedthrough_span_sum(std::size_t row_begin,
+                                              std::size_t row_end,
+                                              std::size_t col) const {
+  PTWGR_EXPECTS(row_begin <= row_end && row_end <= num_rows_);
+  PTWGR_EXPECTS(col < num_columns_);
+  std::int64_t total = 0;
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    total += ft_demand_[r * num_columns_ + col];
+  }
+  return total;
+}
+
 void CoarseGrid::add_channel_use(std::size_t channel, std::size_t col_lo,
                                  std::size_t col_hi, std::int32_t delta) {
   PTWGR_EXPECTS(channel < num_channels());
   PTWGR_EXPECTS(col_lo <= col_hi && col_hi < num_columns_);
-  for (std::size_t c = col_lo; c <= col_hi; ++c) {
-    chan_use_[channel * num_columns_ + c] += delta;
-  }
+  chan_use_[channel].range_add(col_lo, col_hi, delta);
 }
 
 std::int32_t CoarseGrid::channel_use(std::size_t channel,
                                      std::size_t col) const {
   PTWGR_EXPECTS(channel < num_channels() && col < num_columns_);
-  return chan_use_[channel * num_columns_ + col];
+  return static_cast<std::int32_t>(chan_use_[channel].value_at(col));
 }
 
 std::int32_t CoarseGrid::max_channel_use(std::size_t channel,
@@ -72,11 +85,9 @@ std::int32_t CoarseGrid::max_channel_use(std::size_t channel,
                                          std::size_t col_hi) const {
   PTWGR_EXPECTS(channel < num_channels());
   PTWGR_EXPECTS(col_lo <= col_hi && col_hi < num_columns_);
-  std::int32_t best = 0;
-  for (std::size_t c = col_lo; c <= col_hi; ++c) {
-    best = std::max(best, chan_use_[channel * num_columns_ + c]);
-  }
-  return best;
+  // Usage counts are non-negative, matching the old scan's 0 floor.
+  return static_cast<std::int32_t>(
+      std::max<std::int64_t>(0, chan_use_[channel].range_max(col_lo, col_hi)));
 }
 
 std::int64_t CoarseGrid::channel_use_sum(std::size_t channel,
@@ -84,26 +95,33 @@ std::int64_t CoarseGrid::channel_use_sum(std::size_t channel,
                                          std::size_t col_hi) const {
   PTWGR_EXPECTS(channel < num_channels());
   PTWGR_EXPECTS(col_lo <= col_hi && col_hi < num_columns_);
-  std::int64_t total = 0;
-  for (std::size_t c = col_lo; c <= col_hi; ++c) {
-    total += chan_use_[channel * num_columns_ + c];
-  }
-  return total;
+  return chan_use_[channel].range_sum(col_lo, col_hi);
 }
 
 std::vector<std::int32_t> CoarseGrid::export_state() const {
   std::vector<std::int32_t> state;
   state.reserve(state_size());
   state.insert(state.end(), ft_demand_.begin(), ft_demand_.end());
-  state.insert(state.end(), chan_use_.begin(), chan_use_.end());
+  for (const LazySegmentTree& tree : chan_use_) {
+    for (std::int64_t v : tree.values()) {
+      state.push_back(static_cast<std::int32_t>(v));
+    }
+  }
   return state;
 }
 
 void CoarseGrid::import_state(const std::vector<std::int32_t>& state) {
   PTWGR_EXPECTS(state.size() == state_size());
   std::copy_n(state.begin(), ft_demand_.size(), ft_demand_.begin());
-  std::copy_n(state.begin() + static_cast<std::ptrdiff_t>(ft_demand_.size()),
-              chan_use_.size(), chan_use_.begin());
+  std::size_t offset = ft_demand_.size();
+  std::vector<std::int64_t> row(num_columns_);
+  for (LazySegmentTree& tree : chan_use_) {
+    for (std::size_t c = 0; c < num_columns_; ++c) {
+      row[c] = state[offset + c];
+    }
+    tree.assign(row);
+    offset += num_columns_;
+  }
 }
 
 }  // namespace ptwgr

@@ -6,10 +6,14 @@
 //     cells;
 //   * channel usage per (channel, column) — the coarse channel-density
 //     estimate the L-orientation choice optimizes against.
-// Both maps are flat integer arrays, exposed for serialization so the
-// net-wise parallel algorithm can synchronize replicas with an allreduce
-// (paper §5: "we need to synchronize the information of each grid point
-// periodically").
+// Feedthrough demand is a flat integer array (point updates and queries
+// dominate); each channel's usage row is a lazy segment tree so the flip
+// sweep's span queries — range-add, range-max, range-sum — run in O(log W)
+// instead of O(W) (DESIGN.md §11).  Both maps are exposed as one flat vector
+// for serialization so the net-wise parallel algorithm can synchronize
+// replicas with an allreduce (paper §5: "we need to synchronize the
+// information of each grid point periodically"); the snapshot layout is
+// unchanged by the tree backing.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +21,7 @@
 
 #include "ptwgr/circuit/circuit.h"
 #include "ptwgr/support/check.h"
+#include "ptwgr/support/segment_tree.h"
 
 namespace ptwgr {
 
@@ -44,35 +49,43 @@ class CoarseGrid {
   std::int32_t feedthrough_demand(std::size_t row, std::size_t col) const;
   /// Total feedthrough demand in one row (the row-width growth driver).
   std::int64_t row_feedthrough_total(std::size_t row) const;
+  /// Demand at `col` summed over rows [row_begin, row_end) — the vertical-leg
+  /// congestion term of the coarse placement cost.
+  std::int64_t feedthrough_span_sum(std::size_t row_begin,
+                                    std::size_t row_end,
+                                    std::size_t col) const;
 
   // --- channel usage -----------------------------------------------------
   /// Adds `delta` to every column in [col_lo, col_hi] of a channel.
+  /// O(log W).
   void add_channel_use(std::size_t channel, std::size_t col_lo,
                        std::size_t col_hi, std::int32_t delta);
   std::int32_t channel_use(std::size_t channel, std::size_t col) const;
-  /// Max usage over a column span of a channel.
+  /// Max usage over a column span of a channel.  O(log W).
   std::int32_t max_channel_use(std::size_t channel, std::size_t col_lo,
                                std::size_t col_hi) const;
-  /// Sum of usage over a column span of a channel.
+  /// Sum of usage over a column span of a channel.  O(log W).
   std::int64_t channel_use_sum(std::size_t channel, std::size_t col_lo,
                                std::size_t col_hi) const;
 
   // --- replica synchronization (net-wise parallel algorithm) -------------
-  /// Snapshot of both maps as one flat vector (feedthrough demand first).
+  /// Snapshot of both maps as one flat vector (feedthrough demand first,
+  /// then channel usage channel-major — same schema as the flat-array
+  /// implementation).
   std::vector<std::int32_t> export_state() const;
   /// Replaces both maps from a snapshot produced by export_state().
   void import_state(const std::vector<std::int32_t>& state);
   /// Element count of an export_state() snapshot.
   std::size_t state_size() const {
-    return ft_demand_.size() + chan_use_.size();
+    return ft_demand_.size() + num_channels() * num_columns_;
   }
 
  private:
   std::size_t num_rows_;
   std::size_t num_columns_;
   Coord column_width_;
-  std::vector<std::int32_t> ft_demand_;  // num_rows × num_columns
-  std::vector<std::int32_t> chan_use_;   // (num_rows+1) × num_columns
+  std::vector<std::int32_t> ft_demand_;   // num_rows × num_columns
+  std::vector<LazySegmentTree> chan_use_;  // one tree per channel
 };
 
 }  // namespace ptwgr

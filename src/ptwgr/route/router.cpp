@@ -56,6 +56,7 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   auto segments = extract_coarse_segments(trees);
   CoarseOptions coarse_options;
   coarse_options.passes = options.coarse_passes;
+  coarse_options.cross_check = options.cross_check;
   CoarseRouter coarse(grid, coarse_options);
   coarse.place_initial(segments);
   Rng coarse_rng = rng.split();
@@ -106,6 +107,7 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   SwitchableOptions switch_options;
   switch_options.passes = options.switchable_passes;
   switch_options.bucket_width = options.switch_bucket_width;
+  switch_options.cross_check = options.cross_check;
   Rng switch_rng = rng.split();
   const std::size_t switch_flips =
       optimizer.optimize(result.wires, switch_rng, switch_options);

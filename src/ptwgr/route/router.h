@@ -34,6 +34,10 @@ struct RouterOptions {
   /// keep the bucketed density estimate faithful to the exact interval
   /// density the metrics report.
   Coord switch_bucket_width = 4;
+  /// Debug: run the coarse and switchable flip sweeps with naive
+  /// remove → evaluate → re-add decisions in parallel with the incremental
+  /// ones and PTWGR_CHECK they agree (slow; test/bench use only).
+  bool cross_check = false;
 };
 
 /// Per-step wall-clock seconds (paper-style runtime breakdowns).

@@ -36,10 +36,10 @@ void SwitchableOptimizer::apply(const Wire& wire, std::int64_t direction) {
   } else {
     profile.remove(span);
   }
-  // Mirror into the pending-delta accumulator for replica sync.
-  const std::size_t first = profile.bucket_of(span.lo);
-  const std::size_t last =
-      profile.bucket_of(span.lo == span.hi ? span.hi : span.hi - 1);
+  // Mirror into the pending-delta accumulator for replica sync.  Must widen
+  // intervals exactly the way the profile itself does, so route through the
+  // profile's bucket_range instead of redoing the arithmetic here.
+  const auto [first, last] = profile.bucket_range(span);
   for (std::size_t b = first; b <= last; ++b) {
     pending_[wire.channel * buckets_per_channel_ + b] +=
         static_cast<std::int32_t>(direction);
@@ -54,6 +54,38 @@ std::int64_t SwitchableOptimizer::local_peak(std::size_t channel,
                                              const Wire& wire) const {
   PTWGR_EXPECTS(channel < profiles_.size());
   return profiles_[channel].max_density_over(wire_span(wire));
+}
+
+bool SwitchableOptimizer::naive_flip_improves(const Wire& wire,
+                                              std::uint32_t other) {
+  // Deliberately avoids the incremental queries: full bucket scans against
+  // raw counts, with the wire physically removed.
+  const auto scan_max = [this](std::size_t channel) {
+    std::int64_t best = 0;
+    for (std::size_t b = 0; b < buckets_per_channel_; ++b) {
+      best = std::max(best, profiles_[channel].bucket_count(b));
+    }
+    return best;
+  };
+  const auto scan_local = [this](std::size_t channel, Interval span) {
+    const auto [first, last] = profiles_[channel].bucket_range(span);
+    std::int64_t best = 0;
+    for (std::size_t b = first; b <= last; ++b) {
+      best = std::max(best, profiles_[channel].bucket_count(b));
+    }
+    return best;
+  };
+  const Interval span = wire_span(wire);
+  apply(wire, -1);
+  const std::int64_t cur_max = scan_max(wire.channel);
+  const std::int64_t other_max = scan_max(other);
+  const std::int64_t cur_local = scan_local(wire.channel, span);
+  const std::int64_t other_local = scan_local(other, span);
+  apply(wire, +1);
+  const std::int64_t keep_total = std::max(cur_max, cur_local + 1) + other_max;
+  const std::int64_t move_total = cur_max + std::max(other_max, other_local + 1);
+  return move_total < keep_total ||
+         (move_total == keep_total && other_local < cur_local);
 }
 
 std::size_t SwitchableOptimizer::optimize(
@@ -74,28 +106,42 @@ std::size_t SwitchableOptimizer::optimize(
       const std::uint32_t below = wire.row;
       const std::uint32_t above = wire.row + 1;
       const std::uint32_t other = (wire.channel == below) ? above : below;
+      PTWGR_EXPECTS(other < profiles_.size());
 
-      apply(wire, -1);
       // Evaluate the *track* change of the flip: tracks are per-channel
       // global maxima, so compare the resulting channel peaks, not just the
       // crowding under the wire (paper §2: "evaluating the channel track
-      // change when the segment is flipped").
-      const std::int64_t cur_max = profiles_[wire.channel].max_density();
+      // change when the segment is flipped").  Removed-state aggregates are
+      // derived without mutating the profiles: the wire adds exactly +1 to
+      // every bucket of its own span, so removal lowers its local peak by
+      // one and nothing outside the span moves (DESIGN.md §11).
+      const Interval span = wire_span(wire);
+      const std::int64_t cur_local =
+          profiles_[wire.channel].max_density_over(span) - 1;
+      const std::int64_t cur_max = std::max(
+          profiles_[wire.channel].max_density_excluding(span), cur_local);
       const std::int64_t other_max = profiles_[other].max_density();
-      const std::int64_t cur_local = local_peak(wire.channel, wire);
       const std::int64_t other_local = local_peak(other, wire);
       const std::int64_t keep_total =
           std::max(cur_max, cur_local + 1) + other_max;
       const std::int64_t move_total =
           cur_max + std::max(other_max, other_local + 1);
-      // Primary: fewer tracks.  Secondary (equal tracks): less local
-      // crowding, which leaves room for later segments.
-      if (move_total < keep_total ||
-          (move_total == keep_total && other_local + 1 < cur_local)) {
+      // Primary: fewer tracks.  Secondary (equal tracks): strictly less
+      // local crowding on the destination side, which leaves room for later
+      // segments.  The wire's own +1 lands on whichever side it ends up, so
+      // the crowding comparison is other_local vs cur_local directly.
+      const bool flip =
+          move_total < keep_total ||
+          (move_total == keep_total && other_local < cur_local);
+      if (options.cross_check) {
+        PTWGR_CHECK(naive_flip_improves(wire, other) == flip);
+      }
+      if (flip) {
+        apply(wire, -1);
         wire.channel = other;
+        apply(wire, +1);
         ++flips;
       }
-      apply(wire, +1);
       ++decisions;
       if (on_progress) on_progress(decisions);
     }

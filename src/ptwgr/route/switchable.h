@@ -22,6 +22,9 @@ namespace ptwgr {
 struct SwitchableOptions {
   int passes = 2;
   Coord bucket_width = 4;
+  /// Debug: re-derive every flip decision with the naive remove → full-scan →
+  /// re-add evaluation and PTWGR_CHECK that it matches the incremental one.
+  bool cross_check = false;
 };
 
 class SwitchableOptimizer {
@@ -59,6 +62,10 @@ class SwitchableOptimizer {
   void apply(const Wire& wire, std::int64_t direction);
   /// Peak density over the wire's span in `channel`.
   std::int64_t local_peak(std::size_t channel, const Wire& wire) const;
+  /// Pre-incremental decision reference for cross_check: removes the wire,
+  /// recomputes every aggregate by scanning raw bucket counts, re-adds it.
+  /// Net-zero on the profiles and the pending-delta accumulator.
+  bool naive_flip_improves(const Wire& wire, std::uint32_t other);
 
   std::vector<DensityProfile> profiles_;
   std::vector<std::int32_t> pending_;

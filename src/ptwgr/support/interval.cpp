@@ -56,7 +56,7 @@ std::vector<Interval> merge_intervals(std::vector<Interval> intervals) {
 
 DensityProfile::DensityProfile(std::int64_t origin, std::int64_t bucket_width,
                                std::size_t num_buckets)
-    : origin_(origin), bucket_width_(bucket_width), counts_(num_buckets, 0) {
+    : origin_(origin), bucket_width_(bucket_width), tree_(num_buckets) {
   PTWGR_EXPECTS(bucket_width > 0);
   PTWGR_EXPECTS(num_buckets > 0);
 }
@@ -65,53 +65,45 @@ std::size_t DensityProfile::bucket_of(std::int64_t x) const {
   std::int64_t rel = x - origin_;
   if (rel < 0) rel = 0;
   auto idx = static_cast<std::size_t>(rel / bucket_width_);
-  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  if (idx >= tree_.size()) idx = tree_.size() - 1;
   return idx;
 }
 
-void DensityProfile::apply(Interval iv, std::int64_t delta) {
+std::pair<std::size_t, std::size_t> DensityProfile::bucket_range(
+    Interval iv) const {
   PTWGR_EXPECTS(iv.lo <= iv.hi);
-  const std::size_t first = bucket_of(iv.lo);
   // Half-open: the bucket containing hi is included only if hi is strictly
-  // inside it; degenerate intervals still occupy one bucket.
-  const std::size_t last = bucket_of(iv.lo == iv.hi ? iv.hi : iv.hi - 1);
-  for (std::size_t b = first; b <= last; ++b) {
-    counts_[b] += delta;
-    total_ += delta;
-    if (delta > 0) {
-      if (!dirty_ && counts_[b] > cached_max_) cached_max_ = counts_[b];
-    } else if (counts_[b] + 1 == cached_max_) {
-      // Might have lowered the max; recompute lazily.
-      dirty_ = true;
-    }
-  }
+  // inside it; degenerate intervals are widened to one unit and occupy the
+  // single bucket containing lo.
+  return {bucket_of(iv.lo), bucket_of(iv.lo == iv.hi ? iv.hi : iv.hi - 1)};
+}
+
+void DensityProfile::apply(Interval iv, std::int64_t delta) {
+  const auto [first, last] = bucket_range(iv);
+  tree_.range_add(first, last, delta);
 }
 
 void DensityProfile::add_at_bucket(std::size_t bucket, std::int64_t delta) {
-  PTWGR_EXPECTS(bucket < counts_.size());
-  counts_[bucket] += delta;
-  total_ += delta;
-  if (delta > 0) {
-    if (!dirty_ && counts_[bucket] > cached_max_) cached_max_ = counts_[bucket];
-  } else if (delta < 0 && counts_[bucket] - delta == cached_max_) {
-    dirty_ = true;
-  }
+  PTWGR_EXPECTS(bucket < tree_.size());
+  tree_.range_add(bucket, bucket, delta);
 }
 
-std::int64_t DensityProfile::max_density() const {
-  if (dirty_) {
-    cached_max_ = *std::max_element(counts_.begin(), counts_.end());
-    dirty_ = false;
-  }
-  return cached_max_;
+std::int64_t DensityProfile::bucket_count(std::size_t i) const {
+  PTWGR_EXPECTS(i < tree_.size());
+  return tree_.value_at(i);
 }
 
 std::int64_t DensityProfile::max_density_over(Interval iv) const {
-  const std::size_t first = bucket_of(iv.lo);
-  const std::size_t last = bucket_of(iv.lo == iv.hi ? iv.hi : iv.hi - 1);
+  const auto [first, last] = bucket_range(iv);
+  return std::max<std::int64_t>(0, tree_.range_max(first, last));
+}
+
+std::int64_t DensityProfile::max_density_excluding(Interval iv) const {
+  const auto [first, last] = bucket_range(iv);
   std::int64_t best = 0;
-  for (std::size_t b = first; b <= last; ++b) {
-    best = std::max(best, counts_[b]);
+  if (first > 0) best = std::max(best, tree_.range_max(0, first - 1));
+  if (last + 1 < tree_.size()) {
+    best = std::max(best, tree_.range_max(last + 1, tree_.size() - 1));
   }
   return best;
 }

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "ptwgr/support/check.h"
+#include "ptwgr/support/segment_tree.h"
 
 namespace ptwgr {
 
@@ -38,10 +40,13 @@ std::vector<Interval> merge_intervals(std::vector<Interval> intervals);
 /// Bucketed density counter over a fixed coordinate range.
 ///
 /// The range [origin, origin + num_buckets * bucket_width) is divided into
-/// equal buckets; each interval increments every bucket it touches.  Density
-/// queries return the max bucket count.  This is the structure TWGR-style
-/// delta evaluation needs: adding/removing a candidate wire and asking "did
-/// the channel max change?" in O(buckets touched).
+/// equal buckets; each interval increments every bucket it touches.  Backed
+/// by a lazy segment tree (DESIGN.md §11): interval add/remove is a single
+/// range-add in O(log n), the channel max is read off the root in O(1), and
+/// span peaks are range-max queries in O(log n) — no full-bucket rescans
+/// after removals.  This is the structure TWGR-style delta evaluation needs:
+/// asking "what would the channel peaks be if this wire moved?" without
+/// mutating anything.
 class DensityProfile {
  public:
   DensityProfile(std::int64_t origin, std::int64_t bucket_width,
@@ -50,11 +55,17 @@ class DensityProfile {
   void add(Interval iv) { apply(iv, +1); }
   void remove(Interval iv) { apply(iv, -1); }
 
-  /// Maximum bucket count (cached; recomputed lazily after removals).
-  std::int64_t max_density() const;
+  /// Maximum bucket count — O(1).
+  std::int64_t max_density() const { return tree_.global_max(); }
 
-  /// Maximum bucket count within the buckets an interval touches.
+  /// Maximum bucket count within the buckets an interval touches (>= 0).
   std::int64_t max_density_over(Interval iv) const;
+
+  /// Maximum bucket count over the buckets an interval does NOT touch
+  /// (>= 0; 0 when the interval spans the whole profile).  Combined with
+  /// max_density_over this yields a wire's removed-state channel peak
+  /// without remove/re-add.
+  std::int64_t max_density_excluding(Interval iv) const;
 
   /// Direct bucket adjustment — used to merge deltas produced by another
   /// replica of the same profile (net-wise parallel synchronization).
@@ -63,22 +74,26 @@ class DensityProfile {
   /// Bucket index covering coordinate x (clamped).
   std::size_t bucket_of(std::int64_t x) const;
 
-  /// Sum of all bucket counts (proxy for total wirelength in the channel).
-  std::int64_t total() const { return total_; }
+  /// Inclusive bucket index range an interval touches.  The single source of
+  /// truth for interval→bucket widening: a degenerate interval (lo == hi, a
+  /// vertical stub) occupies exactly the bucket containing lo, and a
+  /// half-open interval excludes the bucket that hi starts.  Anything that
+  /// mirrors profile updates (e.g. the switchable pending-delta accumulator)
+  /// must use this, not its own arithmetic on the raw span.
+  std::pair<std::size_t, std::size_t> bucket_range(Interval iv) const;
 
-  std::size_t num_buckets() const { return counts_.size(); }
-  std::int64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  /// Sum of all bucket counts (proxy for total wirelength in the channel).
+  std::int64_t total() const { return tree_.global_sum(); }
+
+  std::size_t num_buckets() const { return tree_.size(); }
+  std::int64_t bucket_count(std::size_t i) const;
 
  private:
   void apply(Interval iv, std::int64_t delta);
 
   std::int64_t origin_;
   std::int64_t bucket_width_;
-  std::vector<std::int64_t> counts_;
-  std::int64_t total_ = 0;
-  // Cached max: exact when dirty_ is false; recomputed on demand otherwise.
-  mutable std::int64_t cached_max_ = 0;
-  mutable bool dirty_ = false;
+  LazySegmentTree tree_;
 };
 
 }  // namespace ptwgr

@@ -1,0 +1,28 @@
+// Strict numeric parsing for CLI flags.
+//
+// atoi/atoll/atof silently map garbage ("4x", "banana", "") to 0, so a typo
+// in a flag becomes a structurally valid but wrong run.  parse_number
+// accepts a value only when the entire string is a number of the requested
+// type, letting callers reject bad input with a diagnostic instead.
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string_view>
+#include <system_error>
+
+namespace ptwgr {
+
+/// Parses ALL of `text` as a value of arithmetic type T.  Returns nullopt on
+/// empty input, leading/trailing garbage, or overflow.
+template <typename T>
+std::optional<T> parse_number(std::string_view text) {
+  T value{};
+  const char* const begin = text.data();
+  const char* const end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace ptwgr

@@ -1,0 +1,115 @@
+#include "ptwgr/support/segment_tree.h"
+
+#include <algorithm>
+
+namespace ptwgr {
+
+LazySegmentTree::LazySegmentTree(std::size_t size) : size_(size) {
+  PTWGR_EXPECTS(size >= 1);
+  max_.assign(4 * size_, 0);
+  sum_.assign(4 * size_, 0);
+  tag_.assign(4 * size_, 0);
+}
+
+void LazySegmentTree::assign(const std::vector<std::int64_t>& values) {
+  PTWGR_EXPECTS(values.size() == size_);
+  std::fill(tag_.begin(), tag_.end(), 0);
+  build(kRoot, 0, size_ - 1, values);
+}
+
+void LazySegmentTree::build(std::size_t node, std::size_t lo, std::size_t hi,
+                            const std::vector<std::int64_t>& values) {
+  if (lo == hi) {
+    max_[node] = sum_[node] = values[lo];
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  build(2 * node, lo, mid, values);
+  build(2 * node + 1, mid + 1, hi, values);
+  max_[node] = std::max(max_[2 * node], max_[2 * node + 1]);
+  sum_[node] = sum_[2 * node] + sum_[2 * node + 1];
+}
+
+void LazySegmentTree::range_add(std::size_t lo, std::size_t hi,
+                                std::int64_t delta) {
+  PTWGR_EXPECTS(lo <= hi && hi < size_);
+  add(kRoot, 0, size_ - 1, lo, hi, delta);
+}
+
+void LazySegmentTree::add(std::size_t node, std::size_t lo, std::size_t hi,
+                          std::size_t ql, std::size_t qr,
+                          std::int64_t delta) {
+  if (qr < lo || hi < ql) return;
+  if (ql <= lo && hi <= qr) {
+    max_[node] += delta;
+    sum_[node] += delta * static_cast<std::int64_t>(hi - lo + 1);
+    tag_[node] += delta;
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  add(2 * node, lo, mid, ql, qr, delta);
+  add(2 * node + 1, mid + 1, hi, ql, qr, delta);
+  // Children exclude this node's tag; re-apply it when pulling up.
+  max_[node] = std::max(max_[2 * node], max_[2 * node + 1]) + tag_[node];
+  const std::size_t overlap_lo = std::max(lo, ql);
+  const std::size_t overlap_hi = std::min(hi, qr);
+  sum_[node] += delta * static_cast<std::int64_t>(overlap_hi - overlap_lo + 1);
+}
+
+std::int64_t LazySegmentTree::range_max(std::size_t lo, std::size_t hi) const {
+  PTWGR_EXPECTS(lo <= hi && hi < size_);
+  return query_max(kRoot, 0, size_ - 1, lo, hi, 0);
+}
+
+std::int64_t LazySegmentTree::query_max(std::size_t node, std::size_t lo,
+                                        std::size_t hi, std::size_t ql,
+                                        std::size_t qr,
+                                        std::int64_t pending) const {
+  if (ql <= lo && hi <= qr) return max_[node] + pending;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const std::int64_t below = pending + tag_[node];
+  if (qr <= mid) return query_max(2 * node, lo, mid, ql, qr, below);
+  if (ql > mid) return query_max(2 * node + 1, mid + 1, hi, ql, qr, below);
+  return std::max(query_max(2 * node, lo, mid, ql, qr, below),
+                  query_max(2 * node + 1, mid + 1, hi, ql, qr, below));
+}
+
+std::int64_t LazySegmentTree::range_sum(std::size_t lo, std::size_t hi) const {
+  PTWGR_EXPECTS(lo <= hi && hi < size_);
+  return query_sum(kRoot, 0, size_ - 1, lo, hi, 0);
+}
+
+std::int64_t LazySegmentTree::query_sum(std::size_t node, std::size_t lo,
+                                        std::size_t hi, std::size_t ql,
+                                        std::size_t qr,
+                                        std::int64_t pending) const {
+  if (ql <= lo && hi <= qr) {
+    return sum_[node] + pending * static_cast<std::int64_t>(hi - lo + 1);
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const std::int64_t below = pending + tag_[node];
+  if (qr <= mid) return query_sum(2 * node, lo, mid, ql, qr, below);
+  if (ql > mid) return query_sum(2 * node + 1, mid + 1, hi, ql, qr, below);
+  return query_sum(2 * node, lo, mid, ql, qr, below) +
+         query_sum(2 * node + 1, mid + 1, hi, ql, qr, below);
+}
+
+std::vector<std::int64_t> LazySegmentTree::values() const {
+  std::vector<std::int64_t> out(size_, 0);
+  flatten(kRoot, 0, size_ - 1, 0, out);
+  return out;
+}
+
+void LazySegmentTree::flatten(std::size_t node, std::size_t lo, std::size_t hi,
+                              std::int64_t pending,
+                              std::vector<std::int64_t>& out) const {
+  if (lo == hi) {
+    out[lo] = max_[node] + pending;
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  flatten(2 * node, lo, mid, pending + tag_[node], out);
+  flatten(2 * node + 1, mid + 1, hi, pending + tag_[node], out);
+}
+
+}  // namespace ptwgr

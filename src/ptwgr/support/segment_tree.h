@@ -1,0 +1,80 @@
+// Lazy-propagation segment tree over a fixed-size int64 array.
+//
+// The flip-sweep hot paths (coarse L-orientation improvement, switchable
+// channel optimization) repeatedly ask "what is the max / sum of this demand
+// row over a span?" and "add delta to every slot of a span".  Flat arrays
+// answer those in O(span); this tree answers both in O(log n) and keeps the
+// global max/sum at the root for O(1) whole-row queries — the enabling
+// mechanism for the incremental congestion-delta evaluation of DESIGN.md §11.
+//
+// Only range-add updates exist (demand maps are additive), so queries never
+// need to push lazy tags down: a node's aggregates always include its own
+// pending tag, and a traversal just accumulates the ancestors' tags.  That
+// keeps queries const and allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptwgr/support/check.h"
+
+namespace ptwgr {
+
+class LazySegmentTree {
+ public:
+  /// Tree over `size` zero-initialized elements (size >= 1).
+  explicit LazySegmentTree(std::size_t size);
+
+  std::size_t size() const { return size_; }
+
+  /// Adds `delta` to every element of the inclusive range [lo, hi].
+  void range_add(std::size_t lo, std::size_t hi, std::int64_t delta);
+
+  /// Max over the inclusive range [lo, hi].
+  std::int64_t range_max(std::size_t lo, std::size_t hi) const;
+
+  /// Sum over the inclusive range [lo, hi].
+  std::int64_t range_sum(std::size_t lo, std::size_t hi) const;
+
+  /// Single element value.
+  std::int64_t value_at(std::size_t i) const { return range_max(i, i); }
+
+  /// Max over all elements — O(1), read off the root.
+  std::int64_t global_max() const { return max_[kRoot]; }
+
+  /// Sum over all elements — O(1), read off the root.
+  std::int64_t global_sum() const { return sum_[kRoot]; }
+
+  /// Replaces the contents with `values` (must match size()); clears all
+  /// pending tags.  O(n).
+  void assign(const std::vector<std::int64_t>& values);
+
+  /// Flattens the tree back to plain element values.  O(n).
+  std::vector<std::int64_t> values() const;
+
+ private:
+  static constexpr std::size_t kRoot = 1;
+
+  void build(std::size_t node, std::size_t lo, std::size_t hi,
+             const std::vector<std::int64_t>& values);
+  void add(std::size_t node, std::size_t lo, std::size_t hi, std::size_t ql,
+           std::size_t qr, std::int64_t delta);
+  std::int64_t query_max(std::size_t node, std::size_t lo, std::size_t hi,
+                         std::size_t ql, std::size_t qr,
+                         std::int64_t pending) const;
+  std::int64_t query_sum(std::size_t node, std::size_t lo, std::size_t hi,
+                         std::size_t ql, std::size_t qr,
+                         std::int64_t pending) const;
+  void flatten(std::size_t node, std::size_t lo, std::size_t hi,
+               std::int64_t pending, std::vector<std::int64_t>& out) const;
+
+  std::size_t size_;
+  // 1-based heap layout, 4n nodes.  max_/sum_ are exact for the node's range
+  // (including the node's own tag_); tag_ is the addition still pending for
+  // the node's descendants.
+  std::vector<std::int64_t> max_;
+  std::vector<std::int64_t> sum_;
+  std::vector<std::int64_t> tag_;
+};
+
+}  // namespace ptwgr

@@ -181,5 +181,40 @@ TEST(Connect, RoutingVerifiesOnGeneratedCircuitWithFeedthroughs) {
       << (violations.empty() ? "" : violations.front());
 }
 
+TEST(Connect, InitialSwitchableChannelIsStableHash) {
+  // Every rank derives a switchable wire's starting channel independently;
+  // the hash must be a pure function of (net, row) landing on one of the
+  // row's two legal channels.  These exact values are load-bearing: changing
+  // them re-seeds step 5 everywhere and desynchronizes mixed-version
+  // replicas.
+  EXPECT_EQ(initial_switchable_channel(NetId{0}, 0), 0u);
+  EXPECT_EQ(initial_switchable_channel(NetId{1}, 0), 1u);
+  EXPECT_EQ(initial_switchable_channel(NetId{0}, 1), 2u);
+  EXPECT_EQ(initial_switchable_channel(NetId{1}, 1), 1u);
+  EXPECT_EQ(initial_switchable_channel(NetId{7}, 4), 5u);
+  for (std::uint32_t n = 0; n < 32; ++n) {
+    for (std::uint32_t r = 0; r < 8; ++r) {
+      const std::uint32_t channel = initial_switchable_channel(NetId{n}, r);
+      EXPECT_TRUE(channel == r || channel == r + 1) << n << "," << r;
+      EXPECT_EQ(channel, initial_switchable_channel(NetId{n}, r));
+    }
+  }
+}
+
+TEST(Connect, SwitchableWiresUseTheSharedInitialChannelHash) {
+  // The wires produced by net connection must start exactly where the
+  // shared helper says, or a replica recomputing channels from net IDs
+  // would disagree with the rank that built the wires.
+  Circuit c = small_test_circuit(31, 4, 20);
+  const auto wires = connect_all_nets(c);
+  bool saw_switchable = false;
+  for (const Wire& w : wires) {
+    if (!w.switchable) continue;
+    saw_switchable = true;
+    EXPECT_EQ(w.channel, initial_switchable_channel(w.net, w.row));
+  }
+  EXPECT_TRUE(saw_switchable);
+}
+
 }  // namespace
 }  // namespace ptwgr

@@ -59,6 +59,43 @@ TEST(CoarseGrid, ChannelUseRangeOps) {
   EXPECT_EQ(grid.max_channel_use(2, 0, 9), 0);
 }
 
+TEST(CoarseGrid, FeedthroughSpanSum) {
+  CoarseGrid grid(4, 100, 10);
+  grid.add_feedthrough_demand(0, 3, 5);
+  grid.add_feedthrough_demand(1, 3, 1);
+  grid.add_feedthrough_demand(2, 3, 2);
+  grid.add_feedthrough_demand(2, 4, 7);  // other column, must not count
+  EXPECT_EQ(grid.feedthrough_span_sum(1, 3, 3), 3);  // rows 1..2
+  EXPECT_EQ(grid.feedthrough_span_sum(0, 4, 3), 8);
+  EXPECT_EQ(grid.feedthrough_span_sum(2, 2, 3), 0);  // empty row range
+  EXPECT_THROW(grid.feedthrough_span_sum(3, 2, 3), CheckError);
+  EXPECT_THROW(grid.feedthrough_span_sum(0, 5, 3), CheckError);
+}
+
+TEST(CoarseGrid, ExportAfterRangeOpsMatchesPointQueries) {
+  // The snapshot must flatten the per-channel trees exactly, pending lazy
+  // tags included, in the channel-major layout the delta sync assumes.
+  CoarseGrid grid(2, 100, 10);
+  grid.add_channel_use(0, 0, 9, 3);
+  grid.add_channel_use(0, 4, 4, -3);
+  grid.add_channel_use(2, 1, 7, 2);
+  grid.add_feedthrough_demand(1, 6, 9);
+  const auto state = grid.export_state();
+  ASSERT_EQ(state.size(), grid.state_size());
+  const std::size_t cols = grid.num_columns();
+  const std::size_t ft = grid.num_rows() * cols;
+  for (std::size_t r = 0; r < grid.num_rows(); ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      EXPECT_EQ(state[r * cols + c], grid.feedthrough_demand(r, c));
+    }
+  }
+  for (std::size_t ch = 0; ch < grid.num_channels(); ++ch) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      EXPECT_EQ(state[ft + ch * cols + c], grid.channel_use(ch, c));
+    }
+  }
+}
+
 TEST(CoarseGrid, TopChannelExists) {
   CoarseGrid grid(2, 50, 10);
   grid.add_channel_use(2, 0, 0, 1);  // channel above row 1

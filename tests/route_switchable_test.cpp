@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 
 #include "ptwgr/circuit/suite.h"
 #include "ptwgr/route/connect.h"
@@ -118,6 +119,89 @@ TEST(Switchable, ProgressHookCountsDecisions) {
     EXPECT_EQ(n, calls);
   });
   EXPECT_EQ(calls, 14u);  // 7 switchable × 2 passes; fixed wire excluded
+}
+
+TEST(Switchable, EqualTrackFlipTakenWhenItReducesLocalCrowding) {
+  // Two stacked wires in channel 0, channel 1 empty.  Moving the switchable
+  // one changes no channel peak total (2 either way) but strictly reduces
+  // the crowding under the wire from 2 to 1.  The old secondary condition
+  // (`other_local + 1 < cur_local`) was off by one and refused this flip;
+  // the crowding comparison must be other_local < cur_local because the
+  // wire's own +1 lands on whichever side it ends up.
+  std::vector<Wire> wires{make_wire(0, 0, 64, false, 0),
+                          make_wire(0, 0, 64, true, 0)};
+  SwitchableOptimizer opt(2, 64, 16);
+  opt.register_wires(wires);
+  Rng rng(9);
+  SwitchableOptions options;
+  options.passes = 1;
+  EXPECT_EQ(opt.optimize(wires, rng, options), 1u);
+  EXPECT_EQ(wires[1].channel, 1u);
+  EXPECT_EQ(opt.channel_peak(0), 1);
+  EXPECT_EQ(opt.channel_peak(1), 1);
+}
+
+TEST(Switchable, EqualCrowdingDoesNotOscillate) {
+  // Perfectly symmetric situation: equal tracks and equal local crowding on
+  // both sides must keep the wire where it is, or repeated passes would flip
+  // it forever (and desynchronize parallel replicas).
+  std::vector<Wire> wires{make_wire(0, 0, 64, false, 0),
+                          make_wire(0, 0, 64, false, 1),
+                          make_wire(0, 0, 64, true, 0)};
+  SwitchableOptimizer opt(2, 64, 16);
+  opt.register_wires(wires);
+  Rng rng(10);
+  SwitchableOptions options;
+  options.passes = 4;
+  EXPECT_EQ(opt.optimize(wires, rng, options), 0u);
+  EXPECT_EQ(wires[2].channel, 0u);
+}
+
+TEST(Switchable, PendingMirrorMatchesProfileAtBucketBoundaries) {
+  // The pending-delta accumulator must widen wire spans into buckets exactly
+  // the way DensityProfile does, including degenerate spans sitting on a
+  // bucket boundary and spans whose hi is the top edge of the profile.
+  SwitchableOptimizer opt(1, 64, 16);  // 4 buckets
+  std::vector<Wire> wires{
+      make_wire(0, 16, 32, true, 0),  // exactly bucket 1
+      make_wire(0, 32, 32, true, 0),  // degenerate on a boundary: bucket 2
+      make_wire(0, 0, 64, true, 0),   // hi on the top edge: buckets 0..3
+  };
+  opt.register_wires(wires);
+  DensityProfile reference(0, 16, 4);
+  reference.add({16, 32});
+  reference.add({32, 32});
+  reference.add({0, 64});
+  const auto deltas = opt.take_pending_deltas();
+  ASSERT_EQ(deltas.size(), 4u);
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(deltas[b], reference.bucket_count(b)) << "bucket " << b;
+  }
+}
+
+TEST(Switchable, CrossCheckAgreesOnRealRouting) {
+  // cross_check re-derives every flip decision with the naive remove →
+  // full-scan → re-add evaluation and throws on any disagreement with the
+  // incremental one; identical outputs prove the runs took identical paths.
+  Circuit c = small_test_circuit(17, 6, 30);
+  const auto run = [&c](bool cross_check) {
+    auto wires = connect_all_nets(c);
+    SwitchableOptimizer opt(c.num_channels(), c.core_width(), 4);
+    opt.register_wires(wires);
+    Rng rng(11);
+    SwitchableOptions options;
+    options.passes = 3;
+    options.cross_check = cross_check;
+    const std::size_t flips = opt.optimize(wires, rng, options);
+    return std::pair<std::size_t, std::vector<Wire>>{flips, std::move(wires)};
+  };
+  const auto [plain_flips, plain_wires] = run(false);
+  const auto [checked_flips, checked_wires] = run(true);
+  EXPECT_EQ(plain_flips, checked_flips);
+  ASSERT_EQ(plain_wires.size(), checked_wires.size());
+  for (std::size_t i = 0; i < plain_wires.size(); ++i) {
+    EXPECT_EQ(plain_wires[i].channel, checked_wires[i].channel) << i;
+  }
 }
 
 TEST(Switchable, PendingDeltasReflectOperations) {

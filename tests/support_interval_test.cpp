@@ -120,6 +120,52 @@ TEST(DensityProfile, HalfOpenUpperBoundaryExcluded) {
   EXPECT_EQ(p.bucket_count(1), 0);
 }
 
+TEST(DensityProfile, BucketRangeWidensDegenerateAndExcludesUpperBoundary) {
+  DensityProfile p(0, 10, 10);
+  // Half-open interval: the bucket hi starts is excluded.
+  EXPECT_EQ(p.bucket_range({0, 10}), (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(p.bucket_range({0, 11}), (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(p.bucket_range({25, 45}), (std::pair<std::size_t, std::size_t>{2, 4}));
+  // Degenerate interval on a bucket boundary lands in the bucket it starts.
+  EXPECT_EQ(p.bucket_range({30, 30}), (std::pair<std::size_t, std::size_t>{3, 3}));
+  EXPECT_EQ(p.bucket_range({35, 35}), (std::pair<std::size_t, std::size_t>{3, 3}));
+  // Out-of-range coordinates clamp like bucket_of.
+  EXPECT_EQ(p.bucket_range({-50, 500}),
+            (std::pair<std::size_t, std::size_t>{0, 9}));
+}
+
+TEST(DensityProfile, MaxDensityExcluding) {
+  DensityProfile p(0, 10, 10);
+  p.add({0, 30});    // buckets 0-2
+  p.add({0, 30});
+  p.add({50, 90});   // buckets 5-8
+  EXPECT_EQ(p.max_density_excluding({0, 30}), 1);   // sees only the tail wire
+  EXPECT_EQ(p.max_density_excluding({50, 90}), 2);  // sees only the doubles
+  EXPECT_EQ(p.max_density_excluding({0, 100}), 0);  // excludes everything
+  EXPECT_EQ(p.max_density_excluding({35, 45}), 2);  // hole excludes nothing live
+}
+
+TEST(DensityProfile, ExcludingPlusOverReconstructsRemovedPeak) {
+  // The identity the switchable optimizer's incremental evaluation rests on:
+  // for a wire occupying exactly its bucket_range, the removed-state channel
+  // peak is max(max_density_excluding(span), max_density_over(span) - 1).
+  Rng rng(424242);
+  DensityProfile p(0, 7, 23);
+  std::vector<Interval> live;
+  for (int step = 0; step < 200; ++step) {
+    const std::int64_t lo = rng.next_int(0, 150);
+    const Interval iv{lo, lo + rng.next_int(0, 40)};
+    p.add(iv);
+    live.push_back(iv);
+    const Interval probe = live[rng.next_index(live.size())];
+    const std::int64_t incremental =
+        std::max(p.max_density_excluding(probe), p.max_density_over(probe) - 1);
+    p.remove(probe);
+    ASSERT_EQ(incremental, p.max_density());
+    p.add(probe);
+  }
+}
+
 TEST(DensityProfile, AddAtBucketTracksMax) {
   DensityProfile p(0, 10, 4);
   p.add_at_bucket(2, 3);

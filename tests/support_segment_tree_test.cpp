@@ -1,0 +1,124 @@
+#include "ptwgr/support/segment_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "ptwgr/support/rng.h"
+
+namespace ptwgr {
+namespace {
+
+TEST(LazySegmentTree, StartsZeroed) {
+  LazySegmentTree tree(7);
+  EXPECT_EQ(tree.size(), 7u);
+  EXPECT_EQ(tree.global_max(), 0);
+  EXPECT_EQ(tree.global_sum(), 0);
+  EXPECT_EQ(tree.range_max(0, 6), 0);
+  EXPECT_EQ(tree.range_sum(2, 4), 0);
+}
+
+TEST(LazySegmentTree, SingleElement) {
+  LazySegmentTree tree(1);
+  tree.range_add(0, 0, 5);
+  EXPECT_EQ(tree.value_at(0), 5);
+  EXPECT_EQ(tree.global_max(), 5);
+  EXPECT_EQ(tree.global_sum(), 5);
+}
+
+TEST(LazySegmentTree, RangeAddAndQueries) {
+  LazySegmentTree tree(10);
+  tree.range_add(2, 6, 1);
+  tree.range_add(4, 8, 2);
+  // Values: 0 0 1 1 3 3 3 2 2 0
+  EXPECT_EQ(tree.value_at(0), 0);
+  EXPECT_EQ(tree.value_at(3), 1);
+  EXPECT_EQ(tree.value_at(5), 3);
+  EXPECT_EQ(tree.value_at(8), 2);
+  EXPECT_EQ(tree.global_max(), 3);
+  EXPECT_EQ(tree.global_sum(), 15);
+  EXPECT_EQ(tree.range_max(0, 3), 1);
+  EXPECT_EQ(tree.range_max(7, 9), 2);
+  EXPECT_EQ(tree.range_sum(2, 6), 11);
+  EXPECT_EQ(tree.range_sum(0, 1), 0);
+}
+
+TEST(LazySegmentTree, NegativeDeltasRemoveDemand) {
+  LazySegmentTree tree(6);
+  tree.range_add(0, 5, 3);
+  tree.range_add(1, 4, -3);
+  EXPECT_EQ(tree.global_max(), 3);
+  EXPECT_EQ(tree.range_max(1, 4), 0);
+  EXPECT_EQ(tree.global_sum(), 6);
+}
+
+TEST(LazySegmentTree, AssignAndValuesRoundTrip) {
+  LazySegmentTree tree(5);
+  tree.range_add(0, 4, 7);  // leave pending tags behind
+  const std::vector<std::int64_t> values{3, 1, 4, 1, 5};
+  tree.assign(values);
+  EXPECT_EQ(tree.values(), values);
+  EXPECT_EQ(tree.global_max(), 5);
+  EXPECT_EQ(tree.global_sum(), 14);
+  tree.range_add(1, 3, 10);
+  EXPECT_EQ(tree.values(), (std::vector<std::int64_t>{3, 11, 14, 11, 5}));
+}
+
+TEST(LazySegmentTree, RejectsBadRanges) {
+  LazySegmentTree tree(4);
+  EXPECT_THROW(tree.range_add(2, 1, 1), CheckError);
+  EXPECT_THROW(tree.range_max(0, 4), CheckError);
+  EXPECT_THROW(tree.range_sum(4, 4), CheckError);
+  EXPECT_THROW(LazySegmentTree(0), CheckError);
+}
+
+TEST(LazySegmentTree, MatchesNaiveVectorUnderRandomOps) {
+  // The cross-check that underwrites everything built on the tree: a long
+  // random mix of range-adds and queries must agree exactly with a flat
+  // vector evaluated by linear scans.
+  constexpr std::size_t kSize = 97;  // non-power-of-two on purpose
+  LazySegmentTree tree(kSize);
+  std::vector<std::int64_t> naive(kSize, 0);
+  Rng rng(2024);
+  for (int op = 0; op < 4000; ++op) {
+    std::size_t a = rng.next_below(kSize);
+    std::size_t b = rng.next_below(kSize);
+    if (a > b) std::swap(a, b);
+    switch (rng.next_below(4)) {
+      case 0: {
+        const auto delta =
+            static_cast<std::int64_t>(rng.next_below(9)) - 4;
+        tree.range_add(a, b, delta);
+        for (std::size_t i = a; i <= b; ++i) naive[i] += delta;
+        break;
+      }
+      case 1: {
+        const auto expected = *std::max_element(naive.begin() + static_cast<std::ptrdiff_t>(a),
+                                                naive.begin() + static_cast<std::ptrdiff_t>(b) + 1);
+        ASSERT_EQ(tree.range_max(a, b), expected) << a << ".." << b;
+        break;
+      }
+      case 2: {
+        const auto expected = std::accumulate(
+            naive.begin() + static_cast<std::ptrdiff_t>(a),
+            naive.begin() + static_cast<std::ptrdiff_t>(b) + 1, std::int64_t{0});
+        ASSERT_EQ(tree.range_sum(a, b), expected) << a << ".." << b;
+        break;
+      }
+      default: {
+        ASSERT_EQ(tree.global_max(),
+                  *std::max_element(naive.begin(), naive.end()));
+        ASSERT_EQ(tree.global_sum(),
+                  std::accumulate(naive.begin(), naive.end(),
+                                  std::int64_t{0}));
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(tree.values(), naive);
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -50,6 +50,7 @@
 #include "ptwgr/route/router.h"
 #include "ptwgr/support/log.h"
 #include "ptwgr/support/metrics.h"
+#include "ptwgr/support/parse.h"
 #include "ptwgr/support/trace.h"
 
 namespace {
@@ -93,6 +94,17 @@ struct CliOptions {
   std::exit(2);
 }
 
+/// Parses a numeric flag value or exits with a diagnostic naming the flag.
+/// atoi/atoll/atof would silently turn garbage into 0 here.
+template <typename T>
+T parse_or_die(const std::string& text, const char* flag) {
+  const std::optional<T> parsed = parse_number<T>(text);
+  if (!parsed) {
+    usage_error("invalid numeric value '" + text + "' for " + flag);
+  }
+  return *parsed;
+}
+
 CliOptions parse(int argc, char** argv) {
   CliOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -109,22 +121,23 @@ CliOptions parse(int argc, char** argv) {
       const auto colon = v->find(':');
       options.suite_name = v->substr(0, colon);
       if (colon != std::string::npos) {
-        options.suite_scale = std::atof(v->c_str() + colon + 1);
+        options.suite_scale =
+            parse_or_die<double>(v->substr(colon + 1), "--suite scale");
       }
     } else if ((v = value_of("--generate="))) {
       const auto x = v->find('x');
       if (x == std::string::npos) usage_error("--generate needs ROWSxCELLS");
       options.generate = {
-          static_cast<std::size_t>(std::atoll(v->c_str())),
-          static_cast<std::size_t>(std::atoll(v->c_str() + x + 1))};
+          parse_or_die<std::size_t>(v->substr(0, x), "--generate rows"),
+          parse_or_die<std::size_t>(v->substr(x + 1), "--generate cells")};
     } else if ((v = value_of("--algorithm="))) {
       options.algorithm = *v;
     } else if ((v = value_of("--ranks="))) {
-      options.ranks = std::atoi(v->c_str());
+      options.ranks = parse_or_die<int>(*v, "--ranks");
     } else if ((v = value_of("--platform="))) {
       options.platform = *v;
     } else if ((v = value_of("--seed="))) {
-      options.seed = static_cast<std::uint64_t>(std::atoll(v->c_str()));
+      options.seed = parse_or_die<std::uint64_t>(*v, "--seed");
     } else if ((v = value_of("--report="))) {
       options.report_path = *v;
     } else if ((v = value_of("--run-report="))) {
@@ -138,9 +151,9 @@ CliOptions parse(int argc, char** argv) {
     } else if ((v = value_of("--fault-plan="))) {
       options.fault_plan = *v;
     } else if ((v = value_of("--recv-timeout="))) {
-      options.recv_timeout = std::atof(v->c_str());
+      options.recv_timeout = parse_or_die<double>(*v, "--recv-timeout");
     } else if ((v = value_of("--max-retries="))) {
-      options.max_retries = std::atoi(v->c_str());
+      options.max_retries = parse_or_die<int>(*v, "--max-retries");
     } else if (arg == "--watchdog") {
       options.watchdog = true;
     } else if ((v = value_of("--log-level="))) {
