@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "ptwgr/mp/runtime.h"
+#include "ptwgr/obs/ledger.h"
 
 namespace {
 
@@ -33,6 +34,34 @@ void BM_PingPong(benchmark::State& state) {
                           static_cast<std::int64_t>(bytes));
 }
 BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_PingPongLedger(benchmark::State& state) {
+  // Same round-trips with the causal ledger recording every send/recv.  The
+  // delta against BM_PingPong is the *enabled* per-event cost; the disabled
+  // cost is BM_PingPong itself (one relaxed load in the Communicator ctor,
+  // then a cached null-pointer test per operation — the PR 1 contract).
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  ptwgr::obs::LedgerCollector ledger;
+  ptwgr::obs::set_active_ledger(&ledger);
+  for (auto _ : state) {
+    run(2, [bytes](Communicator& comm) {
+      std::vector<std::uint8_t> payload(bytes, 1);
+      for (int i = 0; i < 10; ++i) {
+        if (comm.rank() == 0) {
+          comm.send_value(1, 0, payload);
+          benchmark::DoNotOptimize(comm.recv_vector<std::uint8_t>(1, 0));
+        } else {
+          benchmark::DoNotOptimize(comm.recv_vector<std::uint8_t>(0, 0));
+          comm.send_value(0, 0, payload);
+        }
+      }
+    });
+  }
+  ptwgr::obs::set_active_ledger(nullptr);
+  state.SetBytesProcessed(state.iterations() * 20 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PingPongLedger)->Arg(64)->Arg(4096)->Arg(262144);
 
 void BM_Barrier(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));

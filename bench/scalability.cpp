@@ -4,36 +4,122 @@
 // This extrapolates the comparison the conclusions rest on: row-wise keeps
 // scaling, hybrid tracks it at a gap, net-wise flattens as synchronization
 // and replicated work dominate.
+//
+// Besides the table, --out=FILE (default BENCH_scalability.json) writes a
+// machine-readable "ptwgr.bench_scalability" document — per-algorithm,
+// per-P makespan, speedup, parallel efficiency, compute-imbalance ratio,
+// and quality ratio — which CI archives next to BENCH_smoke.json.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "ptwgr/circuit/suite.h"
 #include "ptwgr/parallel/parallel_router.h"
 #include "ptwgr/route/router.h"
+#include "ptwgr/support/json.h"
 #include "ptwgr/support/table.h"
+
+namespace {
+
+struct ScalingPoint {
+  int procs = 0;
+  double makespan_seconds = 0.0;
+  double speedup = 0.0;
+  double efficiency = 0.0;
+  double imbalance = 1.0;  // max/mean per-rank compute vtime
+  double quality_ratio = 0.0;
+};
+
+struct AlgorithmSeries {
+  std::string algorithm;
+  std::vector<ScalingPoint> points;
+};
+
+double compute_imbalance(const ptwgr::mp::RunReport& report) {
+  double max_compute = 0.0;
+  double total = 0.0;
+  for (const ptwgr::mp::CommStats& comm : report.rank_comm) {
+    max_compute = std::max(max_compute, comm.compute_seconds);
+    total += comm.compute_seconds;
+  }
+  const double mean = total / static_cast<double>(report.rank_comm.size());
+  return mean > 0.0 ? max_compute / mean : 1.0;
+}
+
+std::string series_to_json(const std::vector<AlgorithmSeries>& series,
+                           double scale, std::uint64_t seed,
+                           double serial_seconds) {
+  using ptwgr::json::number;
+  using ptwgr::json::quoted;
+  std::string out = "{\"schema\":\"ptwgr.bench_scalability\",\"version\":1";
+  out += ",\"circuit\":\"industry2\"";
+  out += ",\"platform\":\"smp\"";
+  out += ",\"scale\":" + number(scale);
+  out += ",\"seed\":" + number(seed);
+  out += ",\"serial_seconds\":" + number(serial_seconds);
+  out += ",\"algorithms\":[";
+  for (std::size_t a = 0; a < series.size(); ++a) {
+    if (a != 0) out += ",";
+    out += "\n {\"algorithm\":" + quoted(series[a].algorithm);
+    out += ",\"points\":[";
+    for (std::size_t i = 0; i < series[a].points.size(); ++i) {
+      const ScalingPoint& point = series[a].points[i];
+      if (i != 0) out += ",";
+      out += "\n  {\"procs\":" +
+             number(static_cast<std::int64_t>(point.procs));
+      out += ",\"makespan_seconds\":" + number(point.makespan_seconds);
+      out += ",\"speedup\":" + number(point.speedup);
+      out += ",\"efficiency\":" + number(point.efficiency);
+      out += ",\"imbalance\":" + number(point.imbalance);
+      out += ",\"quality_ratio\":" + number(point.quality_ratio) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ptwgr;
   const auto args = bench::parse_args(argc, argv);
+  std::string out_path = "BENCH_scalability.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
   const SuiteEntry entry = suite_entry("industry2", args.scale);
 
   RouterOptions router;
   router.seed = args.seed;
+  const Circuit circuit = build_suite_circuit(entry);
   const RoutingResult serial = route_serial(build_suite_circuit(entry), router);
   const double serial_modeled =
       serial.timings.total() * mp::CostModel::sparc_center_smp().compute_scale;
 
   TextTable table("Speedup scaling on industry2 (SparcCenter model)");
   std::vector<std::string> header{"algorithm"};
-  const std::vector<int> procs{1, 2, 4, 8, 12, 16};
+  std::vector<int> procs{1, 2, 4, 8, 12, 16};
+  // The row-block partition needs at least one row per rank; scaled-down
+  // suites cap the processor axis.
+  std::erase_if(procs, [&](int p) {
+    return static_cast<std::size_t>(p) > circuit.num_rows();
+  });
   for (const int p : procs) header.push_back(std::to_string(p) + "p");
   table.add_row(header);
 
+  std::vector<AlgorithmSeries> series;
   for (const auto algorithm :
        {ParallelAlgorithm::RowWise, ParallelAlgorithm::Hybrid,
         ParallelAlgorithm::NetWise}) {
     std::vector<std::string> speedups{to_string(algorithm)};
     std::vector<std::string> quality{"  (scaled tracks)"};
+    AlgorithmSeries algo_series;
+    algo_series.algorithm = to_string(algorithm);
     for (const int p : procs) {
       ParallelOptions options;
       options.router = router;
@@ -41,16 +127,33 @@ int main(int argc, char** argv) {
       const auto result =
           route_parallel(build_suite_circuit(entry), algorithm, p, options,
                          mp::CostModel::sparc_center_smp());
-      speedups.push_back(
-          format_fixed(serial_modeled / result.modeled_seconds(), 2));
-      quality.push_back(format_fixed(
+      ScalingPoint point;
+      point.procs = p;
+      point.makespan_seconds = result.modeled_seconds();
+      point.speedup = serial_modeled / result.modeled_seconds();
+      point.efficiency = point.speedup / static_cast<double>(p);
+      point.imbalance = compute_imbalance(result.report);
+      point.quality_ratio =
           static_cast<double>(result.metrics.track_count) /
-              static_cast<double>(serial.metrics.track_count),
-          3));
+          static_cast<double>(serial.metrics.track_count);
+      algo_series.points.push_back(point);
+      speedups.push_back(format_fixed(point.speedup, 2));
+      quality.push_back(format_fixed(point.quality_ratio, 3));
     }
+    series.push_back(std::move(algo_series));
     table.add_row(speedups);
     table.add_row(quality);
   }
   std::printf("%s\n", table.to_string().c_str());
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << series_to_json(series, args.scale, args.seed, serial_modeled);
+    std::fprintf(stderr, "scaling data written to %s\n", out_path.c_str());
+  }
   return 0;
 }

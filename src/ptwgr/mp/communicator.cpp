@@ -51,23 +51,47 @@ void Communicator::accrue_compute() {
   }
 }
 
+void Communicator::ledger_fault(std::string label) {
+  accrue_compute();
+  obs::LedgerEvent event;
+  event.kind = obs::LedgerEventKind::Fault;
+  event.t0 = vtime_;
+  event.t1 = vtime_;
+  event.lamport = lamport_;
+  event.label = std::move(label);
+  ledger_->record(rank_, std::move(event));
+}
+
 void Communicator::fault_op_entry() {
   FaultPlan* plan = world_->ft.fault_plan;
   if (plan == nullptr) return;
   if (plan->kill_due_at_op(rank_)) {
-    throw RankFailure(rank_, "rank " + std::to_string(rank_) +
-                                 " killed by fault plan at operation " +
-                                 std::to_string(plan->ops_of(rank_)));
+    const std::string what = "rank " + std::to_string(rank_) +
+                             " killed by fault plan at operation " +
+                             std::to_string(plan->ops_of(rank_));
+    if (ledger_ != nullptr) ledger_fault(what);
+    throw RankFailure(rank_, what);
   }
 }
 
 void Communicator::notify_phase(const char* phase) {
+  if (ledger_ != nullptr) {
+    accrue_compute();
+    obs::LedgerEvent event;
+    event.kind = obs::LedgerEventKind::PhaseBegin;
+    event.t0 = vtime_;
+    event.t1 = vtime_;
+    event.lamport = lamport_;
+    event.label = phase;
+    ledger_->record(rank_, std::move(event));
+  }
   FaultPlan* plan = world_->ft.fault_plan;
   if (plan == nullptr) return;
   if (plan->kill_due_at_phase(rank_, phase)) {
-    throw RankFailure(rank_, "rank " + std::to_string(rank_) +
-                                 " killed by fault plan at phase '" + phase +
-                                 "'");
+    const std::string what = "rank " + std::to_string(rank_) +
+                             " killed by fault plan at phase '" + phase + "'";
+    if (ledger_ != nullptr) ledger_fault(what);
+    throw RankFailure(rank_, what);
   }
 }
 
@@ -90,6 +114,16 @@ void Communicator::send_bytes(int dest, int tag,
   Mailbox& dest_box = *world_->mailboxes[static_cast<std::size_t>(dest)];
   const std::uint64_t checksum =
       plan != nullptr ? payload_checksum(payload) : 0;
+  const std::size_t payload_bytes = payload.size();
+  const double send_entry_vtime = vtime_;
+  std::uint64_t seq = 0;
+  if (ledger_ != nullptr) {
+    // One sequence number per *logical* send: retransmissions reuse it, so
+    // the receiver's ledger entry matches this send whichever attempt got
+    // through — the happens-before edge is fault-stable.
+    seq = ++send_seq_;
+    ++lamport_;
+  }
 
   // Acknowledged-with-retry transmission: every attempt occupies the channel
   // for the full transfer (blocking-send semantics).  An attempt the fault
@@ -125,6 +159,8 @@ void Communicator::send_bytes(int dest, int tag,
       envelope.payload = corrupted_copy(payload);
       envelope.checksum = checksum;
       envelope.checksummed = true;
+      envelope.lamport = lamport_;
+      envelope.send_seq = seq;
       dest_box.push(std::move(envelope));
     } else if (fault.drop) {
       ++stats_.p2p_drops;
@@ -136,23 +172,51 @@ void Communicator::send_bytes(int dest, int tag,
       envelope.payload = std::move(payload);
       envelope.checksum = checksum;
       envelope.checksummed = plan != nullptr;
+      envelope.lamport = lamport_;
+      envelope.send_seq = seq;
       dest_box.push(std::move(envelope));
       world_->progress.fetch_add(1, std::memory_order_relaxed);
+      if (ledger_ != nullptr) {
+        obs::LedgerEvent event;
+        event.kind = obs::LedgerEventKind::Send;
+        event.t0 = send_entry_vtime;
+        event.t1 = vtime_;  // == the envelope's arrival_vtime
+        event.lamport = lamport_;
+        event.peer = dest;
+        event.tag = tag;
+        event.bytes = payload_bytes;
+        event.seq = seq;
+        ledger_->record(rank_, std::move(event));
+      }
       return;
     }
 
     if (attempt >= retry.max_retries) {
-      throw RankFailure(
-          dest, "rank " + std::to_string(rank_) + ": no acknowledgement from rank " +
-                    std::to_string(dest) + " after " +
-                    std::to_string(retry.max_retries) +
-                    " retries; peer presumed dead");
+      const std::string what =
+          "rank " + std::to_string(rank_) + ": no acknowledgement from rank " +
+          std::to_string(dest) + " after " + std::to_string(retry.max_retries) +
+          " retries; peer presumed dead";
+      if (ledger_ != nullptr) ledger_fault(what);
+      throw RankFailure(dest, what);
     }
     const double backoff = retry.backoff(attempt);
     vtime_ += backoff;
     stats_.p2p_wait_seconds += backoff;
     stats_.retry_backoff_seconds += backoff;
     ++stats_.p2p_retries;
+    if (ledger_ != nullptr) {
+      obs::LedgerEvent event;
+      event.kind = obs::LedgerEventKind::Fault;
+      event.t0 = vtime_;
+      event.t1 = vtime_;
+      event.lamport = lamport_;
+      event.peer = dest;
+      event.tag = tag;
+      event.seq = seq;
+      event.label = fault.corrupt ? "send retry (corrupt)"
+                                  : "send retry (drop)";
+      ledger_->record(rank_, std::move(event));
+    }
   }
 }
 
@@ -167,10 +231,12 @@ Received Communicator::recv(int source, int tag) {
     Mailbox::PopResult result = box.pop_bounded(source, tag, timeout);
     if (result.status == Mailbox::PopStatus::SourceDead) {
       accrue_compute();
-      throw RankFailure(source,
-                        "rank " + std::to_string(rank_) + ": recv(source=" +
-                            std::to_string(source) + ", tag=" +
-                            std::to_string(tag) + ") from failed rank");
+      const std::string what = "rank " + std::to_string(rank_) +
+                               ": recv(source=" + std::to_string(source) +
+                               ", tag=" + std::to_string(tag) +
+                               ") from failed rank";
+      if (ledger_ != nullptr) ledger_fault(what);
+      throw RankFailure(source, what);
     }
     if (result.status == Mailbox::PopStatus::TimedOut) {
       accrue_compute();
@@ -178,6 +244,11 @@ Received Communicator::recv(int source, int tag) {
       vtime_ += timeout;
       stats_.p2p_wait_seconds += timeout;
       ++stats_.recv_timeouts;
+      if (ledger_ != nullptr) {
+        ledger_fault("recv timeout after " + std::to_string(timeout) +
+                     "s (source=" + std::to_string(source) +
+                     ", tag=" + std::to_string(tag) + ")");
+      }
       throw RecvTimeout(rank_, source, tag, timeout);
     }
     Envelope& envelope = result.envelope;
@@ -188,6 +259,11 @@ Received Communicator::recv(int source, int tag) {
       continue;
     }
     accrue_compute();
+    // The ledger's recv interval is [clock at acceptance, clock after the
+    // arrival jump]: exactly the modeled wait, free of host-CPU noise, and
+    // t1 lands bit-for-bit on the matched send's departure clock whenever
+    // the message was the later party.
+    const double recv_accept_vtime = vtime_;
     if (envelope.arrival_vtime > vtime_) {
       stats_.p2p_wait_seconds += envelope.arrival_vtime - vtime_;
       vtime_ = envelope.arrival_vtime;
@@ -195,6 +271,19 @@ Received Communicator::recv(int source, int tag) {
     ++stats_.messages_received;
     stats_.bytes_received += envelope.payload.size();
     world_->progress.fetch_add(1, std::memory_order_relaxed);
+    if (ledger_ != nullptr) {
+      lamport_ = std::max(lamport_, envelope.lamport) + 1;
+      obs::LedgerEvent event;
+      event.kind = obs::LedgerEventKind::Recv;
+      event.t0 = recv_accept_vtime;
+      event.t1 = vtime_;
+      event.lamport = lamport_;
+      event.peer = envelope.source;
+      event.tag = envelope.tag;
+      event.bytes = envelope.payload.size();
+      event.seq = envelope.send_seq;
+      ledger_->record(rank_, std::move(event));
+    }
     return Received{std::move(envelope)};
   }
 }
@@ -231,11 +320,29 @@ std::vector<std::byte> Communicator::run_collective(
   const auto kind_index = static_cast<std::size_t>(kind);
   ++stats_.collective_calls[kind_index];
   stats_.collective_bytes[kind_index] += contribution.size();
+  const std::size_t contribution_bytes = contribution.size();
+  const double collective_entry_vtime = vtime_;
+  const auto record_collective = [&] {
+    if (ledger_ == nullptr) return;
+    obs::LedgerEvent event;
+    event.kind = obs::LedgerEventKind::Collective;
+    event.t0 = collective_entry_vtime;
+    event.t1 = vtime_;
+    event.lamport = lamport_;
+    event.tag = static_cast<int>(kind_index);
+    event.bytes = contribution_bytes;
+    // SPMD total order: the i-th collective of every rank is the same
+    // rendezvous, so the per-rank ordinal names it globally.
+    event.seq = ++collective_seq_;
+    ledger_->record(rank_, std::move(event));
+  };
   World& w = *world_;
   if (w.size == 1) {
     // Trivial world: combine immediately, no synchronization cost.
     w.rv_contrib[0] = std::move(contribution);
     combine(w.rv_contrib, w.rv_out);
+    if (ledger_ != nullptr) ++lamport_;
+    record_collective();
     return std::move(w.rv_out[0]);
   }
 
@@ -248,6 +355,7 @@ std::vector<std::byte> Communicator::run_collective(
   const std::size_t payload_size = contribution.size();
   w.rv_contrib[me] = std::move(contribution);
   w.rv_vin[me] = vtime_;
+  w.rv_lamport[me] = lamport_;
   const std::uint64_t my_generation = w.rv_generation;
 
   if (++w.rv_arrived == w.size) {
@@ -257,6 +365,8 @@ std::vector<std::byte> Communicator::run_collective(
     std::size_t max_bytes = payload_size;
     for (const auto& c : w.rv_contrib) max_bytes = std::max(max_bytes, c.size());
     w.rv_vout = entry_max + w.cost.collective_cost(w.size, max_bytes);
+    w.rv_lamport_out =
+        *std::max_element(w.rv_lamport.begin(), w.rv_lamport.end()) + 1;
     w.rv_arrived = 0;
     ++w.rv_generation;
     w.progress.fetch_add(1, std::memory_order_relaxed);
@@ -284,6 +394,10 @@ std::vector<std::byte> Communicator::run_collective(
   // Refresh the CPU mark: time spent blocked in the rendezvous is not the
   // rank's own compute.
   last_cpu_ = thread_cpu_seconds();
+  // Every participant leaves with the same logical clock (max entry + 1);
+  // rv_lamport_out is read under rv_mutex, still held here.
+  if (ledger_ != nullptr) lamport_ = w.rv_lamport_out;
+  record_collective();
   return std::move(w.rv_out[me]);
 }
 
@@ -293,6 +407,7 @@ void Communicator::finalize(double cpu_seconds) {
   world_->final_vtime[me] = vtime_;
   world_->final_cpu[me] = cpu_seconds;
   world_->final_comm[me] = stats_;
+  if (ledger_ != nullptr) ledger_->set_final_vtime(rank_, vtime_);
 }
 
 }  // namespace ptwgr::mp

@@ -15,6 +15,7 @@
 
 #include "ptwgr/mp/comm_stats.h"
 #include "ptwgr/mp/world.h"
+#include "ptwgr/obs/ledger.h"
 #include "ptwgr/support/check.h"
 #include "ptwgr/support/serialize.h"
 #include "ptwgr/support/timer.h"
@@ -31,9 +32,19 @@ struct Received {
 class Communicator {
  public:
   /// Binds rank `rank` of `world`; must be used only from the rank's thread.
+  /// The causal ledger is resolved here — one relaxed atomic load per rank
+  /// per run; every operation afterwards pays a cached null-pointer test.
+  /// A ledger not sized for this world (begin_run not called, or called for
+  /// a different rank count) stays disabled rather than recording garbage.
   Communicator(World& world, int rank)
-      : world_(&world), rank_(rank), last_cpu_(thread_cpu_seconds()) {
+      : world_(&world),
+        rank_(rank),
+        last_cpu_(thread_cpu_seconds()),
+        ledger_(obs::active_ledger()) {
     PTWGR_EXPECTS(rank >= 0 && rank < world.size);
+    if (ledger_ != nullptr && ledger_->num_ranks() != world.size) {
+      ledger_ = nullptr;
+    }
   }
 
   Communicator(const Communicator&) = delete;
@@ -73,23 +84,32 @@ class Communicator {
     double compute_seconds = 0.0;
     double p2p_wait_seconds = 0.0;
     double collective_sync_seconds = 0.0;
+    /// Causal-ledger stream position; rewind() truncates back to it so
+    /// measurement-only collectives never enter the happens-before record
+    /// (their timestamps would lie beyond the rewound clock).
+    std::uint64_t ledger_end = 0;
   };
 
   TimeMark mark() {
     accrue_compute();
-    return TimeMark{vtime_, stats_.compute_seconds, stats_.p2p_wait_seconds,
-                    stats_.collective_sync_seconds};
+    TimeMark m{vtime_, stats_.compute_seconds, stats_.p2p_wait_seconds,
+               stats_.collective_sync_seconds, 0};
+    if (ledger_ != nullptr) m.ledger_end = ledger_->end_index(rank_);
+    return m;
   }
 
   /// Restores the clock and all three vtime buckets to `m`, discarding the
   /// CPU spent since.  Message/byte counters are NOT rewound: the traffic
-  /// happened and stays visible in the comm accounting.
+  /// happened and stays visible in the comm accounting.  Ledger events
+  /// recorded since the mark are dropped (Lamport/sequence counters are
+  /// not rewound, keeping sequence numbers unique).
   void rewind(const TimeMark& m) {
     vtime_ = m.vtime;
     stats_.compute_seconds = m.compute_seconds;
     stats_.p2p_wait_seconds = m.p2p_wait_seconds;
     stats_.collective_sync_seconds = m.collective_sync_seconds;
     last_cpu_ = thread_cpu_seconds();
+    if (ledger_ != nullptr) ledger_->truncate(rank_, m.ledger_end);
   }
 
   /// Communication counters and vtime decomposition so far (accrues pending
@@ -344,6 +364,10 @@ class Communicator {
   /// (collectives cannot complete without every rank).
   void check_world_health();
 
+  /// Records a zero-width Fault event at the current clock (retries, kills,
+  /// timeouts).  Caller guarantees ledger_ != nullptr.
+  void ledger_fault(std::string label);
+
   /// Generation-counted rendezvous: every rank deposits `contribution`; the
   /// last arriver runs `combine` (filling one output buffer per rank) and
   /// advances everyone's clock to max(entry clocks) + the collective cost.
@@ -359,6 +383,13 @@ class Communicator {
   double vtime_ = 0.0;
   double last_cpu_;
   CommStats stats_;
+  // Causal ledger (null when disabled — the per-op cost is this test).
+  // The logical clocks advance only while the ledger records, so a
+  // ledger-free run's envelopes carry zero stamps.
+  obs::LedgerCollector* ledger_;
+  std::uint64_t lamport_ = 0;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t collective_seq_ = 0;
 };
 
 // Reduction functors for allreduce.

@@ -36,6 +36,13 @@ struct Envelope {
   double arrival_vtime = 0.0;
   std::uint64_t checksum = 0;
   bool checksummed = false;
+  // Causal-ledger stamps (obs/ledger.h), populated only while a ledger is
+  // active.  `lamport` is the sender's logical clock after the send;
+  // `send_seq` is the sender's per-rank send ordinal — retransmissions reuse
+  // it, so the receiver's ledger entry matches the logical send, not the
+  // physical attempt.
+  std::uint64_t lamport = 0;
+  std::uint64_t send_seq = 0;
 };
 
 }  // namespace ptwgr::mp

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "ptwgr/mp/world.h"
+#include "ptwgr/obs/ledger.h"
 #include "ptwgr/support/log.h"
 #include "ptwgr/support/timer.h"
 
@@ -100,6 +101,12 @@ RunReport run(int num_ranks, const CostModel& cost,
               const std::function<void(Communicator&)>& body) {
   PTWGR_EXPECTS(num_ranks >= 1);
   if (ft.fault_plan != nullptr) ft.fault_plan->begin_world(num_ranks);
+  // Size the causal ledger's per-rank slots before any rank can record.
+  // Restarting clears the live slots, so a recovery re-execution records a
+  // clean stream (captured postmortems survive inside the collector).
+  if (obs::LedgerCollector* ledger = obs::active_ledger()) {
+    ledger->begin_run(num_ranks);
+  }
   World world(num_ranks, cost, ft);
 
   std::mutex failure_mutex;
@@ -177,6 +184,9 @@ RunReport run(int num_ranks, const CostModel& cost,
           }
           const std::string report = render_deadlock_report(snap);
           PTWGR_LOG_ERROR << report;
+          if (obs::LedgerCollector* ledger = obs::active_ledger()) {
+            ledger->note(report);
+          }
           record_failure(
               std::make_exception_ptr(DeadlockDetected(report)));
           world.abort_all();

@@ -40,6 +40,7 @@ struct World {
         rv_contrib(static_cast<std::size_t>(num_ranks)),
         rv_out(static_cast<std::size_t>(num_ranks)),
         rv_vin(static_cast<std::size_t>(num_ranks), 0.0),
+        rv_lamport(static_cast<std::size_t>(num_ranks), 0),
         activity(static_cast<std::size_t>(num_ranks)),
         final_vtime(static_cast<std::size_t>(num_ranks), 0.0),
         final_cpu(static_cast<std::size_t>(num_ranks), 0.0),
@@ -69,6 +70,10 @@ struct World {
   std::vector<std::vector<std::byte>> rv_out;
   std::vector<double> rv_vin;
   double rv_vout = 0.0;
+  // Lamport entry stamps; the last arriver publishes max + 1 so every
+  // participant leaves the rendezvous with the same logical clock.
+  std::vector<std::uint64_t> rv_lamport;
+  std::uint64_t rv_lamport_out = 0;
   bool rv_aborted = false;
 
   // Fail-stop isolation: the first rank that died, or -1.  Set by

@@ -1,0 +1,752 @@
+#include "ptwgr/obs/causal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "ptwgr/mp/comm_stats.h"
+#include "ptwgr/support/table.h"
+
+namespace ptwgr::obs {
+namespace {
+
+constexpr const char* kSetupPhase = "(setup)";
+
+double number_or(const json::Value& obj, const char* key, double fallback) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string string_or(const json::Value& obj, const char* key,
+                      const std::string& fallback) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("ptwgr.ledger: " + what);
+}
+
+LedgerEventKind parse_kind(const std::string& k) {
+  if (k == "phase") return LedgerEventKind::PhaseBegin;
+  if (k == "send") return LedgerEventKind::Send;
+  if (k == "recv") return LedgerEventKind::Recv;
+  if (k == "coll") return LedgerEventKind::Collective;
+  if (k == "fault") return LedgerEventKind::Fault;
+  malformed("unknown event kind '" + k + "'");
+}
+
+int collective_kind_index(const std::string& op) {
+  for (std::size_t k = 0; k < mp::kNumCollectiveKinds; ++k) {
+    if (op == mp::to_string(static_cast<mp::CollectiveKind>(k))) {
+      return static_cast<int>(k);
+    }
+  }
+  return 0;  // unknown ops degrade to Barrier for display only
+}
+
+RankLedger parse_rank_ledger(const json::Value& node, bool* has_times) {
+  if (!node.is_object()) malformed("rank ledger is not an object");
+  RankLedger rank;
+  rank.rank = static_cast<int>(number_or(node, "rank", 0));
+  rank.dropped = static_cast<std::uint64_t>(number_or(node, "dropped", 0));
+  const json::Value* final_vtime = node.find("final_vtime");
+  if (final_vtime == nullptr) *has_times = false;
+  rank.final_vtime = final_vtime != nullptr && final_vtime->is_number()
+                         ? final_vtime->as_number()
+                         : 0.0;
+  const json::Value* events = node.find("events");
+  if (events == nullptr || !events->is_array()) {
+    malformed("rank ledger without an events array");
+  }
+  for (const json::Value& raw : events->as_array()) {
+    if (!raw.is_object()) malformed("event is not an object");
+    LedgerEvent event;
+    event.kind = parse_kind(string_or(raw, "k", ""));
+    if (raw.find("t0") == nullptr) *has_times = false;
+    event.t0 = number_or(raw, "t0", 0.0);
+    event.t1 = number_or(raw, "t1", 0.0);
+    event.lamport = static_cast<std::uint64_t>(number_or(raw, "lc", 0));
+    event.peer = static_cast<int>(number_or(raw, "peer", -1));
+    event.bytes = static_cast<std::uint64_t>(number_or(raw, "bytes", 0));
+    event.seq = static_cast<std::uint64_t>(number_or(raw, "seq", 0));
+    event.label = string_or(raw, "label", "");
+    if (event.kind == LedgerEventKind::Collective) {
+      event.tag = collective_kind_index(string_or(raw, "op", "barrier"));
+    } else {
+      event.tag = static_cast<int>(number_or(raw, "tag", 0));
+    }
+    rank.events.push_back(std::move(event));
+  }
+  return rank;
+}
+
+/// Phase timeline of one rank: (begin time, name) pairs in stream order.
+struct PhaseTimeline {
+  std::vector<std::pair<double, std::string>> begins;
+
+  const std::string& phase_at(double t) const {
+    static const std::string setup = kSetupPhase;
+    const std::string* best = &setup;
+    for (const auto& [begin, name] : begins) {
+      if (begin <= t) best = &name;
+      else break;
+    }
+    return *best;
+  }
+};
+
+AttributionBucket& phase_bucket(RankAttribution& rank,
+                                const std::string& phase) {
+  for (PhaseAttribution& entry : rank.phases) {
+    if (entry.phase == phase) return entry.bucket;
+  }
+  rank.phases.push_back(PhaseAttribution{phase, {}});
+  return rank.phases.back().bucket;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", seconds);
+  return std::string(buf);
+}
+
+}  // namespace
+
+const char* to_string(CriticalSegment::Kind kind) {
+  switch (kind) {
+    case CriticalSegment::Kind::Compute:
+      return "compute";
+    case CriticalSegment::Kind::Message:
+      return "message";
+    case CriticalSegment::Kind::Collective:
+      return "collective";
+  }
+  return "?";
+}
+
+ParsedLedger parse_ledger(const json::Value& doc) {
+  if (!doc.is_object()) malformed("document is not an object");
+  if (string_or(doc, "schema", "") != "ptwgr.ledger") {
+    malformed("not a ptwgr.ledger document (schema mismatch)");
+  }
+  ParsedLedger ledger;
+  ledger.version = static_cast<int>(number_or(doc, "version", 0));
+  if (ledger.version > kLedgerVersion) {
+    malformed("ledger version " + std::to_string(ledger.version) +
+              " is newer than this analyzer (" +
+              std::to_string(kLedgerVersion) + ")");
+  }
+  ledger.algorithm = string_or(doc, "algorithm", "");
+  ledger.circuit = string_or(doc, "circuit", "");
+  ledger.seed = static_cast<std::uint64_t>(number_or(doc, "seed", 0));
+  ledger.ranks = static_cast<int>(number_or(doc, "ranks", 0));
+  ledger.ring_capacity =
+      static_cast<std::uint64_t>(number_or(doc, "ring_capacity", 0));
+  if (const json::Value* platform = doc.find("platform")) {
+    ledger.platform.name = string_or(*platform, "name", "ideal");
+    ledger.platform.latency_s = number_or(*platform, "latency_s", 0.0);
+    ledger.platform.per_byte_s = number_or(*platform, "per_byte_s", 0.0);
+    ledger.platform.compute_scale =
+        number_or(*platform, "compute_scale", 1.0);
+  }
+  const json::Value* ranks = doc.find("rank_ledgers");
+  if (ranks == nullptr || !ranks->is_array()) {
+    malformed("missing rank_ledgers array");
+  }
+  for (const json::Value& node : ranks->as_array()) {
+    ledger.rank_ledgers.push_back(parse_rank_ledger(node, &ledger.has_times));
+  }
+  if (const json::Value* notes = doc.find("notes")) {
+    for (const json::Value& note : notes->as_array()) {
+      ledger.notes.push_back(note.as_string());
+    }
+  }
+  if (const json::Value* postmortems = doc.find("postmortems")) {
+    for (const json::Value& node : postmortems->as_array()) {
+      PostmortemBundle bundle;
+      bundle.reason = string_or(node, "reason", "");
+      if (const json::Value* bundle_ranks = node.find("rank_ledgers")) {
+        bool unused = true;
+        for (const json::Value& rank_node : bundle_ranks->as_array()) {
+          bundle.ranks.push_back(parse_rank_ledger(rank_node, &unused));
+        }
+      }
+      ledger.postmortems.push_back(std::move(bundle));
+    }
+  }
+  return ledger;
+}
+
+CausalAnalysis analyze(const ParsedLedger& ledger) {
+  if (!ledger.has_times) {
+    throw std::runtime_error(
+        "ptwgr.ledger: canonical (times-stripped) document cannot be "
+        "analyzed; re-run with timestamps included");
+  }
+  CausalAnalysis analysis;
+  const std::size_t num_ranks = ledger.rank_ledgers.size();
+  if (num_ranks == 0) return analysis;
+
+  // --- makespan and per-rank phase timelines ----------------------------
+  std::vector<PhaseTimeline> timelines(num_ranks);
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    const RankLedger& rank = ledger.rank_ledgers[r];
+    analysis.makespan = std::max(analysis.makespan, rank.final_vtime);
+    if (rank.dropped > 0) analysis.truncated = true;
+    for (const LedgerEvent& event : rank.events) {
+      analysis.makespan = std::max(analysis.makespan, event.t1);
+      if (event.kind == LedgerEventKind::PhaseBegin) {
+        timelines[r].begins.emplace_back(event.t0, event.label);
+      }
+    }
+  }
+
+  // --- attribution: every rank's timeline tiles [0, makespan] -----------
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    const RankLedger& rank = ledger.rank_ledgers[r];
+    RankAttribution attribution;
+    attribution.rank = rank.rank;
+    attribution.final_vtime = rank.final_vtime;
+    std::string current_phase = kSetupPhase;
+    double prev_end = 0.0;
+    const auto add = [&](double compute, double p2p, double coll) {
+      AttributionBucket& bucket = phase_bucket(attribution, current_phase);
+      bucket.compute += compute;
+      bucket.p2p_wait += p2p;
+      bucket.collective_sync += coll;
+      attribution.total.compute += compute;
+      attribution.total.p2p_wait += p2p;
+      attribution.total.collective_sync += coll;
+    };
+    for (const LedgerEvent& event : rank.events) {
+      const double gap = event.t0 - prev_end;
+      if (gap > 0.0) add(gap, 0.0, 0.0);
+      switch (event.kind) {
+        case LedgerEventKind::PhaseBegin:
+          current_phase = event.label;
+          break;
+        case LedgerEventKind::Send:
+        case LedgerEventKind::Recv:
+          add(0.0, event.t1 - event.t0, 0.0);
+          break;
+        case LedgerEventKind::Collective:
+          add(0.0, 0.0, event.t1 - event.t0);
+          break;
+        case LedgerEventKind::Fault:
+          break;  // zero width
+      }
+      prev_end = std::max(prev_end, event.t1);
+    }
+    // The tail between the last event and the rank's final clock is compute
+    // (routing work after the last communication).
+    if (rank.final_vtime > prev_end) {
+      add(rank.final_vtime - prev_end, 0.0, 0.0);
+    }
+    attribution.end_slack = analysis.makespan - rank.final_vtime;
+    analysis.total_compute_seconds += attribution.total.compute;
+    analysis.total_p2p_wait_seconds += attribution.total.p2p_wait;
+    analysis.total_collective_sync_seconds +=
+        attribution.total.collective_sync;
+    analysis.ranks.push_back(std::move(attribution));
+  }
+
+  double max_compute = 0.0;
+  for (const RankAttribution& rank : analysis.ranks) {
+    max_compute = std::max(max_compute, rank.total.compute);
+  }
+  const double mean_compute =
+      analysis.total_compute_seconds / static_cast<double>(num_ranks);
+  analysis.imbalance_ratio =
+      mean_compute > 0.0 ? max_compute / mean_compute : 1.0;
+  analysis.effective_parallelism =
+      analysis.makespan > 0.0
+          ? analysis.total_compute_seconds / analysis.makespan
+          : 0.0;
+
+  // --- happens-before indices -------------------------------------------
+  // Sends by (sender rank, sequence); collectives grouped by ordinal.
+  std::map<std::pair<int, std::uint64_t>, const LedgerEvent*> send_of;
+  std::map<std::uint64_t, std::vector<std::pair<int, const LedgerEvent*>>>
+      collective_of;
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    for (const LedgerEvent& event : ledger.rank_ledgers[r].events) {
+      if (event.kind == LedgerEventKind::Send) {
+        send_of[{static_cast<int>(r), event.seq}] = &event;
+      } else if (event.kind == LedgerEventKind::Collective) {
+        collective_of[event.seq].emplace_back(static_cast<int>(r), &event);
+      }
+    }
+  }
+
+  // --- backward critical-path walk --------------------------------------
+  // Start on the makespan-defining rank and walk the timeline backwards.
+  // A gap before the previous event is compute; a send contributes its
+  // transfer; a recv that waited hands the path to the matched sender at
+  // the departure clock (the sender's own Send event then supplies the
+  // transfer tile, so nothing is double-counted); a collective blames the
+  // last arriver and charges the dissemination rounds.  The emitted
+  // segments tile [0, makespan] exactly — that is invariant 1.
+  const double eps = 1e-12 * std::max(1.0, analysis.makespan);
+  std::size_t start_rank = 0;
+  for (std::size_t r = 1; r < num_ranks; ++r) {
+    if (ledger.rank_ledgers[r].final_vtime >
+        ledger.rank_ledgers[start_rank].final_vtime) {
+      start_rank = r;
+    }
+  }
+  std::vector<std::size_t> cursor(num_ranks);
+  for (std::size_t r = 0; r < num_ranks; ++r) {
+    cursor[r] = ledger.rank_ledgers[r].events.size();
+  }
+  std::vector<CriticalSegment> path;  // built backwards
+  int rank = static_cast<int>(start_rank);
+  double now = analysis.makespan;
+  const auto emit = [&](CriticalSegment segment) {
+    if (segment.t1 - segment.t0 > 0.0) {
+      segment.phase =
+          timelines[static_cast<std::size_t>(segment.rank)].phase_at(
+              segment.t0 + eps);
+      path.push_back(std::move(segment));
+    }
+  };
+  while (now > eps) {
+    const std::vector<LedgerEvent>& events =
+        ledger.rank_ledgers[static_cast<std::size_t>(rank)].events;
+    std::size_t& idx = cursor[static_cast<std::size_t>(rank)];
+    // Events that end after the current path position are not on the path.
+    while (idx > 0 && events[idx - 1].t1 > now + eps) --idx;
+    if (idx == 0) {
+      // Start of this rank's record: everything back to t=0 is compute
+      // (or, on a truncated ring, unknown — flagged above).
+      CriticalSegment segment;
+      segment.kind = CriticalSegment::Kind::Compute;
+      segment.rank = rank;
+      segment.t0 = 0.0;
+      segment.t1 = now;
+      emit(segment);
+      break;
+    }
+    const LedgerEvent& event = events[idx - 1];
+    if (event.t1 < now - eps) {
+      CriticalSegment segment;
+      segment.kind = CriticalSegment::Kind::Compute;
+      segment.rank = rank;
+      segment.t0 = event.t1;
+      segment.t1 = now;
+      emit(segment);
+      now = event.t1;
+      continue;
+    }
+    --idx;
+    switch (event.kind) {
+      case LedgerEventKind::PhaseBegin:
+      case LedgerEventKind::Fault:
+        break;  // zero width; keep walking at the same clock
+      case LedgerEventKind::Send: {
+        CriticalSegment segment;
+        segment.kind = CriticalSegment::Kind::Message;
+        segment.rank = rank;
+        segment.t0 = event.t0;
+        segment.t1 = event.t1;
+        segment.peer = event.peer;
+        segment.bytes = event.bytes;
+        segment.op = "tag " + std::to_string(event.tag);
+        segment.modeled_cost =
+            ledger.platform.message_cost(static_cast<std::size_t>(event.bytes));
+        emit(segment);
+        now = event.t0;
+        break;
+      }
+      case LedgerEventKind::Recv: {
+        if (event.t1 - event.t0 <= eps) break;  // message was already there
+        const auto sender = send_of.find({event.peer, event.seq});
+        if (sender == send_of.end()) {
+          // Matched send fell off a ring (or predates a truncation): charge
+          // the wait here and keep walking locally.
+          analysis.truncated = true;
+          CriticalSegment segment;
+          segment.kind = CriticalSegment::Kind::Message;
+          segment.rank = rank;
+          segment.t0 = event.t0;
+          segment.t1 = event.t1;
+          segment.peer = event.peer;
+          segment.bytes = event.bytes;
+          segment.op = "tag " + std::to_string(event.tag) + " (unmatched)";
+          segment.modeled_cost = ledger.platform.message_cost(
+              static_cast<std::size_t>(event.bytes));
+          emit(segment);
+          now = event.t0;
+          break;
+        }
+        // The receiver waited, so its exit clock IS the sender's departure
+        // clock; hand the path over without emitting a tile.
+        rank = event.peer;
+        now = event.t1;
+        break;
+      }
+      case LedgerEventKind::Collective: {
+        const auto group = collective_of.find(event.seq);
+        int blamed = rank;
+        const LedgerEvent* blamed_event = &event;
+        std::uint64_t max_bytes = event.bytes;
+        if (group != collective_of.end()) {
+          if (group->second.size() < num_ranks) analysis.truncated = true;
+          for (const auto& [member_rank, member] : group->second) {
+            max_bytes = std::max(max_bytes, member->bytes);
+            if (member->t0 > blamed_event->t0 + eps ||
+                (std::abs(member->t0 - blamed_event->t0) <= eps &&
+                 member_rank < blamed)) {
+              blamed = member_rank;
+              blamed_event = member;
+            }
+          }
+        }
+        CriticalSegment segment;
+        segment.kind = CriticalSegment::Kind::Collective;
+        segment.rank = blamed;
+        segment.t0 = blamed_event->t0;
+        segment.t1 = event.t1;
+        segment.bytes = max_bytes;
+        segment.op = mp::to_string(static_cast<mp::CollectiveKind>(event.tag));
+        segment.modeled_cost = ledger.platform.collective_cost(
+            static_cast<int>(num_ranks), static_cast<std::size_t>(max_bytes));
+        emit(segment);
+        rank = blamed;
+        now = blamed_event->t0;
+        break;
+      }
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  for (const CriticalSegment& segment : path) {
+    analysis.critical_path_seconds += segment.seconds();
+    switch (segment.kind) {
+      case CriticalSegment::Kind::Compute:
+        analysis.critical_compute_seconds += segment.seconds();
+        break;
+      case CriticalSegment::Kind::Message:
+        analysis.critical_message_seconds += segment.seconds();
+        break;
+      case CriticalSegment::Kind::Collective:
+        analysis.critical_collective_seconds += segment.seconds();
+        break;
+    }
+  }
+  analysis.critical_path = std::move(path);
+  analysis.speedup_bound =
+      analysis.critical_compute_seconds > 0.0
+          ? analysis.total_compute_seconds / analysis.critical_compute_seconds
+          : 0.0;
+  return analysis;
+}
+
+std::vector<std::string> check_invariants(const CausalAnalysis& analysis,
+                                          double tolerance) {
+  std::vector<std::string> violations;
+  const double tol = tolerance * std::max(1.0, analysis.makespan);
+  if (analysis.critical_path_seconds > analysis.makespan + tol) {
+    violations.push_back(
+        "critical path (" + format_seconds(analysis.critical_path_seconds) +
+        "s) exceeds the makespan (" + format_seconds(analysis.makespan) +
+        "s)");
+  }
+  if (!analysis.truncated &&
+      std::abs(analysis.critical_path_seconds - analysis.makespan) > tol) {
+    violations.push_back(
+        "critical path (" + format_seconds(analysis.critical_path_seconds) +
+        "s) does not tile the makespan (" +
+        format_seconds(analysis.makespan) + "s)");
+  }
+  if (!analysis.truncated) {
+    for (const RankAttribution& rank : analysis.ranks) {
+      const double sum = rank.total.total() + rank.end_slack;
+      if (std::abs(sum - analysis.makespan) > tol) {
+        violations.push_back(
+            "rank " + std::to_string(rank.rank) + " attribution (" +
+            format_seconds(sum) + "s) does not sum to the makespan (" +
+            format_seconds(analysis.makespan) + "s)");
+      }
+    }
+  }
+  return violations;
+}
+
+namespace {
+
+/// Longest-first view of the critical path, capped at top_k.
+std::vector<const CriticalSegment*> top_segments(
+    const CausalAnalysis& analysis, std::size_t top_k) {
+  std::vector<const CriticalSegment*> sorted;
+  sorted.reserve(analysis.critical_path.size());
+  for (const CriticalSegment& segment : analysis.critical_path) {
+    sorted.push_back(&segment);
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const CriticalSegment* a, const CriticalSegment* b) {
+                     return a->seconds() > b->seconds();
+                   });
+  if (sorted.size() > top_k) sorted.resize(top_k);
+  return sorted;
+}
+
+std::string segment_detail(const CriticalSegment& segment) {
+  switch (segment.kind) {
+    case CriticalSegment::Kind::Compute:
+      return "";
+    case CriticalSegment::Kind::Message:
+      return segment.op + " -> rank " + std::to_string(segment.peer) + ", " +
+             std::to_string(segment.bytes) + " B";
+    case CriticalSegment::Kind::Collective:
+      return segment.op + ", " + std::to_string(segment.bytes) + " B";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string analysis_to_json(const ParsedLedger& ledger,
+                             const CausalAnalysis& analysis, std::size_t top_k,
+                             double serial_seconds) {
+  std::string out =
+      "{\"schema\":\"ptwgr.causal_report\",\"version\":" +
+      json::number(static_cast<std::int64_t>(kCausalReportVersion));
+  out += ",\"algorithm\":" + json::quoted(ledger.algorithm);
+  out += ",\"circuit\":" + json::quoted(ledger.circuit);
+  out += ",\"seed\":" + json::number(ledger.seed);
+  out += ",\"ranks\":" + json::number(static_cast<std::int64_t>(ledger.ranks));
+  out += ",\"platform\":" + json::quoted(ledger.platform.name);
+  out += ",\"truncated\":";
+  out += analysis.truncated ? "true" : "false";
+  out += ",\"makespan_seconds\":" + json::number(analysis.makespan);
+  out += ",\"critical_path_seconds\":" +
+         json::number(analysis.critical_path_seconds);
+  out += ",\"critical_breakdown\":{\"compute\":" +
+         json::number(analysis.critical_compute_seconds);
+  out += ",\"message\":" + json::number(analysis.critical_message_seconds);
+  out += ",\"collective\":" +
+         json::number(analysis.critical_collective_seconds) + "}";
+  out += ",\"total_compute_seconds\":" +
+         json::number(analysis.total_compute_seconds);
+  out += ",\"total_p2p_wait_seconds\":" +
+         json::number(analysis.total_p2p_wait_seconds);
+  out += ",\"total_collective_sync_seconds\":" +
+         json::number(analysis.total_collective_sync_seconds);
+  out += ",\"imbalance_ratio\":" + json::number(analysis.imbalance_ratio);
+  out += ",\"effective_parallelism\":" +
+         json::number(analysis.effective_parallelism);
+  out += ",\"speedup_bound\":" + json::number(analysis.speedup_bound);
+  if (serial_seconds > 0.0 && analysis.makespan > 0.0) {
+    out += ",\"serial_seconds\":" + json::number(serial_seconds);
+    out += ",\"achieved_speedup\":" +
+           json::number(serial_seconds / analysis.makespan);
+  }
+  out += ",\"ranks_attribution\":[";
+  for (std::size_t r = 0; r < analysis.ranks.size(); ++r) {
+    const RankAttribution& rank = analysis.ranks[r];
+    if (r != 0) out += ",";
+    out += "\n {\"rank\":" +
+           json::number(static_cast<std::int64_t>(rank.rank));
+    out += ",\"final_vtime\":" + json::number(rank.final_vtime);
+    out += ",\"end_slack\":" + json::number(rank.end_slack);
+    out += ",\"compute\":" + json::number(rank.total.compute);
+    out += ",\"p2p_wait\":" + json::number(rank.total.p2p_wait);
+    out += ",\"collective_sync\":" +
+           json::number(rank.total.collective_sync);
+    out += ",\"phases\":[";
+    for (std::size_t p = 0; p < rank.phases.size(); ++p) {
+      const PhaseAttribution& phase = rank.phases[p];
+      if (p != 0) out += ",";
+      out += "{\"phase\":" + json::quoted(phase.phase);
+      out += ",\"compute\":" + json::number(phase.bucket.compute);
+      out += ",\"p2p_wait\":" + json::number(phase.bucket.p2p_wait);
+      out += ",\"collective_sync\":" +
+             json::number(phase.bucket.collective_sync) + "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+  out += ",\"critical_path\":[";
+  const auto top = top_segments(analysis, top_k);
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const CriticalSegment& segment = *top[i];
+    if (i != 0) out += ",";
+    out += "\n {\"kind\":" + json::quoted(to_string(segment.kind));
+    out += ",\"rank\":" +
+           json::number(static_cast<std::int64_t>(segment.rank));
+    out += ",\"phase\":" + json::quoted(segment.phase);
+    out += ",\"t0\":" + json::number(segment.t0);
+    out += ",\"seconds\":" + json::number(segment.seconds());
+    if (segment.kind != CriticalSegment::Kind::Compute) {
+      if (segment.peer >= 0) {
+        out += ",\"peer\":" +
+               json::number(static_cast<std::int64_t>(segment.peer));
+      }
+      out += ",\"bytes\":" + json::number(segment.bytes);
+      out += ",\"op\":" + json::quoted(segment.op);
+      out += ",\"modeled_cost\":" + json::number(segment.modeled_cost);
+    }
+    out += "}";
+  }
+  out += "]";
+  if (!ledger.postmortems.empty()) {
+    out += ",\"postmortem_count\":" +
+           json::number(static_cast<std::uint64_t>(ledger.postmortems.size()));
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string analysis_tables(const ParsedLedger& ledger,
+                            const CausalAnalysis& analysis, std::size_t top_k,
+                            double serial_seconds) {
+  std::string out;
+  {
+    TextTable table("Causal summary — " + ledger.algorithm + " on " +
+                    ledger.circuit + " (" + ledger.platform.name + ", " +
+                    std::to_string(ledger.ranks) + " ranks)");
+    table.add_row({"metric", "value"});
+    table.add_row({"makespan (s)", format_seconds(analysis.makespan)});
+    table.add_row({"critical path (s)",
+                   format_seconds(analysis.critical_path_seconds)});
+    table.add_row({"  compute on path (s)",
+                   format_seconds(analysis.critical_compute_seconds)});
+    table.add_row({"  messages on path (s)",
+                   format_seconds(analysis.critical_message_seconds)});
+    table.add_row({"  collectives on path (s)",
+                   format_seconds(analysis.critical_collective_seconds)});
+    table.add_row({"total compute, all ranks (s)",
+                   format_seconds(analysis.total_compute_seconds)});
+    table.add_row({"total p2p wait (s)",
+                   format_seconds(analysis.total_p2p_wait_seconds)});
+    table.add_row({"total collective sync (s)",
+                   format_seconds(analysis.total_collective_sync_seconds)});
+    table.add_row(
+        {"imbalance ratio (max/mean)", format_fixed(analysis.imbalance_ratio, 3)});
+    table.add_row({"effective parallelism",
+                   format_fixed(analysis.effective_parallelism, 3)});
+    table.add_row(
+        {"speedup bound (dependence)", format_fixed(analysis.speedup_bound, 3)});
+    if (serial_seconds > 0.0 && analysis.makespan > 0.0) {
+      table.add_row({"achieved speedup",
+                     format_fixed(serial_seconds / analysis.makespan, 3)});
+    }
+    if (analysis.truncated) {
+      table.add_row({"coverage", "TRUNCATED (ring drops)"});
+    }
+    out += table.to_string();
+    out += "\n";
+  }
+  {
+    TextTable table("Per-rank attribution (seconds; rows sum to makespan)");
+    table.add_row({"rank", "compute", "p2p wait", "coll sync", "end slack",
+                   "final vtime"});
+    for (const RankAttribution& rank : analysis.ranks) {
+      table.add_row({std::to_string(rank.rank),
+                     format_seconds(rank.total.compute),
+                     format_seconds(rank.total.p2p_wait),
+                     format_seconds(rank.total.collective_sync),
+                     format_seconds(rank.end_slack),
+                     format_seconds(rank.final_vtime)});
+    }
+    out += table.to_string();
+    out += "\n";
+  }
+  {
+    // Per-phase totals across ranks, in first-appearance order.
+    std::vector<std::string> order;
+    std::map<std::string, AttributionBucket> totals;
+    for (const RankAttribution& rank : analysis.ranks) {
+      for (const PhaseAttribution& phase : rank.phases) {
+        if (totals.find(phase.phase) == totals.end()) {
+          order.push_back(phase.phase);
+        }
+        AttributionBucket& bucket = totals[phase.phase];
+        bucket.compute += phase.bucket.compute;
+        bucket.p2p_wait += phase.bucket.p2p_wait;
+        bucket.collective_sync += phase.bucket.collective_sync;
+      }
+    }
+    TextTable table("Per-phase totals across ranks (seconds)");
+    table.add_row({"phase", "compute", "p2p wait", "coll sync"});
+    for (const std::string& phase : order) {
+      const AttributionBucket& bucket = totals[phase];
+      table.add_row({phase, format_seconds(bucket.compute),
+                     format_seconds(bucket.p2p_wait),
+                     format_seconds(bucket.collective_sync)});
+    }
+    out += table.to_string();
+    out += "\n";
+  }
+  {
+    TextTable table("Top critical-path segments (longest first)");
+    table.add_row({"#", "kind", "rank", "phase", "start (s)", "seconds",
+                   "detail"});
+    const auto top = top_segments(analysis, top_k);
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      const CriticalSegment& segment = *top[i];
+      table.add_row({std::to_string(i + 1), to_string(segment.kind),
+                     std::to_string(segment.rank), segment.phase,
+                     format_seconds(segment.t0),
+                     format_seconds(segment.seconds()),
+                     segment_detail(segment)});
+    }
+    out += table.to_string();
+  }
+  return out;
+}
+
+std::string postmortem_tables(const ParsedLedger& ledger,
+                              std::size_t tail_events) {
+  std::string out;
+  for (std::size_t p = 0; p < ledger.postmortems.size(); ++p) {
+    const PostmortemBundle& bundle = ledger.postmortems[p];
+    out += "postmortem " + std::to_string(p + 1) + ": " + bundle.reason + "\n";
+    for (const RankLedger& rank : bundle.ranks) {
+      out += "  rank " + std::to_string(rank.rank) + " (" +
+             std::to_string(rank.events.size()) + " events";
+      if (rank.dropped > 0) {
+        out += ", " + std::to_string(rank.dropped) + " dropped";
+      }
+      out += "):\n";
+      const std::size_t first =
+          rank.events.size() > tail_events ? rank.events.size() - tail_events
+                                           : 0;
+      for (std::size_t i = first; i < rank.events.size(); ++i) {
+        const LedgerEvent& event = rank.events[i];
+        out += "    [" + format_seconds(event.t0) + ", " +
+               format_seconds(event.t1) + "] " + to_string(event.kind);
+        switch (event.kind) {
+          case LedgerEventKind::Send:
+          case LedgerEventKind::Recv:
+            out += " peer=" + std::to_string(event.peer) +
+                   " tag=" + std::to_string(event.tag) +
+                   " bytes=" + std::to_string(event.bytes) +
+                   " seq=" + std::to_string(event.seq);
+            break;
+          case LedgerEventKind::Collective:
+            out += " op=" +
+                   std::string(mp::to_string(
+                       static_cast<mp::CollectiveKind>(event.tag))) +
+                   " bytes=" + std::to_string(event.bytes) +
+                   " seq=" + std::to_string(event.seq);
+            break;
+          case LedgerEventKind::PhaseBegin:
+          case LedgerEventKind::Fault:
+            out += " " + event.label;
+            break;
+        }
+        out += " lc=" + std::to_string(event.lamport) + "\n";
+      }
+    }
+  }
+  for (const std::string& note : ledger.notes) {
+    out += "note: " + note + "\n";
+  }
+  return out;
+}
+
+}  // namespace ptwgr::obs

@@ -1,0 +1,153 @@
+// Happens-before analysis over a serialized causal ledger (obs/ledger.h):
+// DAG reconstruction, critical-path extraction, and per-rank/per-phase
+// compute-vs-wait attribution.
+//
+// The analyzer is the library behind tools/ptwgr_analyze.  It consumes the
+// "ptwgr.ledger" JSON document, replays each rank's event stream, and
+// answers the question the paper's speedup tables (Tables 2–5) raise but
+// cannot explain: *which* rank, phase, or message chain limits scaling
+// under the α–β cost model.
+//
+// Two invariants tie the analysis to the runtime's clock semantics and are
+// checked by tests and CI (check_invariants):
+//   1. critical_path_seconds ≤ makespan, with equality on untruncated
+//      ledgers — the path tiles [0, makespan] with no overlap;
+//   2. per rank, compute + p2p_wait + collective_sync + end_slack equals the
+//      makespan (within 1e-9 relative) — attribution loses nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptwgr/mp/cost_model.h"
+#include "ptwgr/obs/ledger.h"
+#include "ptwgr/support/json.h"
+
+namespace ptwgr::obs {
+
+inline constexpr int kCausalReportVersion = 1;
+
+/// A deserialized "ptwgr.ledger" document.
+struct ParsedLedger {
+  int version = 0;
+  std::string algorithm;
+  std::string circuit;
+  std::uint64_t seed = 0;
+  int ranks = 0;
+  mp::CostModel platform;
+  std::uint64_t ring_capacity = 0;
+  /// False for canonical (times-stripped) documents; analysis needs times.
+  bool has_times = true;
+  std::vector<RankLedger> rank_ledgers;
+  std::vector<std::string> notes;
+  std::vector<PostmortemBundle> postmortems;
+};
+
+/// Parses a ledger document; throws std::runtime_error on schema mismatch
+/// or malformed structure (json::ParseError propagates from json::parse).
+ParsedLedger parse_ledger(const json::Value& doc);
+
+/// vtime decomposition of one scope (a rank, or one phase of a rank).
+struct AttributionBucket {
+  double compute = 0.0;
+  double p2p_wait = 0.0;
+  double collective_sync = 0.0;
+
+  double total() const { return compute + p2p_wait + collective_sync; }
+};
+
+struct PhaseAttribution {
+  std::string phase;
+  AttributionBucket bucket;
+};
+
+struct RankAttribution {
+  int rank = 0;
+  double final_vtime = 0.0;
+  /// makespan − final_vtime: idle tail while slower ranks finish.
+  double end_slack = 0.0;
+  AttributionBucket total;
+  /// Per-phase split, in first-appearance order ("(setup)" covers events
+  /// before the first phase marker).
+  std::vector<PhaseAttribution> phases;
+};
+
+/// One tile of the critical path, in forward time order.
+struct CriticalSegment {
+  enum class Kind : std::uint8_t {
+    Compute = 0,  ///< the blamed rank was computing
+    Message,      ///< a p2p transfer (or an unmatched recv wait)
+    Collective,   ///< dissemination rounds after the last arriver's entry
+  };
+
+  Kind kind = Kind::Compute;
+  int rank = 0;  ///< the blamed rank
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::string phase;
+  int peer = -1;            ///< message destination/source
+  std::uint64_t bytes = 0;  ///< message payload / max collective contribution
+  std::string op;           ///< collective kind; "tag N" for messages
+  /// The α–β charge the CostModel assigns this edge (message_cost or
+  /// collective_cost); differs from t1−t0 when retries/injected delays
+  /// stretched the transfer.
+  double modeled_cost = 0.0;
+
+  double seconds() const { return t1 - t0; }
+};
+
+const char* to_string(CriticalSegment::Kind kind);
+
+struct CausalAnalysis {
+  double makespan = 0.0;
+  double critical_path_seconds = 0.0;
+  double critical_compute_seconds = 0.0;
+  double critical_message_seconds = 0.0;
+  double critical_collective_seconds = 0.0;
+  double total_compute_seconds = 0.0;
+  double total_p2p_wait_seconds = 0.0;
+  double total_collective_sync_seconds = 0.0;
+  /// max rank compute / mean rank compute (1.0 = perfectly balanced).
+  double imbalance_ratio = 1.0;
+  /// total compute / makespan: how many ranks were effectively busy.
+  double effective_parallelism = 0.0;
+  /// total compute / critical-path compute: the speedup no schedule can
+  /// beat while this dependence chain exists (comm-free upper bound).
+  double speedup_bound = 0.0;
+  /// Ring mode dropped events, or a matched peer was missing: coverage is
+  /// partial and the equality invariants are relaxed.
+  bool truncated = false;
+  std::vector<CriticalSegment> critical_path;  // forward time order
+  std::vector<RankAttribution> ranks;
+};
+
+/// Replays the ledger: per-rank attribution, then the backward critical-path
+/// walk from the makespan-defining rank (DESIGN.md §12).  Requires
+/// has_times; throws std::runtime_error on a canonical document.
+CausalAnalysis analyze(const ParsedLedger& ledger);
+
+/// Checks the two report invariants; returns human-readable violation
+/// messages (empty when everything holds).  `tolerance` is relative to
+/// max(1, makespan).  Truncated analyses skip the equality checks.
+std::vector<std::string> check_invariants(const CausalAnalysis& analysis,
+                                          double tolerance = 1e-9);
+
+/// Versioned JSON report ("schema": "ptwgr.causal_report").  `top_k` bounds
+/// the emitted critical-path segments (longest first); `serial_seconds` > 0
+/// additionally reports the achieved speedup against that serial time.
+std::string analysis_to_json(const ParsedLedger& ledger,
+                             const CausalAnalysis& analysis, std::size_t top_k,
+                             double serial_seconds = 0.0);
+
+/// Human-readable tables: summary, per-rank attribution, per-phase totals,
+/// and the top-k critical-path segments.
+std::string analysis_tables(const ParsedLedger& ledger,
+                            const CausalAnalysis& analysis, std::size_t top_k,
+                            double serial_seconds = 0.0);
+
+/// Renders the postmortem bundles (reason + each rank's event tail).
+std::string postmortem_tables(const ParsedLedger& ledger,
+                              std::size_t tail_events = 5);
+
+}  // namespace ptwgr::obs

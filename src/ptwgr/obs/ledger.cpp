@@ -1,0 +1,265 @@
+#include "ptwgr/obs/ledger.h"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "ptwgr/mp/comm_stats.h"
+#include "ptwgr/support/check.h"
+#include "ptwgr/support/json.h"
+#include "ptwgr/support/trace.h"
+
+namespace ptwgr::obs {
+namespace {
+
+std::atomic<LedgerCollector*> g_active_ledger{nullptr};
+
+/// Full round-trip precision: the analyzer re-derives the makespan
+/// decomposition from these numbers and checks it to 1e-9, which the
+/// default %.12g emission would not survive.
+std::string exact_number(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return std::string(buf);
+}
+
+void append_event_json(std::string& out, const LedgerEvent& event,
+                       bool include_times) {
+  out += "{\"k\":";
+  out += json::quoted(to_string(event.kind));
+  if (include_times) {
+    out += ",\"t0\":" + exact_number(event.t0);
+    out += ",\"t1\":" + exact_number(event.t1);
+  }
+  out += ",\"lc\":" + json::number(event.lamport);
+  switch (event.kind) {
+    case LedgerEventKind::Send:
+    case LedgerEventKind::Recv:
+      out += ",\"peer\":" + json::number(static_cast<std::int64_t>(event.peer));
+      out += ",\"tag\":" + json::number(static_cast<std::int64_t>(event.tag));
+      out += ",\"bytes\":" + json::number(event.bytes);
+      out += ",\"seq\":" + json::number(event.seq);
+      break;
+    case LedgerEventKind::Collective:
+      out += ",\"op\":";
+      out += json::quoted(
+          mp::to_string(static_cast<mp::CollectiveKind>(event.tag)));
+      out += ",\"bytes\":" + json::number(event.bytes);
+      out += ",\"seq\":" + json::number(event.seq);
+      break;
+    case LedgerEventKind::PhaseBegin:
+    case LedgerEventKind::Fault:
+      out += ",\"label\":";
+      json::append_quoted(out, event.label);
+      break;
+  }
+  out += "}";
+}
+
+void append_rank_json(std::string& out, const RankLedger& rank,
+                      bool include_times) {
+  out += "{\"rank\":" + json::number(static_cast<std::int64_t>(rank.rank));
+  out += ",\"dropped\":" + json::number(rank.dropped);
+  if (include_times) {
+    out += ",\"final_vtime\":" + exact_number(rank.final_vtime);
+  }
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < rank.events.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\n  ";
+    append_event_json(out, rank.events[i], include_times);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+const char* to_string(LedgerEventKind kind) {
+  switch (kind) {
+    case LedgerEventKind::PhaseBegin:
+      return "phase";
+    case LedgerEventKind::Send:
+      return "send";
+    case LedgerEventKind::Recv:
+      return "recv";
+    case LedgerEventKind::Collective:
+      return "coll";
+    case LedgerEventKind::Fault:
+      return "fault";
+  }
+  return "?";
+}
+
+LedgerCollector* active_ledger() {
+  return g_active_ledger.load(std::memory_order_relaxed);
+}
+
+void set_active_ledger(LedgerCollector* collector) {
+  g_active_ledger.store(collector, std::memory_order_relaxed);
+}
+
+void LedgerCollector::begin_run(int num_ranks) {
+  PTWGR_EXPECTS(num_ranks >= 1);
+  slots_.clear();
+  slots_.resize(static_cast<std::size_t>(num_ranks));
+  if (capacity_ > 0) {
+    for (Slot& slot : slots_) slot.ring.resize(capacity_);
+  }
+}
+
+void LedgerCollector::record(int rank, LedgerEvent event) {
+  Slot& slot = slots_[static_cast<std::size_t>(rank)];
+  if (capacity_ == 0) {
+    // truncate() keeps ring.size() == end in unbounded mode, so the vector
+    // and the logical stream always coincide.
+    slot.ring.push_back(std::move(event));
+    ++slot.end;
+    return;
+  }
+  slot.ring[static_cast<std::size_t>(slot.end % capacity_)] =
+      std::move(event);
+  ++slot.end;
+  if (slot.end - slot.begin > capacity_) slot.begin = slot.end - capacity_;
+}
+
+void LedgerCollector::truncate(int rank, std::uint64_t end) {
+  Slot& slot = slots_[static_cast<std::size_t>(rank)];
+  PTWGR_EXPECTS(end <= slot.end);
+  slot.end = end;
+  if (slot.begin > slot.end) slot.begin = slot.end;
+  if (capacity_ == 0) slot.ring.resize(static_cast<std::size_t>(end));
+}
+
+std::vector<LedgerEvent> LedgerCollector::events(int rank) const {
+  const Slot& slot = slots_[static_cast<std::size_t>(rank)];
+  std::vector<LedgerEvent> out;
+  out.reserve(static_cast<std::size_t>(slot.end - slot.begin));
+  if (capacity_ == 0) {
+    out = slot.ring;
+  } else {
+    for (std::uint64_t i = slot.begin; i < slot.end; ++i) {
+      out.push_back(slot.ring[static_cast<std::size_t>(i % capacity_)]);
+    }
+  }
+  return out;
+}
+
+std::vector<RankLedger> LedgerCollector::snapshot() const {
+  std::vector<RankLedger> out;
+  out.reserve(slots_.size());
+  for (std::size_t r = 0; r < slots_.size(); ++r) {
+    RankLedger ledger;
+    ledger.rank = static_cast<int>(r);
+    ledger.dropped = dropped(static_cast<int>(r));
+    ledger.final_vtime = slots_[r].final_vtime;
+    ledger.events = events(static_cast<int>(r));
+    out.push_back(std::move(ledger));
+  }
+  return out;
+}
+
+void LedgerCollector::capture_postmortem(std::string reason) {
+  PostmortemBundle bundle;
+  bundle.reason = std::move(reason);
+  bundle.ranks = snapshot();
+  const std::lock_guard<std::mutex> lock(aux_mutex_);
+  postmortems_.push_back(std::move(bundle));
+}
+
+void LedgerCollector::note(std::string text) {
+  const std::lock_guard<std::mutex> lock(aux_mutex_);
+  notes_.push_back(std::move(text));
+}
+
+std::string ledger_to_json(const LedgerCollector& ledger,
+                           const LedgerMeta& meta, bool include_times) {
+  std::string out = "{\"schema\":\"ptwgr.ledger\",\"version\":" +
+                    json::number(static_cast<std::int64_t>(kLedgerVersion));
+  out += ",\"algorithm\":" + json::quoted(meta.algorithm);
+  out += ",\"circuit\":" + json::quoted(meta.circuit_source);
+  out += ",\"seed\":" + json::number(meta.seed);
+  out += ",\"ranks\":" + json::number(static_cast<std::int64_t>(meta.ranks));
+  out += ",\"platform\":{\"name\":" + json::quoted(meta.platform);
+  out += ",\"latency_s\":" + json::number(meta.latency_s);
+  out += ",\"per_byte_s\":" + json::number(meta.per_byte_s);
+  out += ",\"compute_scale\":" + json::number(meta.compute_scale) + "}";
+  out += ",\"ring_capacity\":" +
+         json::number(static_cast<std::uint64_t>(ledger.ring_capacity()));
+  out += ",\"rank_ledgers\":[";
+  for (int r = 0; r < ledger.num_ranks(); ++r) {
+    if (r != 0) out += ",";
+    out += "\n ";
+    RankLedger rank;
+    rank.rank = r;
+    rank.dropped = ledger.dropped(r);
+    rank.final_vtime = ledger.final_vtime(r);
+    rank.events = ledger.events(r);
+    append_rank_json(out, rank, include_times);
+  }
+  out += "]";
+  if (!ledger.notes().empty()) {
+    out += ",\"notes\":[";
+    for (std::size_t i = 0; i < ledger.notes().size(); ++i) {
+      if (i != 0) out += ",";
+      out += json::quoted(ledger.notes()[i]);
+    }
+    out += "]";
+  }
+  if (!ledger.postmortems().empty()) {
+    out += ",\"postmortems\":[";
+    for (std::size_t p = 0; p < ledger.postmortems().size(); ++p) {
+      const PostmortemBundle& bundle = ledger.postmortems()[p];
+      if (p != 0) out += ",";
+      out += "\n {\"reason\":" + json::quoted(bundle.reason);
+      out += ",\"rank_ledgers\":[";
+      for (std::size_t r = 0; r < bundle.ranks.size(); ++r) {
+        if (r != 0) out += ",";
+        out += "\n  ";
+        append_rank_json(out, bundle.ranks[r], include_times);
+      }
+      out += "]}";
+    }
+    out += "]";
+  }
+  out += "}\n";
+  return out;
+}
+
+void export_message_flows(const LedgerCollector& ledger,
+                          TraceCollector& trace) {
+  // A flow needs both endpoints: index the receives by (sender, seq), then
+  // walk the sends.  Ring mode may have dropped either side; unmatched
+  // events simply draw no arrow.
+  std::map<std::pair<int, std::uint64_t>, const LedgerEvent*> recv_of;
+  std::vector<std::vector<LedgerEvent>> events;
+  events.reserve(static_cast<std::size_t>(ledger.num_ranks()));
+  for (int r = 0; r < ledger.num_ranks(); ++r) {
+    events.push_back(ledger.events(r));
+    for (const LedgerEvent& e : events.back()) {
+      if (e.kind == LedgerEventKind::Recv) {
+        recv_of[{e.peer, e.seq}] = &e;
+      }
+    }
+  }
+  std::uint64_t next_id = 1;
+  for (int r = 0; r < ledger.num_ranks(); ++r) {
+    for (const LedgerEvent& e : events[static_cast<std::size_t>(r)]) {
+      if (e.kind != LedgerEventKind::Send) continue;
+      const auto it = recv_of.find({r, e.seq});
+      if (it == recv_of.end()) continue;
+      TraceFlow flow;
+      flow.id = next_id++;
+      flow.name = "msg tag " + std::to_string(e.tag) + " (" +
+                  std::to_string(e.bytes) + " B)";
+      flow.src_rank = r;
+      flow.src_seconds = e.t0;
+      flow.dst_rank = e.peer;  // the send's destination recorded the recv
+      flow.dst_seconds = it->second->t1;
+      trace.record_flow(std::move(flow));
+    }
+  }
+}
+
+}  // namespace ptwgr::obs

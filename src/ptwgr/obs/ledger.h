@@ -1,0 +1,202 @@
+// Causal event ledger: append-only per-rank streams of communication and
+// phase events, stamped with the virtual clock AND a Lamport logical clock.
+//
+// The mp::Communicator emits one event per send, recv, collective, phase
+// boundary, and fault; matched send→recv pairs (sender rank, send sequence
+// number) plus the per-generation collective rounds make the streams a
+// happens-before DAG that obs/causal.h can replay for critical-path and
+// load-imbalance attribution (DESIGN.md §12).
+//
+// Contract carried over from the tracer (PR 1): recording is off unless a
+// collector is installed with set_active_ledger(), and a disabled ledger
+// costs exactly one relaxed atomic load — the Communicator caches the
+// pointer at construction and every operation afterwards pays a single
+// null-pointer test.
+//
+// Threading: begin_run() presizes one slot per rank; each rank thread then
+// appends only to its own slot, so recording is lock-free and unsynchronized.
+// Out-of-band notes (watchdog) and postmortem capture go through a mutex.
+// Reading a slot is safe only once its rank thread has quiesced (after
+// mp::run returns, or inside the rank's own thread).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ptwgr {
+class TraceCollector;
+}  // namespace ptwgr
+
+namespace ptwgr::obs {
+
+enum class LedgerEventKind : std::uint8_t {
+  PhaseBegin = 0,  ///< rank entered a named phase (t0 == t1)
+  Send,            ///< blocking send; [t0, t1] covers the modeled transfer
+  Recv,            ///< blocking recv; [t0, t1] is the arrival wait (may be 0)
+  Collective,      ///< rendezvous; [t0, t1] is entry → shared exit clock
+  Fault,           ///< injected fault, retry, kill, or timeout (t0 == t1)
+};
+
+const char* to_string(LedgerEventKind kind);
+
+/// One ledger entry on a rank's virtual-clock timeline.
+struct LedgerEvent {
+  LedgerEventKind kind = LedgerEventKind::PhaseBegin;
+  double t0 = 0.0;  ///< virtual time at operation entry
+  double t1 = 0.0;  ///< virtual time at operation exit
+  /// Lamport logical clock after the event (send/recv/collective increment
+  /// it; recv additionally takes max with the sender's stamp first).
+  std::uint64_t lamport = 0;
+  int peer = -1;  ///< send: destination; recv: source; else -1
+  int tag = 0;    ///< p2p tag; collective: CollectiveKind index
+  std::uint64_t bytes = 0;
+  /// Send: the sender's per-rank send sequence number (stamped into the
+  /// envelope; retransmissions reuse it).  Recv: the matched sender's
+  /// sequence number.  Collective: the rank's collective ordinal — SPMD
+  /// programs enter collectives in a total order, so ordinal i names the
+  /// same rendezvous on every rank.
+  std::uint64_t seq = 0;
+  std::string label;  ///< phase name / fault description; empty otherwise
+};
+
+/// One rank's retained stream plus its ring-drop accounting.
+struct RankLedger {
+  int rank = 0;
+  /// Events dropped from the front in ring (flight-recorder) mode.
+  std::uint64_t dropped = 0;
+  double final_vtime = 0.0;
+  std::vector<LedgerEvent> events;  // chronological
+};
+
+/// Tail snapshot taken when a run died (fault kill, deadlock, timeout):
+/// every rank's retained events at the moment of capture.
+struct PostmortemBundle {
+  std::string reason;
+  std::vector<RankLedger> ranks;
+};
+
+/// Process-global event sink, installed with set_active_ledger().  A
+/// ring_capacity of 0 retains everything; N > 0 turns the ledger into a
+/// bounded flight recorder keeping each rank's most recent N events.
+class LedgerCollector {
+ public:
+  explicit LedgerCollector(std::size_t ring_capacity = 0)
+      : capacity_(ring_capacity) {}
+
+  LedgerCollector(const LedgerCollector&) = delete;
+  LedgerCollector& operator=(const LedgerCollector&) = delete;
+
+  /// Starts (or restarts) recording for a world of `num_ranks` ranks.
+  /// Clears the live slots; postmortem bundles and notes survive, so a
+  /// recovery re-execution does not erase the captured failure.
+  void begin_run(int num_ranks);
+
+  int num_ranks() const { return static_cast<int>(slots_.size()); }
+  std::size_t ring_capacity() const { return capacity_; }
+
+  // --- rank-thread interface (lock-free; own slot only) -----------------
+
+  void record(int rank, LedgerEvent event);
+
+  /// Logical end index of a rank's stream (monotone append count).
+  std::uint64_t end_index(int rank) const {
+    return slots_[static_cast<std::size_t>(rank)].end;
+  }
+
+  /// Discards every event appended at or after logical index `end`; the
+  /// Communicator's mark()/rewind() uses this so measurement-only
+  /// collectives (assemble_metrics) never reach the causal record.
+  void truncate(int rank, std::uint64_t end);
+
+  void set_final_vtime(int rank, double vtime) {
+    slots_[static_cast<std::size_t>(rank)].final_vtime = vtime;
+  }
+
+  // --- coordinator interface (post-run, or mutex-guarded) ---------------
+
+  std::uint64_t dropped(int rank) const {
+    const Slot& slot = slots_[static_cast<std::size_t>(rank)];
+    return slot.begin;
+  }
+
+  double final_vtime(int rank) const {
+    return slots_[static_cast<std::size_t>(rank)].final_vtime;
+  }
+
+  /// Chronological copy of a rank's retained events.
+  std::vector<LedgerEvent> events(int rank) const;
+
+  /// Snapshot of every rank's retained stream.
+  std::vector<RankLedger> snapshot() const;
+
+  /// Flight-recorder dump: snapshots the live slots under `reason`.  Called
+  /// by the recovery loop / CLI when a run unwinds with a fault.  Safe from
+  /// the coordinating thread once the rank threads have stopped.
+  void capture_postmortem(std::string reason);
+
+  /// Out-of-band annotation (deadlock watchdog report); thread-safe.
+  void note(std::string text);
+
+  const std::vector<PostmortemBundle>& postmortems() const {
+    return postmortems_;
+  }
+  const std::vector<std::string>& notes() const { return notes_; }
+
+ private:
+  struct Slot {
+    std::vector<LedgerEvent> ring;  // capacity_ == 0: plain append vector
+    std::uint64_t begin = 0;        // logical index of oldest retained event
+    std::uint64_t end = 0;          // logical append count
+    double final_vtime = 0.0;
+  };
+
+  std::size_t capacity_;
+  std::vector<Slot> slots_;
+  std::mutex aux_mutex_;  // guards notes_ and postmortems_ mutation
+  std::vector<std::string> notes_;
+  std::vector<PostmortemBundle> postmortems_;
+};
+
+/// The process-wide ledger, or nullptr when disabled (one relaxed load).
+LedgerCollector* active_ledger();
+
+/// Installs (or, with nullptr, removes) the process-wide ledger.  Install
+/// before mp::run / route_serial; remove before destroying the collector.
+void set_active_ledger(LedgerCollector* collector);
+
+// --- serialization --------------------------------------------------------
+
+inline constexpr int kLedgerVersion = 1;
+
+/// Run description embedded in the serialized ledger.
+struct LedgerMeta {
+  std::string algorithm;
+  std::string circuit_source;
+  std::uint64_t seed = 0;
+  int ranks = 0;
+  std::string platform;       // cost-model name
+  double latency_s = 0.0;     // α
+  double per_byte_s = 0.0;    // β
+  double compute_scale = 1.0;
+};
+
+/// Serializes the collector (live slots + postmortems + notes) as a
+/// versioned JSON document ("schema": "ptwgr.ledger").  Virtual times are
+/// printed with full round-trip precision so the analyzer's attribution
+/// invariants survive parse.  With include_times = false the document is
+/// *canonical*: t0/t1/final_vtime are omitted, leaving only the
+/// machine-independent causal structure — same seed ⇒ byte-identical output
+/// (the determinism tests compare this form).
+std::string ledger_to_json(const LedgerCollector& ledger,
+                           const LedgerMeta& meta, bool include_times = true);
+
+/// Feeds matched send→recv pairs from the ledger into a trace collector as
+/// flow endpoints, so the Chrome-trace export draws message-causality arrows
+/// between the rank tracks.
+void export_message_flows(const LedgerCollector& ledger,
+                          TraceCollector& trace);
+
+}  // namespace ptwgr::obs

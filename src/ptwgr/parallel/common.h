@@ -133,7 +133,7 @@ class RankPhase {
     }
     const double now = comm_->vtime();
     if (name_ != nullptr) {
-      collector_->record(name_, comm_->rank(), start_, now);
+      collector_->record(name_, comm_->rank(), start_, now, "parallel");
     }
     name_ = name;
     start_ = now;
@@ -141,7 +141,8 @@ class RankPhase {
 
   void end() {
     if (collector_ == nullptr || name_ == nullptr) return;
-    collector_->record(name_, comm_->rank(), start_, comm_->vtime());
+    collector_->record(name_, comm_->rank(), start_, comm_->vtime(),
+                       "parallel");
     name_ = nullptr;
   }
 

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "ptwgr/obs/ledger.h"
 #include "ptwgr/obs/snapshot.h"
 #include "ptwgr/parallel/hybrid.h"
 #include "ptwgr/parallel/netwise.h"
@@ -73,6 +74,11 @@ ParallelRoutingResult route_parallel(const Circuit& circuit,
       result.recovery.recovered = result.recovery.attempts > 0;
       return result;
     } catch (const mp::RankFailure& failure) {
+      // Flight-recorder dump: every rank's event tail at the moment the
+      // world unwound, before the re-execution overwrites the live slots.
+      if (obs::LedgerCollector* ledger = obs::active_ledger()) {
+        ledger->capture_postmortem(failure.what());
+      }
       result.recovery.failed_ranks.push_back(failure.rank());
       if (attempt >= options.fault.max_recovery_attempts) throw;
       ++result.recovery.attempts;
@@ -81,6 +87,9 @@ ParallelRoutingResult route_parallel(const Circuit& circuit,
                      << "); re-executing, recovery attempt "
                      << result.recovery.attempts;
     } catch (const mp::RecvTimeout& timeout) {
+      if (obs::LedgerCollector* ledger = obs::active_ledger()) {
+        ledger->capture_postmortem(timeout.what());
+      }
       if (timeout.source() >= 0) {
         result.recovery.failed_ranks.push_back(timeout.source());
       }

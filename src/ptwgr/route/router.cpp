@@ -1,5 +1,6 @@
 #include "ptwgr/route/router.h"
 
+#include "ptwgr/obs/ledger.h"
 #include "ptwgr/obs/record.h"
 #include "ptwgr/obs/snapshot.h"
 #include "ptwgr/route/coarse.h"
@@ -22,12 +23,28 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   WallTimer timer;
 
   // Trace spans for the five steps on a cumulative wall-clock timeline
-  // (track: rank 0).  One atomic load per step when tracing is off.
+  // (track: rank 0).  One atomic load per step when tracing is off.  The
+  // causal ledger gets a phase-begin event per step on the same timeline —
+  // a serial run is a one-rank world whose critical path is its own clock.
+  obs::LedgerCollector* ledger = obs::active_ledger();
+  if (ledger != nullptr) ledger->begin_run(1);
   double trace_at = 0.0;
-  const auto trace_step = [&trace_at](const char* name, double step_seconds) {
+  std::uint64_t step_index = 0;
+  const auto trace_step = [&trace_at, &step_index,
+                           ledger](const char* name, double step_seconds) {
     if (TraceCollector* tracer = active_trace()) {
-      tracer->record(name, 0, trace_at, trace_at + step_seconds);
+      tracer->record(name, 0, trace_at, trace_at + step_seconds, "serial");
     }
+    if (ledger != nullptr) {
+      obs::LedgerEvent event;
+      event.kind = obs::LedgerEventKind::PhaseBegin;
+      event.t0 = trace_at;
+      event.t1 = trace_at;
+      event.lamport = step_index;
+      event.label = name;
+      ledger->record(0, std::move(event));
+    }
+    ++step_index;
     trace_at += step_seconds;
   };
 
@@ -132,6 +149,7 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
                        result.metrics.switch_flips,
                        options.switchable_passes);
   }
+  if (ledger != nullptr) ledger->set_final_vtime(0, trace_at);
   result.circuit = std::move(circuit);
   return result;
 }

@@ -21,15 +21,25 @@ void set_active_trace(TraceCollector* collector) {
 }
 
 void TraceCollector::record(const char* name, int rank, double start_seconds,
-                            double end_seconds) {
+                            double end_seconds, const char* cat) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  spans_.push_back(
-      TraceSpan{std::string(name), rank, start_seconds, end_seconds});
+  spans_.push_back(TraceSpan{std::string(name), std::string(cat), rank,
+                             start_seconds, end_seconds});
+}
+
+void TraceCollector::record_flow(TraceFlow flow) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  flows_.push_back(std::move(flow));
 }
 
 std::size_t TraceCollector::span_count() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return spans_.size();
+}
+
+std::size_t TraceCollector::flow_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return flows_.size();
 }
 
 std::vector<TraceSpan> TraceCollector::spans() const {
@@ -39,6 +49,11 @@ std::vector<TraceSpan> TraceCollector::spans() const {
 
 std::string TraceCollector::to_chrome_json() const {
   std::vector<TraceSpan> sorted = spans();
+  std::vector<TraceFlow> flows;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    flows = flows_;
+  }
   std::sort(sorted.begin(), sorted.end(),
             [](const TraceSpan& a, const TraceSpan& b) {
               if (a.rank != b.rank) return a.rank < b.rank;
@@ -69,9 +84,23 @@ std::string TraceCollector::to_chrome_json() const {
     }
     const double dur = std::max(0.0, span.end_seconds - span.start_seconds);
     emit("{\"ph\":\"X\",\"pid\":0,\"tid\":" + std::to_string(span.rank) +
-         ",\"cat\":\"phase\",\"name\":" + json::quoted(span.name) +
+         ",\"cat\":" + json::quoted(span.cat) +
+         ",\"name\":" + json::quoted(span.name) +
          ",\"ts\":" + json::number(span.start_seconds * 1e6) +
          ",\"dur\":" + json::number(dur * 1e6) + "}");
+  }
+  for (const TraceFlow& flow : flows) {
+    const std::string id = std::to_string(flow.id);
+    emit("{\"ph\":\"s\",\"id\":" + id + ",\"pid\":0,\"tid\":" +
+         std::to_string(flow.src_rank) + ",\"cat\":\"msg\",\"name\":" +
+         json::quoted(flow.name) +
+         ",\"ts\":" + json::number(flow.src_seconds * 1e6) + "}");
+    // bp:"e" binds the finish step to the enclosing slice, which is how
+    // Perfetto draws the arrow onto the receiver's phase span.
+    emit("{\"ph\":\"f\",\"bp\":\"e\",\"id\":" + id + ",\"pid\":0,\"tid\":" +
+         std::to_string(flow.dst_rank) + ",\"cat\":\"msg\",\"name\":" +
+         json::quoted(flow.name) +
+         ",\"ts\":" + json::number(flow.dst_seconds * 1e6) + "}");
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";
   return out;

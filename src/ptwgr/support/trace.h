@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -20,11 +21,26 @@
 namespace ptwgr {
 
 /// One closed span: a named interval on a rank's timeline, in seconds.
+/// `cat` is the Chrome-trace category ("serial" pipeline steps, "parallel"
+/// rank phases), so Perfetto can filter per subsystem.
 struct TraceSpan {
   std::string name;
+  std::string cat = "phase";
   int rank = 0;
   double start_seconds = 0.0;
   double end_seconds = 0.0;
+};
+
+/// One message-causality arrow: a matched send→recv pair exported from the
+/// causal ledger (obs::export_message_flows) as an "s"/"f" flow-event pair
+/// binding the sender's and receiver's rank tracks.
+struct TraceFlow {
+  std::uint64_t id = 0;
+  std::string name;
+  int src_rank = 0;
+  double src_seconds = 0.0;
+  int dst_rank = 0;
+  double dst_seconds = 0.0;
 };
 
 /// Thread-safe span sink.  Ranks record concurrently during a parallel run;
@@ -32,20 +48,25 @@ struct TraceSpan {
 class TraceCollector {
  public:
   void record(const char* name, int rank, double start_seconds,
-              double end_seconds);
+              double end_seconds, const char* cat = "phase");
+
+  void record_flow(TraceFlow flow);
 
   std::size_t span_count() const;
+  std::size_t flow_count() const;
 
   /// Snapshot of all recorded spans (copy; safe while ranks still record).
   std::vector<TraceSpan> spans() const;
 
   /// Chrome trace-event JSON: "X" events with ts/dur in microseconds,
-  /// pid 0, tid = rank, plus thread_name/"rank N" metadata per track.
+  /// pid 0, tid = rank, thread_name/"rank N" metadata per track, per-span
+  /// "cat" categories, and "s"/"f" flow pairs for recorded message flows.
   std::string to_chrome_json() const;
 
  private:
   mutable std::mutex mutex_;
   std::vector<TraceSpan> spans_;
+  std::vector<TraceFlow> flows_;
 };
 
 /// The process-wide collector, or nullptr when tracing is disabled.

@@ -1,0 +1,300 @@
+// Tests of the happens-before analyzer: hand-built ledgers with known
+// critical paths (message handoff, collective blame), the two report
+// invariants on real runs of the serial pipeline and all three parallel
+// algorithms, truncation handling, and the JSON report round-trip.
+#include "ptwgr/obs/causal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/mp/cost_model.h"
+#include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
+#include "ptwgr/support/json.h"
+
+namespace ptwgr::obs {
+namespace {
+
+class LedgerGuard {
+ public:
+  explicit LedgerGuard(LedgerCollector& collector) {
+    set_active_ledger(&collector);
+  }
+  ~LedgerGuard() { set_active_ledger(nullptr); }
+  LedgerGuard(const LedgerGuard&) = delete;
+  LedgerGuard& operator=(const LedgerGuard&) = delete;
+};
+
+LedgerEvent make_event(LedgerEventKind kind, double t0, double t1,
+                       std::uint64_t lamport) {
+  LedgerEvent event;
+  event.kind = kind;
+  event.t0 = t0;
+  event.t1 = t1;
+  event.lamport = lamport;
+  return event;
+}
+
+/// Serializes a collector and parses it back — the same path the CLI takes,
+/// so the tests also cover the %.17g round-trip.
+ParsedLedger round_trip(const LedgerCollector& collector,
+                        const LedgerMeta& meta) {
+  return parse_ledger(json::parse(ledger_to_json(collector, meta)));
+}
+
+LedgerMeta ideal_meta(int ranks) {
+  LedgerMeta meta;
+  meta.algorithm = "test";
+  meta.circuit_source = "hand-built";
+  meta.ranks = ranks;
+  meta.platform = "ideal";
+  return meta;
+}
+
+TEST(Causal, MessageHandoffCriticalPath) {
+  // rank 0 computes 1s, then sends [1.0, 1.5]; rank 1 starts waiting at 0.2
+  // and receives at 1.5, then computes until 2.5.  The critical path is
+  // rank0 compute → the transfer → rank1 compute: 1.0 + 0.5 + 1.0 = 2.5.
+  LedgerCollector collector;
+  collector.begin_run(2);
+  {
+    LedgerEvent send = make_event(LedgerEventKind::Send, 1.0, 1.5, 1);
+    send.peer = 1;
+    send.tag = 3;
+    send.bytes = 100;
+    send.seq = 1;
+    collector.record(0, std::move(send));
+    collector.set_final_vtime(0, 1.5);
+    LedgerEvent recv = make_event(LedgerEventKind::Recv, 0.2, 1.5, 2);
+    recv.peer = 0;
+    recv.tag = 3;
+    recv.bytes = 100;
+    recv.seq = 1;
+    collector.record(1, std::move(recv));
+    collector.set_final_vtime(1, 2.5);
+  }
+  const ParsedLedger ledger = round_trip(collector, ideal_meta(2));
+  const CausalAnalysis analysis = analyze(ledger);
+
+  EXPECT_DOUBLE_EQ(analysis.makespan, 2.5);
+  EXPECT_FALSE(analysis.truncated);
+  EXPECT_NEAR(analysis.critical_path_seconds, 2.5, 1e-12);
+  EXPECT_NEAR(analysis.critical_compute_seconds, 2.0, 1e-12);
+  EXPECT_NEAR(analysis.critical_message_seconds, 0.5, 1e-12);
+  ASSERT_EQ(analysis.critical_path.size(), 3u);
+  EXPECT_EQ(analysis.critical_path[0].kind, CriticalSegment::Kind::Compute);
+  EXPECT_EQ(analysis.critical_path[0].rank, 0);
+  EXPECT_EQ(analysis.critical_path[1].kind, CriticalSegment::Kind::Message);
+  EXPECT_EQ(analysis.critical_path[1].rank, 0);
+  EXPECT_EQ(analysis.critical_path[1].peer, 1);
+  EXPECT_EQ(analysis.critical_path[1].bytes, 100u);
+  EXPECT_EQ(analysis.critical_path[2].kind, CriticalSegment::Kind::Compute);
+  EXPECT_EQ(analysis.critical_path[2].rank, 1);
+
+  // Attribution: rank 0 = 1.0 compute + 0.5 transfer + 1.0 end slack;
+  // rank 1 = 0.2 + 1.0 compute + 1.3 wait.
+  ASSERT_EQ(analysis.ranks.size(), 2u);
+  EXPECT_NEAR(analysis.ranks[0].total.compute, 1.0, 1e-12);
+  EXPECT_NEAR(analysis.ranks[0].total.p2p_wait, 0.5, 1e-12);
+  EXPECT_NEAR(analysis.ranks[0].end_slack, 1.0, 1e-12);
+  EXPECT_NEAR(analysis.ranks[1].total.compute, 1.2, 1e-12);
+  EXPECT_NEAR(analysis.ranks[1].total.p2p_wait, 1.3, 1e-12);
+  EXPECT_NEAR(analysis.ranks[1].end_slack, 0.0, 1e-12);
+  EXPECT_TRUE(check_invariants(analysis).empty());
+}
+
+TEST(Causal, CollectiveBlamesLastArriver) {
+  // rank 1 reaches the rendezvous at 0.3; rank 0 arrives at 1.0 and both
+  // leave at 1.2.  The collective tile is blamed on rank 0, preceded by
+  // rank 0's compute — critical path 1.0 + 0.2 = 1.2.
+  LedgerCollector collector;
+  collector.begin_run(2);
+  for (int r = 0; r < 2; ++r) {
+    LedgerEvent coll = make_event(LedgerEventKind::Collective,
+                                  r == 0 ? 1.0 : 0.3, 1.2, 3);
+    coll.tag = 4;  // allreduce
+    coll.bytes = 64;
+    coll.seq = 1;
+    collector.record(r, std::move(coll));
+    collector.set_final_vtime(r, 1.2);
+  }
+  const ParsedLedger ledger = round_trip(collector, ideal_meta(2));
+  const CausalAnalysis analysis = analyze(ledger);
+
+  EXPECT_DOUBLE_EQ(analysis.makespan, 1.2);
+  EXPECT_NEAR(analysis.critical_path_seconds, 1.2, 1e-12);
+  ASSERT_EQ(analysis.critical_path.size(), 2u);
+  EXPECT_EQ(analysis.critical_path[0].kind, CriticalSegment::Kind::Compute);
+  EXPECT_EQ(analysis.critical_path[0].rank, 0);
+  EXPECT_EQ(analysis.critical_path[1].kind,
+            CriticalSegment::Kind::Collective);
+  EXPECT_EQ(analysis.critical_path[1].rank, 0);  // the last arriver
+  EXPECT_EQ(analysis.critical_path[1].op, "allreduce");
+  EXPECT_NEAR(analysis.critical_path[1].seconds(), 0.2, 1e-12);
+  EXPECT_TRUE(check_invariants(analysis).empty());
+}
+
+TEST(Causal, UnmatchedRecvMarksTruncatedButStaysBounded) {
+  // A recv whose matched send fell off a ring: the analyzer charges the
+  // wait locally, flags truncation, and the ≤-makespan invariant still
+  // holds (the == invariant is waived).
+  LedgerCollector collector;
+  collector.begin_run(2);
+  {
+    LedgerEvent recv = make_event(LedgerEventKind::Recv, 0.2, 1.5, 2);
+    recv.peer = 0;
+    recv.tag = 3;
+    recv.bytes = 100;
+    recv.seq = 9;  // no such send recorded on rank 0
+    collector.record(1, std::move(recv));
+    collector.set_final_vtime(0, 1.5);
+    collector.set_final_vtime(1, 2.5);
+  }
+  const ParsedLedger ledger = round_trip(collector, ideal_meta(2));
+  const CausalAnalysis analysis = analyze(ledger);
+  EXPECT_TRUE(analysis.truncated);
+  EXPECT_LE(analysis.critical_path_seconds, analysis.makespan + 1e-12);
+  EXPECT_TRUE(check_invariants(analysis).empty());
+}
+
+TEST(Causal, SerialRunCriticalPathIsTheWholeClock) {
+  LedgerCollector collector;
+  const LedgerGuard guard(collector);
+  route_serial(small_test_circuit(11, 6, 18));
+  LedgerMeta meta = ideal_meta(1);
+  meta.algorithm = "serial";
+  const ParsedLedger ledger = round_trip(collector, meta);
+  const CausalAnalysis analysis = analyze(ledger);
+  // One rank: critical path == makespan == final vtime == total compute.
+  EXPECT_GT(analysis.makespan, 0.0);
+  EXPECT_NEAR(analysis.critical_path_seconds, analysis.makespan,
+              1e-9 * analysis.makespan);
+  EXPECT_NEAR(analysis.total_compute_seconds, analysis.makespan,
+              1e-9 * analysis.makespan);
+  EXPECT_DOUBLE_EQ(analysis.imbalance_ratio, 1.0);
+  EXPECT_TRUE(check_invariants(analysis).empty());
+}
+
+class CausalAlgorithms
+    : public ::testing::TestWithParam<ParallelAlgorithm> {};
+
+TEST_P(CausalAlgorithms, InvariantsHoldOnParallelRuns) {
+  LedgerCollector collector;
+  CausalAnalysis analysis;
+  ParsedLedger ledger;
+  {
+    const LedgerGuard guard(collector);
+    route_parallel(small_test_circuit(21, 8, 30), GetParam(), 4, {},
+                   mp::CostModel::sparc_center_smp());
+  }
+  LedgerMeta meta;
+  meta.algorithm = to_string(GetParam());
+  meta.circuit_source = "small_test_circuit";
+  meta.ranks = 4;
+  const mp::CostModel cost = mp::CostModel::sparc_center_smp();
+  meta.platform = cost.name;
+  meta.latency_s = cost.latency_s;
+  meta.per_byte_s = cost.per_byte_s;
+  meta.compute_scale = cost.compute_scale;
+  ledger = round_trip(collector, meta);
+  analysis = analyze(ledger);
+
+  // Invariant 1: the path tiles [0, makespan].
+  // Invariant 2: every rank's attribution sums to the makespan.
+  const auto violations = check_invariants(analysis);
+  EXPECT_TRUE(violations.empty())
+      << to_string(GetParam()) << ": " << violations.front();
+  EXPECT_FALSE(analysis.truncated);
+  // The dependence chain is strictly shorter than the summed work — the
+  // whole point of running in parallel.
+  EXPECT_LT(analysis.critical_path_seconds,
+            analysis.total_compute_seconds);
+  EXPECT_GT(analysis.speedup_bound, 1.0);
+  EXPECT_GT(analysis.effective_parallelism, 1.0);
+  EXPECT_GE(analysis.imbalance_ratio, 1.0);
+  ASSERT_EQ(analysis.ranks.size(), 4u);
+
+  // The JSON report round-trips as valid JSON with the versioned schema.
+  const std::string report = analysis_to_json(ledger, analysis, 10, 0.0);
+  const json::Value doc = json::parse(report);
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->as_string(), "ptwgr.causal_report");
+  EXPECT_EQ(doc.find("ranks_attribution")->as_array().size(), 4u);
+  // And the table renderer covers every section.
+  const std::string tables = analysis_tables(ledger, analysis, 5, 0.0);
+  EXPECT_NE(tables.find("Causal summary"), std::string::npos);
+  EXPECT_NE(tables.find("Per-rank attribution"), std::string::npos);
+  EXPECT_NE(tables.find("Per-phase totals"), std::string::npos);
+  EXPECT_NE(tables.find("Top critical-path segments"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CausalAlgorithms,
+                         ::testing::Values(ParallelAlgorithm::RowWise,
+                                           ParallelAlgorithm::NetWise,
+                                           ParallelAlgorithm::Hybrid),
+                         [](const auto& info) {
+                           // gtest parameter names must be alphanumeric.
+                           switch (info.param) {
+                             case ParallelAlgorithm::RowWise:
+                               return std::string("RowWise");
+                             case ParallelAlgorithm::NetWise:
+                               return std::string("NetWise");
+                             case ParallelAlgorithm::Hybrid:
+                               return std::string("Hybrid");
+                           }
+                           return std::string("Unknown");
+                         });
+
+TEST(Causal, RingLedgerAnalyzesAsTruncated) {
+  LedgerCollector collector(8);  // keep only each rank's last 8 events
+  {
+    const LedgerGuard guard(collector);
+    route_parallel(small_test_circuit(21, 8, 30), ParallelAlgorithm::NetWise,
+                   4, {}, mp::CostModel::sparc_center_smp());
+  }
+  LedgerMeta meta = ideal_meta(4);
+  const ParsedLedger ledger = round_trip(collector, meta);
+  ASSERT_GT(ledger.rank_ledgers.size(), 0u);
+  bool any_dropped = false;
+  for (const RankLedger& rank : ledger.rank_ledgers) {
+    any_dropped = any_dropped || rank.dropped > 0;
+  }
+  ASSERT_TRUE(any_dropped) << "net-wise at P=4 should overflow an 8-ring";
+  const CausalAnalysis analysis = analyze(ledger);
+  EXPECT_TRUE(analysis.truncated);
+  EXPECT_LE(analysis.critical_path_seconds,
+            analysis.makespan + 1e-9 * analysis.makespan);
+  EXPECT_TRUE(check_invariants(analysis).empty());
+}
+
+TEST(Causal, CanonicalDocumentCannotBeAnalyzed) {
+  LedgerCollector collector;
+  collector.begin_run(1);
+  collector.record(0, make_event(LedgerEventKind::PhaseBegin, 0.0, 0.0, 0));
+  const ParsedLedger ledger = parse_ledger(json::parse(
+      ledger_to_json(collector, ideal_meta(1), /*include_times=*/false)));
+  EXPECT_FALSE(ledger.has_times);
+  EXPECT_THROW(analyze(ledger), std::runtime_error);
+}
+
+TEST(Causal, RejectsForeignSchema) {
+  EXPECT_THROW(parse_ledger(json::parse("{\"schema\":\"other\"}")),
+               std::runtime_error);
+  EXPECT_THROW(parse_ledger(json::parse("[]")), std::runtime_error);
+}
+
+TEST(Causal, CheckInvariantsFlagsOverlongPath) {
+  CausalAnalysis analysis;
+  analysis.makespan = 1.0;
+  analysis.critical_path_seconds = 1.5;  // impossible: path exceeds makespan
+  const auto violations = check_invariants(analysis);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("exceeds the makespan"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptwgr::obs

@@ -1,0 +1,285 @@
+// Tests of the causal event ledger: disabled-by-default contract, send/recv
+// matching and Lamport ordering under the mp runtime, collective ordinals,
+// flight-recorder ring mode, mark()/rewind() truncation, postmortem capture,
+// and seed-determinism of the canonical serialization for the serial
+// pipeline and all three parallel algorithms.
+#include "ptwgr/obs/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/mp/runtime.h"
+#include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
+
+namespace ptwgr::obs {
+namespace {
+
+/// Installs a collector for one test and removes it on scope exit so the
+/// process-global stays clean across tests.
+class LedgerGuard {
+ public:
+  explicit LedgerGuard(LedgerCollector& collector) {
+    set_active_ledger(&collector);
+  }
+  ~LedgerGuard() { set_active_ledger(nullptr); }
+  LedgerGuard(const LedgerGuard&) = delete;
+  LedgerGuard& operator=(const LedgerGuard&) = delete;
+};
+
+std::vector<LedgerEvent> events_of_kind(const std::vector<LedgerEvent>& events,
+                                        LedgerEventKind kind) {
+  std::vector<LedgerEvent> out;
+  for (const LedgerEvent& event : events) {
+    if (event.kind == kind) out.push_back(event);
+  }
+  return out;
+}
+
+TEST(Ledger, DisabledByDefault) {
+  EXPECT_EQ(active_ledger(), nullptr);
+}
+
+TEST(Ledger, ParallelRouteRecordsNothingWhenDisabled) {
+  ASSERT_EQ(active_ledger(), nullptr);
+  LedgerCollector collector;  // exists but is never installed
+  route_parallel(small_test_circuit(21, 8, 30), ParallelAlgorithm::RowWise, 2);
+  EXPECT_EQ(collector.num_ranks(), 0);
+}
+
+TEST(Ledger, SendRecvEventsMatchAndLamportOrders) {
+  LedgerCollector collector;
+  const LedgerGuard guard(collector);
+  mp::run(2, [](mp::Communicator& comm) {
+    if (comm.rank() == 0) {
+      // Large virtual head start: the receiver is certainly already waiting
+      // when the message departs, so its wait interval is non-empty.
+      comm.add_virtual_time(0.01);
+      comm.send_value(1, 7, std::int32_t{42});
+    } else {
+      EXPECT_EQ(comm.recv_value<std::int32_t>(0, 7), 42);
+    }
+  });
+  const auto sends = events_of_kind(collector.events(0), LedgerEventKind::Send);
+  const auto recvs = events_of_kind(collector.events(1), LedgerEventKind::Recv);
+  ASSERT_EQ(sends.size(), 1u);
+  ASSERT_EQ(recvs.size(), 1u);
+  // Matching identity: (sender rank, send sequence) names the pair.
+  EXPECT_EQ(sends[0].peer, 1);
+  EXPECT_EQ(recvs[0].peer, 0);
+  EXPECT_EQ(sends[0].seq, recvs[0].seq);
+  EXPECT_EQ(sends[0].tag, 7);
+  EXPECT_EQ(recvs[0].tag, 7);
+  EXPECT_EQ(sends[0].bytes, recvs[0].bytes);
+  EXPECT_GT(sends[0].bytes, 0u);
+  // Lamport: the recv's clock strictly exceeds the matched send's.
+  EXPECT_GT(recvs[0].lamport, sends[0].lamport);
+  // The receiver waited for the sender's vtime-1e-4 head start; its wait
+  // interval ends exactly at the send's arrival clock.
+  EXPECT_GT(recvs[0].t1, recvs[0].t0);
+  EXPECT_DOUBLE_EQ(recvs[0].t1, sends[0].t1);
+  // Final vtimes were recorded at finalize.
+  EXPECT_GE(collector.final_vtime(0), 0.01);
+  EXPECT_GE(collector.final_vtime(1), recvs[0].t1);
+}
+
+TEST(Ledger, CollectiveOrdinalsAgreeAcrossRanks) {
+  LedgerCollector collector;
+  const LedgerGuard guard(collector);
+  mp::run(4, [](mp::Communicator& comm) {
+    comm.barrier();
+    comm.allreduce_value(std::int64_t{comm.rank()}, mp::SumOp{});
+    comm.barrier();
+  });
+  std::vector<std::vector<LedgerEvent>> collectives;
+  for (int r = 0; r < 4; ++r) {
+    collectives.push_back(
+        events_of_kind(collector.events(r), LedgerEventKind::Collective));
+    ASSERT_EQ(collectives.back().size(), 3u) << "rank " << r;
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (int r = 0; r < 4; ++r) {
+      // SPMD total order: ordinal i names the same rendezvous everywhere.
+      EXPECT_EQ(collectives[static_cast<std::size_t>(r)][i].seq,
+                collectives[0][i].seq);
+      // All participants leave with the same Lamport clock (max + 1).
+      EXPECT_EQ(collectives[static_cast<std::size_t>(r)][i].lamport,
+                collectives[0][i].lamport);
+      // ...and the same exit vtime (the rendezvous clock).
+      EXPECT_DOUBLE_EQ(collectives[static_cast<std::size_t>(r)][i].t1,
+                       collectives[0][i].t1);
+    }
+    if (i > 0) {
+      EXPECT_GT(collectives[0][i].lamport, collectives[0][i - 1].lamport);
+    }
+  }
+}
+
+TEST(Ledger, PhaseEventsCarryLabels) {
+  LedgerCollector collector;
+  const LedgerGuard guard(collector);
+  mp::run(2, [](mp::Communicator& comm) {
+    comm.notify_phase("alpha");
+    comm.add_virtual_time(1e-5);
+    comm.notify_phase("beta");
+  });
+  for (int r = 0; r < 2; ++r) {
+    const auto phases =
+        events_of_kind(collector.events(r), LedgerEventKind::PhaseBegin);
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_EQ(phases[0].label, "alpha");
+    EXPECT_EQ(phases[1].label, "beta");
+    EXPECT_DOUBLE_EQ(phases[0].t0, phases[0].t1);  // zero width
+    EXPECT_LT(phases[0].t0, phases[1].t0);
+  }
+}
+
+TEST(Ledger, RingModeKeepsTailAndCountsDrops) {
+  LedgerCollector collector(4);
+  collector.begin_run(1);
+  for (int i = 0; i < 10; ++i) {
+    LedgerEvent event;
+    event.kind = LedgerEventKind::PhaseBegin;
+    event.label = "e" + std::to_string(i);
+    collector.record(0, std::move(event));
+  }
+  EXPECT_EQ(collector.dropped(0), 6u);
+  const auto events = collector.events(0);
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].label,
+              "e" + std::to_string(6 + i));
+  }
+}
+
+TEST(Ledger, MarkRewindTruncatesMeasurementEvents) {
+  LedgerCollector collector;
+  const LedgerGuard guard(collector);
+  mp::run(2, [](mp::Communicator& comm) {
+    comm.barrier();  // causal: stays
+    const auto m = comm.mark();
+    // Measurement-only traffic between mark and rewind must not reach the
+    // causal record (this is what assemble_metrics does).
+    comm.allreduce_value(std::int64_t{1}, mp::SumOp{});
+    comm.barrier();
+    comm.rewind(m);
+  });
+  for (int r = 0; r < 2; ++r) {
+    const auto collectives =
+        events_of_kind(collector.events(r), LedgerEventKind::Collective);
+    EXPECT_EQ(collectives.size(), 1u) << "rank " << r;
+  }
+}
+
+TEST(Ledger, ParallelRunExcludesMetricAssemblyFromRecord) {
+  // End-to-end: the parallel drivers call assemble_metrics under
+  // mark()/rewind(); the recorded collective count must be identical across
+  // ranks (the algorithm's own synchronization only).
+  LedgerCollector collector;
+  const LedgerGuard guard(collector);
+  route_parallel(small_test_circuit(21, 8, 30), ParallelAlgorithm::RowWise, 2);
+  ASSERT_EQ(collector.num_ranks(), 2);
+  const auto c0 =
+      events_of_kind(collector.events(0), LedgerEventKind::Collective);
+  const auto c1 =
+      events_of_kind(collector.events(1), LedgerEventKind::Collective);
+  EXPECT_EQ(c0.size(), c1.size());
+  EXPECT_GT(c0.size(), 0u);
+  for (std::size_t i = 0; i < c0.size(); ++i) {
+    EXPECT_EQ(c0[i].seq, c1[i].seq);
+    EXPECT_EQ(c0[i].tag, c1[i].tag);  // same CollectiveKind at each ordinal
+  }
+}
+
+TEST(Ledger, PostmortemSurvivesBeginRun) {
+  LedgerCollector collector;
+  collector.begin_run(2);
+  LedgerEvent event;
+  event.kind = LedgerEventKind::Fault;
+  event.label = "boom";
+  collector.record(1, std::move(event));
+  collector.capture_postmortem("rank 1 died");
+  collector.begin_run(2);  // recovery re-execution clears live slots...
+  EXPECT_EQ(collector.events(1).size(), 0u);
+  ASSERT_EQ(collector.postmortems().size(), 1u);  // ...but keeps the capture
+  EXPECT_EQ(collector.postmortems()[0].reason, "rank 1 died");
+  ASSERT_EQ(collector.postmortems()[0].ranks.size(), 2u);
+  ASSERT_EQ(collector.postmortems()[0].ranks[1].events.size(), 1u);
+  EXPECT_EQ(collector.postmortems()[0].ranks[1].events[0].label, "boom");
+}
+
+TEST(Ledger, SerialRouteRecordsFiveStepPhases) {
+  LedgerCollector collector;
+  const LedgerGuard guard(collector);
+  const RoutingResult result = route_serial(small_test_circuit(11, 6, 18));
+  ASSERT_EQ(collector.num_ranks(), 1);
+  const auto phases =
+      events_of_kind(collector.events(0), LedgerEventKind::PhaseBegin);
+  ASSERT_EQ(phases.size(), 5u);
+  EXPECT_EQ(phases[0].label, "steiner");
+  EXPECT_EQ(phases[4].label, "switchable");
+  // A one-rank world's final clock is the cumulative step timeline.
+  EXPECT_DOUBLE_EQ(collector.final_vtime(0), result.timings.total());
+}
+
+// --- canonical-serialization determinism ---------------------------------
+
+LedgerMeta test_meta(const std::string& algorithm, int ranks) {
+  LedgerMeta meta;
+  meta.algorithm = algorithm;
+  meta.circuit_source = "small_test_circuit";
+  meta.seed = 7;
+  meta.ranks = ranks;
+  meta.platform = "ideal";
+  return meta;
+}
+
+std::string canonical_serial_run() {
+  LedgerCollector collector;
+  const LedgerGuard guard(collector);
+  route_serial(small_test_circuit(11, 6, 18));
+  return ledger_to_json(collector, test_meta("serial", 1),
+                        /*include_times=*/false);
+}
+
+std::string canonical_parallel_run(ParallelAlgorithm algorithm) {
+  LedgerCollector collector;
+  const LedgerGuard guard(collector);
+  route_parallel(small_test_circuit(21, 8, 30), algorithm, 4);
+  return ledger_to_json(collector, test_meta(to_string(algorithm), 4),
+                        /*include_times=*/false);
+}
+
+TEST(LedgerDeterminism, SerialCanonicalFormIsSeedDeterministic) {
+  EXPECT_EQ(canonical_serial_run(), canonical_serial_run());
+}
+
+TEST(LedgerDeterminism, RowWiseCanonicalFormIsSeedDeterministic) {
+  EXPECT_EQ(canonical_parallel_run(ParallelAlgorithm::RowWise),
+            canonical_parallel_run(ParallelAlgorithm::RowWise));
+}
+
+TEST(LedgerDeterminism, NetWiseCanonicalFormIsSeedDeterministic) {
+  EXPECT_EQ(canonical_parallel_run(ParallelAlgorithm::NetWise),
+            canonical_parallel_run(ParallelAlgorithm::NetWise));
+}
+
+TEST(LedgerDeterminism, HybridCanonicalFormIsSeedDeterministic) {
+  EXPECT_EQ(canonical_parallel_run(ParallelAlgorithm::Hybrid),
+            canonical_parallel_run(ParallelAlgorithm::Hybrid));
+}
+
+TEST(LedgerDeterminism, CanonicalFormOmitsTimes) {
+  const std::string canonical = canonical_serial_run();
+  EXPECT_EQ(canonical.find("\"t0\""), std::string::npos);
+  EXPECT_EQ(canonical.find("\"t1\""), std::string::npos);
+  EXPECT_EQ(canonical.find("\"final_vtime\""), std::string::npos);
+  EXPECT_NE(canonical.find("\"lc\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptwgr::obs

@@ -246,6 +246,60 @@ TEST(Trace, ChromeJsonParsesAndHasOneThreadNamePerRank) {
   EXPECT_NE(json.find("gamma \\\"quoted\\\"\\n"), std::string::npos);
 }
 
+TEST(Trace, ChromeJsonEscapesHostileSpanNames) {
+  // Regression guard for the span-name escaping: quotes, backslashes, and
+  // raw control characters in a name must never produce invalid JSON or
+  // smuggle extra keys into the event object.
+  TraceCollector collector;
+  collector.record("evil\"name\\ \b\f\t\x01\x1f,\"pid\":666", 0, 0.0, 1.0);
+  const std::string json = collector.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // The injected key is inert: it appears escaped inside the name string,
+  // and the only real pid keys are the span's and the metadata row's.
+  EXPECT_NE(json.find("\\\"pid\\\":666"), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"pid\":666"), 0u);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\\u0008"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+}
+
+TEST(Trace, SpansCarryCategories) {
+  TraceCollector collector;
+  collector.record("step", 0, 0.0, 0.5, "serial");
+  collector.record("phase", 1, 0.0, 0.5, "parallel");
+  collector.record("plain", 2, 0.0, 0.5);  // default category
+  const std::string json = collector.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"serial\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"parallel\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"phase\""), 1u);
+}
+
+TEST(Trace, FlowEventsEmitMatchedStartFinishPairs) {
+  TraceCollector collector;
+  collector.record("work", 0, 0.0, 1.0);
+  collector.record("work", 1, 0.0, 2.0);
+  TraceFlow flow;
+  flow.id = 42;
+  flow.name = "msg tag 7 (16 bytes)";
+  flow.src_rank = 0;
+  flow.src_seconds = 0.5;
+  flow.dst_rank = 1;
+  flow.dst_seconds = 1.5;
+  collector.record_flow(flow);
+  EXPECT_EQ(collector.flow_count(), 1u);
+  const std::string json = collector.to_chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // One "s" (start) and one "f" (finish, binding point enclosing) event
+  // sharing the flow id, on the two rank tracks.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"s\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"f\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"id\":42"), 2u);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+}
+
 TEST(Trace, ChromeJsonOfEmptyCollectorIsValid) {
   const TraceCollector collector;
   const std::string json = collector.to_chrome_json();

@@ -1,0 +1,143 @@
+// ptwgr_analyze — causal analysis of a routing run's event ledger.
+//
+// Reads the "ptwgr.ledger" JSON document that ptwgr_route --ledger= writes,
+// reconstructs the happens-before DAG, and reports where the makespan went:
+// per-rank/per-phase compute-vs-wait attribution, the critical path with its
+// longest segments and blamed ranks, and load-imbalance/speedup-bound
+// metrics under the run's α–β cost model.  Postmortem bundles captured by
+// the flight recorder are rendered after the analysis.
+//
+// Usage:
+//   ptwgr_analyze LEDGER.json [options]
+// Options:
+//   --json=PATH        write the versioned causal report as JSON
+//   --top=K            critical-path segments to show (default 10)
+//   --serial-seconds=S also report the achieved speedup against a measured
+//                      serial time
+//
+// Exits 0 on success, 1 when the ledger cannot be read/analyzed or an
+// analysis invariant is violated, 2 on usage errors.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "ptwgr/obs/causal.h"
+#include "ptwgr/support/json.h"
+#include "ptwgr/support/parse.h"
+
+namespace {
+
+using namespace ptwgr;
+
+struct CliOptions {
+  std::string ledger_path;
+  std::optional<std::string> json_path;
+  std::size_t top_k = 10;
+  double serial_seconds = 0.0;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "ptwgr_analyze: %s\n", message.c_str());
+  std::fprintf(stderr,
+               "usage: ptwgr_analyze LEDGER.json [--json=PATH] [--top=K] "
+               "[--serial-seconds=S]\n");
+  std::exit(2);
+}
+
+template <typename T>
+T parse_or_die(const std::string& text, const char* flag) {
+  const std::optional<T> parsed = parse_number<T>(text);
+  if (!parsed) {
+    usage_error("invalid numeric value '" + text + "' for " + flag);
+  }
+  return *parsed;
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* prefix) -> std::optional<std::string> {
+      const std::size_t n = std::char_traits<char>::length(prefix);
+      if (arg.compare(0, n, prefix) == 0) return arg.substr(n);
+      return std::nullopt;
+    };
+    std::optional<std::string> v;
+    if ((v = value_of("--json="))) {
+      options.json_path = *v;
+    } else if ((v = value_of("--top="))) {
+      options.top_k = parse_or_die<std::size_t>(*v, "--top");
+    } else if ((v = value_of("--serial-seconds="))) {
+      options.serial_seconds = parse_or_die<double>(*v, "--serial-seconds");
+    } else if (arg == "--help" || arg == "-h") {
+      usage_error("help");
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error("unknown argument '" + arg + "'");
+    } else if (options.ledger_path.empty()) {
+      options.ledger_path = arg;
+    } else {
+      usage_error("more than one ledger file given");
+    }
+  }
+  if (options.ledger_path.empty()) usage_error("ledger file required");
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse_args(argc, argv);
+  try {
+    const json::Value doc = json::parse_file(options.ledger_path);
+    const obs::ParsedLedger ledger = obs::parse_ledger(doc);
+
+    bool have_analysis = false;
+    obs::CausalAnalysis analysis;
+    bool live_events = false;
+    for (const obs::RankLedger& rank : ledger.rank_ledgers) {
+      if (!rank.events.empty() || rank.final_vtime > 0.0) live_events = true;
+    }
+    if (live_events && ledger.has_times) {
+      analysis = obs::analyze(ledger);
+      have_analysis = true;
+      std::printf("%s", obs::analysis_tables(ledger, analysis, options.top_k,
+                                             options.serial_seconds)
+                            .c_str());
+    } else if (live_events) {
+      std::printf(
+          "ledger is canonical (times stripped); skipping timing analysis\n");
+    } else {
+      std::printf("ledger has no live events (postmortem-only bundle)\n");
+    }
+
+    if (!ledger.postmortems.empty() || !ledger.notes.empty()) {
+      std::printf("\n%s", obs::postmortem_tables(ledger).c_str());
+    }
+
+    if (options.json_path && have_analysis) {
+      std::ofstream out(*options.json_path);
+      if (!out) {
+        std::fprintf(stderr, "ptwgr_analyze: cannot open %s\n",
+                     options.json_path->c_str());
+        return 1;
+      }
+      out << obs::analysis_to_json(ledger, analysis, options.top_k,
+                                   options.serial_seconds);
+      std::printf("causal report written to %s\n",
+                  options.json_path->c_str());
+    }
+
+    if (have_analysis) {
+      const auto violations = obs::check_invariants(analysis);
+      for (const std::string& violation : violations) {
+        std::fprintf(stderr, "INVARIANT VIOLATION: %s\n", violation.c_str());
+      }
+      if (!violations.empty()) return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ptwgr_analyze: %s\n", e.what());
+    return 1;
+  }
+}

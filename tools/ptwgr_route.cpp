@@ -20,6 +20,11 @@
 //   --heatmap          print the coarse congestion heatmaps as ASCII
 //   --trace=PATH       write a Chrome trace of the routing phases
 //   --metrics=PATH     write run metrics (counters, timings) as JSON
+//   --ledger=PATH      write the causal event ledger (analyze with
+//                      ptwgr_analyze; with --trace also draws send→recv
+//                      flow arrows in the Chrome trace)
+//   --ledger-ring=N    flight-recorder mode: keep only each rank's most
+//                      recent N events (default 0 = keep everything)
 //   --log-level=LEVEL  debug|info|warn|error|off (default warn)
 // Fault tolerance (parallel algorithms only):
 //   --fault-plan=SPEC  inject deterministic faults; SPEC entries are
@@ -43,6 +48,7 @@
 #include "ptwgr/circuit/suite.h"
 #include "ptwgr/eval/channel_report.h"
 #include "ptwgr/eval/platform.h"
+#include "ptwgr/obs/ledger.h"
 #include "ptwgr/obs/run_report.h"
 #include "ptwgr/obs/snapshot.h"
 #include "ptwgr/parallel/parallel_router.h"
@@ -72,6 +78,8 @@ struct CliOptions {
   bool heatmap = false;
   std::optional<std::string> trace_path;
   std::optional<std::string> metrics_path;
+  std::optional<std::string> ledger_path;
+  std::size_t ledger_ring = 0;
   std::optional<std::string> fault_plan;
   double recv_timeout = -1.0;
   int max_retries = 3;
@@ -88,7 +96,8 @@ struct CliOptions {
                "[--profile]\n"
                "  [--run-report=PATH] [--heatmap]\n"
                "  [--trace=PATH] [--metrics=PATH] "
-               "[--log-level=debug|info|warn|error|off]\n"
+               "[--ledger=PATH] [--ledger-ring=N]\n"
+               "  [--log-level=debug|info|warn|error|off]\n"
                "  [--fault-plan=SPEC] [--recv-timeout=S] [--max-retries=N] "
                "[--watchdog]\n");
   std::exit(2);
@@ -148,6 +157,10 @@ CliOptions parse(int argc, char** argv) {
       options.trace_path = *v;
     } else if ((v = value_of("--metrics="))) {
       options.metrics_path = *v;
+    } else if ((v = value_of("--ledger="))) {
+      options.ledger_path = *v;
+    } else if ((v = value_of("--ledger-ring="))) {
+      options.ledger_ring = parse_or_die<std::size_t>(*v, "--ledger-ring");
     } else if ((v = value_of("--fault-plan="))) {
       options.fault_plan = *v;
     } else if ((v = value_of("--recv-timeout="))) {
@@ -224,6 +237,53 @@ class ScopedCliTrace {
  private:
   std::optional<std::string> path_;
   TraceCollector collector_;
+};
+
+/// Installs the causal event ledger when --ledger was given and serializes
+/// it on destruction.  If the run unwinds with an exception the destructor
+/// captures a flight-recorder postmortem first (the recovery loop captures
+/// typed failures itself; this covers everything that escapes it), and when
+/// a trace collector is also active the matched send→recv pairs are exported
+/// into it as Chrome-trace flow arrows — so this must be declared *after*
+/// ScopedCliTrace (destroyed before the trace is written).
+class ScopedCliLedger {
+ public:
+  explicit ScopedCliLedger(const CliOptions& options)
+      : path_(options.ledger_path),
+        collector_(options.ledger_ring),
+        exceptions_at_entry_(std::uncaught_exceptions()) {
+    if (path_) obs::set_active_ledger(&collector_);
+  }
+
+  ~ScopedCliLedger() {
+    if (!path_) return;
+    if (std::uncaught_exceptions() > exceptions_at_entry_ &&
+        collector_.postmortems().empty()) {
+      collector_.capture_postmortem("run aborted by exception");
+    }
+    if (TraceCollector* tracer = active_trace()) {
+      obs::export_message_flows(collector_, *tracer);
+    }
+    obs::set_active_ledger(nullptr);
+    std::ofstream out(*path_);
+    if (out) {
+      out << obs::ledger_to_json(collector_, meta_);
+      std::printf("ledger written to %s\n", path_->c_str());
+    } else {
+      std::fprintf(stderr, "cannot open ledger file %s\n", path_->c_str());
+    }
+  }
+
+  void set_meta(obs::LedgerMeta meta) { meta_ = std::move(meta); }
+
+  ScopedCliLedger(const ScopedCliLedger&) = delete;
+  ScopedCliLedger& operator=(const ScopedCliLedger&) = delete;
+
+ private:
+  std::optional<std::string> path_;
+  obs::LedgerCollector collector_;
+  int exceptions_at_entry_;
+  obs::LedgerMeta meta_;
 };
 
 /// Installs the quality collector for the routing call when --run-report or
@@ -394,6 +454,20 @@ int main(int argc, char** argv) {
     router.seed = options.seed;
 
     const ScopedCliTrace trace(options);
+    ScopedCliLedger ledger(options);
+    {
+      const mp::CostModel cost = platform_of(options.platform);
+      obs::LedgerMeta meta;
+      meta.algorithm = options.algorithm;
+      meta.circuit_source = describe_source(options);
+      meta.seed = options.seed;
+      meta.ranks = options.algorithm == "serial" ? 1 : options.ranks;
+      meta.platform = cost.name;
+      meta.latency_s = cost.latency_s;
+      meta.per_byte_s = cost.per_byte_s;
+      meta.compute_scale = cost.compute_scale;
+      ledger.set_meta(std::move(meta));
+    }
     const ScopedCliQuality quality(options);
     MetricsRegistry metrics;
     fill_run_metrics(metrics, options, circuit);
