@@ -6,6 +6,10 @@
 //   --comm              also print the communication-volume table
 //   --trace=<file>      write a Chrome trace of the routing phases
 //   --metrics=<file>    write run metrics as JSON
+//   --resource-report=<file>  write the allocation/RSS resource report
+//   --resource-canonical      strip machine-dependent fields from the report
+//   --profile-sample=<hz>     sample the call stack with SIGPROF
+//   --profile-folded=<file>   write folded stacks (implies --profile-sample)
 //   --log-level=<lvl>   debug|info|warn|error|off
 //   --fault-plan=<spec> deterministic fault injection (see mp::FaultPlan)
 //   --recv-timeout=<s>  recv() timeout in virtual seconds
@@ -22,9 +26,11 @@
 #include <string>
 
 #include "ptwgr/mp/fault.h"
+#include "ptwgr/obs/resource.h"
 #include "ptwgr/parallel/common.h"
 #include "ptwgr/support/log.h"
 #include "ptwgr/support/metrics.h"
+#include "ptwgr/support/profiler.h"
 #include "ptwgr/support/trace.h"
 
 namespace ptwgr::bench {
@@ -35,6 +41,10 @@ struct Args {
   bool comm = false;
   std::string trace_path;
   std::string metrics_path;
+  std::string resource_report_path;
+  bool resource_canonical = false;
+  double profile_hz = 0.0;  // 0 = profiler off
+  std::string profile_folded_path;
   std::string fault_plan;
   double recv_timeout = -1.0;
   int max_retries = 3;
@@ -59,6 +69,18 @@ inline Args parse_args(int argc, char** argv) {
       args.trace_path = arg + 8;
     } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
       args.metrics_path = arg + 10;
+    } else if (std::strncmp(arg, "--resource-report=", 18) == 0) {
+      args.resource_report_path = arg + 18;
+    } else if (std::strcmp(arg, "--resource-canonical") == 0) {
+      args.resource_canonical = true;
+    } else if (std::strncmp(arg, "--profile-sample=", 17) == 0) {
+      args.profile_hz = std::atof(arg + 17);
+      if (args.profile_hz <= 0.0) {
+        std::fprintf(stderr, "--profile-sample must be positive\n");
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--profile-folded=", 17) == 0) {
+      args.profile_folded_path = arg + 17;
     } else if (std::strncmp(arg, "--fault-plan=", 13) == 0) {
       args.fault_plan = arg + 13;
     } else if (std::strncmp(arg, "--recv-timeout=", 15) == 0) {
@@ -70,6 +92,9 @@ inline Args parse_args(int argc, char** argv) {
     } else if (std::strncmp(arg, "--log-level=", 12) == 0) {
       set_log_level(parse_log_level(arg + 12));
     }
+  }
+  if (!args.profile_folded_path.empty() && args.profile_hz <= 0.0) {
+    args.profile_hz = 97.0;
   }
   return args;
 }
@@ -115,6 +140,102 @@ class ScopedBenchTrace {
  private:
   std::string path_;
   TraceCollector collector_;
+};
+
+/// Installs the resource collector for the harness lifetime and writes the
+/// serialized report on destruction when --resource-report was given.  With
+/// `always`, the collector runs even without the flag so the harness can
+/// embed peak-RSS / allocation totals in its own output (bench_report does).
+class ScopedBenchResource {
+ public:
+  ScopedBenchResource(const Args& args, const char* harness,
+                      bool always = false)
+      : path_(args.resource_report_path),
+        canonical_(args.resource_canonical) {
+    if (path_.empty() && !always) return;
+    collector_ = std::make_unique<obs::ResourceCollector>();
+    meta_.algorithm = harness;
+    meta_.seed = args.seed;
+    obs::set_active_resource(collector_.get());
+    collector_->start_rss_sampler(20.0);
+  }
+
+  ~ScopedBenchResource() {
+    if (!collector_) return;
+    collector_->stop_rss_sampler();
+    obs::set_active_resource(nullptr);
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (out) {
+      out << obs::resource_report_to_json(*collector_, meta_,
+                                          /*include_volatile=*/!canonical_);
+      std::fprintf(stderr, "resource report written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open resource-report file %s\n",
+                   path_.c_str());
+    }
+  }
+
+  /// Stops the RSS sampler early (taking the final high-water-mark sample)
+  /// so a snapshot read before destruction carries the true peak RSS.
+  void finish_sampling() {
+    if (collector_) collector_->stop_rss_sampler();
+  }
+
+  const obs::ResourceCollector* collector() const { return collector_.get(); }
+
+  ScopedBenchResource(const ScopedBenchResource&) = delete;
+  ScopedBenchResource& operator=(const ScopedBenchResource&) = delete;
+
+ private:
+  std::string path_;
+  bool canonical_ = false;
+  std::unique_ptr<obs::ResourceCollector> collector_;
+  obs::ResourceMeta meta_;
+};
+
+/// Runs the sampling CPU profiler for the harness lifetime when
+/// --profile-sample was given; prints the hottest frames (and writes the
+/// folded stacks) on destruction.
+class ScopedBenchProfiler {
+ public:
+  explicit ScopedBenchProfiler(const Args& args)
+      : folded_path_(args.profile_folded_path) {
+    if (args.profile_hz <= 0.0) return;
+    SamplingProfiler::Options options;
+    options.hz = args.profile_hz;
+    profiler_ = std::make_unique<SamplingProfiler>(options);
+    if (!profiler_->start()) {
+      std::fprintf(stderr, "profiler failed to start; continuing without\n");
+      profiler_.reset();
+    }
+  }
+
+  ~ScopedBenchProfiler() {
+    if (!profiler_) return;
+    profiler_->stop();
+    const std::string folded = profiler_->folded();
+    if (!folded_path_.empty()) {
+      std::ofstream out(folded_path_);
+      if (out) {
+        out << folded;
+        std::fprintf(stderr, "folded stacks written to %s\n",
+                     folded_path_.c_str());
+      } else {
+        std::fprintf(stderr, "cannot open folded-stack file %s\n",
+                     folded_path_.c_str());
+      }
+    }
+    std::fprintf(stderr, "%s",
+                 render_hot_frames(summarize_folded(folded), 10).c_str());
+  }
+
+  ScopedBenchProfiler(const ScopedBenchProfiler&) = delete;
+  ScopedBenchProfiler& operator=(const ScopedBenchProfiler&) = delete;
+
+ private:
+  std::string folded_path_;
+  std::unique_ptr<SamplingProfiler> profiler_;
 };
 
 /// Writes the registry as JSON when --metrics was given.

@@ -195,6 +195,10 @@ int main(int argc, char** argv) {
   }
 
   const bench::ScopedBenchTrace trace(args);
+  // Always-on: the summary block below feeds the ptwgr_compare memory gate
+  // even when no --resource-report file was requested.
+  bench::ScopedBenchResource resource(args, "bench_report", /*always=*/true);
+  const bench::ScopedBenchProfiler profiler(args);
 
   // circuits.<name>.serial / circuits.<name>.<algorithm>.points.<i>.
   std::string circuits_json = "{";
@@ -250,6 +254,27 @@ int main(int argc, char** argv) {
   cfg += "}";
   append_field(doc, "config", cfg, first);
   append_field(doc, "circuits", circuits_json, first);
+  // Whole-harness resource telemetry.  peak_rss_bytes moves with the machine
+  // and gates loosely; alloc_bytes/alloc_count use requested sizes and are
+  // deterministic in the seed (see obs/resource.h).
+  resource.finish_sampling();
+  {
+    const obs::ResourceCollector::Snapshot snap =
+        resource.collector()->snapshot();
+    std::string res = "{";
+    bool res_first = true;
+    append_field(res, "peak_rss_bytes",
+                 number(static_cast<std::int64_t>(snap.peak_rss_bytes)),
+                 res_first);
+    append_field(res, "alloc_bytes",
+                 number(static_cast<std::int64_t>(snap.total_bytes)),
+                 res_first);
+    append_field(res, "alloc_count",
+                 number(static_cast<std::int64_t>(snap.total_count)),
+                 res_first);
+    res += "}";
+    append_field(doc, "resource", res, first);
+  }
   doc += "}";
   doc += "\n";
 

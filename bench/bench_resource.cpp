@@ -1,0 +1,62 @@
+// Google-benchmark microbenchmarks of the resource-observability hot path.
+//
+// The acceptance contract (DESIGN.md §13): with no collector installed, the
+// interposed operator new/delete pair costs exactly one relaxed atomic load
+// on top of malloc/free.  BM_AllocFree measures that disabled path (it runs
+// with whatever malloc the process has — the interposition layer is always
+// linked in); BM_AllocFreeCollected measures the same loop with a collector
+// installed, so the delta is the enabled per-allocation cost (TLS lookup +
+// a handful of relaxed fetch_adds).  BM_ArenaCharge isolates the tagged
+// arena counters used by CoarseGrid / segment trees / mailboxes.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <memory>
+
+#include "ptwgr/obs/resource.h"
+#include "ptwgr/support/arena.h"
+
+namespace {
+
+using namespace ptwgr;
+
+void BM_AllocFree(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    char* p = new char[bytes];
+    benchmark::DoNotOptimize(p);
+    delete[] p;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AllocFree)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_AllocFreeCollected(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  obs::ResourceCollector collector;
+  obs::set_active_resource(&collector);
+  obs::resource_set_phase("bench");
+  for (auto _ : state) {
+    char* p = new char[bytes];
+    benchmark::DoNotOptimize(p);
+    delete[] p;
+  }
+  obs::resource_set_phase(nullptr);
+  obs::set_active_resource(nullptr);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AllocFreeCollected)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ArenaCharge(benchmark::State& state) {
+  ArenaSlot* slot = arena_slot("bench_resource");
+  for (auto _ : state) {
+    arena_charge(slot, 64);
+    arena_discharge(slot, 64);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArenaCharge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

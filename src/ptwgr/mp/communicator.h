@@ -16,6 +16,7 @@
 #include "ptwgr/mp/comm_stats.h"
 #include "ptwgr/mp/world.h"
 #include "ptwgr/obs/ledger.h"
+#include "ptwgr/obs/resource.h"
 #include "ptwgr/support/check.h"
 #include "ptwgr/support/serialize.h"
 #include "ptwgr/support/timer.h"
@@ -95,6 +96,9 @@ class Communicator {
     TimeMark m{vtime_, stats_.compute_seconds, stats_.p2p_wait_seconds,
                stats_.collective_sync_seconds, 0};
     if (ledger_ != nullptr) m.ledger_end = ledger_->end_index(rank_);
+    // The mark..rewind span is measurement-only by definition; keep its
+    // allocations out of the resource record too (obs/resource.h).
+    obs::resource_exclusion_begin();
     return m;
   }
 
@@ -104,6 +108,7 @@ class Communicator {
   /// recorded since the mark are dropped (Lamport/sequence counters are
   /// not rewound, keeping sequence numbers unique).
   void rewind(const TimeMark& m) {
+    obs::resource_exclusion_end();
     vtime_ = m.vtime;
     stats_.compute_seconds = m.compute_seconds;
     stats_.p2p_wait_seconds = m.p2p_wait_seconds;

@@ -13,7 +13,16 @@ bool matches(const Envelope& e, int source, int tag) {
 
 }  // namespace
 
+Mailbox::~Mailbox() {
+  // Messages still queued at teardown (aborted worlds, dead receivers) were
+  // charged on push; keep the arena's live accounting balanced.
+  for (const Envelope& e : queue_) {
+    arena_discharge(arena_, e.payload.size());
+  }
+}
+
 void Mailbox::push(Envelope envelope) {
+  arena_charge(arena_, envelope.payload.size());
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(envelope));
@@ -28,6 +37,7 @@ std::optional<Envelope> Mailbox::try_take(int source, int tag) {
   if (it == queue_.end()) return std::nullopt;
   Envelope out = std::move(*it);
   queue_.erase(it);
+  arena_discharge(arena_, out.payload.size());
   return out;
 }
 

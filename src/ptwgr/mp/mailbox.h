@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ptwgr/mp/message.h"
+#include "ptwgr/support/arena.h"
 
 namespace ptwgr::mp {
 
@@ -35,6 +36,11 @@ class Mailbox {
     PopStatus status = PopStatus::Ok;
     Envelope envelope;
   };
+
+  Mailbox() = default;
+  ~Mailbox();
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
 
   /// Enqueues a message (called by sender threads).
   void push(Envelope envelope);
@@ -73,6 +79,10 @@ class Mailbox {
   std::deque<Envelope> queue_;
   std::vector<int> dead_ranks_;
   bool aborted_ = false;
+  // Queued payload bytes are charged to the "mailbox" arena tag while they
+  // sit in the backlog (obs/resource.h).  Charges use payload.size(), not
+  // capacity, so the cumulative counters stay deterministic.
+  ArenaSlot* arena_ = arena_slot("mailbox");
 };
 
 }  // namespace ptwgr::mp

@@ -8,6 +8,7 @@
 
 #include "ptwgr/mp/world.h"
 #include "ptwgr/obs/ledger.h"
+#include "ptwgr/obs/resource.h"
 #include "ptwgr/support/log.h"
 #include "ptwgr/support/timer.h"
 
@@ -118,6 +119,9 @@ RunReport run(int num_ranks, const CostModel& cost,
 
   const auto rank_main = [&](int rank) {
     const ScopedLogRank log_rank(rank);
+    // Attribute this thread's allocations to the rank (and reset any phase /
+    // exclusion state a previous unwound run left on a reused thread).
+    const obs::ScopedResourceRank resource_rank(rank);
     Communicator comm(world, rank);
     const ThreadCpuTimer cpu;
     try {

@@ -56,12 +56,12 @@ void flatten(const json::Value& value, const std::string& prefix,
   }
 }
 
-const CompareRule* match_rule(const std::vector<CompareRule>& rules,
-                              const std::string& path) {
-  for (const CompareRule& rule : rules) {
-    if (glob_match(rule.pattern, path)) return &rule;
+std::size_t match_rule(const std::vector<CompareRule>& rules,
+                       const std::string& path) {
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (glob_match(rules[i].pattern, path)) return i;
   }
-  return nullptr;
+  return std::string::npos;
 }
 
 std::string format_value(double value) {
@@ -123,6 +123,15 @@ std::vector<CompareRule> default_rules(double tolerance) {
        CompareDirection::LowerIsBetter, tolerance},
       {"snapshots.*.density.summary.max", CompareDirection::LowerIsBetter,
        loose},
+      // Resource telemetry (obs/resource.h → BENCH_*.json).  Peak RSS moves
+      // with the machine's page cache and allocator behaviour, so it gates
+      // loosely; allocation bytes are deterministic modulo library versions
+      // and gate tighter; raw counts are informational.
+      {"*peak_rss_bytes", CompareDirection::LowerIsBetter,
+       std::max(tolerance, 0.35)},
+      {"*alloc_bytes", CompareDirection::LowerIsBetter,
+       std::max(tolerance, 0.25)},
+      {"*alloc_count", CompareDirection::Info, 0.0},
   };
 }
 
@@ -130,6 +139,14 @@ bool CompareResult::has_regression() const {
   for (const MetricDelta& d : deltas) {
     if (d.status == DeltaStatus::Regressed) return true;
     if (d.status == DeltaStatus::Removed && gates(d.direction)) return true;
+  }
+  return false;
+}
+
+bool CompareResult::has_missing() const {
+  if (!unmatched_required.empty()) return true;
+  for (const MetricDelta& d : deltas) {
+    if (d.status == DeltaStatus::Removed) return true;
   }
   return false;
 }
@@ -161,6 +178,7 @@ CompareResult compare(const json::Value& baseline,
   flatten(candidate, "", cand_leaves);
 
   CompareResult result;
+  std::vector<bool> rule_matched(rules.size(), false);
   // Both maps iterate in path order; walk their union.
   auto bi = base_leaves.begin();
   auto ci = cand_leaves.begin();
@@ -177,7 +195,10 @@ CompareResult compare(const json::Value& baseline,
       delta.path = ci->first;
     }
 
-    const CompareRule* rule = match_rule(rules, delta.path);
+    const std::size_t rule_index = match_rule(rules, delta.path);
+    const CompareRule* rule =
+        rule_index != std::string::npos ? &rules[rule_index] : nullptr;
+    if (rule != nullptr) rule_matched[rule_index] = true;
     const CompareDirection direction =
         rule != nullptr ? rule->direction : CompareDirection::Info;
     const double tolerance = rule != nullptr ? rule->tolerance : 0.0;
@@ -222,6 +243,11 @@ CompareResult compare(const json::Value& baseline,
 
     if (direction != CompareDirection::Ignore) {
       result.deltas.push_back(std::move(delta));
+    }
+  }
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].required && !rule_matched[i]) {
+      result.unmatched_required.push_back(rules[i].pattern);
     }
   }
   return result;
@@ -273,6 +299,10 @@ std::string render_compare_table(const CompareResult& result,
                                         result.count(DeltaStatus::Removed)) +
          " changed, " + std::to_string(result.count(DeltaStatus::Unchanged)) +
          " unchanged\n";
+  for (const std::string& pattern : result.unmatched_required) {
+    out += "MISSING: required rule '" + pattern +
+           "' matched no metric in either document\n";
+  }
   return out;
 }
 

@@ -30,6 +30,12 @@ struct CompareRule {
   std::string pattern;  ///< glob over the dotted path ('*' spans segments)
   CompareDirection direction = CompareDirection::Info;
   double tolerance = 0.0;  ///< relative, against the baseline value
+  /// A required rule that matches no leaf in either document is a reported
+  /// failure (CompareResult::unmatched_required) instead of silently doing
+  /// nothing — a typo'd --rule pattern must not pass the gate.  Only rules
+  /// the user spells out are required; the built-in defaults intentionally
+  /// match nothing on documents without the corresponding sections.
+  bool required = false;
 };
 
 /// Glob match with '*' (any run, including dots) and '?' (one char).
@@ -60,8 +66,15 @@ struct MetricDelta {
 
 struct CompareResult {
   std::vector<MetricDelta> deltas;  ///< path-sorted, ignored leaves dropped
+  /// Patterns of required rules that matched no leaf in either document.
+  std::vector<std::string> unmatched_required;
 
   bool has_regression() const;
+  /// Anything silently skippable went missing: a baseline key absent from
+  /// the candidate (status Removed, whatever its direction) or a required
+  /// rule that matched nothing.  ptwgr_compare fails on this unless
+  /// --allow-missing is given.
+  bool has_missing() const;
   std::size_t count(DeltaStatus status) const;
 };
 

@@ -1,0 +1,719 @@
+#include "ptwgr/obs/resource.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+
+#if __has_include(<malloc.h>)
+#include <malloc.h>
+#define PTWGR_HAVE_MALLOC_USABLE_SIZE 1
+#endif
+
+namespace ptwgr::obs {
+
+namespace {
+
+constexpr const char* kUntaggedPhase = "(untagged)";
+
+// --- phase registry --------------------------------------------------------
+//
+// Append-only, process-wide, constant-initialized: phase ids must be
+// resolvable from any thread at any time without allocating (registration
+// may run while a caller holds arbitrary locks, but never while holding the
+// allocator — resource_set_phase is not called from operator new).
+
+constinit std::atomic<const char*> g_phase_names[kResourceMaxPhases] = {
+    kUntaggedPhase};
+constinit std::atomic<std::uint32_t> g_phase_count{1};
+std::mutex g_phase_mutex;
+
+const char* phase_name(std::uint32_t id) noexcept {
+  if (id >= kResourceMaxPhases) return kUntaggedPhase;
+  const char* name = g_phase_names[id].load(std::memory_order_relaxed);
+  return name != nullptr ? name : kUntaggedPhase;
+}
+
+std::uint32_t phase_id(const char* name) noexcept {
+  const std::uint32_t n = g_phase_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const char* s = g_phase_names[i].load(std::memory_order_relaxed);
+    if (s == name || std::strcmp(s, name) == 0) return i;
+  }
+  const std::lock_guard<std::mutex> lock(g_phase_mutex);
+  const std::uint32_t m = g_phase_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = n; i < m; ++i) {
+    const char* s = g_phase_names[i].load(std::memory_order_relaxed);
+    if (s == name || std::strcmp(s, name) == 0) return i;
+  }
+  if (m >= kResourceMaxPhases) return 0;  // registry full: fold to untagged
+  g_phase_names[m].store(name, std::memory_order_relaxed);
+  g_phase_count.store(m + 1, std::memory_order_release);
+  return m;
+}
+
+// --- thread attribution state ----------------------------------------------
+//
+// constinit so the first access from an interposed operator (which can
+// happen before any ptwgr code runs) needs no dynamic TLS initialization.
+
+struct ThreadState {
+  int rank_slot;
+  std::uint32_t phase;
+  int excluded;
+  ResourceCollector* collector;  ///< owner of the cached cell
+  ResourceCollector::Cell* cell;
+};
+
+constinit thread_local ThreadState t_state{0, 0, 0, nullptr, nullptr};
+
+constinit std::atomic<ResourceCollector*> g_active{nullptr};
+
+double now_seconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t usable_size(void* ptr) noexcept {
+#ifdef PTWGR_HAVE_MALLOC_USABLE_SIZE
+  return ::malloc_usable_size(ptr);
+#else
+  (void)ptr;
+  return 0;  // live-byte accounting degrades gracefully
+#endif
+}
+
+void atomic_max(std::atomic<std::int64_t>& target, std::int64_t value) noexcept {
+  std::int64_t cur = target.load(std::memory_order_relaxed);
+  while (value > cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& target,
+                std::uint64_t value) noexcept {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (value > cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ResourceCollector::ResourceCollector() : start_seconds_(now_seconds()) {}
+
+ResourceCollector::~ResourceCollector() {
+  stop_rss_sampler();
+  // Defensive: never leave a dangling active collector behind.
+  ResourceCollector* self = this;
+  g_active.compare_exchange_strong(self, nullptr, std::memory_order_release);
+}
+
+ResourceCollector::Cell& ResourceCollector::resolve_cell() noexcept {
+  ThreadState& s = t_state;
+  if (s.excluded > 0) return excluded_;
+  if (s.collector != this || s.cell == nullptr) {
+    s.collector = this;
+    s.cell = &cells_[s.phase * kResourceRankSlots +
+                     static_cast<std::size_t>(s.rank_slot)];
+  }
+  return *s.cell;
+}
+
+void ResourceCollector::on_alloc(void* ptr, std::size_t requested) noexcept {
+  Cell& cell = resolve_cell();
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.bytes.fetch_add(requested, std::memory_order_relaxed);
+  const auto usable = static_cast<std::int64_t>(usable_size(ptr));
+  const std::int64_t live =
+      live_.fetch_add(usable, std::memory_order_relaxed) + usable;
+  atomic_max(peak_live_, live);
+}
+
+void ResourceCollector::on_free(void* ptr) noexcept {
+  Cell& cell = resolve_cell();
+  const std::size_t usable = usable_size(ptr);
+  cell.free_count.fetch_add(1, std::memory_order_relaxed);
+  cell.freed_bytes.fetch_add(usable, std::memory_order_relaxed);
+  live_.fetch_sub(static_cast<std::int64_t>(usable),
+                  std::memory_order_relaxed);
+}
+
+void ResourceCollector::begin() {
+  const std::size_t n = std::min(arena_slot_count(), kMaxArenaTags);
+  for (std::size_t i = 0; i < n; ++i) {
+    ArenaSlot* slot = arena_slot_at(i);
+    arena_base_count_[i] = slot->count.load(std::memory_order_relaxed);
+    arena_base_bytes_[i] = slot->bytes.load(std::memory_order_relaxed);
+    slot->peak.store(slot->live.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+  start_seconds_ = now_seconds();
+}
+
+void ResourceCollector::sample_rss_once() {
+  const ScopedResourceExclusion exclude;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return;
+  char line[256];
+  unsigned long long rss_kb = 0;
+  unsigned long long hwm_kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmRSS: %llu", &kb) == 1) {
+      rss_kb = kb;
+    } else if (std::sscanf(line, "VmHWM: %llu", &kb) == 1) {
+      hwm_kb = kb;
+    }
+  }
+  std::fclose(f);
+  if (rss_kb == 0 && hwm_kb == 0) return;
+  rss_samples_.fetch_add(1, std::memory_order_relaxed);
+  rss_last_.store(rss_kb * 1024, std::memory_order_relaxed);
+  atomic_max(rss_peak_, std::max(rss_kb, hwm_kb) * 1024);
+}
+
+void ResourceCollector::start_rss_sampler(double hz) {
+  if (hz <= 0.0 || sampler_.joinable()) return;
+  const double interval_s = 1.0 / hz;
+  sampler_ = std::jthread([this, interval_s](const std::stop_token& stop) {
+    const ScopedResourceExclusion exclude;
+    while (!stop.stop_requested()) {
+      sample_rss_once();
+      // Sleep in small slices so stop_rss_sampler() never waits a full
+      // period at low sampling rates.
+      double remaining = interval_s;
+      while (remaining > 0.0 && !stop.stop_requested()) {
+        const double slice = std::min(remaining, 0.01);
+        std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+        remaining -= slice;
+      }
+    }
+  });
+}
+
+void ResourceCollector::stop_rss_sampler() {
+  if (!sampler_.joinable()) return;
+  sampler_.request_stop();
+  sampler_.join();
+  sampler_ = std::jthread();
+  sample_rss_once();
+}
+
+ResourceCollector::Snapshot ResourceCollector::snapshot() const {
+  const ScopedResourceExclusion exclude;
+  Snapshot snap;
+
+  const std::uint32_t num_phases =
+      std::min(g_phase_count.load(std::memory_order_acquire),
+               static_cast<std::uint32_t>(kResourceMaxPhases));
+  for (std::uint32_t p = 0; p < num_phases; ++p) {
+    PhaseTotals totals;
+    totals.phase = phase_name(p);
+    for (std::size_t r = 0; r < kResourceRankSlots; ++r) {
+      const Cell& cell = cells_[p * kResourceRankSlots + r];
+      const std::uint64_t count = cell.count.load(std::memory_order_relaxed);
+      const std::uint64_t bytes = cell.bytes.load(std::memory_order_relaxed);
+      const std::uint64_t free_count =
+          cell.free_count.load(std::memory_order_relaxed);
+      const std::uint64_t freed = cell.freed_bytes.load(std::memory_order_relaxed);
+      totals.count += count;
+      totals.bytes += bytes;
+      snap.total_count += count;
+      snap.total_bytes += bytes;
+      if (count == 0 && bytes == 0 && free_count == 0 && freed == 0) continue;
+      CellRow row;
+      row.phase = totals.phase;
+      row.rank = r == kResourceMaxRanks ? -1 : static_cast<int>(r);
+      row.count = count;
+      row.bytes = bytes;
+      row.free_count = free_count;
+      row.freed_bytes = freed;
+      snap.cells.push_back(std::move(row));
+    }
+    if (totals.count != 0 || totals.bytes != 0) {
+      snap.phases.push_back(std::move(totals));
+    }
+  }
+  std::sort(snap.phases.begin(), snap.phases.end(),
+            [](const PhaseTotals& a, const PhaseTotals& b) {
+              return a.phase < b.phase;
+            });
+  std::sort(snap.cells.begin(), snap.cells.end(),
+            [](const CellRow& a, const CellRow& b) {
+              if (a.phase != b.phase) return a.phase < b.phase;
+              return a.rank < b.rank;
+            });
+
+  const std::size_t num_arenas = std::min(arena_slot_count(), kMaxArenaTags);
+  for (std::size_t i = 0; i < num_arenas; ++i) {
+    const ArenaSlot* slot = arena_slot_at(i);
+    ArenaRow row;
+    row.tag = slot->name;
+    const std::uint64_t count = slot->count.load(std::memory_order_relaxed);
+    const std::uint64_t bytes = slot->bytes.load(std::memory_order_relaxed);
+    row.count = count >= arena_base_count_[i] ? count - arena_base_count_[i]
+                                              : count;
+    row.bytes = bytes >= arena_base_bytes_[i] ? bytes - arena_base_bytes_[i]
+                                              : bytes;
+    row.live_bytes = slot->live.load(std::memory_order_relaxed);
+    row.peak_bytes = slot->peak.load(std::memory_order_relaxed);
+    snap.arenas.push_back(std::move(row));
+  }
+  std::sort(snap.arenas.begin(), snap.arenas.end(),
+            [](const ArenaRow& a, const ArenaRow& b) { return a.tag < b.tag; });
+
+  snap.live_bytes = live_.load(std::memory_order_relaxed);
+  snap.peak_live_bytes = peak_live_.load(std::memory_order_relaxed);
+  snap.excluded_count = excluded_.count.load(std::memory_order_relaxed);
+  snap.excluded_bytes = excluded_.bytes.load(std::memory_order_relaxed);
+  snap.rss_sample_count = rss_samples_.load(std::memory_order_relaxed);
+  snap.peak_rss_bytes = rss_peak_.load(std::memory_order_relaxed);
+  snap.final_rss_bytes = rss_last_.load(std::memory_order_relaxed);
+  snap.elapsed_seconds = now_seconds() - start_seconds_;
+  return snap;
+}
+
+ResourceCollector* active_resource() {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+void set_active_resource(ResourceCollector* collector) {
+  if (collector != nullptr) collector->begin();
+  g_active.store(collector, std::memory_order_release);
+}
+
+void resource_set_phase(const char* name) noexcept {
+  ThreadState& s = t_state;
+  const std::uint32_t id = phase_id(name != nullptr ? name : kUntaggedPhase);
+  if (id != s.phase) {
+    s.phase = id;
+    s.cell = nullptr;
+  }
+}
+
+ScopedResourceRank::ScopedResourceRank(int rank) noexcept {
+  ThreadState& s = t_state;
+  prev_rank_ = s.rank_slot;
+  prev_phase_ = s.phase;
+  prev_excluded_ = s.excluded;
+  s.rank_slot = rank >= 0 && rank < static_cast<int>(kResourceMaxRanks)
+                    ? rank
+                    : static_cast<int>(kResourceMaxRanks);
+  s.phase = 0;
+  s.excluded = 0;
+  s.cell = nullptr;
+}
+
+ScopedResourceRank::~ScopedResourceRank() {
+  ThreadState& s = t_state;
+  s.rank_slot = prev_rank_;
+  s.phase = prev_phase_;
+  s.excluded = prev_excluded_;
+  s.cell = nullptr;
+}
+
+void resource_exclusion_begin() noexcept { ++t_state.excluded; }
+
+void resource_exclusion_end() noexcept {
+  if (t_state.excluded > 0) --t_state.excluded;
+}
+
+// --- serialization ---------------------------------------------------------
+
+namespace {
+
+void append_kv(std::string& out, const char* key, std::uint64_t value,
+               bool& first) {
+  if (!first) out += ',';
+  first = false;
+  json::append_quoted(out, key);
+  out += ':';
+  out += json::number(value);
+}
+
+void append_kv(std::string& out, const char* key, std::int64_t value,
+               bool& first) {
+  if (!first) out += ',';
+  first = false;
+  json::append_quoted(out, key);
+  out += ':';
+  out += json::number(value);
+}
+
+}  // namespace
+
+std::string resource_report_to_json(const ResourceCollector& collector,
+                                    const ResourceMeta& meta,
+                                    bool include_volatile) {
+  const ResourceCollector::Snapshot snap = collector.snapshot();
+  const ScopedResourceExclusion exclude;
+
+  std::string out;
+  out.reserve(4096);
+  out += "{\"schema\":\"ptwgr.resource_report\",\"version\":";
+  out += json::number(static_cast<std::int64_t>(kResourceReportVersion));
+  out += ",\"canonical\":";
+  out += include_volatile ? "false" : "true";
+
+  out += ",\"meta\":{\"algorithm\":";
+  json::append_quoted(out, meta.algorithm);
+  out += ",\"circuit_source\":";
+  json::append_quoted(out, meta.circuit_source);
+  out += ",\"seed\":";
+  out += json::number(meta.seed);
+  out += ",\"ranks\":";
+  out += json::number(static_cast<std::int64_t>(meta.ranks));
+  out += '}';
+
+  out += ",\"alloc\":{\"total_count\":";
+  out += json::number(snap.total_count);
+  out += ",\"total_bytes\":";
+  out += json::number(snap.total_bytes);
+  out += '}';
+
+  out += ",\"phases\":[";
+  bool first_row = true;
+  for (const ResourceCollector::PhaseTotals& p : snap.phases) {
+    if (!first_row) out += ',';
+    first_row = false;
+    out += "{\"phase\":";
+    json::append_quoted(out, p.phase);
+    out += ",\"count\":";
+    out += json::number(p.count);
+    out += ",\"bytes\":";
+    out += json::number(p.bytes);
+    out += '}';
+  }
+  out += ']';
+
+  out += ",\"arenas\":[";
+  first_row = true;
+  for (const ResourceCollector::ArenaRow& a : snap.arenas) {
+    if (!first_row) out += ',';
+    first_row = false;
+    out += "{\"tag\":";
+    json::append_quoted(out, a.tag);
+    bool first_field = false;  // tag already emitted
+    append_kv(out, "count", a.count, first_field);
+    append_kv(out, "bytes", a.bytes, first_field);
+    if (include_volatile) {
+      append_kv(out, "live_bytes", a.live_bytes, first_field);
+      append_kv(out, "peak_bytes", a.peak_bytes, first_field);
+    }
+    out += '}';
+  }
+  out += ']';
+
+  if (include_volatile) {
+    out += ",\"volatile\":{";
+    bool first_field = true;
+    append_kv(out, "live_bytes", snap.live_bytes, first_field);
+    append_kv(out, "peak_live_bytes", snap.peak_live_bytes, first_field);
+    append_kv(out, "excluded_count", snap.excluded_count, first_field);
+    append_kv(out, "excluded_bytes", snap.excluded_bytes, first_field);
+    out += ",\"rss\":{\"sample_count\":";
+    out += json::number(snap.rss_sample_count);
+    out += ",\"peak_rss_bytes\":";
+    out += json::number(snap.peak_rss_bytes);
+    out += ",\"final_rss_bytes\":";
+    out += json::number(snap.final_rss_bytes);
+    out += '}';
+    out += ",\"elapsed_seconds\":";
+    out += json::number(snap.elapsed_seconds);
+    out += ",\"cells\":[";
+    bool first_cell = true;
+    for (const ResourceCollector::CellRow& c : snap.cells) {
+      if (!first_cell) out += ',';
+      first_cell = false;
+      out += "{\"phase\":";
+      json::append_quoted(out, c.phase);
+      out += ",\"rank\":";
+      out += json::number(static_cast<std::int64_t>(c.rank));
+      bool ff = false;
+      append_kv(out, "count", c.count, ff);
+      append_kv(out, "bytes", c.bytes, ff);
+      append_kv(out, "free_count", c.free_count, ff);
+      append_kv(out, "freed_bytes", c.freed_bytes, ff);
+      out += '}';
+    }
+    out += "]}";
+  }
+
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+std::uint64_t u64_at(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->is_number()
+             ? static_cast<std::uint64_t>(v->as_number())
+             : 0;
+}
+
+std::int64_t i64_at(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->is_number()
+             ? static_cast<std::int64_t>(v->as_number())
+             : 0;
+}
+
+std::string str_at(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string("?");
+}
+
+void append_line(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_line(std::string& out, const char* fmt, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof buffer, fmt, args);
+  va_end(args);
+  out += buffer;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string render_resource_tables(const json::Value& doc) {
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "ptwgr.resource_report") {
+    throw std::runtime_error("not a ptwgr.resource_report document");
+  }
+
+  std::string out;
+  const json::Value* meta = doc.find("meta");
+  if (meta != nullptr) {
+    append_line(out,
+                "resource report: algorithm=%s circuit=%s seed=%" PRIu64
+                " ranks=%" PRId64,
+                str_at(*meta, "algorithm").c_str(),
+                str_at(*meta, "circuit_source").c_str(), u64_at(*meta, "seed"),
+                i64_at(*meta, "ranks"));
+  }
+  if (const json::Value* alloc = doc.find("alloc")) {
+    append_line(out,
+                "allocations: %" PRIu64 " totalling %" PRIu64
+                " requested bytes",
+                u64_at(*alloc, "total_count"), u64_at(*alloc, "total_bytes"));
+  }
+
+  if (const json::Value* phases = doc.find("phases");
+      phases != nullptr && phases->is_array() && !phases->as_array().empty()) {
+    append_line(out, "%s", "");
+    append_line(out, "%-16s %12s %16s", "phase", "allocs", "bytes");
+    for (const json::Value& p : phases->as_array()) {
+      if (!p.is_object()) continue;
+      append_line(out, "%-16s %12" PRIu64 " %16" PRIu64,
+                  str_at(p, "phase").c_str(), u64_at(p, "count"),
+                  u64_at(p, "bytes"));
+    }
+  }
+
+  if (const json::Value* arenas = doc.find("arenas");
+      arenas != nullptr && arenas->is_array() && !arenas->as_array().empty()) {
+    append_line(out, "%s", "");
+    append_line(out, "%-16s %12s %16s %16s %16s", "arena", "allocs", "bytes",
+                "live", "peak");
+    for (const json::Value& a : arenas->as_array()) {
+      if (!a.is_object()) continue;
+      append_line(out, "%-16s %12" PRIu64 " %16" PRIu64 " %16" PRId64
+                       " %16" PRId64,
+                  str_at(a, "tag").c_str(), u64_at(a, "count"),
+                  u64_at(a, "bytes"), i64_at(a, "live_bytes"),
+                  i64_at(a, "peak_bytes"));
+    }
+  }
+
+  if (const json::Value* vol = doc.find("volatile")) {
+    append_line(out, "%s", "");
+    append_line(out,
+                "live: %" PRId64 " bytes (peak %" PRId64
+                "), excluded: %" PRIu64 " allocs / %" PRIu64 " bytes",
+                i64_at(*vol, "live_bytes"), i64_at(*vol, "peak_live_bytes"),
+                u64_at(*vol, "excluded_count"), u64_at(*vol, "excluded_bytes"));
+    if (const json::Value* rss = vol->find("rss");
+        rss != nullptr && u64_at(*rss, "sample_count") > 0) {
+      append_line(out,
+                  "rss: peak %" PRIu64 " bytes, final %" PRIu64
+                  " bytes (%" PRIu64 " samples)",
+                  u64_at(*rss, "peak_rss_bytes"),
+                  u64_at(*rss, "final_rss_bytes"),
+                  u64_at(*rss, "sample_count"));
+    }
+    if (const json::Value* cells = vol->find("cells");
+        cells != nullptr && cells->is_array() && !cells->as_array().empty()) {
+      append_line(out, "%s", "");
+      append_line(out, "%-16s %6s %12s %16s %12s %16s", "phase", "rank",
+                  "allocs", "bytes", "frees", "freed");
+      for (const json::Value& c : cells->as_array()) {
+        if (!c.is_object()) continue;
+        append_line(out,
+                    "%-16s %6" PRId64 " %12" PRIu64 " %16" PRIu64
+                    " %12" PRIu64 " %16" PRIu64,
+                    str_at(c, "phase").c_str(), i64_at(c, "rank"),
+                    u64_at(c, "count"), u64_at(c, "bytes"),
+                    u64_at(c, "free_count"), u64_at(c, "freed_bytes"));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ptwgr::obs
+
+// --- global allocation interposition ---------------------------------------
+//
+// Replaces the replaceable global allocation functions ([new.delete]) with
+// malloc/posix_memalign-backed versions that notify the active
+// ResourceCollector.  With no collector installed the added cost is exactly
+// one relaxed atomic load per call (bench_resource measures this).
+//
+// Sanitizer builds keep working because ASan/TSan intercept at the
+// malloc/free layer underneath these definitions.
+
+namespace {
+
+inline void record_alloc(void* ptr, std::size_t requested) noexcept {
+  ptwgr::obs::ResourceCollector* c =
+      ptwgr::obs::active_resource();
+  if (c != nullptr) c->on_alloc(ptr, requested);
+}
+
+inline void record_free(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  ptwgr::obs::ResourceCollector* c =
+      ptwgr::obs::active_resource();
+  if (c != nullptr) c->on_free(ptr);
+}
+
+void* raw_alloc(std::size_t size) noexcept {
+  if (size == 0) size = 1;
+  void* ptr = std::malloc(size);
+  if (ptr != nullptr) record_alloc(ptr, size);
+  return ptr;
+}
+
+void* raw_alloc_aligned(std::size_t size, std::size_t align) noexcept {
+  if (size == 0) size = 1;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* ptr = nullptr;
+  // posix_memalign over aligned_alloc: no size-multiple-of-alignment
+  // requirement, and glibc frees it with plain free().
+  if (::posix_memalign(&ptr, align, size) != 0) return nullptr;
+  record_alloc(ptr, size);
+  return ptr;
+}
+
+template <typename Alloc>
+void* checked_alloc(std::size_t size, Alloc alloc) {
+  void* ptr = alloc(size);
+  while (ptr == nullptr) {
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+    ptr = alloc(size);
+  }
+  return ptr;
+}
+
+void raw_free(void* ptr) noexcept {
+  record_free(ptr);
+  std::free(ptr);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  return checked_alloc(size, raw_alloc);
+}
+
+void* operator new[](std::size_t size) {
+  return checked_alloc(size, raw_alloc);
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return checked_alloc(size, raw_alloc);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return checked_alloc(size, raw_alloc);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  return checked_alloc(size, [align](std::size_t n) {
+    return raw_alloc_aligned(n, static_cast<std::size_t>(align));
+  });
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return checked_alloc(size, [align](std::size_t n) {
+    return raw_alloc_aligned(n, static_cast<std::size_t>(align));
+  });
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return operator new(size, align);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return operator new[](size, align);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* ptr) noexcept { raw_free(ptr); }
+void operator delete[](void* ptr) noexcept { raw_free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { raw_free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { raw_free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  raw_free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  raw_free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept { raw_free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { raw_free(ptr); }
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  raw_free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  raw_free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  raw_free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  raw_free(ptr);
+}

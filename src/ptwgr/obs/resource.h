@@ -1,0 +1,209 @@
+// Resource observability: per-phase / per-rank memory and allocation
+// accounting plus periodic RSS sampling (DESIGN.md §13).
+//
+// A ResourceCollector is installed with set_active_resource() and fed by a
+// global operator new/delete interposition layer (defined in resource.cpp):
+// every allocation in the process is charged to a (phase, rank) cell chosen
+// from thread-local attribution state.  The contract is the same as the
+// trace/quality/ledger sinks — with no collector installed, the interposed
+// operators cost exactly one relaxed atomic load on top of malloc/free, and
+// nothing else (no TLS access, no clock, no lock).
+//
+// Determinism: the report has a *canonical* subset — cumulative allocation
+// counts and requested bytes per phase (summed across ranks) plus the
+// tagged-arena table (support/arena.h) — that is byte-identical across
+// same-seed runs; a warm-up run first absorbs one-time lazy library
+// initialization.  Live/peak bytes (usable sizes), per-(phase,rank) detail
+// rows, RSS, and wall-clock are machine- and schedule-dependent and are
+// stripped from the canonical form (resource_report_to_json with
+// include_volatile = false), mirroring ledger_to_json(include_times=false).
+// Measurement-only windows — the Communicator's mark()/rewind() spans, the
+// RSS sampler thread, report assembly itself — run under a thread-local
+// exclusion so their allocations never enter the canonical record.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ptwgr/support/arena.h"
+#include "ptwgr/support/json.h"
+
+namespace ptwgr::obs {
+
+inline constexpr int kResourceReportVersion = 1;
+
+/// Ceiling on distinct phase labels (process-wide append-only registry;
+/// slot 0 is the implicit "(untagged)" phase).
+inline constexpr std::size_t kResourceMaxPhases = 32;
+
+/// Rank attribution slots: ranks 0..kResourceMaxRanks-1 map directly;
+/// anything outside lands in one shared overflow slot.
+inline constexpr std::size_t kResourceMaxRanks = 32;
+inline constexpr std::size_t kResourceRankSlots = kResourceMaxRanks + 1;
+
+class ResourceCollector {
+ public:
+  /// One (phase, rank) attribution cell.  count/bytes use *requested* sizes
+  /// (deterministic); free accounting uses usable sizes (whatever the
+  /// allocator actually handed out) so live bytes stay symmetric even for
+  /// blocks allocated before install.
+  struct Cell {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> free_count{0};
+    std::atomic<std::uint64_t> freed_bytes{0};
+  };
+
+  ResourceCollector();
+  ~ResourceCollector();
+  ResourceCollector(const ResourceCollector&) = delete;
+  ResourceCollector& operator=(const ResourceCollector&) = delete;
+
+  // --- hot path (called from the interposed operator new/delete) ---------
+
+  void on_alloc(void* ptr, std::size_t requested) noexcept;
+  void on_free(void* ptr) noexcept;
+
+  // --- RSS sampling -------------------------------------------------------
+
+  /// Starts a background thread reading /proc/self/status every 1/hz
+  /// seconds (its own allocations run excluded).  No-op if unavailable.
+  void start_rss_sampler(double hz);
+  /// Stops the sampler after one final sample.
+  void stop_rss_sampler();
+
+  // --- snapshot (post-run, or any time from a quiesced thread) -----------
+
+  struct PhaseTotals {
+    std::string phase;
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+  };
+  struct CellRow {
+    std::string phase;
+    int rank = 0;
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t free_count = 0;
+    std::uint64_t freed_bytes = 0;
+  };
+  struct ArenaRow {
+    std::string tag;
+    std::uint64_t count = 0;  ///< delta since install
+    std::uint64_t bytes = 0;  ///< delta since install
+    std::int64_t live_bytes = 0;
+    std::int64_t peak_bytes = 0;
+  };
+  struct Snapshot {
+    // Canonical (deterministic in the seed).
+    std::uint64_t total_count = 0;
+    std::uint64_t total_bytes = 0;
+    std::vector<PhaseTotals> phases;  ///< name-sorted, ranks summed
+    std::vector<ArenaRow> arenas;     ///< tag-sorted
+    // Volatile (machine/schedule dependent).
+    std::int64_t live_bytes = 0;       ///< usable-size delta since install
+    std::int64_t peak_live_bytes = 0;  ///< max of live_bytes
+    std::uint64_t excluded_count = 0;
+    std::uint64_t excluded_bytes = 0;
+    std::vector<CellRow> cells;  ///< (phase, rank)-sorted, zero rows dropped
+    std::uint64_t rss_sample_count = 0;
+    std::uint64_t peak_rss_bytes = 0;
+    std::uint64_t final_rss_bytes = 0;
+    double elapsed_seconds = 0.0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  friend void set_active_resource(ResourceCollector* collector);
+
+  Cell& resolve_cell() noexcept;
+  /// Captures arena baselines and the start time; called at install.
+  void begin();
+  void sample_rss_once();
+
+  Cell cells_[kResourceMaxPhases * kResourceRankSlots];
+  Cell excluded_;
+  std::atomic<std::int64_t> live_{0};
+  std::atomic<std::int64_t> peak_live_{0};
+  std::uint64_t arena_base_count_[kMaxArenaTags] = {};
+  std::uint64_t arena_base_bytes_[kMaxArenaTags] = {};
+  std::atomic<std::uint64_t> rss_samples_{0};
+  std::atomic<std::uint64_t> rss_peak_{0};
+  std::atomic<std::uint64_t> rss_last_{0};
+  double start_seconds_ = 0.0;
+  std::jthread sampler_;
+};
+
+/// The process-wide collector, or nullptr when disabled (one relaxed load).
+ResourceCollector* active_resource();
+
+/// Installs (or, with nullptr, removes) the process-wide collector; install
+/// captures the arena baselines.  Install before launching the measured
+/// work; remove before destroying the collector.
+void set_active_resource(ResourceCollector* collector);
+
+// --- thread attribution state ---------------------------------------------
+
+/// Sets the calling thread's phase label for subsequent allocations.  `name`
+/// must outlive the process (string literals in practice; equal strings
+/// share a slot).  One relaxed load when no collector is installed.
+void resource_set_phase(const char* name) noexcept;
+
+/// Scoped rank attribution for a rank thread (mp::runtime installs one per
+/// rank body).  Also resets the phase and exclusion depth so state leaked
+/// by an unwound previous run cannot bleed into this one.
+class ScopedResourceRank {
+ public:
+  explicit ScopedResourceRank(int rank) noexcept;
+  ~ScopedResourceRank();
+  ScopedResourceRank(const ScopedResourceRank&) = delete;
+  ScopedResourceRank& operator=(const ScopedResourceRank&) = delete;
+
+ private:
+  int prev_rank_;
+  std::uint32_t prev_phase_;
+  int prev_excluded_;
+};
+
+/// Marks the calling thread's allocations as measurement-only until the
+/// matching end; charged to a single excluded cell outside the canonical
+/// record.  Depth-counted, so nesting is fine.
+void resource_exclusion_begin() noexcept;
+void resource_exclusion_end() noexcept;
+
+class ScopedResourceExclusion {
+ public:
+  ScopedResourceExclusion() noexcept { resource_exclusion_begin(); }
+  ~ScopedResourceExclusion() { resource_exclusion_end(); }
+  ScopedResourceExclusion(const ScopedResourceExclusion&) = delete;
+  ScopedResourceExclusion& operator=(const ScopedResourceExclusion&) = delete;
+};
+
+// --- serialization --------------------------------------------------------
+
+/// Run description embedded in the serialized report.
+struct ResourceMeta {
+  std::string algorithm;
+  std::string circuit_source;
+  std::uint64_t seed = 0;
+  int ranks = 0;
+};
+
+/// Serializes a snapshot as a versioned JSON document
+/// ("schema": "ptwgr.resource_report").  With include_volatile = false the
+/// document is canonical: only the run meta, phase-level allocation totals,
+/// and the arena table remain — same seed ⇒ byte-identical output.
+std::string resource_report_to_json(const ResourceCollector& collector,
+                                    const ResourceMeta& meta,
+                                    bool include_volatile = true);
+
+/// Renders the human tables (totals, per-phase allocations, arenas, RSS)
+/// from a parsed ptwgr.resource_report document.  Throws std::runtime_error
+/// on a schema mismatch.
+std::string render_resource_tables(const json::Value& doc);
+
+}  // namespace ptwgr::obs

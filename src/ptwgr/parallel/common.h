@@ -10,6 +10,7 @@
 
 #include "ptwgr/mp/communicator.h"
 #include "ptwgr/mp/fault.h"
+#include "ptwgr/obs/resource.h"
 #include "ptwgr/parallel/fake_pins.h"
 #include "ptwgr/parallel/records.h"
 #include "ptwgr/parallel/subcircuit.h"
@@ -120,12 +121,14 @@ class RankPhase {
   RankPhase(const char* name, mp::Communicator& comm)
       : comm_(&comm), collector_(active_trace()), name_(name) {
     comm_->notify_phase(name);
+    obs::resource_set_phase(name);
     PTWGR_LOG_DEBUG << "phase: " << name;
     if (collector_ != nullptr) start_ = comm_->vtime();
   }
 
   void next(const char* name) {
     comm_->notify_phase(name);
+    obs::resource_set_phase(name);
     PTWGR_LOG_DEBUG << "phase: " << name;
     if (collector_ == nullptr) {
       name_ = name;

@@ -5,7 +5,9 @@
 namespace ptwgr {
 
 CoarseGrid::CoarseGrid(std::size_t num_rows, Coord width, Coord column_width)
-    : num_rows_(num_rows), column_width_(column_width) {
+    : num_rows_(num_rows),
+      column_width_(column_width),
+      ft_demand_(ArenaAllocator<std::int32_t>(arena_slot("coarse_grid"))) {
   PTWGR_EXPECTS(num_rows >= 1);
   PTWGR_EXPECTS(column_width > 0);
   PTWGR_EXPECTS(width >= 0);
@@ -13,8 +15,9 @@ CoarseGrid::CoarseGrid(std::size_t num_rows, Coord width, Coord column_width)
       1, static_cast<std::size_t>((width + column_width - 1) / column_width));
   ft_demand_.assign(num_rows_ * num_columns_, 0);
   chan_use_.reserve(num_rows_ + 1);
+  ArenaSlot* const arena = arena_slot("coarse_grid");
   for (std::size_t ch = 0; ch <= num_rows_; ++ch) {
-    chan_use_.emplace_back(num_columns_);
+    chan_use_.emplace_back(num_columns_, arena);
   }
 }
 

@@ -84,7 +84,8 @@ class CoarseGrid {
   std::size_t num_rows_;
   std::size_t num_columns_;
   Coord column_width_;
-  std::vector<std::int32_t> ft_demand_;   // num_rows × num_columns
+  // Both maps are charged to the "coarse_grid" arena tag (obs/resource.h).
+  std::vector<std::int32_t, ArenaAllocator<std::int32_t>> ft_demand_;
   std::vector<LazySegmentTree> chan_use_;  // one tree per channel
 };
 

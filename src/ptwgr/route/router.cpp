@@ -2,6 +2,7 @@
 
 #include "ptwgr/obs/ledger.h"
 #include "ptwgr/obs/record.h"
+#include "ptwgr/obs/resource.h"
 #include "ptwgr/obs/snapshot.h"
 #include "ptwgr/route/coarse.h"
 #include "ptwgr/route/connect.h"
@@ -49,6 +50,7 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   };
 
   // Step 1: approximate Steiner trees.
+  obs::resource_set_phase("steiner");
   SteinerOptions steiner_options;
   steiner_options.row_cost = options.steiner_row_cost;
   const auto trees = build_all_steiner_trees(circuit, steiner_options);
@@ -69,6 +71,7 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   timer.reset();
 
   // Step 2: coarse global routing over the demand grid.
+  obs::resource_set_phase("coarse");
   CoarseGrid grid(circuit, options.column_width);
   auto segments = extract_coarse_segments(trees);
   CoarseOptions coarse_options;
@@ -93,6 +96,7 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   timer.reset();
 
   // Step 3: feedthrough insertion and assignment.
+  obs::resource_set_phase("feedthrough");
   FeedthroughPools pools =
       insert_feedthroughs(circuit, grid, options.feedthrough_width);
   const auto terminals = assign_feedthroughs(
@@ -108,6 +112,7 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   timer.reset();
 
   // Step 4: connect each net through its pins and feedthroughs.
+  obs::resource_set_phase("connect");
   result.wires = connect_all_nets(circuit);
   result.timings.connect = timer.seconds();
   trace_step("connect", result.timings.connect);
@@ -118,6 +123,7 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
   timer.reset();
 
   // Step 5: switchable net segment optimization.
+  obs::resource_set_phase("switchable");
   SwitchableOptimizer optimizer(circuit.num_channels(), circuit.core_width(),
                                 options.switch_bucket_width);
   optimizer.register_wires(result.wires);
@@ -150,6 +156,7 @@ RoutingResult route_serial(Circuit circuit, const RouterOptions& options) {
                        options.switchable_passes);
   }
   if (ledger != nullptr) ledger->set_final_vtime(0, trace_at);
+  obs::resource_set_phase(nullptr);  // back to "(untagged)"
   result.circuit = std::move(circuit);
   return result;
 }

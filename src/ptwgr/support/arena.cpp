@@ -1,0 +1,46 @@
+#include "ptwgr/support/arena.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace ptwgr {
+
+namespace {
+
+// Static storage with constant initialization: slots must be chargeable
+// from any point of static construction/destruction.
+ArenaSlot g_slots[kMaxArenaTags];
+std::atomic<std::size_t> g_slot_count{0};
+std::mutex g_register_mutex;
+
+}  // namespace
+
+ArenaSlot* arena_slot(const char* tag) {
+  const std::size_t n = g_slot_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (g_slots[i].name == tag || std::strcmp(g_slots[i].name, tag) == 0) {
+      return &g_slots[i];
+    }
+  }
+  const std::lock_guard<std::mutex> lock(g_register_mutex);
+  const std::size_t m = g_slot_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (g_slots[i].name == tag || std::strcmp(g_slots[i].name, tag) == 0) {
+      return &g_slots[i];
+    }
+  }
+  if (m >= kMaxArenaTags) return nullptr;
+  g_slots[m].name = tag;
+  g_slot_count.store(m + 1, std::memory_order_release);
+  return &g_slots[m];
+}
+
+std::size_t arena_slot_count() {
+  return g_slot_count.load(std::memory_order_acquire);
+}
+
+ArenaSlot* arena_slot_at(std::size_t index) {
+  return index < arena_slot_count() ? &g_slots[index] : nullptr;
+}
+
+}  // namespace ptwgr

@@ -1,0 +1,113 @@
+// Tagged allocation arenas: named byte/count accounting for the hot
+// routing structures (coarse grid, segment trees, mailboxes).
+//
+// A tag is a process-wide slot holding cumulative allocation count/bytes
+// plus live/peak bytes.  Charges are unconditional relaxed atomics — a few
+// nanoseconds on paths that are already building vectors or taking a mutex —
+// so the live accounting stays exact across ResourceCollector
+// install/uninstall (the collector snapshots slot baselines at install and
+// reports deltas; see obs/resource.h).  Cumulative count/bytes are driven by
+// each thread's own deterministic work, which makes them part of the
+// resource report's *canonical* (same seed ⇒ byte-identical) form.
+//
+// Two adapter styles:
+//   * ArenaAllocator<T> — a std-allocator that charges a slot per
+//     allocate/deallocate; backs the segment-tree node arrays and the
+//     coarse grid's demand map.
+//   * explicit arena_charge()/arena_discharge() — for structures whose
+//     footprint is not container storage (mailbox payload backlogs).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace ptwgr {
+
+/// Ceiling on distinct tags; registration past it returns nullptr and the
+/// charges become no-ops (never an error on a hot path).
+inline constexpr std::size_t kMaxArenaTags = 32;
+
+/// One tag's accounting.  `name` is written once under the registration
+/// mutex and read-only afterwards.
+struct ArenaSlot {
+  const char* name = nullptr;
+  std::atomic<std::uint64_t> count{0};  ///< cumulative allocations
+  std::atomic<std::uint64_t> bytes{0};  ///< cumulative bytes charged
+  std::atomic<std::int64_t> live{0};    ///< currently charged bytes
+  std::atomic<std::int64_t> peak{0};    ///< max of live (reset at install)
+};
+
+/// The process-wide slot for `tag`, registering it on first use.  `tag`
+/// must outlive the process (a string literal); equal strings share a slot.
+/// Returns nullptr when the registry is full.
+ArenaSlot* arena_slot(const char* tag);
+
+/// Registry iteration (snapshotting); slots are append-only.
+std::size_t arena_slot_count();
+ArenaSlot* arena_slot_at(std::size_t index);
+
+inline void arena_charge(ArenaSlot* slot, std::size_t bytes,
+                         std::uint64_t count = 1) noexcept {
+  if (slot == nullptr) return;
+  const auto delta = static_cast<std::int64_t>(bytes);
+  slot->count.fetch_add(count, std::memory_order_relaxed);
+  slot->bytes.fetch_add(static_cast<std::uint64_t>(bytes),
+                        std::memory_order_relaxed);
+  const std::int64_t live =
+      slot->live.fetch_add(delta, std::memory_order_relaxed) + delta;
+  std::int64_t peak = slot->peak.load(std::memory_order_relaxed);
+  while (live > peak && !slot->peak.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+inline void arena_discharge(ArenaSlot* slot, std::size_t bytes) noexcept {
+  if (slot == nullptr) return;
+  slot->live.fetch_sub(static_cast<std::int64_t>(bytes),
+                       std::memory_order_relaxed);
+}
+
+/// Std-allocator adapter charging a slot per allocate/deallocate.  A
+/// default-constructed (slot-less) allocator charges nothing, so tagged and
+/// untagged containers share one type.  Stateful: containers propagate the
+/// slot on copy/move/swap, and deallocate always sees the same (slot, n) as
+/// the matching allocate, keeping charges symmetric.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(ArenaSlot* slot) noexcept : slot_(slot) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : slot_(other.slot()) {}
+
+  T* allocate(std::size_t n) {
+    arena_charge(slot_, n * sizeof(T));
+    return std::allocator<T>().allocate(n);
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    arena_discharge(slot_, n * sizeof(T));
+    std::allocator<T>().deallocate(p, n);
+  }
+
+  ArenaSlot* slot() const noexcept { return slot_; }
+
+  friend bool operator==(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return a.slot_ == b.slot_;
+  }
+
+ private:
+  ArenaSlot* slot_ = nullptr;
+};
+
+}  // namespace ptwgr

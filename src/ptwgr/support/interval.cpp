@@ -56,7 +56,9 @@ std::vector<Interval> merge_intervals(std::vector<Interval> intervals) {
 
 DensityProfile::DensityProfile(std::int64_t origin, std::int64_t bucket_width,
                                std::size_t num_buckets)
-    : origin_(origin), bucket_width_(bucket_width), tree_(num_buckets) {
+    : origin_(origin),
+      bucket_width_(bucket_width),
+      tree_(num_buckets, arena_slot("density_profile")) {
   PTWGR_EXPECTS(bucket_width > 0);
   PTWGR_EXPECTS(num_buckets > 0);
 }

@@ -21,18 +21,21 @@ const MetricsRegistry::Entry* MetricsRegistry::find(
 }
 
 void MetricsRegistry::set(std::string_view name, std::int64_t value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Entry& e = entry_for(name);
   e.kind = Kind::Int;
   e.int_value = value;
 }
 
 void MetricsRegistry::set(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Entry& e = entry_for(name);
   e.kind = Kind::Double;
   e.double_value = value;
 }
 
 void MetricsRegistry::set(std::string_view name, std::string_view value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Entry& e = entry_for(name);
   e.kind = Kind::String;
   e.string_value = std::string(value);
@@ -40,6 +43,7 @@ void MetricsRegistry::set(std::string_view name, std::string_view value) {
 
 std::optional<double> MetricsRegistry::get_number(
     std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const Entry* e = find(name);
   if (e == nullptr) return std::nullopt;
   switch (e->kind) {
@@ -52,12 +56,14 @@ std::optional<double> MetricsRegistry::get_number(
 
 std::optional<std::string> MetricsRegistry::get_string(
     std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const Entry* e = find(name);
   if (e == nullptr || e->kind != Kind::String) return std::nullopt;
   return e->string_value;
 }
 
 std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\n";
   bool first = true;
   for (const Entry& e : entries_) {

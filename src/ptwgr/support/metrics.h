@@ -4,10 +4,14 @@
 // structure) that the CLI and benchmark harnesses fill after a run and dump
 // with --metrics=FILE.  Values are integers, doubles, or strings; set()
 // overwrites an existing name in place, so emission order stays stable.
-// Not synchronized: fill and export from one thread, after the run.
+// Synchronized with an internal mutex so parallel ranks may register
+// concurrently; insertion order is then the (deterministically gated, but
+// schedule-dependent) arrival order, so ranks writing concurrently should
+// use rank-qualified names and sort on the reader side if order matters.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -32,8 +36,14 @@ class MetricsRegistry {
     set(name, std::string_view(value));
   }
 
-  std::size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+  bool empty() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.empty();
+  }
 
   /// Numeric lookup (ints widen to double); nullopt when absent or a string.
   std::optional<double> get_number(std::string_view name) const;
@@ -53,9 +63,11 @@ class MetricsRegistry {
     std::string string_value;
   };
 
+  /// Both require mutex_ to be held by the caller.
   Entry& entry_for(std::string_view name);
   const Entry* find(std::string_view name) const;
 
+  mutable std::mutex mutex_;
   std::vector<Entry> entries_;
 };
 

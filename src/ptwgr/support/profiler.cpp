@@ -1,0 +1,350 @@
+#include "ptwgr/support/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <thread>
+#include <unordered_map>
+
+#include <sys/time.h>
+
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define PTWGR_HAVE_BACKTRACE 1
+#endif
+#if __has_include(<dlfcn.h>)
+#include <dlfcn.h>
+#include <cxxabi.h>
+#define PTWGR_HAVE_DLADDR 1
+#endif
+
+namespace ptwgr {
+
+namespace {
+
+// Frames contributed by the signal machinery itself: the handler's
+// backtrace() call and the kernel trampoline.  Dropped at fold time.
+constexpr std::uint32_t kHandlerFrames = 2;
+
+// All state the signal handler may touch.  The storage behind the raw
+// pointers is owned by SamplingProfiler::State and outlives any in-flight
+// handler invocation (stop() keeps it alive).
+struct HandlerState {
+  void** frames = nullptr;
+  std::uint16_t* depths = nullptr;
+  std::uint32_t max_samples = 0;
+  std::uint32_t max_depth = 0;
+  std::atomic<std::uint32_t> cursor{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+constinit std::atomic<HandlerState*> g_handler{nullptr};
+
+extern "C" void ptwgr_sigprof_handler(int /*signo*/, siginfo_t* /*info*/,
+                                      void* /*ucontext*/) {
+  const int saved_errno = errno;
+  HandlerState* st = g_handler.load(std::memory_order_acquire);
+  if (st != nullptr) {
+    const std::uint32_t idx =
+        st->cursor.fetch_add(1, std::memory_order_relaxed);
+    if (idx < st->max_samples) {
+#ifdef PTWGR_HAVE_BACKTRACE
+      void** slot =
+          st->frames + static_cast<std::size_t>(idx) * st->max_depth;
+      const int depth = ::backtrace(slot, static_cast<int>(st->max_depth));
+      st->depths[idx] = static_cast<std::uint16_t>(depth > 0 ? depth : 0);
+#else
+      st->depths[idx] = 0;
+#endif
+    } else {
+      st->dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  errno = saved_errno;
+}
+
+std::string symbolize(void* pc) {
+#ifdef PTWGR_HAVE_DLADDR
+  Dl_info info;
+  std::memset(&info, 0, sizeof info);
+  if (::dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = -1;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    std::string name =
+        status == 0 && demangled != nullptr ? demangled : info.dli_sname;
+    std::free(demangled);
+    // Folded format reserves ';' as the frame separator.
+    std::replace(name.begin(), name.end(), ';', ':');
+    return name;
+  }
+  if (info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    const std::uintptr_t offset =
+        reinterpret_cast<std::uintptr_t>(pc) -
+        reinterpret_cast<std::uintptr_t>(info.dli_fbase);
+    char buffer[320];
+    std::snprintf(buffer, sizeof buffer, "%s+0x%" PRIxPTR,
+                  base != nullptr ? base + 1 : info.dli_fname, offset);
+    return buffer;
+  }
+#endif
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "0x%" PRIxPTR,
+                reinterpret_cast<std::uintptr_t>(pc));
+  return buffer;
+}
+
+}  // namespace
+
+struct SamplingProfiler::State {
+  // calloc-backed so the kernel's fresh zero pages satisfy the
+  // zero-initialization the fold relies on (unwritten slot ⇒ depth 0)
+  // without faulting the whole multi-MiB buffer in at start() — an eager
+  // vector::assign costs ~20ms for the default 32 MiB, which would dwarf
+  // short profiled runs.
+  struct FreeDeleter {
+    void operator()(void* p) const { std::free(p); }
+  };
+  std::unique_ptr<void*[], FreeDeleter> frame_storage;
+  std::unique_ptr<std::uint16_t[], FreeDeleter> depth_storage;
+  HandlerState handler;
+  struct sigaction old_action {};
+};
+
+SamplingProfiler::SamplingProfiler() : options_(Options()) {}
+
+SamplingProfiler::SamplingProfiler(const Options& options)
+    : options_(options) {}
+
+SamplingProfiler::~SamplingProfiler() { stop(); }
+
+bool SamplingProfiler::start() {
+  if (running_ || options_.hz <= 0.0) return false;
+#ifndef PTWGR_HAVE_BACKTRACE
+  return false;
+#else
+  const std::uint32_t depth = std::clamp(options_.max_depth, 4u, 128u);
+  const std::uint32_t max_samples = std::max(options_.max_samples, 1u);
+
+  auto state = std::make_unique<State>();
+  state->frame_storage.reset(static_cast<void**>(std::calloc(
+      static_cast<std::size_t>(max_samples) * depth, sizeof(void*))));
+  state->depth_storage.reset(static_cast<std::uint16_t*>(
+      std::calloc(max_samples, sizeof(std::uint16_t))));
+  if (state->frame_storage == nullptr || state->depth_storage == nullptr) {
+    return false;
+  }
+  state->handler.frames = state->frame_storage.get();
+  state->handler.depths = state->depth_storage.get();
+  state->handler.max_samples = max_samples;
+  state->handler.max_depth = depth;
+
+  // Warm up the unwinder: the first backtrace() call may load libgcc via
+  // dlopen/malloc, which must not happen inside the signal handler.
+  void* warm[4];
+  ::backtrace(warm, 4);
+
+  HandlerState* expected = nullptr;
+  if (!g_handler.compare_exchange_strong(expected, &state->handler,
+                                         std::memory_order_acq_rel)) {
+    return false;  // another profiler is already sampling
+  }
+  state_ = std::move(state);
+
+  struct sigaction action {};
+  action.sa_sigaction = ptwgr_sigprof_handler;
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (::sigaction(SIGPROF, &action, &state_->old_action) != 0) {
+    g_handler.store(nullptr, std::memory_order_release);
+    return false;
+  }
+
+  const double interval = 1.0 / options_.hz;
+  const auto whole = static_cast<time_t>(interval);
+  auto usec = static_cast<suseconds_t>(
+      (interval - static_cast<double>(whole)) * 1e6);
+  if (whole == 0 && usec == 0) usec = 1;
+  itimerval timer{};
+  timer.it_interval.tv_sec = whole;
+  timer.it_interval.tv_usec = usec;
+  timer.it_value = timer.it_interval;
+  if (::setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    ::sigaction(SIGPROF, &state_->old_action, nullptr);
+    g_handler.store(nullptr, std::memory_order_release);
+    return false;
+  }
+  running_ = true;
+  return true;
+#endif
+}
+
+void SamplingProfiler::stop() {
+  if (!running_) return;
+  itimerval zero{};
+  ::setitimer(ITIMER_PROF, &zero, nullptr);
+  ::sigaction(SIGPROF, &state_->old_action, nullptr);
+  g_handler.store(nullptr, std::memory_order_release);
+  // An in-flight delivery on another thread may still be unwinding into the
+  // buffers; give it a beat before anyone can destroy them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  running_ = false;
+}
+
+std::uint64_t SamplingProfiler::sample_count() const {
+  if (state_ == nullptr) return 0;
+  return std::min(state_->handler.cursor.load(std::memory_order_relaxed),
+                  state_->handler.max_samples);
+}
+
+std::uint64_t SamplingProfiler::dropped_samples() const {
+  if (state_ == nullptr) return 0;
+  return state_->handler.dropped.load(std::memory_order_relaxed);
+}
+
+std::string SamplingProfiler::folded() const {
+  if (state_ == nullptr) return {};
+  const auto count = static_cast<std::uint32_t>(sample_count());
+  const std::uint32_t max_depth = state_->handler.max_depth;
+
+  std::unordered_map<void*, std::string> cache;
+  const auto name_of = [&cache](void* pc) -> const std::string& {
+    const auto it = cache.find(pc);
+    if (it != cache.end()) return it->second;
+    return cache.emplace(pc, symbolize(pc)).first->second;
+  };
+
+  std::map<std::string, std::uint64_t> stacks;  // sorted ⇒ deterministic file
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t depth = state_->depth_storage[i];
+    if (depth <= kHandlerFrames) continue;
+    void* const* frames =
+        state_->frame_storage.get() +
+        static_cast<std::size_t>(i) * max_depth;
+    std::string line;
+    for (std::uint32_t j = depth; j-- > kHandlerFrames;) {
+      void* pc = frames[j];
+      // Non-leaf entries are return addresses: step back into the call so
+      // the symbol is the caller, not the instruction after it.  The leaf
+      // (j == kHandlerFrames) is the interrupted pc itself.
+      if (j != kHandlerFrames) {
+        pc = reinterpret_cast<void*>(reinterpret_cast<std::uintptr_t>(pc) -
+                                     1);
+      }
+      if (!line.empty()) line += ';';
+      line += name_of(pc);
+    }
+    ++stacks[line];
+  }
+
+  std::string out;
+  for (const auto& [stack, n] : stacks) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(n);
+    out += '\n';
+  }
+  return out;
+}
+
+// --- folded-stack analysis --------------------------------------------------
+
+FoldedSummary summarize_folded(std::string_view folded) {
+  std::map<std::string, HotFrame> frames;
+  FoldedSummary summary;
+
+  std::size_t pos = 0;
+  while (pos < folded.size()) {
+    std::size_t eol = folded.find('\n', pos);
+    if (eol == std::string_view::npos) eol = folded.size();
+    const std::string_view line = folded.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string_view::npos) continue;
+    std::uint64_t count = 0;
+    bool numeric = space + 1 < line.size();
+    for (std::size_t i = space + 1; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      count = count * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (!numeric) continue;
+    summary.total_samples += count;
+
+    const std::string_view stack = line.substr(0, space);
+    std::set<std::string_view> seen;  // recursion: count a frame once/stack
+    std::string_view leaf;
+    std::size_t start = 0;
+    while (start <= stack.size()) {
+      std::size_t sep = stack.find(';', start);
+      if (sep == std::string_view::npos) sep = stack.size();
+      const std::string_view frame = stack.substr(start, sep - start);
+      if (!frame.empty()) {
+        leaf = frame;
+        seen.insert(frame);
+      }
+      start = sep + 1;
+    }
+    for (const std::string_view frame : seen) {
+      HotFrame& hot = frames[std::string(frame)];
+      hot.total += count;
+    }
+    if (!leaf.empty()) frames[std::string(leaf)].self += count;
+  }
+
+  summary.frames.reserve(frames.size());
+  for (auto& [name, frame] : frames) {
+    frame.name = name;
+    summary.frames.push_back(std::move(frame));
+  }
+  std::sort(summary.frames.begin(), summary.frames.end(),
+            [](const HotFrame& a, const HotFrame& b) {
+              if (a.self != b.self) return a.self > b.self;
+              return a.name < b.name;
+            });
+  return summary;
+}
+
+std::string render_hot_frames(const FoldedSummary& summary,
+                              std::size_t top_k) {
+  std::string out;
+  char buffer[512];
+  std::snprintf(buffer, sizeof buffer, "hot frames (%" PRIu64 " samples):\n",
+                summary.total_samples);
+  out += buffer;
+  std::snprintf(buffer, sizeof buffer, "%7s %7s %9s  %s\n", "self%", "total%",
+                "samples", "frame");
+  out += buffer;
+  const double denom =
+      summary.total_samples > 0
+          ? static_cast<double>(summary.total_samples)
+          : 1.0;
+  std::size_t shown = 0;
+  for (const HotFrame& frame : summary.frames) {
+    if (shown++ >= top_k) break;
+    std::snprintf(buffer, sizeof buffer,
+                  "%6.2f%% %6.2f%% %9" PRIu64 "  %s\n",
+                  100.0 * static_cast<double>(frame.self) / denom,
+                  100.0 * static_cast<double>(frame.total) / denom,
+                  frame.self, frame.name.c_str());
+    out += buffer;
+  }
+  return out;
+}
+
+}  // namespace ptwgr

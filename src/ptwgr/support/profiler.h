@@ -1,0 +1,93 @@
+// Signal-based sampling CPU profiler with folded-stack (flamegraph) export.
+//
+// A SamplingProfiler arms ITIMER_PROF at a configurable rate; each SIGPROF
+// delivery captures a raw backtrace into a preallocated flat buffer.  The
+// handler is async-signal-disciplined: it saves/restores errno, touches only
+// the preallocated buffer through an atomic cursor, and never allocates,
+// locks, or formats.  backtrace(3) is warmed up once before the handler is
+// installed so libgcc's unwinder is already loaded when the first signal
+// lands.  Symbolization (dladdr + demangling) is lazy — it runs only after
+// stop(), on the calling thread.
+//
+// The profiler is strictly measurement-only: it observes the interrupted
+// program counter and changes no program state, so enabling it can never
+// perturb routing determinism (it can only add the <5%-budget sampling
+// overhead; see DESIGN.md §13).
+//
+// Output is the folded-stack format consumed by standard flamegraph tooling
+// ("frame;frame;frame count" per line, root first), with lines sorted so the
+// file itself is deterministic given the same samples.  ptwgr_analyze
+// renders a top-N hot-frame table from the same format.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptwgr {
+
+class SamplingProfiler {
+ public:
+  struct Options {
+    double hz = 97.0;  ///< odd rate avoids lockstep with 10ms-periodic work
+    std::uint32_t max_samples = 1u << 16;
+    std::uint32_t max_depth = 64;  ///< clamped to [4, 128]
+  };
+
+  SamplingProfiler();
+  explicit SamplingProfiler(const Options& options);
+  ~SamplingProfiler();
+  SamplingProfiler(const SamplingProfiler&) = delete;
+  SamplingProfiler& operator=(const SamplingProfiler&) = delete;
+
+  /// Arms the timer and installs the SIGPROF handler.  Returns false when
+  /// another profiler is already active in the process or the timer cannot
+  /// be armed; at most one profiler samples at a time.
+  bool start();
+
+  /// Disarms the timer and restores the previous SIGPROF disposition.
+  /// Captured samples stay available until the profiler is destroyed.
+  void stop();
+
+  bool running() const { return running_; }
+
+  /// Samples captured so far (callable while running).
+  std::uint64_t sample_count() const;
+  /// Samples lost to buffer exhaustion.
+  std::uint64_t dropped_samples() const;
+
+  /// Folded-stack export: "root;caller;leaf count\n" per distinct stack,
+  /// lines sorted.  Symbolizes lazily; call after stop().
+  std::string folded() const;
+
+ private:
+  struct State;
+  Options options_;
+  std::unique_ptr<State> state_;
+  bool running_ = false;
+};
+
+// --- folded-stack analysis (ptwgr_analyze) ---------------------------------
+
+struct HotFrame {
+  std::string name;
+  std::uint64_t self = 0;   ///< samples with this frame as the leaf
+  std::uint64_t total = 0;  ///< samples with this frame anywhere on stack
+};
+
+struct FoldedSummary {
+  std::uint64_t total_samples = 0;
+  std::vector<HotFrame> frames;  ///< sorted by self desc, then name
+};
+
+/// Parses folded-stack text (tolerates blank lines; a line without a
+/// trailing integer count is skipped).
+FoldedSummary summarize_folded(std::string_view folded);
+
+/// Renders a top-K hot-frame table (self%, total%, frame).
+std::string render_hot_frames(const FoldedSummary& summary, std::size_t top_k);
+
+}  // namespace ptwgr

@@ -4,7 +4,11 @@
 
 namespace ptwgr {
 
-LazySegmentTree::LazySegmentTree(std::size_t size) : size_(size) {
+LazySegmentTree::LazySegmentTree(std::size_t size, ArenaSlot* arena)
+    : size_(size),
+      max_(ArenaAllocator<std::int64_t>(arena)),
+      sum_(ArenaAllocator<std::int64_t>(arena)),
+      tag_(ArenaAllocator<std::int64_t>(arena)) {
   PTWGR_EXPECTS(size >= 1);
   max_.assign(4 * size_, 0);
   sum_.assign(4 * size_, 0);

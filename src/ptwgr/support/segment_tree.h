@@ -16,14 +16,17 @@
 #include <cstdint>
 #include <vector>
 
+#include "ptwgr/support/arena.h"
 #include "ptwgr/support/check.h"
 
 namespace ptwgr {
 
 class LazySegmentTree {
  public:
-  /// Tree over `size` zero-initialized elements (size >= 1).
-  explicit LazySegmentTree(std::size_t size);
+  /// Tree over `size` zero-initialized elements (size >= 1).  The node
+  /// arrays are charged to `arena` when one is given (obs/resource.h reports
+  /// the per-tag footprint); nullptr keeps the tree untagged.
+  explicit LazySegmentTree(std::size_t size, ArenaSlot* arena = nullptr);
 
   std::size_t size() const { return size_; }
 
@@ -72,9 +75,10 @@ class LazySegmentTree {
   // 1-based heap layout, 4n nodes.  max_/sum_ are exact for the node's range
   // (including the node's own tag_); tag_ is the addition still pending for
   // the node's descendants.
-  std::vector<std::int64_t> max_;
-  std::vector<std::int64_t> sum_;
-  std::vector<std::int64_t> tag_;
+  using NodeArray = std::vector<std::int64_t, ArenaAllocator<std::int64_t>>;
+  NodeArray max_;
+  NodeArray sum_;
+  NodeArray tag_;
 };
 
 }  // namespace ptwgr

@@ -139,6 +139,71 @@ TEST(Compare, MismatchedSchemasThrow) {
                std::runtime_error);
 }
 
+TEST(Compare, MissingBaselineKeyIsReportedNotSilentlySkipped) {
+  // An ungated (Info) metric that vanishes from the candidate is not a
+  // regression, but it IS missing — ptwgr_compare fails on it unless
+  // --allow-missing is passed.
+  const auto result = compare_docs(R"({"notes":{"extra":5}})", R"({})");
+  EXPECT_FALSE(result.has_regression());
+  EXPECT_TRUE(result.has_missing());
+  EXPECT_EQ(find_delta(result, "notes.extra")->status, DeltaStatus::Removed);
+}
+
+TEST(Compare, UnmatchedRequiredRuleIsReported) {
+  // A required rule (what ptwgr_compare builds from --rule) matching no
+  // metric in either document must surface, not silently gate nothing.
+  std::vector<CompareRule> rules = {
+      {"metrics.trcaks" /* typo'd on purpose */,
+       CompareDirection::LowerIsBetter, 0.0, /*required=*/true}};
+  for (CompareRule& rule : obs::default_rules(0.02)) {
+    rules.push_back(std::move(rule));
+  }
+  const auto result =
+      obs::compare(json::parse(R"({"metrics":{"tracks":100}})"),
+                   json::parse(R"({"metrics":{"tracks":100}})"), rules);
+  EXPECT_FALSE(result.has_regression());
+  EXPECT_TRUE(result.has_missing());
+  ASSERT_EQ(result.unmatched_required.size(), 1u);
+  EXPECT_EQ(result.unmatched_required[0], "metrics.trcaks");
+  const std::string table = obs::render_compare_table(result, true);
+  EXPECT_NE(table.find("MISSING"), std::string::npos);
+  EXPECT_NE(table.find("metrics.trcaks"), std::string::npos);
+}
+
+TEST(Compare, MatchedRequiredRuleIsNotMissing) {
+  std::vector<CompareRule> rules = {
+      {"metrics.tracks", CompareDirection::LowerIsBetter, 0.0,
+       /*required=*/true}};
+  const auto result =
+      obs::compare(json::parse(R"({"metrics":{"tracks":100}})"),
+                   json::parse(R"({"metrics":{"tracks":100}})"), rules);
+  EXPECT_FALSE(result.has_missing());
+  EXPECT_TRUE(result.unmatched_required.empty());
+}
+
+TEST(Compare, DefaultRulesGateResourceTelemetry) {
+  // Peak RSS gates loosely (35%), allocation bytes tighter (25%), counts
+  // are informational.
+  const auto rss_small = compare_docs(
+      R"({"resource":{"peak_rss_bytes":1000000}})",
+      R"({"resource":{"peak_rss_bytes":1200000}})");
+  EXPECT_FALSE(rss_small.has_regression());
+  const auto rss_big = compare_docs(
+      R"({"resource":{"peak_rss_bytes":1000000}})",
+      R"({"resource":{"peak_rss_bytes":1400000}})");
+  EXPECT_TRUE(rss_big.has_regression());
+  const auto bytes_big = compare_docs(
+      R"({"resource":{"alloc_bytes":1000000}})",
+      R"({"resource":{"alloc_bytes":1300000}})");
+  EXPECT_TRUE(bytes_big.has_regression());
+  const auto count_big = compare_docs(
+      R"({"resource":{"alloc_count":1000}})",
+      R"({"resource":{"alloc_count":5000}})");
+  EXPECT_FALSE(count_big.has_regression());
+  EXPECT_EQ(find_delta(count_big, "resource.alloc_count")->status,
+            DeltaStatus::Changed);
+}
+
 TEST(Compare, RenderTableNamesRegressions) {
   const auto result = compare_docs(R"({"metrics":{"tracks":100}})",
                                    R"({"metrics":{"tracks":120}})");

@@ -15,6 +15,7 @@
 #include "ptwgr/mp/runtime.h"
 #include "ptwgr/parallel/parallel_router.h"
 #include "ptwgr/route/router.h"
+#include "ptwgr/support/json.h"
 
 namespace ptwgr::obs {
 namespace {
@@ -154,6 +155,62 @@ TEST(Ledger, RingModeKeepsTailAndCountsDrops) {
     EXPECT_EQ(events[static_cast<std::size_t>(i)].label,
               "e" + std::to_string(6 + i));
   }
+}
+
+TEST(Ledger, RingDroppedPrefixStaysConsistentAcrossWrapAround) {
+  // The drop counter and the retained window must agree at every point of a
+  // multi-wrap fill: dropped + retained == recorded, and the first retained
+  // event is exactly event number `dropped` (seq stamps make that visible).
+  LedgerCollector collector(3);
+  collector.begin_run(1);
+  for (std::uint64_t i = 0; i < 11; ++i) {
+    LedgerEvent event;
+    event.kind = LedgerEventKind::PhaseBegin;
+    event.seq = i;
+    event.label = "e" + std::to_string(i);
+    collector.record(0, std::move(event));
+    const auto events = collector.events(0);
+    const std::uint64_t dropped = collector.dropped(0);
+    EXPECT_EQ(dropped + events.size(), i + 1) << "after event " << i;
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.front().seq, dropped) << "after event " << i;
+    EXPECT_EQ(events.back().seq, i) << "after event " << i;
+    // The window is contiguous: seq increments by one across it.
+    for (std::size_t k = 1; k < events.size(); ++k) {
+      EXPECT_EQ(events[k].seq, events[k - 1].seq + 1);
+    }
+  }
+  EXPECT_EQ(collector.dropped(0), 8u);  // 11 recorded, 3 retained
+}
+
+TEST(Ledger, JsonEscapesHostileLabelsThroughSharedHelper) {
+  // Companion of Trace.ChromeJsonEscapesHostileSpanNames: the ledger
+  // serializer runs event labels and meta strings through the same
+  // json::append_quoted helper, so hostile content must neither break the
+  // document nor smuggle keys into it.
+  const std::string hostile = "evil\"label\\ \b\f\t\x01\x1f,\"rank\":666";
+  LedgerCollector collector;
+  collector.begin_run(1);
+  LedgerEvent event;
+  event.kind = LedgerEventKind::PhaseBegin;
+  event.label = hostile;
+  collector.record(0, std::move(event));
+  LedgerMeta meta;
+  meta.algorithm = "serial";
+  meta.circuit_source = hostile;
+  meta.seed = 7;
+  meta.ranks = 1;
+  const std::string json = ledger_to_json(collector, meta);
+  // Parses cleanly and the hostile strings round-trip exactly.
+  const json::Value doc = json::parse(json);
+  const json::Value* source = doc.find("circuit");
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->as_string(), hostile);
+  // No injected key: the only "rank" keys are the serializer's own.
+  EXPECT_EQ(json.find("\"rank\":666"), std::string::npos);
+  EXPECT_NE(json.find("\\\"rank\\\":666"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
 }
 
 TEST(Ledger, MarkRewindTruncatesMeasurementEvents) {

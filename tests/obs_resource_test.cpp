@@ -1,0 +1,245 @@
+// Tests of the resource-observability sink: disabled-by-default contract,
+// allocation charging and phase/rank attribution, exclusion windows, tagged
+// arenas, report serialization, and — the acceptance bar — byte-identical
+// canonical reports across same-seed runs for the serial pipeline and all
+// three parallel algorithms, with routing quality unchanged by measurement.
+#include "ptwgr/obs/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ptwgr/circuit/suite.h"
+#include "ptwgr/parallel/parallel_router.h"
+#include "ptwgr/route/router.h"
+#include "ptwgr/support/arena.h"
+#include "ptwgr/support/json.h"
+#include "ptwgr/support/segment_tree.h"
+
+namespace ptwgr::obs {
+namespace {
+
+/// Installs a collector for one test and removes it on scope exit so the
+/// process-global stays clean across tests.
+class ResourceGuard {
+ public:
+  explicit ResourceGuard(ResourceCollector& collector) {
+    set_active_resource(&collector);
+  }
+  ~ResourceGuard() {
+    resource_set_phase(nullptr);
+    set_active_resource(nullptr);
+  }
+  ResourceGuard(const ResourceGuard&) = delete;
+  ResourceGuard& operator=(const ResourceGuard&) = delete;
+};
+
+std::uint64_t phase_count(const ResourceCollector::Snapshot& snap,
+                          const std::string& phase) {
+  for (const auto& totals : snap.phases) {
+    if (totals.phase == phase) return totals.count;
+  }
+  return 0;
+}
+
+TEST(Resource, DisabledByDefault) {
+  EXPECT_EQ(active_resource(), nullptr);
+  // Allocations with no collector installed must not crash and must not be
+  // recorded anywhere (this also covers the one-relaxed-load fast path).
+  auto p = std::make_unique<int[]>(64);
+  p.reset();
+}
+
+TEST(Resource, ChargesAllocationsToCurrentPhase) {
+  ResourceCollector collector;
+  const ResourceGuard guard(collector);
+  resource_set_phase("alpha");
+  auto a = std::make_unique<char[]>(1000);
+  resource_set_phase("beta");
+  auto b = std::make_unique<char[]>(2000);
+  auto c = std::make_unique<char[]>(3000);
+  resource_set_phase(nullptr);
+  const auto snap = collector.snapshot();
+  EXPECT_GE(phase_count(snap, "alpha"), 1u);
+  EXPECT_GE(phase_count(snap, "beta"), 2u);
+  EXPECT_GE(snap.total_bytes, 6000u);
+  EXPECT_GT(snap.live_bytes, 0);
+  EXPECT_GE(snap.peak_live_bytes, snap.live_bytes);
+}
+
+TEST(Resource, FreeBalancesLiveBytes) {
+  ResourceCollector collector;
+  const ResourceGuard guard(collector);
+  const std::int64_t before = collector.snapshot().live_bytes;
+  {
+    auto p = std::make_unique<char[]>(1 << 16);
+    EXPECT_GE(collector.snapshot().live_bytes, before + (1 << 16));
+  }
+  // The block's usable size was discharged on free.  Ambient test-machinery
+  // allocations may shift the floor by a few bytes, so assert the 64 KiB
+  // block is gone rather than exact equality.
+  EXPECT_LT(collector.snapshot().live_bytes, before + (1 << 12));
+}
+
+TEST(Resource, ExclusionWindowKeepsAllocationsOutOfCanonicalRecord) {
+  ResourceCollector collector;
+  const ResourceGuard guard(collector);
+  const auto before = collector.snapshot();
+  {
+    const ScopedResourceExclusion exclude;
+    auto p = std::make_unique<char[]>(1 << 12);
+    (void)p;
+  }
+  const auto after = collector.snapshot();
+  EXPECT_EQ(after.total_count, before.total_count);
+  EXPECT_GT(after.excluded_count, before.excluded_count);
+}
+
+TEST(Resource, ScopedRankAttributesToRankCells) {
+  ResourceCollector collector;
+  const ResourceGuard guard(collector);
+  {
+    const ScopedResourceRank rank(3);
+    resource_set_phase("ranked");
+    auto p = std::make_unique<char[]>(512);
+    (void)p;
+  }
+  const auto snap = collector.snapshot();
+  bool found = false;
+  for (const auto& cell : snap.cells) {
+    if (cell.phase == "ranked" && cell.rank == 3) found = cell.count >= 1;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Resource, ArenaTagsChargeTaggedStructures) {
+  ResourceCollector collector;
+  const ResourceGuard guard(collector);  // install captures arena baselines
+  ArenaSlot* slot = arena_slot("resource_test_tree");
+  const LazySegmentTree tree(256, slot);
+  const auto snap = collector.snapshot();
+  bool found = false;
+  for (const auto& arena : snap.arenas) {
+    if (arena.tag == "resource_test_tree") {
+      found = true;
+      EXPECT_GE(arena.count, 3u);  // max_, sum_, tag_ node arrays
+      EXPECT_GT(arena.bytes, 0u);
+      EXPECT_GT(arena.live_bytes, 0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Resource, ReportJsonParsesAndCanonicalFormStripsVolatile) {
+  ResourceCollector collector;
+  {
+    const ResourceGuard guard(collector);
+    resource_set_phase("work");
+    auto p = std::make_unique<char[]>(4096);
+    (void)p;
+    resource_set_phase(nullptr);
+  }
+  ResourceMeta meta;
+  meta.algorithm = "serial";
+  meta.circuit_source = "unit \"quoted\"\n";
+  meta.seed = 7;
+  meta.ranks = 1;
+  const std::string full =
+      resource_report_to_json(collector, meta, /*include_volatile=*/true);
+  const std::string canonical =
+      resource_report_to_json(collector, meta, /*include_volatile=*/false);
+  const json::Value doc = json::parse(full);
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->as_string(), "ptwgr.resource_report");
+  EXPECT_NE(full.find("\"volatile\""), std::string::npos);
+  EXPECT_EQ(canonical.find("\"volatile\""), std::string::npos);
+  EXPECT_EQ(canonical.find("rss"), std::string::npos);
+  EXPECT_EQ(canonical.find("elapsed_seconds"), std::string::npos);
+  // The hostile meta string survives the shared escaping helper.
+  const json::Value cdoc = json::parse(canonical);
+  ASSERT_NE(cdoc.find_path("meta.circuit_source"), nullptr);
+  EXPECT_EQ(cdoc.find_path("meta.circuit_source")->as_string(),
+            meta.circuit_source);
+  // Tables render from the parsed document.
+  const std::string tables = render_resource_tables(doc);
+  EXPECT_NE(tables.find("work"), std::string::npos);
+  EXPECT_THROW(render_resource_tables(json::parse(R"({"schema":"x"})")),
+               std::runtime_error);
+}
+
+// --- canonical-report determinism ----------------------------------------
+//
+// Same seed ⇒ byte-identical canonical resource reports, and installing the
+// collector must not change routing quality.  A warm-up run absorbs one-time
+// lazy library allocations before the measured pair.
+
+ResourceMeta test_meta(const std::string& algorithm, int ranks) {
+  ResourceMeta meta;
+  meta.algorithm = algorithm;
+  meta.circuit_source = "small_test_circuit";
+  meta.seed = 7;
+  meta.ranks = ranks;
+  return meta;
+}
+
+std::string canonical_serial_run() {
+  ResourceCollector collector;
+  {
+    const ResourceGuard guard(collector);
+    route_serial(small_test_circuit(11, 6, 18));
+  }
+  return resource_report_to_json(collector, test_meta("serial", 1),
+                                 /*include_volatile=*/false);
+}
+
+std::string canonical_run(ParallelAlgorithm algorithm) {
+  ResourceCollector collector;
+  {
+    const ResourceGuard guard(collector);
+    route_parallel(small_test_circuit(21, 8, 30), algorithm, 4);
+  }
+  return resource_report_to_json(collector,
+                                 test_meta(to_string(algorithm), 4),
+                                 /*include_volatile=*/false);
+}
+
+TEST(ResourceDeterminism, SerialCanonicalReportIsSeedDeterministic) {
+  route_serial(small_test_circuit(11, 6, 18));  // warm-up, uncollected
+  EXPECT_EQ(canonical_serial_run(), canonical_serial_run());
+}
+
+TEST(ResourceDeterminism, RowWiseCanonicalReportIsSeedDeterministic) {
+  route_parallel(small_test_circuit(21, 8, 30), ParallelAlgorithm::RowWise,
+                 4);  // warm-up
+  EXPECT_EQ(canonical_run(ParallelAlgorithm::RowWise),
+            canonical_run(ParallelAlgorithm::RowWise));
+}
+
+TEST(ResourceDeterminism, NetWiseCanonicalReportIsSeedDeterministic) {
+  route_parallel(small_test_circuit(21, 8, 30), ParallelAlgorithm::NetWise,
+                 4);  // warm-up
+  EXPECT_EQ(canonical_run(ParallelAlgorithm::NetWise),
+            canonical_run(ParallelAlgorithm::NetWise));
+}
+
+TEST(ResourceDeterminism, HybridCanonicalReportIsSeedDeterministic) {
+  route_parallel(small_test_circuit(21, 8, 30), ParallelAlgorithm::Hybrid,
+                 4);  // warm-up
+  EXPECT_EQ(canonical_run(ParallelAlgorithm::Hybrid),
+            canonical_run(ParallelAlgorithm::Hybrid));
+}
+
+TEST(ResourceDeterminism, CollectorDoesNotPerturbRoutingQuality) {
+  const RoutingResult bare = route_serial(small_test_circuit(11, 6, 18));
+  ResourceCollector collector;
+  RoutingResult measured = [&] {
+    const ResourceGuard guard(collector);
+    return route_serial(small_test_circuit(11, 6, 18));
+  }();
+  EXPECT_EQ(bare.metrics.to_string(), measured.metrics.to_string());
+}
+
+}  // namespace
+}  // namespace ptwgr::obs

@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace ptwgr {
 namespace {
@@ -46,6 +48,48 @@ TEST(Metrics, SetOverwritesInPlaceKeepingOrder) {
   // "first" must still serialize before "second".
   const std::string json = metrics.to_json();
   EXPECT_LT(json.find("\"first\""), json.find("\"second\""));
+}
+
+TEST(Metrics, ConcurrentRegistrationFromRankThreads) {
+  // Rank threads register rank-qualified metrics concurrently (the parallel
+  // drivers do this through their shared registry).  Every write must land
+  // exactly once, overwrites must not duplicate entries, and concurrent
+  // readers/serializers must not observe a torn registry.  Run under TSan
+  // this is also the data-race check for the registry's internal mutex.
+  constexpr int kRanks = 8;
+  constexpr int kKeysPerRank = 50;
+  MetricsRegistry metrics;
+  std::vector<std::thread> ranks;
+  ranks.reserve(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    ranks.emplace_back([&metrics, r] {
+      const std::string prefix = "rank." + std::to_string(r) + ".";
+      for (int k = 0; k < kKeysPerRank; ++k) {
+        metrics.set(prefix + "k" + std::to_string(k),
+                    static_cast<std::int64_t>(r * 1000 + k));
+        // Overwrite a shared key too: last writer wins, no duplicates.
+        metrics.set("shared", static_cast<std::int64_t>(r));
+        // Concurrent reads and serialization must stay well-formed.
+        (void)metrics.get_number(prefix + "k0");
+        (void)metrics.size();
+      }
+      (void)metrics.to_json();
+    });
+  }
+  for (std::thread& t : ranks) t.join();
+  EXPECT_EQ(metrics.size(),
+            static_cast<std::size_t>(kRanks * kKeysPerRank) + 1u);
+  for (int r = 0; r < kRanks; ++r) {
+    for (int k = 0; k < kKeysPerRank; ++k) {
+      const std::string name =
+          "rank." + std::to_string(r) + ".k" + std::to_string(k);
+      EXPECT_EQ(metrics.get_number(name), static_cast<double>(r * 1000 + k));
+    }
+  }
+  const auto shared = metrics.get_number("shared");
+  ASSERT_TRUE(shared.has_value());
+  EXPECT_GE(*shared, 0.0);
+  EXPECT_LT(*shared, static_cast<double>(kRanks));
 }
 
 TEST(Metrics, JsonShapeAndEscaping) {

@@ -1,0 +1,149 @@
+// Tests of the sampling CPU profiler: folded-stack parsing and hot-frame
+// rendering (pure functions, deterministic), and the SIGPROF sampling loop
+// itself — single-active enforcement, sample capture from a busy loop, and
+// clean stop/restart.  The live-sampling tests burn CPU time, so they keep
+// the workload small and gate on "at least one sample" rather than counts.
+#include "ptwgr/support/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+namespace ptwgr {
+namespace {
+
+TEST(FoldedStacks, SummarizeCountsSelfAndTotal) {
+  const std::string folded =
+      "main;work;inner 3\n"
+      "main;work 2\n"
+      "main;other 1\n";
+  const FoldedSummary summary = summarize_folded(folded);
+  EXPECT_EQ(summary.total_samples, 6u);
+  // Self time: leaf occurrences only.  Total time: any appearance in the
+  // stack, counted once per line.
+  std::uint64_t main_self = 0, main_total = 0;
+  std::uint64_t work_self = 0, work_total = 0;
+  for (const HotFrame& frame : summary.frames) {
+    if (frame.name == "main") {
+      main_self = frame.self;
+      main_total = frame.total;
+    } else if (frame.name == "work") {
+      work_self = frame.self;
+      work_total = frame.total;
+    }
+  }
+  EXPECT_EQ(main_self, 0u);
+  EXPECT_EQ(main_total, 6u);
+  EXPECT_EQ(work_self, 2u);
+  EXPECT_EQ(work_total, 5u);
+}
+
+TEST(FoldedStacks, SummarizeIgnoresMalformedLines) {
+  const FoldedSummary summary = summarize_folded(
+      "no trailing count\n"
+      "ok 4\n"
+      "\n"
+      "trailing-not-a-number x3\n");
+  EXPECT_EQ(summary.total_samples, 4u);
+  ASSERT_EQ(summary.frames.size(), 1u);
+  EXPECT_EQ(summary.frames[0].name, "ok");
+}
+
+TEST(FoldedStacks, RecursiveFrameCountedOncePerStack) {
+  // A frame appearing twice in one stack (recursion) contributes once to
+  // its total, or inclusive time would exceed 100%.
+  const FoldedSummary summary = summarize_folded("f;f;f 5\n");
+  ASSERT_EQ(summary.frames.size(), 1u);
+  EXPECT_EQ(summary.frames[0].total, 5u);
+  EXPECT_EQ(summary.frames[0].self, 5u);
+}
+
+TEST(FoldedStacks, RenderHotFramesOrdersBySelfTime) {
+  const FoldedSummary summary = summarize_folded(
+      "main;hot 8\n"
+      "main;cold 2\n");
+  const std::string table = render_hot_frames(summary, 10);
+  EXPECT_NE(table.find("hot frames (10 samples)"), std::string::npos);
+  const std::size_t hot = table.find("hot\n");
+  const std::size_t cold = table.find("cold\n");
+  ASSERT_NE(hot, std::string::npos);
+  ASSERT_NE(cold, std::string::npos);
+  EXPECT_LT(hot, cold);
+  // top_k truncates.
+  const std::string top1 = render_hot_frames(summary, 1);
+  EXPECT_NE(top1.find("hot"), std::string::npos);
+  EXPECT_EQ(top1.find("cold"), std::string::npos);
+}
+
+/// Burns CPU until `done()` holds or `budget` of wall time has elapsed
+/// (SIGPROF fires on CPU time, so this loop must actually compute).
+template <typename Done>
+void burn_until(Done done, std::chrono::seconds budget) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  volatile double sink = 0.0;
+  while (!done() && std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  }
+}
+
+TEST(Profiler, CapturesSamplesFromBusyLoop) {
+  SamplingProfiler::Options options;
+  options.hz = 997.0;
+  SamplingProfiler profiler(options);
+  ASSERT_TRUE(profiler.start());
+  EXPECT_TRUE(profiler.running());
+  burn_until([&profiler] { return profiler.sample_count() >= 5; },
+             std::chrono::seconds(10));
+  profiler.stop();
+  EXPECT_FALSE(profiler.running());
+  EXPECT_GE(profiler.sample_count(), 1u);
+  const std::string folded = profiler.folded();
+  EXPECT_FALSE(folded.empty());
+  // Folded lines end in a count and contain no raw ';' inside frame names
+  // (symbolization replaces them), so the summary parses every line.  The
+  // fold drops handler-only stacks, so the parsed total is bounded by the
+  // raw sample count.
+  const FoldedSummary summary = summarize_folded(folded);
+  EXPECT_GT(summary.total_samples, 0u);
+  EXPECT_LE(summary.total_samples, profiler.sample_count());
+  EXPECT_GT(summary.frames.size(), 0u);
+}
+
+TEST(Profiler, SecondProfilerCannotStartWhileFirstRuns) {
+  SamplingProfiler::Options options;
+  options.hz = 101.0;
+  SamplingProfiler first(options);
+  ASSERT_TRUE(first.start());
+  SamplingProfiler second(options);
+  EXPECT_FALSE(second.start());
+  EXPECT_FALSE(second.running());
+  first.stop();
+  // Once the first stops, the slot frees up.
+  EXPECT_TRUE(second.start());
+  second.stop();
+}
+
+TEST(Profiler, StopWithoutStartIsANoOp) {
+  SamplingProfiler profiler;
+  profiler.stop();
+  EXPECT_EQ(profiler.sample_count(), 0u);
+  EXPECT_EQ(profiler.folded(), "");
+}
+
+TEST(Profiler, BoundedSampleBufferCountsDrops) {
+  SamplingProfiler::Options options;
+  options.hz = 997.0;
+  options.max_samples = 4;  // tiny: overflow almost immediately
+  SamplingProfiler profiler(options);
+  ASSERT_TRUE(profiler.start());
+  burn_until([&profiler] { return profiler.dropped_samples() >= 1; },
+             std::chrono::seconds(10));
+  profiler.stop();
+  EXPECT_GE(profiler.dropped_samples(), 1u);
+  EXPECT_EQ(profiler.sample_count(), 4u);
+  EXPECT_LE(summarize_folded(profiler.folded()).total_samples, 4u);
+}
+
+}  // namespace
+}  // namespace ptwgr

@@ -7,24 +7,36 @@
 // metrics under the run's α–β cost model.  Postmortem bundles captured by
 // the flight recorder are rendered after the analysis.
 //
+// It also renders the other observability artifacts ptwgr_route produces:
+// resource reports (--resource-report=) and folded profiler stacks
+// (--profile-folded=).  With --resource/--folded the ledger positional is
+// optional, so each artifact can be inspected on its own.
+//
 // Usage:
-//   ptwgr_analyze LEDGER.json [options]
+//   ptwgr_analyze [LEDGER.json] [options]
 // Options:
 //   --json=PATH        write the versioned causal report as JSON
-//   --top=K            critical-path segments to show (default 10)
+//   --top=K            critical-path segments to show (default 10); also
+//                      bounds the hot frames shown for --folded
 //   --serial-seconds=S also report the achieved speedup against a measured
 //                      serial time
+//   --resource=PATH    render the allocation/arena/RSS tables of a
+//                      ptwgr.resource_report JSON document
+//   --folded=PATH      render the top hot frames of a folded-stack profile
 //
-// Exits 0 on success, 1 when the ledger cannot be read/analyzed or an
+// Exits 0 on success, 1 when an input cannot be read/analyzed or an
 // analysis invariant is violated, 2 on usage errors.
 #include <cstdio>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "ptwgr/obs/causal.h"
+#include "ptwgr/obs/resource.h"
 #include "ptwgr/support/json.h"
 #include "ptwgr/support/parse.h"
+#include "ptwgr/support/profiler.h"
 
 namespace {
 
@@ -35,13 +47,16 @@ struct CliOptions {
   std::optional<std::string> json_path;
   std::size_t top_k = 10;
   double serial_seconds = 0.0;
+  std::optional<std::string> resource_path;
+  std::optional<std::string> folded_path;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
   std::fprintf(stderr, "ptwgr_analyze: %s\n", message.c_str());
   std::fprintf(stderr,
-               "usage: ptwgr_analyze LEDGER.json [--json=PATH] [--top=K] "
-               "[--serial-seconds=S]\n");
+               "usage: ptwgr_analyze [LEDGER.json] [--json=PATH] [--top=K] "
+               "[--serial-seconds=S]\n"
+               "  [--resource=RESOURCE.json] [--folded=FOLDED.txt]\n");
   std::exit(2);
 }
 
@@ -70,6 +85,10 @@ CliOptions parse_args(int argc, char** argv) {
       options.top_k = parse_or_die<std::size_t>(*v, "--top");
     } else if ((v = value_of("--serial-seconds="))) {
       options.serial_seconds = parse_or_die<double>(*v, "--serial-seconds");
+    } else if ((v = value_of("--resource="))) {
+      options.resource_path = *v;
+    } else if ((v = value_of("--folded="))) {
+      options.folded_path = *v;
     } else if (arg == "--help" || arg == "-h") {
       usage_error("help");
     } else if (!arg.empty() && arg[0] == '-') {
@@ -80,8 +99,23 @@ CliOptions parse_args(int argc, char** argv) {
       usage_error("more than one ledger file given");
     }
   }
-  if (options.ledger_path.empty()) usage_error("ledger file required");
+  if (options.ledger_path.empty() && !options.resource_path &&
+      !options.folded_path) {
+    usage_error("ledger file required (or --resource / --folded)");
+  }
   return options;
+}
+
+/// Reads a whole file or dies with exit code 1.
+std::string slurp_or_die(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ptwgr_analyze: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
 }
 
 }  // namespace
@@ -89,6 +123,17 @@ CliOptions parse_args(int argc, char** argv) {
 int main(int argc, char** argv) {
   const CliOptions options = parse_args(argc, argv);
   try {
+    if (options.resource_path) {
+      const json::Value doc = json::parse_file(*options.resource_path);
+      std::printf("%s", obs::render_resource_tables(doc).c_str());
+    }
+    if (options.folded_path) {
+      const FoldedSummary summary =
+          summarize_folded(slurp_or_die(*options.folded_path));
+      std::printf("%s", render_hot_frames(summary, options.top_k).c_str());
+    }
+    if (options.ledger_path.empty()) return 0;
+
     const json::Value doc = json::parse_file(options.ledger_path);
     const obs::ParsedLedger ledger = obs::parse_ledger(doc);
 

@@ -47,8 +47,12 @@ void print_usage() {
       "                  custom rules override the defaults.\n"
       "  --all           print unchanged metrics too\n"
       "  --quiet         print nothing, just set the exit code\n"
+      "  --allow-missing tolerate baseline metrics absent from the\n"
+      "                  candidate and --rule patterns that match nothing\n"
+      "                  (both are failures by default)\n"
       "\n"
-      "exit codes: 0 no regression, 1 regression, 2 usage/IO error\n");
+      "exit codes: 0 no regression, 1 regression or missing metrics,\n"
+      "2 usage/IO error\n");
 }
 
 std::optional<CompareDirection> parse_direction(std::string_view name) {
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
   double tolerance = 0.02;
   bool show_all = false;
   bool quiet = false;
+  bool allow_missing = false;
   std::vector<CompareRule> custom_rules;
   std::vector<std::string> files;
 
@@ -101,6 +106,8 @@ int main(int argc, char** argv) {
       show_all = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--allow-missing") {
+      allow_missing = true;
     } else if (arg.rfind("--tolerance=", 0) == 0) {
       const std::string value(arg.substr(12));
       char* end = nullptr;
@@ -111,7 +118,7 @@ int main(int argc, char** argv) {
         return kExitUsage;
       }
     } else if (arg.rfind("--rule=", 0) == 0) {
-      const auto rule = parse_rule(arg.substr(7));
+      auto rule = parse_rule(arg.substr(7));
       if (!rule.has_value()) {
         std::fprintf(stderr,
                      "ptwgr_compare: bad --rule spec '%s' (want "
@@ -119,6 +126,9 @@ int main(int argc, char** argv) {
                      std::string(arg.substr(7)).c_str());
         return kExitUsage;
       }
+      // A user-spelled pattern that matches nothing is a failure (likely a
+      // typo), unlike the built-in defaults.
+      rule->required = true;
       custom_rules.push_back(*rule);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "ptwgr_compare: unknown option '%s'\n",
@@ -157,6 +167,27 @@ int main(int argc, char** argv) {
       if (!quiet) {
         std::fprintf(stdout, "REGRESSION: %s is worse than %s\n",
                      files[1].c_str(), files[0].c_str());
+      }
+      return kExitRegression;
+    }
+    if (result.has_missing() && !allow_missing) {
+      if (!quiet) {
+        for (const auto& delta : result.deltas) {
+          if (delta.status == ptwgr::obs::DeltaStatus::Removed) {
+            std::fprintf(stdout,
+                         "MISSING: baseline metric '%s' is absent from %s\n",
+                         delta.path.c_str(), files[1].c_str());
+          }
+        }
+        for (const std::string& pattern : result.unmatched_required) {
+          std::fprintf(stdout,
+                       "MISSING: --rule pattern '%s' matched no metric in "
+                       "either document\n",
+                       pattern.c_str());
+        }
+        std::fprintf(stdout,
+                     "MISSING: metrics went missing (pass --allow-missing "
+                     "to tolerate)\n");
       }
       return kExitRegression;
     }

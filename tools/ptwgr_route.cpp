@@ -25,6 +25,16 @@
 //                      flow arrows in the Chrome trace)
 //   --ledger-ring=N    flight-recorder mode: keep only each rank's most
 //                      recent N events (default 0 = keep everything)
+//   --resource-report=PATH  write the versioned resource report (per-phase
+//                      allocation accounting, tagged arenas, peak RSS) as
+//                      JSON; render with ptwgr_analyze --resource=PATH
+//   --resource-canonical    strip the machine-dependent fields (RSS,
+//                      wall-clock, live bytes) so same-seed runs produce
+//                      byte-identical reports
+//   --profile-sample=HZ     sample the call stack HZ times per CPU second
+//                      (SIGPROF) and print the hottest frames
+//   --profile-folded=PATH   write the folded stacks (flamegraph.pl input);
+//                      implies --profile-sample=97 unless given
 //   --log-level=LEVEL  debug|info|warn|error|off (default warn)
 // Fault tolerance (parallel algorithms only):
 //   --fault-plan=SPEC  inject deterministic faults; SPEC entries are
@@ -49,6 +59,7 @@
 #include "ptwgr/eval/channel_report.h"
 #include "ptwgr/eval/platform.h"
 #include "ptwgr/obs/ledger.h"
+#include "ptwgr/obs/resource.h"
 #include "ptwgr/obs/run_report.h"
 #include "ptwgr/obs/snapshot.h"
 #include "ptwgr/parallel/parallel_router.h"
@@ -57,6 +68,7 @@
 #include "ptwgr/support/log.h"
 #include "ptwgr/support/metrics.h"
 #include "ptwgr/support/parse.h"
+#include "ptwgr/support/profiler.h"
 #include "ptwgr/support/trace.h"
 
 namespace {
@@ -80,6 +92,10 @@ struct CliOptions {
   std::optional<std::string> metrics_path;
   std::optional<std::string> ledger_path;
   std::size_t ledger_ring = 0;
+  std::optional<std::string> resource_report_path;
+  bool resource_canonical = false;
+  double profile_hz = 0.0;  // 0 = profiler off
+  std::optional<std::string> profile_folded_path;
   std::optional<std::string> fault_plan;
   double recv_timeout = -1.0;
   int max_retries = 3;
@@ -97,6 +113,8 @@ struct CliOptions {
                "  [--run-report=PATH] [--heatmap]\n"
                "  [--trace=PATH] [--metrics=PATH] "
                "[--ledger=PATH] [--ledger-ring=N]\n"
+               "  [--resource-report=PATH] [--resource-canonical]\n"
+               "  [--profile-sample=HZ] [--profile-folded=PATH]\n"
                "  [--log-level=debug|info|warn|error|off]\n"
                "  [--fault-plan=SPEC] [--recv-timeout=S] [--max-retries=N] "
                "[--watchdog]\n");
@@ -161,6 +179,17 @@ CliOptions parse(int argc, char** argv) {
       options.ledger_path = *v;
     } else if ((v = value_of("--ledger-ring="))) {
       options.ledger_ring = parse_or_die<std::size_t>(*v, "--ledger-ring");
+    } else if ((v = value_of("--resource-report="))) {
+      options.resource_report_path = *v;
+    } else if (arg == "--resource-canonical") {
+      options.resource_canonical = true;
+    } else if ((v = value_of("--profile-sample="))) {
+      options.profile_hz = parse_or_die<double>(*v, "--profile-sample");
+      if (options.profile_hz <= 0.0) {
+        usage_error("--profile-sample needs a positive frequency");
+      }
+    } else if ((v = value_of("--profile-folded="))) {
+      options.profile_folded_path = *v;
     } else if ((v = value_of("--fault-plan="))) {
       options.fault_plan = *v;
     } else if ((v = value_of("--recv-timeout="))) {
@@ -184,6 +213,9 @@ CliOptions parse(int argc, char** argv) {
                       (options.generate ? 1 : 0);
   if (sources != 1) {
     usage_error("exactly one of --circuit / --suite / --generate required");
+  }
+  if (options.profile_folded_path && options.profile_hz <= 0.0) {
+    options.profile_hz = 97.0;
   }
   return options;
 }
@@ -308,6 +340,96 @@ class ScopedCliQuality {
  private:
   bool enabled_ = false;
   obs::QualityCollector collector_;
+};
+
+/// Installs the resource collector when --resource-report was given and
+/// writes the serialized report on destruction.  Installed before the run so
+/// every routing allocation is attributed; the RSS sampler runs alongside.
+class ScopedCliResource {
+ public:
+  explicit ScopedCliResource(const CliOptions& options)
+      : path_(options.resource_report_path),
+        canonical_(options.resource_canonical) {
+    if (!path_) return;
+    collector_ = std::make_unique<obs::ResourceCollector>();
+    obs::set_active_resource(collector_.get());
+    collector_->start_rss_sampler(20.0);
+  }
+
+  ~ScopedCliResource() {
+    if (!path_) return;
+    collector_->stop_rss_sampler();
+    obs::set_active_resource(nullptr);
+    std::ofstream out(*path_);
+    if (out) {
+      out << obs::resource_report_to_json(*collector_, meta_,
+                                          /*include_volatile=*/!canonical_);
+      std::printf("resource report written to %s\n", path_->c_str());
+    } else {
+      std::fprintf(stderr, "cannot open resource-report file %s\n",
+                   path_->c_str());
+    }
+  }
+
+  void set_meta(obs::ResourceMeta meta) { meta_ = std::move(meta); }
+
+  ScopedCliResource(const ScopedCliResource&) = delete;
+  ScopedCliResource& operator=(const ScopedCliResource&) = delete;
+
+ private:
+  std::optional<std::string> path_;
+  bool canonical_ = false;
+  std::unique_ptr<obs::ResourceCollector> collector_;
+  obs::ResourceMeta meta_;
+};
+
+/// Starts the sampling CPU profiler when --profile-sample was given; on
+/// destruction prints the hottest frames and optionally writes the folded
+/// stacks for flamegraph.pl.
+class ScopedCliProfiler {
+ public:
+  explicit ScopedCliProfiler(const CliOptions& options)
+      : folded_path_(options.profile_folded_path) {
+    if (options.profile_hz <= 0.0) return;
+    SamplingProfiler::Options prof;
+    prof.hz = options.profile_hz;
+    profiler_ = std::make_unique<SamplingProfiler>(prof);
+    if (!profiler_->start()) {
+      std::fprintf(stderr, "profiler failed to start; continuing without\n");
+      profiler_.reset();
+    }
+  }
+
+  ~ScopedCliProfiler() {
+    if (!profiler_) return;
+    profiler_->stop();
+    const std::string folded = profiler_->folded();
+    if (folded_path_) {
+      std::ofstream out(*folded_path_);
+      if (out) {
+        out << folded;
+        std::printf("folded stacks written to %s (%llu samples, %llu "
+                    "dropped)\n",
+                    folded_path_->c_str(),
+                    static_cast<unsigned long long>(
+                        profiler_->sample_count()),
+                    static_cast<unsigned long long>(
+                        profiler_->dropped_samples()));
+      } else {
+        std::fprintf(stderr, "cannot open folded-stack file %s\n",
+                     folded_path_->c_str());
+      }
+    }
+    std::printf("%s", render_hot_frames(summarize_folded(folded), 10)
+                          .c_str());
+  }
+
+  ScopedCliProfiler(const ScopedCliProfiler&) = delete;
+  ScopedCliProfiler& operator=(const ScopedCliProfiler&) = delete;
+
+ private:
+  std::optional<std::string> folded_path_;
+  std::unique_ptr<SamplingProfiler> profiler_;
 };
 
 /// The circuit spec as given on the command line, for the run report.
@@ -469,6 +591,16 @@ int main(int argc, char** argv) {
       ledger.set_meta(std::move(meta));
     }
     const ScopedCliQuality quality(options);
+    ScopedCliResource resource(options);
+    {
+      obs::ResourceMeta meta;
+      meta.algorithm = options.algorithm;
+      meta.circuit_source = describe_source(options);
+      meta.seed = options.seed;
+      meta.ranks = options.algorithm == "serial" ? 1 : options.ranks;
+      resource.set_meta(std::move(meta));
+    }
+    const ScopedCliProfiler profiler(options);
     MetricsRegistry metrics;
     fill_run_metrics(metrics, options, circuit);
 
